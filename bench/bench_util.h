@@ -1,0 +1,127 @@
+// Shared helpers for the experiment harnesses: a tiny --key=value flag
+// parser and the workload builders for the paper's Section 7 setups.
+//
+// Defaults are scaled for a laptop run (10k transactions); pass
+// --num_transactions=100000 --num_items=1000 to reproduce the paper's
+// database scale exactly.
+
+#ifndef CFQ_BENCH_BENCH_UTIL_H_
+#define CFQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+#include "data/attribute_gen.h"
+#include "mining/counter.h"
+#include "data/synthetic_gen.h"
+#include "data/transaction_db.h"
+
+namespace cfq::bench {
+
+// Parses --key=value command-line flags.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  bool GetBool(const std::string& name, bool fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+// Common generator knobs shared by all experiment binaries.
+struct DbConfig {
+  uint64_t num_transactions = 10000;
+  uint64_t num_items = 1000;
+  double avg_transaction_size = 10;
+  double avg_pattern_size = 4;
+  uint64_t num_patterns = 500;
+  uint64_t seed = 42;
+
+  static DbConfig FromArgs(const Args& args) {
+    DbConfig config;
+    config.num_transactions = static_cast<uint64_t>(
+        args.GetInt("num_transactions", 10000));
+    config.num_items =
+        static_cast<uint64_t>(args.GetInt("num_items", 1000));
+    config.avg_transaction_size =
+        args.GetDouble("avg_transaction_size", 10);
+    config.avg_pattern_size = args.GetDouble("avg_pattern_size", 4);
+    config.num_patterns =
+        static_cast<uint64_t>(args.GetInt("num_patterns", 500));
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    return config;
+  }
+
+  QuestParams ToQuestParams() const {
+    QuestParams params;
+    params.num_transactions = num_transactions;
+    params.num_items = num_items;
+    params.avg_transaction_size = avg_transaction_size;
+    params.avg_pattern_size = avg_pattern_size;
+    params.num_patterns = num_patterns;
+    params.seed = seed;
+    return params;
+  }
+};
+
+// Generates the transaction database or aborts with a message.
+inline TransactionDb MustGenerate(const DbConfig& config) {
+  auto db = GenerateQuestDb(config.ToQuestParams());
+  if (!db.ok()) {
+    std::cerr << "database generation failed: " << db.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(db).value();
+}
+
+// Parses --counter=bitmap|hash|hashtree (default bitmap).
+inline CounterKind CounterFromArgs(const Args& args) {
+  const std::string name = args.GetString("counter", "bitmap");
+  if (name == "hash") return CounterKind::kHash;
+  if (name == "hashtree") return CounterKind::kHashTree;
+  if (name != "bitmap") {
+    std::cerr << "unknown --counter '" << name
+              << "' (want bitmap|hash|hashtree); using bitmap\n";
+  }
+  return CounterKind::kBitmap;
+}
+
+inline void Banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace cfq::bench
+
+#endif  // CFQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,147 @@
+// Experiment E1/E2 — prints the paper's theory tables straight from the
+// library's classifier and reduction engine:
+//   * Figure 1: anti-monotonicity / quasi-succinctness of 2-var
+//     constraints,
+//   * Figures 2 & 3: the reduced 1-var pruning conditions on a worked
+//     instance,
+//   * Figure 4: induced weaker constraints,
+//   * an EXPLAIN of the optimizer's strategy for the three Section-7
+//     experiment queries.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "constraints/classify.h"
+#include "core/executor.h"
+#include "core/reduction.h"
+
+namespace cfq::bench {
+namespace {
+
+void PrintFigure1() {
+  Banner("Figure 1: characterization of 2-var constraints");
+  std::vector<TwoVarConstraint> rows;
+  for (SetCmp cmp : {SetCmp::kDisjoint, SetCmp::kIntersects, SetCmp::kSubset,
+                     SetCmp::kNotSubset, SetCmp::kEqual}) {
+    rows.push_back(MakeDomain2("A", cmp, "B"));
+  }
+  rows.push_back(MakeAgg2(AggFn::kMax, "A", CmpOp::kLe, AggFn::kMin, "B"));
+  rows.push_back(MakeAgg2(AggFn::kMin, "A", CmpOp::kLe, AggFn::kMin, "B"));
+  rows.push_back(MakeAgg2(AggFn::kMax, "A", CmpOp::kLe, AggFn::kMax, "B"));
+  rows.push_back(MakeAgg2(AggFn::kMin, "A", CmpOp::kLe, AggFn::kMax, "B"));
+  rows.push_back(MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kMax, "B"));
+  rows.push_back(MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kSum, "B"));
+  rows.push_back(MakeAgg2(AggFn::kAvg, "A", CmpOp::kLe, AggFn::kAvg, "B"));
+
+  TablePrinter table({"2-var constraint", "anti-monotone", "quasi-succinct"});
+  for (const TwoVarConstraint& c : rows) {
+    const TwoVarProperties p = Classify(c);
+    table.AddRow({ToString(c), p.anti_monotone_s ? "yes" : "no",
+                  p.quasi_succinct ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+}
+
+void PrintReductions() {
+  Banner("Figures 2 & 3: reductions on a worked instance");
+  // L1^S items have A-values {2, 5, 8}; L1^T items have B-values
+  // {1, 4, 7}.
+  ItemCatalog catalog(6);
+  (void)catalog.AddNumericAttr("A", {2, 5, 8, 0, 0, 0});
+  (void)catalog.AddNumericAttr("B", {0, 0, 0, 1, 4, 7});
+  const Itemset l1_s{0, 1, 2};
+  const Itemset l1_t{3, 4, 5};
+  std::cout << "  L1^S.A = {2, 5, 8}, L1^T.B = {1, 4, 7}\n\n";
+
+  std::vector<TwoVarConstraint> rows;
+  for (SetCmp cmp : {SetCmp::kDisjoint, SetCmp::kIntersects, SetCmp::kSubset,
+                     SetCmp::kNotSubset, SetCmp::kEqual}) {
+    rows.push_back(MakeDomain2("A", cmp, "B"));
+  }
+  for (AggFn s : {AggFn::kMin, AggFn::kMax}) {
+    for (AggFn t : {AggFn::kMin, AggFn::kMax}) {
+      rows.push_back(MakeAgg2(s, "A", CmpOp::kLe, t, "B"));
+    }
+  }
+  rows.push_back(MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kSum, "B"));
+  rows.push_back(MakeAgg2(AggFn::kAvg, "A", CmpOp::kLe, AggFn::kMin, "B"));
+
+  TablePrinter table({"2-var constraint", "C1(S)", "C2(T)", "tight"});
+  for (const TwoVarConstraint& c : rows) {
+    auto reduction = ReduceTwoVar(c, l1_s, l1_t, catalog);
+    if (!reduction.ok()) continue;
+    auto render = [](const ReducedSide& side) {
+      if (!side.satisfiable) return std::string("unsatisfiable");
+      if (side.constraints.empty()) return std::string("(trivially true)");
+      std::string out;
+      for (size_t i = 0; i < side.constraints.size(); ++i) {
+        if (i > 0) out += " & ";
+        out += ToString(side.constraints[i]);
+      }
+      return out;
+    };
+    const std::string tight =
+        std::string(reduction->s.tight ? "S" : "-") + "/" +
+        (reduction->t.tight ? "T" : "-");
+    table.AddRow(
+        {ToString(c), render(reduction->s), render(reduction->t), tight});
+  }
+  table.Print(std::cout);
+
+  Banner("Figure 4: induced weaker constraints");
+  TablePrinter induced_table({"constraint", "induced weaker constraint"});
+  for (const TwoVarConstraint& c :
+       {MakeAgg2(AggFn::kAvg, "A", CmpOp::kLe, AggFn::kMin, "B"),
+        MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kMax, "B"),
+        MakeAgg2(AggFn::kAvg, "A", CmpOp::kLe, AggFn::kAvg, "B"),
+        MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kSum, "B")}) {
+    const auto weaker = InduceWeaker(c);
+    induced_table.AddRow(
+        {ToString(c), weaker.empty() ? "(none)" : ToString(weaker[0])});
+  }
+  induced_table.Print(std::cout);
+}
+
+void PrintPlans() {
+  Banner("optimizer EXPLAIN for the Section 7 experiment queries");
+  CfqQuery fig8a;
+  fig8a.s_domain = {0};
+  fig8a.t_domain = {1};
+  fig8a.min_support_s = fig8a.min_support_t = 10;
+  fig8a.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+
+  CfqQuery fig8b = fig8a;
+  fig8b.two_var.clear();
+  fig8b.one_var.push_back(
+      MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 400));
+  fig8b.one_var.push_back(
+      MakeAgg1(Var::kT, AggFn::kMin, "Price", CmpOp::kGe, 600));
+  fig8b.two_var.push_back(MakeDomain2("Type", SetCmp::kEqual, "Type"));
+
+  CfqQuery sec73 = fig8a;
+  sec73.two_var.clear();
+  sec73.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+
+  for (const CfqQuery& q : {fig8a, fig8b, sec73}) {
+    auto plan = BuildPlan(q);
+    if (plan.ok()) std::cout << ExplainPlan(plan.value()) << "\n";
+  }
+}
+
+}  // namespace
+
+void Main() {
+  PrintFigure1();
+  PrintReductions();
+  PrintPlans();
+}
+
+}  // namespace cfq::bench
+
+int main() {
+  cfq::bench::Main();
+  return 0;
+}

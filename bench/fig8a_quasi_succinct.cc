@@ -1,0 +1,172 @@
+// Experiment E3/E4/E5 — Figure 8(a) and the Section 7.1 tables.
+//
+// One quasi-succinct 2-var constraint, max(S.Price) <= min(T.Price),
+// with S ranging over items priced in [s_lo, 1000] and T over items
+// priced in [0, v]. Sweeping v controls the selectivity (percentage
+// overlap of the two price ranges); the harness reports the speedup of
+// the optimizer's quasi-succinct strategy over Apriori+, the per-level
+// a/b table of Section 7.1, and the S.Price-range sensitivity table.
+//
+// Paper scale: --num_transactions=100000 --num_items=1000.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/executor.h"
+
+namespace cfq::bench {
+namespace {
+
+struct RunOutcome {
+  double naive_seconds = 0;
+  double optimized_seconds = 0;
+  CfqResult naive;
+  CfqResult optimized;
+};
+
+RunOutcome RunBoth(const DbConfig& config, int64_t s_lo, int64_t v,
+                   uint64_t min_support, CounterKind counter) {
+  TransactionDb db = MustGenerate(config);
+  ItemCatalog catalog(config.num_items);
+  ExperimentDomains domains;
+  auto status = AssignSplitUniformPrices(&catalog, "Price", s_lo, 1000, 0, v,
+                                         config.seed + 1, &domains);
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    std::exit(1);
+  }
+  CfqQuery query;
+  query.s_domain = domains.s_domain;
+  query.t_domain = domains.t_domain;
+  query.min_support_s = min_support;
+  query.min_support_t = min_support;
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+
+  PlanOptions options;
+  options.counter = counter;
+  RunOutcome out;
+  {
+    auto r = ExecuteAprioriPlus(&db, catalog, query, options);
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      std::exit(1);
+    }
+    // Speedups compare the mining phase (the paper's step 1); pair
+    // formation is identical across strategies.
+    out.naive_seconds = r->stats.mining_seconds;
+    out.naive = std::move(r).value();
+  }
+  {
+    auto r = ExecuteOptimized(&db, catalog, query, options);
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      std::exit(1);
+    }
+    out.optimized_seconds = r->stats.mining_seconds;
+    out.optimized = std::move(r).value();
+  }
+  if (AnswerPairs(out.naive) != AnswerPairs(out.optimized)) {
+    std::cerr << "strategies disagree — bug!\n";
+    std::exit(1);
+  }
+  return out;
+}
+
+std::string LevelCell(const CccStats& optimized, const CccStats& baseline,
+                      size_t level) {
+  const uint64_t a = level < optimized.frequent_per_level.size()
+                         ? optimized.frequent_per_level[level]
+                         : 0;
+  const uint64_t b = level < baseline.frequent_per_level.size()
+                         ? baseline.frequent_per_level[level]
+                         : 0;
+  return std::to_string(a) + "/" + std::to_string(b);
+}
+
+}  // namespace
+
+void Main(const Args& args) {
+  const DbConfig config = DbConfig::FromArgs(args);
+  const uint64_t min_support = static_cast<uint64_t>(args.GetInt(
+      "min_support",
+      static_cast<int64_t>(config.num_transactions / 250)));  // 0.4%.
+  const CounterKind counter = CounterFromArgs(args);
+
+  std::cout << "Figure 8(a): quasi-succinctness, 2-var constraint only\n"
+            << "constraint: max(S.Price) <= min(T.Price); S.Price in "
+               "[400,1000], T.Price in [0,v]\n"
+            << "database: " << config.num_transactions << " txns, "
+            << config.num_items << " items, min support " << min_support
+            << "\n";
+
+  // --- E3: the selectivity sweep (the figure's curve). -------------------
+  Banner("speedup vs % selectivity (Figure 8(a))");
+  TablePrinter sweep({"v", "% overlap", "speedup", "sets counted (opt)",
+                      "sets counted (apriori+)", "pairs"});
+  for (int64_t v : {500, 600, 700, 800, 900}) {
+    const RunOutcome out = RunBoth(config, 400, v, min_support, counter);
+    const double overlap = 100.0 * static_cast<double>(v - 400) / 600.0;
+    sweep.AddRow(
+        {TablePrinter::Fmt(static_cast<int64_t>(v)),
+         TablePrinter::Fmt(overlap, 1),
+         TablePrinter::Fmt(out.naive_seconds / out.optimized_seconds, 2),
+         TablePrinter::Fmt(out.optimized.stats.s.sets_counted +
+                           out.optimized.stats.t.sets_counted),
+         TablePrinter::Fmt(out.naive.stats.s.sets_counted +
+                           out.naive.stats.t.sets_counted),
+         TablePrinter::Fmt(static_cast<uint64_t>(out.optimized.pairs.size()))});
+  }
+  sweep.Print(std::cout);
+
+  // --- E4: the per-level a/b table at 16.6% overlap. ----------------------
+  Banner("per-level frequent sets a/b at 16.6% overlap (Sec. 7.1 table)");
+  {
+    const RunOutcome out = RunBoth(config, 400, 500, min_support, counter);
+    const size_t levels =
+        std::max(out.naive.stats.s.frequent_per_level.size(),
+                 out.naive.stats.t.frequent_per_level.size());
+    std::vector<std::string> header{"var"};
+    for (size_t l = 0; l < levels; ++l) {
+      header.push_back("L" + std::to_string(l + 1));
+    }
+    TablePrinter table(header);
+    std::vector<std::string> s_row{"S"}, t_row{"T"};
+    for (size_t l = 0; l < levels; ++l) {
+      s_row.push_back(
+          LevelCell(out.optimized.stats.s, out.naive.stats.s, l));
+      t_row.push_back(
+          LevelCell(out.optimized.stats.t, out.naive.stats.t, l));
+    }
+    table.AddRow(s_row);
+    table.AddRow(t_row);
+    table.Print(std::cout);
+    std::cout << "  (a/b = frequent sets counted by the optimized strategy "
+                 "vs Apriori+)\n";
+  }
+
+  // --- E5: S.Price-range sensitivity at 50% overlap. ----------------------
+  Banner("S.Price range vs speedup at 50% overlap (Sec. 7.1 table)");
+  TablePrinter ranges({"S.Price range", "v", "speedup"});
+  for (int64_t s_lo : {300, 400, 500}) {
+    // v placed so the T range covers half of the S range.
+    const int64_t v = s_lo + (1000 - s_lo) / 2;
+    const RunOutcome out = RunBoth(config, s_lo, v, min_support, counter);
+    ranges.AddRow(
+        {"[" + std::to_string(s_lo) + ",1000]",
+         TablePrinter::Fmt(static_cast<int64_t>(v)),
+         TablePrinter::Fmt(out.naive_seconds / out.optimized_seconds, 2)});
+  }
+  ranges.Print(std::cout);
+  std::cout << "\nPaper reference shapes: speedup falls as overlap grows "
+               "(4x at 16.6% down to ~1.5x at 83.4%); narrower S ranges "
+               "give larger speedups.\n";
+}
+
+}  // namespace cfq::bench
+
+int main(int argc, char** argv) {
+  cfq::bench::Main(cfq::bench::Args(argc, argv));
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Experiment E6/E7 — Figure 8(b) and the Section 7.2 range table.
+//
+// Constraints (the paper's 7.2 setup):
+//   min(S.Price) >= s_lo & max(S.Price) <= s_hi      (1-var, succinct)
+//   min(T.Price) >= t_lo & max(T.Price) <= t_hi      (1-var, succinct)
+//   S.Type = T.Type                                  (2-var, quasi-succinct)
+//
+// Both variables range over the full item universe; half the items are
+// priced inside the S range, half inside the T range, and the two
+// halves' Type values overlap by a controlled percentage. Three
+// strategies are compared: Apriori+, CAP with 1-var pushing only, and
+// the full optimizer that additionally reduces S.Type = T.Type.
+
+#include <array>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/executor.h"
+
+namespace cfq::bench {
+namespace {
+
+struct Setup {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  CfqQuery query;
+};
+
+Setup Build(const DbConfig& config, int64_t s_lo, int64_t s_hi, int64_t t_lo,
+            int64_t t_hi, double type_overlap_percent, uint64_t min_support) {
+  Setup setup;
+  setup.db = MustGenerate(config);
+  setup.catalog = ItemCatalog(config.num_items);
+  // Global uniform prices; the 1-var range constraints below define the
+  // sides. Types are drawn from per-side pools, with shared-band items
+  // (eligible for both sides) drawing from the pools' intersection.
+  auto status =
+      AssignUniformPrices(&setup.catalog, "Price", 0, 1000, config.seed + 2);
+  if (status.ok()) {
+    status = AssignBandedTypes(&setup.catalog, "Type", "Price",
+                               static_cast<double>(s_lo),
+                               static_cast<double>(t_hi), 10,
+                               type_overlap_percent, config.seed + 3);
+  }
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    std::exit(1);
+  }
+  // Both variables range over ALL items; the 1-var price constraints do
+  // the restricting (that is what CAP exploits).
+  Itemset universe;
+  for (ItemId i = 0; i < config.num_items; ++i) universe.push_back(i);
+  setup.query.s_domain = universe;
+  setup.query.t_domain = universe;
+  setup.query.min_support_s = min_support;
+  setup.query.min_support_t = min_support;
+  setup.query.one_var.push_back(MakeAgg1(Var::kS, AggFn::kMin, "Price",
+                                         CmpOp::kGe,
+                                         static_cast<double>(s_lo)));
+  setup.query.one_var.push_back(MakeAgg1(Var::kS, AggFn::kMax, "Price",
+                                         CmpOp::kLe,
+                                         static_cast<double>(s_hi)));
+  setup.query.one_var.push_back(MakeAgg1(Var::kT, AggFn::kMin, "Price",
+                                         CmpOp::kGe,
+                                         static_cast<double>(t_lo)));
+  setup.query.one_var.push_back(MakeAgg1(Var::kT, AggFn::kMax, "Price",
+                                         CmpOp::kLe,
+                                         static_cast<double>(t_hi)));
+  setup.query.two_var.push_back(MakeDomain2("Type", SetCmp::kEqual, "Type"));
+  return setup;
+}
+
+struct Timings {
+  double naive = 0;
+  double cap = 0;
+  double optimized = 0;
+};
+
+Timings RunAll(Setup& setup, CounterKind counter) {
+  // Speedups compare the mining phase (the paper's step 1); pair
+  // formation is identical across strategies.
+  PlanOptions options;
+  options.counter = counter;
+  Timings t;
+  auto naive =
+      ExecuteAprioriPlus(&setup.db, setup.catalog, setup.query, options);
+  if (naive.ok()) t.naive = naive->stats.mining_seconds;
+  auto cap = ExecuteCapOneVar(&setup.db, setup.catalog, setup.query, options);
+  if (cap.ok()) t.cap = cap->stats.mining_seconds;
+  auto optimized =
+      ExecuteOptimized(&setup.db, setup.catalog, setup.query, options);
+  if (optimized.ok()) t.optimized = optimized->stats.mining_seconds;
+  for (const auto* r : {&naive, &cap, &optimized}) {
+    if (!r->ok()) {
+      std::cerr << r->status() << "\n";
+      std::exit(1);
+    }
+  }
+  if (AnswerPairs(naive.value()) != AnswerPairs(cap.value()) ||
+      AnswerPairs(naive.value()) != AnswerPairs(optimized.value())) {
+    std::cerr << "strategies disagree — bug!\n";
+    std::exit(1);
+  }
+  return t;
+}
+
+}  // namespace
+
+void Main(const Args& args) {
+  const DbConfig config = DbConfig::FromArgs(args);
+  const uint64_t min_support = static_cast<uint64_t>(args.GetInt(
+      "min_support", static_cast<int64_t>(config.num_transactions / 250)));
+  const CounterKind counter = CounterFromArgs(args);
+
+  std::cout << "Figure 8(b): 2-var constraint on top of 1-var constraints\n"
+            << "constraints: S.Price in [400,1000] & T.Price in [0,600] & "
+               "S.Type = T.Type\n"
+            << "database: " << config.num_transactions << " txns, "
+            << config.num_items << " items, min support " << min_support
+            << "\n";
+
+  // --- E6: type-overlap sweep (the figure's three curves). ----------------
+  Banner("speedup vs % type overlap (Figure 8(b))");
+  TablePrinter sweep({"% overlap", "Apriori+", "1-var only (CAP)",
+                      "1-var + 2-var (optimizer)", "Apriori+ secs"});
+  for (double overlap : {20.0, 40.0, 60.0, 80.0}) {
+    Setup setup =
+        Build(config, 400, 1000, 0, 600, overlap, min_support);
+    const Timings t = RunAll(setup, counter);
+    sweep.AddRow({TablePrinter::Fmt(overlap, 0), "1.00",
+                  TablePrinter::Fmt(t.naive / t.cap, 2),
+                  TablePrinter::Fmt(t.naive / t.optimized, 2),
+                  TablePrinter::Fmt(t.naive, 3)});
+  }
+  sweep.Print(std::cout);
+
+  // --- E7: price-range sensitivity at 40% overlap. ------------------------
+  Banner("price ranges vs speedups at 40% type overlap (Sec. 7.2 table)");
+  TablePrinter ranges({"S.Price", "T.Price", "1-var only", "1- and 2-var",
+                       "ratio"});
+  const std::vector<std::array<int64_t, 4>> cases{
+      {100, 1000, 0, 900}, {400, 1000, 0, 600}, {800, 1000, 0, 200}};
+  for (const auto& c : cases) {
+    Setup setup = Build(config, c[0], c[1], c[2], c[3], 40.0, min_support);
+    const Timings t = RunAll(setup, counter);
+    const double one_var = t.naive / t.cap;
+    const double both = t.naive / t.optimized;
+    ranges.AddRow({"[" + std::to_string(c[0]) + "," + std::to_string(c[1]) +
+                       "]",
+                   "[" + std::to_string(c[2]) + "," + std::to_string(c[3]) +
+                       "]",
+                   TablePrinter::Fmt(one_var, 2), TablePrinter::Fmt(both, 2),
+                   TablePrinter::Fmt(both / one_var, 2)});
+  }
+  ranges.Print(std::cout);
+  std::cout << "\nPaper reference shapes: optimizing 1-var alone gives a "
+               "flat ~1.5x; adding quasi-succinctness grows the speedup as "
+               "overlap shrinks (6x at 40%, ~20x at 20%); narrower ranges "
+               "raise both curves but widen their ratio toward the "
+               "wide-range end.\n";
+}
+
+}  // namespace cfq::bench
+
+int main(int argc, char** argv) {
+  cfq::bench::Main(cfq::bench::Args(argc, argv));
+  return 0;
+}

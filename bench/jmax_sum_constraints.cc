@@ -1,0 +1,160 @@
+// Experiment E8 — the Section 7.3 table: optimizing
+// sum(S.Price) <= sum(T.Price) with Jmax iterative pruning.
+//
+// Prices are normally distributed: S-side items at mean 1000 (sigma
+// 100), T-side items at a swept mean in {400, 600, 800, 1000}. The S
+// support threshold is set low so the S lattice gets deep and the V^k
+// series has levels to bite on. Speedup is "optimizer with Jmax" vs
+// "optimizer without Jmax/induced bounds" (both verify the constraint
+// at pair formation), plus Apriori+ as the outer baseline.
+//
+// Two ablations from DESIGN.md are included: the per-element J_i^k
+// variant of Figure 6, and non-dovetailed execution (mine T fully, then
+// prune S with the exact global bound).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/executor.h"
+
+namespace cfq::bench {
+namespace {
+
+struct Setup {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  CfqQuery query;
+};
+
+Setup Build(const DbConfig& config, double t_mean, uint64_t s_support,
+            uint64_t t_support) {
+  Setup setup;
+  setup.db = MustGenerate(config);
+  setup.catalog = ItemCatalog(config.num_items);
+  ExperimentDomains domains;
+  auto status = AssignSplitNormalPrices(&setup.catalog, "Price", 1000, t_mean,
+                                        100, config.seed + 4, &domains);
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    std::exit(1);
+  }
+  setup.query.s_domain = domains.s_domain;
+  setup.query.t_domain = domains.t_domain;
+  setup.query.min_support_s = s_support;
+  setup.query.min_support_t = t_support;
+  setup.query.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+  return setup;
+}
+
+double TimeRun(Setup& setup, PlanOptions options, uint64_t* counted) {
+  auto r = ExecuteOptimized(&setup.db, setup.catalog, setup.query, options);
+  if (!r.ok()) {
+    std::cerr << r.status() << "\n";
+    std::exit(1);
+  }
+  // Mining-phase time: pair formation is identical across variants.
+  const double seconds = r->stats.mining_seconds;
+  if (counted != nullptr) {
+    *counted = r->stats.s.sets_counted + r->stats.t.sets_counted;
+  }
+  return seconds;
+}
+
+}  // namespace
+
+void Main(const Args& args) {
+  DbConfig config = DbConfig::FromArgs(args);
+  // Denser defaults than the other harnesses: the Jmax experiment needs
+  // deep S lattices (the paper reports frequent sets up to size 14), so
+  // fewer items, larger patterns and a low S support threshold.
+  config.num_items = static_cast<uint64_t>(args.GetInt("num_items", 150));
+  config.num_patterns =
+      static_cast<uint64_t>(args.GetInt("num_patterns", 80));
+  config.avg_pattern_size = args.GetDouble("avg_pattern_size", 5);
+  const uint64_t s_support = static_cast<uint64_t>(args.GetInt(
+      "min_support_s", static_cast<int64_t>(config.num_transactions / 500)));
+  const uint64_t t_support = static_cast<uint64_t>(args.GetInt(
+      "min_support_t", static_cast<int64_t>(config.num_transactions / 100)));
+
+  const CounterKind counter = CounterFromArgs(args);
+  (void)counter;
+  std::cout << "Section 7.3: sum(S.Price) <= sum(T.Price) with Jmax "
+               "iterative pruning\n"
+            << "S prices ~ N(1000, 100); T prices ~ N(mean, 100); S support "
+            << s_support << ", T support " << t_support << "\n";
+
+  Banner("speedup with Jmax vs mean T.Price (Sec. 7.3 table)");
+  TablePrinter table({"mean T.Price", "speedup with Jmax",
+                      "counting reduction", "sets counted (jmax)",
+                      "sets counted (no jmax)", "speedup vs Apriori+"});
+  for (double t_mean : {400.0, 600.0, 800.0, 1000.0}) {
+    Setup setup = Build(config, t_mean, s_support, t_support);
+
+    PlanOptions with_jmax;
+    PlanOptions without;
+    without.use_jmax = false;
+    without.use_induced = false;
+
+    uint64_t counted_with = 0, counted_without = 0;
+    const double seconds_with = TimeRun(setup, with_jmax, &counted_with);
+    const double seconds_without = TimeRun(setup, without, &counted_without);
+
+    auto naive = ExecuteAprioriPlus(&setup.db, setup.catalog, setup.query);
+    if (!naive.ok()) {
+      std::cerr << naive.status() << "\n";
+      std::exit(1);
+    }
+    const double seconds_naive = naive->stats.mining_seconds;
+
+    table.AddRow({TablePrinter::Fmt(t_mean, 0),
+                  TablePrinter::Fmt(seconds_without / seconds_with, 2),
+                  TablePrinter::Fmt(static_cast<double>(counted_without) /
+                                        static_cast<double>(counted_with),
+                                    2),
+                  TablePrinter::Fmt(counted_with),
+                  TablePrinter::Fmt(counted_without),
+                  TablePrinter::Fmt(seconds_naive / seconds_with, 2)});
+  }
+  table.Print(std::cout);
+
+  Banner("ablations at mean T.Price = 400");
+  {
+    Setup setup = Build(config, 400, s_support, t_support);
+    TablePrinter ablation({"variant", "seconds", "sets counted"});
+    const std::vector<std::pair<std::string, PlanOptions>> variants = [] {
+      PlanOptions paper;
+      PlanOptions per_element;
+      per_element.jmax.per_element_j = true;
+      PlanOptions sequential;
+      sequential.dovetail = false;
+      PlanOptions none;
+      none.use_jmax = false;
+      none.use_induced = false;
+      return std::vector<std::pair<std::string, PlanOptions>>{
+          {"paper (global Jmax, dovetailed)", paper},
+          {"per-element J_i^k", per_element},
+          {"non-dovetailed (exact T bound)", sequential},
+          {"no Jmax / no induced bounds", none},
+      };
+    }();
+    for (const auto& [name, options] : variants) {
+      uint64_t counted = 0;
+      const double seconds = TimeRun(setup, options, &counted);
+      ablation.AddRow({name, TablePrinter::Fmt(seconds, 3),
+                       TablePrinter::Fmt(counted)});
+    }
+    ablation.Print(std::cout);
+  }
+  std::cout << "\nPaper reference shape: the Jmax speedup grows as the "
+               "T-side mean drops (3.14x at 400 down to 1.11x at 1000) — "
+               "the constraint is more selective when T sums are small.\n";
+}
+
+}  // namespace cfq::bench
+
+int main(int argc, char** argv) {
+  cfq::bench::Main(cfq::bench::Args(argc, argv));
+  return 0;
+}

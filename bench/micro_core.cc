@@ -1,0 +1,110 @@
+// Experiment E10b — micro-benchmarks for the paper-contribution paths:
+// the quasi-succinct reduction ("little extra cost", Section 4.1) and
+// the Jmax / V^k computation ("the time taken to find Jmax is
+// negligible", Section 5.2).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/jmax.h"
+#include "core/reduction.h"
+#include "mining/apriori.h"
+
+namespace cfq {
+namespace {
+
+struct Fixture {
+  ItemCatalog catalog{1000};
+  Itemset l1_s;
+  Itemset l1_t;
+  std::vector<FrequentSet> level3;
+};
+
+const Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture;
+    Rng rng(17);
+    std::vector<AttrValue> a(1000), b(1000);
+    for (size_t i = 0; i < 1000; ++i) {
+      a[i] = static_cast<AttrValue>(rng.UniformInt(0, 999));
+      b[i] = static_cast<AttrValue>(rng.UniformInt(0, 999));
+    }
+    (void)f->catalog.AddNumericAttr("A", a);
+    (void)f->catalog.AddNumericAttr("B", b);
+    for (ItemId i = 0; i < 1000; i += 2) f->l1_s.push_back(i);
+    for (ItemId i = 1; i < 1000; i += 2) f->l1_t.push_back(i);
+    // Synthetic level-3 frequent sets for the Jmax benchmarks.
+    for (int s = 0; s < 2000; ++s) {
+      std::vector<ItemId> raw(3);
+      for (auto& x : raw) {
+        x = static_cast<ItemId>(rng.UniformInt(0, 999) | 1);  // Odd items.
+      }
+      Itemset set = MakeItemset(raw);
+      if (set.size() == 3) {
+        f->level3.push_back(FrequentSet{set, 10});
+      }
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_ReduceQuasiSuccinctDomain(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  const auto c = MakeDomain2("A", SetCmp::kDisjoint, "B");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceTwoVar(c, f.l1_s, f.l1_t, f.catalog));
+  }
+}
+BENCHMARK(BM_ReduceQuasiSuccinctDomain);
+
+void BM_ReduceQuasiSuccinctAgg(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  const auto c = MakeAgg2(AggFn::kMax, "A", CmpOp::kLe, AggFn::kMin, "B");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceTwoVar(c, f.l1_s, f.l1_t, f.catalog));
+  }
+}
+BENCHMARK(BM_ReduceQuasiSuccinctAgg);
+
+void BM_InduceWeaker(benchmark::State& state) {
+  const auto c = MakeAgg2(AggFn::kAvg, "A", CmpOp::kLe, AggFn::kAvg, "B");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InduceWeaker(c));
+  }
+}
+BENCHMARK(BM_InduceWeaker);
+
+void BM_ComputeJmax(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeJmax(f.level3, 3));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.level3.size()));
+}
+BENCHMARK(BM_ComputeJmax);
+
+void BM_ComputeVk(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeVk(f.level3, 3, "B", f.catalog));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.level3.size()));
+}
+BENCHMARK(BM_ComputeVk);
+
+void BM_AchievableAgg(benchmark::State& state) {
+  const Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AchievableAgg(AggFn::kSum, "B", f.l1_t, f.catalog));
+  }
+}
+BENCHMARK(BM_AchievableAgg);
+
+}  // namespace
+}  // namespace cfq
+
+BENCHMARK_MAIN();

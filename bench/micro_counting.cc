@@ -1,0 +1,121 @@
+// Experiment E10a — micro-benchmarks for the counting backends (the
+// DESIGN.md ablation: vertical TID-bitmaps vs horizontal hashing).
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/synthetic_gen.h"
+#include "mining/bitmap_counter.h"
+#include "mining/candidate_gen.h"
+#include "mining/hash_counter.h"
+#include "mining/hash_tree_counter.h"
+
+namespace cfq {
+namespace {
+
+TransactionDb* SharedDb() {
+  static TransactionDb* db = [] {
+    QuestParams params;
+    params.num_transactions = 5000;
+    params.num_items = 200;
+    params.num_patterns = 100;
+    params.seed = 9;
+    auto generated = GenerateQuestDb(params);
+    auto* owned = new TransactionDb(std::move(generated).value());
+    owned->BuildVerticalIndex();
+    return owned;
+  }();
+  return db;
+}
+
+// Random batch of distinct size-k candidates. `count` is capped by the
+// number of distinct size-k sets available (only 200 singletons exist).
+std::vector<Itemset> MakeCandidates(size_t k, size_t count) {
+  if (k == 1) count = std::min<size_t>(count, 128);
+  Rng rng(k * 1000 + count);
+  std::vector<Itemset> out;
+  std::unordered_set<Itemset, ItemsetHash> seen;
+  while (out.size() < count) {
+    std::vector<ItemId> raw(k);
+    for (auto& x : raw) {
+      x = static_cast<ItemId>(rng.UniformInt(0, 199));
+    }
+    Itemset c = MakeItemset(raw);
+    if (c.size() == k && seen.insert(c).second) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BM_HashCount(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const auto candidates = MakeCandidates(k, 256);
+  HashCounter counter(SharedDb());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Count(candidates, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(candidates.size()));
+}
+BENCHMARK(BM_HashCount)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_BitmapCount(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const auto candidates = MakeCandidates(k, 256);
+  BitmapCounter counter(SharedDb());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Count(candidates, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(candidates.size()));
+}
+BENCHMARK(BM_BitmapCount)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_HashTreeCount(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const auto candidates = MakeCandidates(k, 256);
+  HashTreeCounter counter(SharedDb());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Count(candidates, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(candidates.size()));
+}
+BENCHMARK(BM_HashTreeCount)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_BuildVerticalIndex(benchmark::State& state) {
+  TransactionDb& db = *SharedDb();
+  for (auto _ : state) {
+    db.BuildVerticalIndex();
+    benchmark::DoNotOptimize(db.vertical(0).Count());
+  }
+}
+BENCHMARK(BM_BuildVerticalIndex);
+
+void BM_CandidateJoinPrune(benchmark::State& state) {
+  const auto frequent = MakeCandidates(2, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCandidatesJoinPrune(frequent));
+  }
+}
+BENCHMARK(BM_CandidateJoinPrune)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QuestGeneration(benchmark::State& state) {
+  QuestParams params;
+  params.num_transactions = static_cast<uint64_t>(state.range(0));
+  params.num_items = 200;
+  params.num_patterns = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateQuestDb(params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuestGeneration)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace cfq
+
+BENCHMARK_MAIN();

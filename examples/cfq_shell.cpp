@@ -1,0 +1,125 @@
+// Interactive CFQ shell: type queries in the paper's syntax against a
+// Quest-generated market-basket database, get EXPLAIN output, answer
+// pairs and the top association rules.
+//
+//   ./examples/cfq_shell [--num_transactions=3000]
+//   cfq> {(S, T) | freq(S, 20) & freq(T, 20) & max(S.Price) <= min(T.Price)}
+//   cfq> sum(S.Price) <= 100 & S.Type = T.Type
+//   cfq> explain max(S.Price) <= min(T.Price)
+//   cfq> quit
+
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/executor.h"
+#include "parser/parser.h"
+#include "rules/rule_gen.h"
+
+namespace {
+
+constexpr char kHelp[] = R"(commands:
+  <query>            run a CFQ, e.g.  freq(S, 20) & max(S.Price) <= min(T.Price)
+  explain <query>    show the optimizer's strategy without running it
+  help               this text
+  quit               exit
+
+query syntax: freq(S, N), freq(T, N), agg(S.Attr) <= c, S.Attr subset {..},
+  agg(S.Attr) <= agg(T.Attr), S.Attr = T.Attr, S.Attr disjoint T.Attr, ...
+attributes: Price (uniform 1..1000), Type (8 categories 0..7)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cfq;
+  bench::Args args(argc, argv);
+
+  bench::DbConfig config;
+  config.num_transactions =
+      static_cast<uint64_t>(args.GetInt("num_transactions", 3000));
+  config.num_items = 200;
+  config.num_patterns = 100;
+  TransactionDb db = bench::MustGenerate(config);
+
+  ItemCatalog catalog(config.num_items);
+  if (auto s = AssignUniformPrices(&catalog, "Price", 1, 1000, 3); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  {
+    std::vector<int32_t> types(config.num_items);
+    for (ItemId i = 0; i < config.num_items; ++i) {
+      types[i] = static_cast<int32_t>(i % 8);
+    }
+    (void)catalog.AddCategoricalAttr("Type", types);
+  }
+  Itemset universe;
+  for (ItemId i = 0; i < config.num_items; ++i) universe.push_back(i);
+
+  std::cout << "CFQ shell over " << config.num_transactions << " baskets, "
+            << config.num_items << " items. 'help' for syntax.\n";
+
+  std::string line;
+  while (std::cout << "cfq> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    if (line == "help") {
+      std::cout << kHelp;
+      continue;
+    }
+    bool explain_only = false;
+    std::string text = line;
+    if (text.rfind("explain ", 0) == 0) {
+      explain_only = true;
+      text = text.substr(8);
+    }
+    auto parsed = ParseCfq(text);
+    if (!parsed.ok()) {
+      std::cout << "parse error: " << parsed.status().message() << "\n";
+      continue;
+    }
+    CfqQuery query = std::move(parsed).value();
+    query.s_domain = universe;
+    query.t_domain = universe;
+    // Sensible default thresholds if the query gave none.
+    if (query.min_support_s <= 1) {
+      query.min_support_s = config.num_transactions / 100;
+    }
+    if (query.min_support_t <= 1) {
+      query.min_support_t = config.num_transactions / 100;
+    }
+
+    auto plan = BuildPlan(query);
+    if (!plan.ok()) {
+      std::cout << "plan error: " << plan.status().message() << "\n";
+      continue;
+    }
+    std::cout << ExplainPlan(plan.value());
+    if (explain_only) continue;
+
+    auto result = ExecutePlan(&db, catalog, plan.value());
+    if (!result.ok()) {
+      std::cout << "execution error: " << result.status().message() << "\n";
+      continue;
+    }
+    const auto answers = AnswerPairs(result.value());
+    std::cout << result->s_sets.size() << " valid frequent S-sets, "
+              << result->t_sets.size() << " T-sets, " << answers.size()
+              << " answer pairs ("
+              << result->stats.s.sets_counted + result->stats.t.sets_counted
+              << " candidates counted)\n";
+
+    RuleOptions rule_options;
+    rule_options.top_k = 5;
+    rule_options.min_confidence = 0.1;
+    auto rules = FormRules(&db, result.value(), rule_options);
+    if (rules.ok() && !rules->empty()) {
+      std::cout << "top rules:\n";
+      for (const AssociationRule& rule : *rules) {
+        std::cout << "  " << ToString(rule) << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// The paper's Section 2 example: find pairs of frequent sets of cheaper
+// snack items and more expensive beer items —
+//
+//   {(S, T) | S.Type = {Snacks} & T.Type = {Beers}
+//           & max(S.Price) <= min(T.Price)}
+//
+// on a Quest-generated transaction database, with an EXPLAIN of the
+// optimizer's strategy.
+//
+//   ./examples/snacks_and_beers [--num_transactions=5000]
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/executor.h"
+
+int main(int argc, char** argv) {
+  using namespace cfq;
+  bench::Args args(argc, argv);
+
+  bench::DbConfig config;
+  config.num_transactions =
+      static_cast<uint64_t>(args.GetInt("num_transactions", 5000));
+  config.num_items = 200;
+  config.num_patterns = 100;
+  TransactionDb db = bench::MustGenerate(config);
+
+  // Catalog: four product types; snacks are cheap, beers mid-range.
+  ItemCatalog catalog(config.num_items);
+  std::vector<int32_t> types(config.num_items);
+  std::vector<AttrValue> prices(config.num_items);
+  Rng rng(7);
+  for (ItemId i = 0; i < config.num_items; ++i) {
+    types[i] = static_cast<int32_t>(i % 4);
+    switch (types[i]) {
+      case 0:  // Snacks.
+        prices[i] = static_cast<AttrValue>(rng.UniformInt(1, 8));
+        break;
+      case 1:  // Beers.
+        prices[i] = static_cast<AttrValue>(rng.UniformInt(5, 20));
+        break;
+      default:  // Everything else.
+        prices[i] = static_cast<AttrValue>(rng.UniformInt(1, 100));
+    }
+  }
+  (void)catalog.AddCategoricalAttr("Type", types,
+                                   {"Snacks", "Beers", "Dairy", "Misc"});
+  (void)catalog.AddNumericAttr("Price", prices);
+
+  CfqQuery query;
+  for (ItemId i = 0; i < config.num_items; ++i) {
+    query.s_domain.push_back(i);
+    query.t_domain.push_back(i);
+  }
+  query.min_support_s = config.num_transactions / 150;
+  query.min_support_t = config.num_transactions / 150;
+  // S.Type = {Snacks}: a succinct 1-var domain constraint.
+  query.one_var.push_back(
+      MakeDomain1(Var::kS, "Type", SetCmp::kEqual, {0.0}));
+  query.one_var.push_back(
+      MakeDomain1(Var::kT, "Type", SetCmp::kEqual, {1.0}));
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+
+  auto plan = BuildPlan(query);
+  if (!plan.ok()) {
+    std::cerr << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << ExplainPlan(plan.value()) << "\n";
+
+  auto result = ExecutePlan(&db, catalog, plan.value());
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::cout << result->s_sets.size() << " frequent valid snack sets, "
+            << result->t_sets.size() << " beer sets, " << result->pairs.size()
+            << " answer pairs\n\n";
+  size_t shown = 0;
+  for (const auto& [i, j] : result->pairs) {
+    if (++shown > 10) {
+      std::cout << "  ... (" << result->pairs.size() - 10 << " more)\n";
+      break;
+    }
+    const Itemset& s = result->s_sets[i].items;
+    const Itemset& t = result->t_sets[j].items;
+    auto max_s = AggregateOver(AggFn::kMax, "Price", s, catalog);
+    auto min_t = AggregateOver(AggFn::kMin, "Price", t, catalog);
+    std::cout << "  snacks " << ToString(s) << " (max $" << max_s.value()
+              << ")  =>  beers " << ToString(t) << " (min $" << min_t.value()
+              << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "common/bitset64.h"
+
+#include <bit>
+#include <cassert>
+
+namespace cfq {
+
+size_t Bitset64::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+void Bitset64::AndWith(const Bitset64& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+size_t Bitset64::AndInto(const Bitset64& a, const Bitset64& b, Bitset64* out) {
+  assert(a.num_bits_ == b.num_bits_);
+  out->num_bits_ = a.num_bits_;
+  out->words_.resize(a.words_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    const uint64_t w = a.words_[i] & b.words_[i];
+    out->words_[i] = w;
+    total += static_cast<size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+size_t Bitset64::AndCount(const Bitset64& a, const Bitset64& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  size_t total = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(a.words_[i] & b.words_[i]));
+  }
+  return total;
+}
+
+}  // namespace cfq

@@ -1,0 +1,53 @@
+// Bitset64: a fixed-size dynamic bitset used as a TID (transaction id)
+// list in the vertical counting backend. Support counting reduces to
+// AND + popcount over 64-bit words.
+
+#ifndef CFQ_COMMON_BITSET64_H_
+#define CFQ_COMMON_BITSET64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cfq {
+
+class Bitset64 {
+ public:
+  Bitset64() = default;
+  // Creates a bitset holding `num_bits` bits, all clear.
+  explicit Bitset64(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t num_bits() const { return num_bits_; }
+
+  void Set(size_t pos) { words_[pos >> 6] |= (uint64_t{1} << (pos & 63)); }
+  void Clear(size_t pos) { words_[pos >> 6] &= ~(uint64_t{1} << (pos & 63)); }
+  bool Test(size_t pos) const {
+    return (words_[pos >> 6] >> (pos & 63)) & 1;
+  }
+
+  // Number of set bits.
+  size_t Count() const;
+
+  // this &= other. Both bitsets must have the same size.
+  void AndWith(const Bitset64& other);
+
+  // Writes a & b into *out (resized as needed) and returns popcount(a & b).
+  // Fused so support counting does one pass.
+  static size_t AndInto(const Bitset64& a, const Bitset64& b, Bitset64* out);
+
+  // popcount(a & b) without materializing the intersection.
+  static size_t AndCount(const Bitset64& a, const Bitset64& b);
+
+  friend bool operator==(const Bitset64& a, const Bitset64& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_COMMON_BITSET64_H_

@@ -1,0 +1,45 @@
+#include "common/combinatorics.h"
+
+#include <limits>
+
+namespace cfq {
+
+uint64_t BinomialSaturating(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    const uint64_t numer = n - k + i;
+    // result = result * numer / i. The division is exact at every step
+    // (prefix binomials are integers); guard the multiply.
+    const uint64_t g = result / i;        // quotient part
+    const uint64_t r = result % i;        // remainder part
+    // result*numer = (g*i + r)*numer = g*numer*i + r*numer; divided by i:
+    // g*numer + (r*numer)/i with exact division overall.
+    if (g != 0 && numer > kMax / g) return kMax;
+    uint64_t term = g * numer;
+    const uint64_t rest = (r * numer) / i;
+    if (term > kMax - rest) return kMax;
+    result = term + rest;
+  }
+  return result;
+}
+
+int64_t LargestJForCount(uint64_t count, uint64_t k, uint64_t max_j) {
+  if (count == 0) return -1;
+  if (k == 0) return -1;
+  int64_t best = -1;
+  for (uint64_t j = 0; j <= max_j; ++j) {
+    // Needs C(k+j-1, k-1) frequent k-sets.
+    const uint64_t needed = BinomialSaturating(k + j - 1, k - 1);
+    if (count >= needed) {
+      best = static_cast<int64_t>(j);
+    } else {
+      break;  // needed is nondecreasing in j.
+    }
+  }
+  return best;
+}
+
+}  // namespace cfq

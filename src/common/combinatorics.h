@@ -1,0 +1,26 @@
+// Saturating binomial coefficients, used by the Jmax bound (Fig. 5 of the
+// paper): J_i^k is the largest j with N_i^k >= C(k+j-1, k-1).
+
+#ifndef CFQ_COMMON_COMBINATORICS_H_
+#define CFQ_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+
+namespace cfq {
+
+// C(n, k), saturating at uint64 max instead of overflowing.
+// Returns 0 when k > n; returns 1 when k == 0 or k == n.
+uint64_t BinomialSaturating(uint64_t n, uint64_t k);
+
+// Largest j >= 0 such that count >= C(k+j-1, k-1), i.e. the J_i^k bound
+// of Figure 5: an element appearing in `count` frequent k-sets can appear
+// in a frequent set of size at most k + j. `max_j` caps the search (the
+// answer cannot exceed the number of items). Requires k >= 1.
+//
+// Note C(k+0-1, k-1) = 1, so any element contained in at least one
+// frequent k-set gets j >= 0. Returns -1 when count == 0.
+int64_t LargestJForCount(uint64_t count, uint64_t k, uint64_t max_j);
+
+}  // namespace cfq
+
+#endif  // CFQ_COMMON_COMBINATORICS_H_

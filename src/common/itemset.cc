@@ -1,0 +1,107 @@
+#include "common/itemset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cfq {
+
+bool IsCanonical(const Itemset& s) {
+  for (size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1] >= s[i]) return false;
+  }
+  return true;
+}
+
+Itemset MakeItemset(std::vector<ItemId> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+bool IsSubset(const Itemset& a, const Itemset& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool Disjoint(const Itemset& a, const Itemset& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Contains(const Itemset& s, ItemId item) {
+  return std::binary_search(s.begin(), s.end(), item);
+}
+
+Itemset Union(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Itemset Intersect(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+Itemset Difference(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+Itemset WithoutIndex(const Itemset& s, size_t index) {
+  Itemset out;
+  out.reserve(s.size() - 1);
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i != index) out.push_back(s[i]);
+  }
+  return out;
+}
+
+bool AprioriJoin(const Itemset& a, const Itemset& b, Itemset* out) {
+  if (a.size() != b.size() || a.empty()) return false;
+  const size_t k = a.size();
+  for (size_t i = 0; i + 1 < k; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  if (a[k - 1] >= b[k - 1]) return false;
+  *out = a;
+  out->push_back(b[k - 1]);
+  return true;
+}
+
+std::string ToString(const Itemset& s) {
+  std::ostringstream os;
+  os << '{';
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << s[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+size_t ItemsetHash::operator()(const Itemset& s) const {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  for (ItemId id : s) {
+    h ^= id;
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace cfq

@@ -1,0 +1,106 @@
+// Itemset: the fundamental value type of the library.
+//
+// An itemset is an immutable-by-convention, strictly sorted, duplicate-free
+// vector of ItemId. Keeping the sorted invariant makes subset tests,
+// intersections and the Apriori join linear-time merges.
+
+#ifndef CFQ_COMMON_ITEMSET_H_
+#define CFQ_COMMON_ITEMSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfq {
+
+// Dense item identifier, an index into an ItemCatalog.
+using ItemId = uint32_t;
+
+// Strictly increasing sequence of ItemIds.
+using Itemset = std::vector<ItemId>;
+
+// True iff `s` is strictly sorted (the Itemset invariant).
+bool IsCanonical(const Itemset& s);
+
+// Sorts and deduplicates `items` into a canonical Itemset.
+Itemset MakeItemset(std::vector<ItemId> items);
+
+// True iff every element of `a` occurs in `b`. Both canonical.
+bool IsSubset(const Itemset& a, const Itemset& b);
+
+// True iff `a` and `b` share no element. Both canonical.
+bool Disjoint(const Itemset& a, const Itemset& b);
+
+// True iff `item` occurs in canonical `s` (binary search).
+bool Contains(const Itemset& s, ItemId item);
+
+// Merge-based set operations on canonical itemsets; results canonical.
+Itemset Union(const Itemset& a, const Itemset& b);
+Itemset Intersect(const Itemset& a, const Itemset& b);
+Itemset Difference(const Itemset& a, const Itemset& b);
+
+// Returns `s` minus the element at `index` (0-based). Used by the
+// Apriori prune step to enumerate the k-1 subsets of a k-candidate.
+Itemset WithoutIndex(const Itemset& s, size_t index);
+
+// Apriori join: if `a` and `b` (both of size k, canonical) share their
+// first k-1 elements and a.back() < b.back(), returns true and writes the
+// size-k+1 join into `out`. Otherwise returns false.
+bool AprioriJoin(const Itemset& a, const Itemset& b, Itemset* out);
+
+// "{1, 5, 9}" rendering for logs and tests.
+std::string ToString(const Itemset& s);
+
+// Lexicographic comparison for use as map keys.
+struct ItemsetLess {
+  bool operator()(const Itemset& a, const Itemset& b) const { return a < b; }
+};
+
+// FNV-1a hash over the id sequence, for unordered containers.
+struct ItemsetHash {
+  size_t operator()(const Itemset& s) const;
+};
+
+// Enumerates every non-empty subset of `universe` (canonical), invoking
+// `fn(subset)`. Intended for brute-force oracles on small universes; the
+// caller is responsible for keeping |universe| small (<= ~20).
+template <typename Fn>
+void ForEachNonEmptySubset(const Itemset& universe, Fn&& fn) {
+  const size_t n = universe.size();
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    Itemset subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) subset.push_back(universe[i]);
+    }
+    fn(subset);
+  }
+}
+
+// Enumerates every size-k subset of `universe` in lexicographic order.
+template <typename Fn>
+void ForEachSubsetOfSize(const Itemset& universe, size_t k, Fn&& fn) {
+  const size_t n = universe.size();
+  if (k == 0 || k > n) return;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    Itemset subset(k);
+    for (size_t i = 0; i < k; ++i) subset[i] = universe[idx[i]];
+    fn(subset);
+    // Advance the combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+}  // namespace cfq
+
+#endif  // CFQ_COMMON_ITEMSET_H_

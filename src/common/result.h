@@ -1,0 +1,66 @@
+// Result<T>: a value or a Status, modeled on absl::StatusOr<T>.
+
+#ifndef CFQ_COMMON_RESULT_H_
+#define CFQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cfq {
+
+// Holds either a T (when status().ok()) or an error Status. Accessing
+// value() on an error Result is a programming error (asserted in debug).
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions mirror absl::StatusOr so call sites can
+  // `return value;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cfq
+
+// Assigns the value of a Result expression to `lhs`, or propagates its
+// error Status. Usage: CFQ_ASSIGN_OR_RETURN(auto db, BuildDb(params));
+#define CFQ_ASSIGN_OR_RETURN(lhs, expr)                       \
+  CFQ_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CFQ_RESULT_CONCAT_(cfq_result_, __LINE__), lhs, expr)
+#define CFQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+#define CFQ_RESULT_CONCAT_(a, b) CFQ_RESULT_CONCAT_IMPL_(a, b)
+#define CFQ_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CFQ_COMMON_RESULT_H_

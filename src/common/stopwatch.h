@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the benchmark harnesses.
+
+#ifndef CFQ_COMMON_STOPWATCH_H_
+#define CFQ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cfq {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_COMMON_STOPWATCH_H_

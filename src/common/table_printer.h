@@ -1,0 +1,39 @@
+// Console table rendering for the benchmark harnesses, which print the
+// same rows/series as the paper's tables and figures.
+
+#ifndef CFQ_COMMON_TABLE_PRINTER_H_
+#define CFQ_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cfq {
+
+// Collects rows of string cells and prints them with aligned columns.
+//
+//   TablePrinter t({"% overlap", "speedup"});
+//   t.AddRow({"16.6", "4.05"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a header underline. Cells are left-aligned.
+  void Print(std::ostream& os) const;
+
+  // Convenience formatters.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string Fmt(uint64_t value);
+  static std::string Fmt(int64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_COMMON_TABLE_PRINTER_H_

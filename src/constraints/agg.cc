@@ -1,0 +1,68 @@
+#include "constraints/agg.h"
+
+#include <algorithm>
+
+namespace cfq {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+Result<double> Aggregate(AggFn fn, const std::vector<AttrValue>& values) {
+  switch (fn) {
+    case AggFn::kSum: {
+      double total = 0;
+      for (AttrValue v : values) total += v;
+      return total;
+    }
+    case AggFn::kCount: {
+      std::vector<AttrValue> distinct = values;
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      return static_cast<double>(distinct.size());
+    }
+    case AggFn::kMin:
+    case AggFn::kMax:
+    case AggFn::kAvg:
+      break;
+  }
+  if (values.empty()) {
+    return Status::FailedPrecondition(
+        std::string(AggFnName(fn)) + "() over an empty projection");
+  }
+  switch (fn) {
+    case AggFn::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case AggFn::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case AggFn::kAvg: {
+      double total = 0;
+      for (AttrValue v : values) total += v;
+      return total / static_cast<double>(values.size());
+    }
+    default:
+      return Status::Internal("unreachable aggregate");
+  }
+}
+
+Result<double> AggregateOver(AggFn fn, const std::string& attr,
+                             const Itemset& s, const ItemCatalog& catalog) {
+  auto projected = catalog.Project(attr, s);
+  if (!projected.ok()) return projected.status();
+  return Aggregate(fn, projected.value());
+}
+
+}  // namespace cfq

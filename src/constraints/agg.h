@@ -1,0 +1,43 @@
+// Aggregate functions over attribute projections.
+//
+// Semantics (matching the paper's usage):
+//   * min/max/sum/avg aggregate per item: S.A is projected item-by-item,
+//     so two items with the same price both contribute to sum/avg.
+//     (min and max are insensitive to the distinction.)
+//   * count aggregates DISTINCT values: count(S.Type) = 1 is the paper's
+//     class constraint "all items in S have the same type".
+//   * min/max/avg over an empty projection are undefined; Aggregate
+//     returns an error, and constraint evaluation treats the constraint
+//     as violated. sum over empty is 0 and count is 0.
+
+#ifndef CFQ_CONSTRAINTS_AGG_H_
+#define CFQ_CONSTRAINTS_AGG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/item_catalog.h"
+
+namespace cfq {
+
+enum class AggFn {
+  kMin,
+  kMax,
+  kSum,
+  kAvg,
+  kCount,
+};
+
+const char* AggFnName(AggFn fn);
+
+// Applies `fn` to `values` (a per-item projection, duplicates allowed).
+Result<double> Aggregate(AggFn fn, const std::vector<AttrValue>& values);
+
+// Convenience: project `s` onto `attr` in `catalog`, then aggregate.
+Result<double> AggregateOver(AggFn fn, const std::string& attr,
+                             const Itemset& s, const ItemCatalog& catalog);
+
+}  // namespace cfq
+
+#endif  // CFQ_CONSTRAINTS_AGG_H_

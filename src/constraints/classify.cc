@@ -1,0 +1,105 @@
+#include "constraints/classify.h"
+
+namespace cfq {
+
+namespace {
+
+OneVarProperties ClassifyDomain1(const DomainConstraint1& d) {
+  OneVarProperties p;
+  p.succinct = true;  // All 1-var domain constraints are succinct.
+  switch (d.cmp) {
+    case SetCmp::kSubset:        // Growing S.A can only break ⊆.
+    case SetCmp::kDisjoint:      // ... or break disjointness.
+    case SetCmp::kNotSuperset:   // Violation (⊇) persists under growth.
+      p.anti_monotone = true;
+      break;
+    case SetCmp::kSuperset:      // Growing S.A can only help ⊇.
+    case SetCmp::kIntersects:
+    case SetCmp::kNotSubset:
+      p.monotone = true;
+      break;
+    case SetCmp::kEqual:
+    case SetCmp::kNotEqual:
+      break;  // Neither.
+  }
+  return p;
+}
+
+OneVarProperties ClassifyAgg1(const AggConstraint1& a, bool nonnegative) {
+  OneVarProperties p;
+  switch (a.agg) {
+    case AggFn::kMin:
+      p.succinct = true;
+      // min(S.A) is nonincreasing under growth.
+      if (a.cmp == CmpOp::kGe || a.cmp == CmpOp::kGt) p.anti_monotone = true;
+      if (a.cmp == CmpOp::kLe || a.cmp == CmpOp::kLt) p.monotone = true;
+      break;
+    case AggFn::kMax:
+      p.succinct = true;
+      // max(S.A) is nondecreasing under growth.
+      if (a.cmp == CmpOp::kLe || a.cmp == CmpOp::kLt) p.anti_monotone = true;
+      if (a.cmp == CmpOp::kGe || a.cmp == CmpOp::kGt) p.monotone = true;
+      break;
+    case AggFn::kCount:
+      // count(S.A) (distinct values) is nondecreasing under growth.
+      if (a.cmp == CmpOp::kLe || a.cmp == CmpOp::kLt) p.anti_monotone = true;
+      if (a.cmp == CmpOp::kGe || a.cmp == CmpOp::kGt) p.monotone = true;
+      break;
+    case AggFn::kSum:
+      // With a nonnegative domain, sum is nondecreasing under growth.
+      if (nonnegative) {
+        if (a.cmp == CmpOp::kLe || a.cmp == CmpOp::kLt) p.anti_monotone = true;
+        if (a.cmp == CmpOp::kGe || a.cmp == CmpOp::kGt) p.monotone = true;
+      }
+      break;
+    case AggFn::kAvg:
+      break;  // Neither anti-monotone, monotone, nor succinct.
+  }
+  return p;
+}
+
+}  // namespace
+
+OneVarProperties Classify(const OneVarConstraint& c, bool nonnegative) {
+  if (const auto* d = std::get_if<DomainConstraint1>(&c.body)) {
+    return ClassifyDomain1(*d);
+  }
+  return ClassifyAgg1(std::get<AggConstraint1>(c.body), nonnegative);
+}
+
+TwoVarProperties Classify(const TwoVarConstraint& c, bool nonnegative) {
+  (void)nonnegative;  // No sum/avg 2-var constraint is AM or QS anyway.
+  TwoVarProperties p;
+  if (const auto* d = std::get_if<DomainConstraint2>(&c)) {
+    // All 2-var domain constraints are quasi-succinct (Section 4.2).
+    p.quasi_succinct = true;
+    // Only disjointness is anti-monotone (Figure 1): a violation
+    // S0.A ∩ T.B ≠ ∅ is preserved as either side grows.
+    if (d->cmp == SetCmp::kDisjoint) {
+      p.anti_monotone_s = true;
+      p.anti_monotone_t = true;
+    }
+    return p;
+  }
+  const auto& a = std::get<AggConstraint2>(c);
+  const bool min_max_only =
+      (a.agg_s == AggFn::kMin || a.agg_s == AggFn::kMax) &&
+      (a.agg_t == AggFn::kMin || a.agg_t == AggFn::kMax);
+  p.quasi_succinct = min_max_only;
+  // max(S.A) <= min(T.B): max is nondecreasing in S, min nonincreasing
+  // in T, so a universal violation persists as either side grows. The
+  // mirrored orientation min(S.A) >= max(T.B) is the same constraint.
+  const bool max_le_min =
+      a.agg_s == AggFn::kMax && a.agg_t == AggFn::kMin &&
+      (a.cmp == CmpOp::kLe || a.cmp == CmpOp::kLt);
+  const bool min_ge_max =
+      a.agg_s == AggFn::kMin && a.agg_t == AggFn::kMax &&
+      (a.cmp == CmpOp::kGe || a.cmp == CmpOp::kGt);
+  if (max_le_min || min_ge_max) {
+    p.anti_monotone_s = true;
+    p.anti_monotone_t = true;
+  }
+  return p;
+}
+
+}  // namespace cfq

@@ -1,0 +1,46 @@
+// Constraint property classification.
+//
+// 1-var: the anti-monotonicity / succinctness characterization of
+// Ng et al. (SIGMOD'98) — Lemma 1 of this paper: domain and min()/max()
+// constraints are succinct, sum()/avg() are not. We additionally track
+// monotonicity (satisfied sets stay satisfied under growth), which lets
+// miners skip re-checks.
+//
+// 2-var: the Figure-1 characterization — S.A ∩ T.B = ∅ and
+// max(S.A) <= min(T.B) (in either orientation) are the only
+// anti-monotone constraints; all domain constraints plus all aggregate
+// constraints using only min()/max() are quasi-succinct.
+//
+// sum() rows assume nonnegative attribute domains, as the paper does
+// (Section 5: "the results in this section assume that the domains of A
+// and B are non-negative"). Pass `nonnegative = false` to drop those
+// rows to the conservative classification.
+
+#ifndef CFQ_CONSTRAINTS_CLASSIFY_H_
+#define CFQ_CONSTRAINTS_CLASSIFY_H_
+
+#include "constraints/one_var.h"
+#include "constraints/two_var.h"
+
+namespace cfq {
+
+struct OneVarProperties {
+  bool anti_monotone = false;
+  bool monotone = false;
+  bool succinct = false;
+};
+
+struct TwoVarProperties {
+  // Anti-monotone w.r.t. S and w.r.t. T (Definition 4). For every
+  // constraint in the paper's Figure 1 the two coincide.
+  bool anti_monotone_s = false;
+  bool anti_monotone_t = false;
+  bool quasi_succinct = false;
+};
+
+OneVarProperties Classify(const OneVarConstraint& c, bool nonnegative = true);
+TwoVarProperties Classify(const TwoVarConstraint& c, bool nonnegative = true);
+
+}  // namespace cfq
+
+#endif  // CFQ_CONSTRAINTS_CLASSIFY_H_

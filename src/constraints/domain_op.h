@@ -1,0 +1,77 @@
+// Comparison operators shared by the constraint ASTs.
+
+#ifndef CFQ_CONSTRAINTS_DOMAIN_OP_H_
+#define CFQ_CONSTRAINTS_DOMAIN_OP_H_
+
+namespace cfq {
+
+// Set comparison between two value sets X and Y (the paper's domain
+// constraints). X is always the variable side in 1-var constraints
+// (X = S.A, Y = the query constant), and the S side in 2-var
+// constraints (X = S.A, Y = T.B).
+enum class SetCmp {
+  kDisjoint,     // X ∩ Y = ∅
+  kIntersects,   // X ∩ Y ≠ ∅
+  kSubset,       // X ⊆ Y
+  kNotSubset,    // X ⊄ Y
+  kSuperset,     // X ⊇ Y
+  kNotSuperset,  // X ⊉ Y
+  kEqual,        // X = Y
+  kNotEqual,     // X ≠ Y
+};
+
+const char* SetCmpName(SetCmp cmp);
+
+// Scalar comparison for aggregate constraints.
+enum class CmpOp {
+  kLe,  // <=
+  kGe,  // >=
+  kLt,  // <
+  kGt,  // >
+  kEq,  // ==
+  kNe,  // !=
+};
+
+const char* CmpOpName(CmpOp op);
+
+// Applies `op` to scalars.
+inline bool CompareScalar(double lhs, CmpOp op, double rhs) {
+  switch (op) {
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+// Mirrors an operator across the comparison: `x op y` iff
+// `y Mirror(op) x`. (kLe <-> kGe, kLt <-> kGt, kEq/kNe unchanged.)
+inline CmpOp MirrorCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+}  // namespace cfq
+
+#endif  // CFQ_CONSTRAINTS_DOMAIN_OP_H_

@@ -1,0 +1,137 @@
+#include "constraints/eval.h"
+
+#include <algorithm>
+
+namespace cfq {
+
+namespace {
+
+// Sorted-set helpers over value vectors.
+bool SetDisjoint(const std::vector<AttrValue>& x,
+                 const std::vector<AttrValue>& y) {
+  auto ix = x.begin();
+  auto iy = y.begin();
+  while (ix != x.end() && iy != y.end()) {
+    if (*ix < *iy) {
+      ++ix;
+    } else if (*iy < *ix) {
+      ++iy;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SetSubset(const std::vector<AttrValue>& x,
+               const std::vector<AttrValue>& y) {
+  return std::includes(y.begin(), y.end(), x.begin(), x.end());
+}
+
+}  // namespace
+
+Result<std::vector<AttrValue>> ProjectSet(const std::string& attr,
+                                          const Itemset& s,
+                                          const ItemCatalog& catalog) {
+  auto projected = catalog.Project(attr, s);
+  if (!projected.ok()) return projected.status();
+  std::vector<AttrValue> values = std::move(projected).value();
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+bool EvalSetCmp(const std::vector<AttrValue>& x, SetCmp cmp,
+                const std::vector<AttrValue>& y) {
+  switch (cmp) {
+    case SetCmp::kDisjoint:
+      return SetDisjoint(x, y);
+    case SetCmp::kIntersects:
+      return !SetDisjoint(x, y);
+    case SetCmp::kSubset:
+      return SetSubset(x, y);
+    case SetCmp::kNotSubset:
+      return !SetSubset(x, y);
+    case SetCmp::kSuperset:
+      return SetSubset(y, x);
+    case SetCmp::kNotSuperset:
+      return !SetSubset(y, x);
+    case SetCmp::kEqual:
+      return x == y;
+    case SetCmp::kNotEqual:
+      return x != y;
+  }
+  return false;
+}
+
+Result<bool> Eval(const OneVarConstraint& c, const Itemset& s,
+                  const ItemCatalog& catalog) {
+  if (const auto* d = std::get_if<DomainConstraint1>(&c.body)) {
+    auto x = ProjectSet(d->attr, s, catalog);
+    if (!x.ok()) return x.status();
+    return EvalSetCmp(x.value(), d->cmp, d->constant);
+  }
+  const auto& a = std::get<AggConstraint1>(c.body);
+  auto projected = catalog.Project(a.attr, s);
+  if (!projected.ok()) return projected.status();
+  auto value = Aggregate(a.agg, projected.value());
+  if (!value.ok()) {
+    // Undefined aggregate over the empty projection: constraint fails.
+    if (value.status().code() == StatusCode::kFailedPrecondition) {
+      return false;
+    }
+    return value.status();
+  }
+  return CompareScalar(value.value(), a.cmp, a.constant);
+}
+
+Result<bool> EvalPair(const TwoVarConstraint& c, const Itemset& s,
+                      const Itemset& t, const ItemCatalog& catalog) {
+  if (const auto* d = std::get_if<DomainConstraint2>(&c)) {
+    auto x = ProjectSet(d->attr_s, s, catalog);
+    if (!x.ok()) return x.status();
+    auto y = ProjectSet(d->attr_t, t, catalog);
+    if (!y.ok()) return y.status();
+    return EvalSetCmp(x.value(), d->cmp, y.value());
+  }
+  const auto& a = std::get<AggConstraint2>(c);
+  auto lhs_proj = catalog.Project(a.attr_s, s);
+  if (!lhs_proj.ok()) return lhs_proj.status();
+  auto rhs_proj = catalog.Project(a.attr_t, t);
+  if (!rhs_proj.ok()) return rhs_proj.status();
+  auto lhs = Aggregate(a.agg_s, lhs_proj.value());
+  auto rhs = Aggregate(a.agg_t, rhs_proj.value());
+  for (const auto* r : {&lhs, &rhs}) {
+    if (!r->ok()) {
+      if (r->status().code() == StatusCode::kFailedPrecondition) {
+        return false;  // Undefined aggregate: pair fails the constraint.
+      }
+      return r->status();
+    }
+  }
+  return CompareScalar(lhs.value(), a.cmp, rhs.value());
+}
+
+Result<bool> EvalAll(const std::vector<OneVarConstraint>& cs, Var var,
+                     const Itemset& s, const ItemCatalog& catalog) {
+  for (const OneVarConstraint& c : cs) {
+    if (c.var != var) continue;
+    auto ok = Eval(c, s, catalog);
+    if (!ok.ok()) return ok.status();
+    if (!ok.value()) return false;
+  }
+  return true;
+}
+
+Result<bool> EvalAllPairs(const std::vector<TwoVarConstraint>& cs,
+                          const Itemset& s, const Itemset& t,
+                          const ItemCatalog& catalog) {
+  for (const TwoVarConstraint& c : cs) {
+    auto ok = EvalPair(c, s, t, catalog);
+    if (!ok.ok()) return ok.status();
+    if (!ok.value()) return false;
+  }
+  return true;
+}
+
+}  // namespace cfq

@@ -1,0 +1,48 @@
+// Constraint evaluation: the ground-truth satisfaction semantics that
+// every optimization in the library must preserve.
+
+#ifndef CFQ_CONSTRAINTS_EVAL_H_
+#define CFQ_CONSTRAINTS_EVAL_H_
+
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/result.h"
+#include "constraints/one_var.h"
+#include "constraints/two_var.h"
+#include "data/item_catalog.h"
+
+namespace cfq {
+
+// Projects `s` onto `attr` as a sorted, deduplicated VALUE SET (domain
+// constraints compare value sets, not multisets).
+Result<std::vector<AttrValue>> ProjectSet(const std::string& attr,
+                                          const Itemset& s,
+                                          const ItemCatalog& catalog);
+
+// Applies a set comparison to two sorted, deduplicated value sets.
+bool EvalSetCmp(const std::vector<AttrValue>& x, SetCmp cmp,
+                const std::vector<AttrValue>& y);
+
+// Does `s` satisfy the 1-var constraint? Undefined aggregates (min/max/
+// avg over an empty projection) make the constraint false rather than an
+// error, matching "the empty set trivially fails"; genuine errors
+// (unknown attribute) still surface as Status.
+Result<bool> Eval(const OneVarConstraint& c, const Itemset& s,
+                  const ItemCatalog& catalog);
+
+// Does the pair (s, t) satisfy the 2-var constraint?
+Result<bool> EvalPair(const TwoVarConstraint& c, const Itemset& s,
+                      const Itemset& t, const ItemCatalog& catalog);
+
+// Conjunction helpers used by miners and oracles. Constraints not bound
+// to `var` are skipped.
+Result<bool> EvalAll(const std::vector<OneVarConstraint>& cs, Var var,
+                     const Itemset& s, const ItemCatalog& catalog);
+Result<bool> EvalAllPairs(const std::vector<TwoVarConstraint>& cs,
+                          const Itemset& s, const Itemset& t,
+                          const ItemCatalog& catalog);
+
+}  // namespace cfq
+
+#endif  // CFQ_CONSTRAINTS_EVAL_H_

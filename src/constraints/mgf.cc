@@ -1,0 +1,216 @@
+#include "constraints/mgf.h"
+
+#include <algorithm>
+
+namespace cfq {
+
+namespace {
+
+// Items of `domain` whose attribute value satisfies `pred`.
+template <typename Pred>
+Itemset Filter(const Itemset& domain, const std::string& attr,
+               const ItemCatalog& catalog, Pred pred) {
+  Itemset out;
+  for (ItemId item : domain) {
+    if (pred(catalog.ValueUnchecked(attr, item))) out.push_back(item);
+  }
+  return out;
+}
+
+bool InSet(const std::vector<AttrValue>& sorted_values, AttrValue v) {
+  return std::binary_search(sorted_values.begin(), sorted_values.end(), v);
+}
+
+SuccinctForm FormForDomain(const DomainConstraint1& d, const Itemset& domain,
+                           const ItemCatalog& catalog) {
+  SuccinctForm f;
+  f.allowed = domain;
+  switch (d.cmp) {
+    case SetCmp::kSubset:
+      f.allowed = Filter(domain, d.attr, catalog,
+                         [&](AttrValue v) { return InSet(d.constant, v); });
+      break;
+    case SetCmp::kDisjoint:
+      f.allowed = Filter(domain, d.attr, catalog,
+                         [&](AttrValue v) { return !InSet(d.constant, v); });
+      break;
+    case SetCmp::kSuperset:
+      // One mandatory group per required value.
+      for (AttrValue v : d.constant) {
+        f.groups.push_back(Filter(domain, d.attr, catalog,
+                                  [&](AttrValue x) { return x == v; }));
+      }
+      break;
+    case SetCmp::kIntersects:
+      f.groups.push_back(Filter(domain, d.attr, catalog, [&](AttrValue v) {
+        return InSet(d.constant, v);
+      }));
+      break;
+    case SetCmp::kNotSubset:
+      f.groups.push_back(Filter(domain, d.attr, catalog, [&](AttrValue v) {
+        return !InSet(d.constant, v);
+      }));
+      break;
+    case SetCmp::kEqual:
+      f.allowed = Filter(domain, d.attr, catalog,
+                         [&](AttrValue v) { return InSet(d.constant, v); });
+      for (AttrValue v : d.constant) {
+        f.groups.push_back(Filter(f.allowed, d.attr, catalog,
+                                  [&](AttrValue x) { return x == v; }));
+      }
+      break;
+    case SetCmp::kNotSuperset:
+    case SetCmp::kNotEqual:
+      // Succinct per the formal definition (needs set union), but not
+      // expressible in the conjunctive normal form: sound relaxation.
+      f.exact = false;
+      break;
+  }
+  return f;
+}
+
+SuccinctForm FormForAgg(const AggConstraint1& a, const Itemset& domain,
+                        const ItemCatalog& catalog, bool nonnegative) {
+  SuccinctForm f;
+  f.allowed = domain;
+  auto filter = [&](auto pred) { return Filter(domain, a.attr, catalog, pred); };
+  const double c = a.constant;
+  switch (a.agg) {
+    case AggFn::kMin:
+      switch (a.cmp) {
+        case CmpOp::kGe:
+          f.allowed = filter([&](AttrValue v) { return v >= c; });
+          break;
+        case CmpOp::kGt:
+          f.allowed = filter([&](AttrValue v) { return v > c; });
+          break;
+        case CmpOp::kLe:
+          f.groups.push_back(filter([&](AttrValue v) { return v <= c; }));
+          break;
+        case CmpOp::kLt:
+          f.groups.push_back(filter([&](AttrValue v) { return v < c; }));
+          break;
+        case CmpOp::kEq:
+          f.allowed = filter([&](AttrValue v) { return v >= c; });
+          f.groups.push_back(filter([&](AttrValue v) { return v == c; }));
+          break;
+        case CmpOp::kNe:
+          f.exact = false;  // Union form: min < c or min > c.
+          break;
+      }
+      break;
+    case AggFn::kMax:
+      switch (a.cmp) {
+        case CmpOp::kLe:
+          f.allowed = filter([&](AttrValue v) { return v <= c; });
+          break;
+        case CmpOp::kLt:
+          f.allowed = filter([&](AttrValue v) { return v < c; });
+          break;
+        case CmpOp::kGe:
+          f.groups.push_back(filter([&](AttrValue v) { return v >= c; }));
+          break;
+        case CmpOp::kGt:
+          f.groups.push_back(filter([&](AttrValue v) { return v > c; }));
+          break;
+        case CmpOp::kEq:
+          f.allowed = filter([&](AttrValue v) { return v <= c; });
+          f.groups.push_back(filter([&](AttrValue v) { return v == c; }));
+          break;
+        case CmpOp::kNe:
+          f.exact = false;
+          break;
+      }
+      break;
+    case AggFn::kSum:
+      f.exact = false;  // sum is not succinct (Lemma 1).
+      if (nonnegative && (a.cmp == CmpOp::kLe || a.cmp == CmpOp::kLt ||
+                          a.cmp == CmpOp::kEq)) {
+        // Any item with value above the budget can never appear:
+        // sum(X) >= max(X) on a nonnegative domain.
+        const bool strict = a.cmp == CmpOp::kLt;
+        f.allowed = filter(
+            [&](AttrValue v) { return strict ? v < c : v <= c; });
+      }
+      break;
+    case AggFn::kCount:
+      f.exact = false;  // Not succinct in general.
+      if ((a.cmp == CmpOp::kLe && c < 1) || (a.cmp == CmpOp::kLt && c <= 1) ||
+          (a.cmp == CmpOp::kEq && c == 0)) {
+        // count(X) = 0 is impossible for non-empty X.
+        f.allowed.clear();
+        f.exact = true;
+      } else if ((a.cmp == CmpOp::kGe && c <= 1) ||
+                 (a.cmp == CmpOp::kGt && c < 1)) {
+        f.exact = true;  // Trivially true for non-empty sets.
+      }
+      break;
+    case AggFn::kAvg:
+      f.exact = false;  // No item-level filter: extremes can be offset.
+      break;
+  }
+  return f;
+}
+
+}  // namespace
+
+bool SuccinctForm::Unsatisfiable() const {
+  if (allowed.empty()) return true;
+  for (const Itemset& g : groups) {
+    if (g.empty()) return true;
+  }
+  return false;
+}
+
+Result<SuccinctForm> ComputeSuccinctForm(const OneVarConstraint& c,
+                                         const Itemset& domain,
+                                         const ItemCatalog& catalog,
+                                         bool nonnegative) {
+  const std::string& attr = std::holds_alternative<DomainConstraint1>(c.body)
+                                ? std::get<DomainConstraint1>(c.body).attr
+                                : std::get<AggConstraint1>(c.body).attr;
+  if (!catalog.HasAttr(attr)) {
+    return Status::NotFound("unknown attribute '" + attr + "'");
+  }
+  if (const auto* d = std::get_if<DomainConstraint1>(&c.body)) {
+    return FormForDomain(*d, domain, catalog);
+  }
+  return FormForAgg(std::get<AggConstraint1>(c.body), domain, catalog,
+                    nonnegative);
+}
+
+SuccinctForm CombineForms(const SuccinctForm& a, const SuccinctForm& b) {
+  SuccinctForm out;
+  out.allowed = Intersect(a.allowed, b.allowed);
+  out.exact = a.exact && b.exact;
+  for (const auto* src : {&a.groups, &b.groups}) {
+    for (const Itemset& g : *src) {
+      out.groups.push_back(Intersect(g, out.allowed));
+    }
+  }
+  return out;
+}
+
+Result<SuccinctForm> ComputeCombinedForm(
+    const std::vector<OneVarConstraint>& constraints, Var var,
+    const Itemset& domain, const ItemCatalog& catalog, bool nonnegative) {
+  SuccinctForm combined;
+  combined.allowed = domain;
+  for (const OneVarConstraint& c : constraints) {
+    if (c.var != var) continue;
+    auto form = ComputeSuccinctForm(c, domain, catalog, nonnegative);
+    if (!form.ok()) return form.status();
+    combined = CombineForms(combined, form.value());
+  }
+  return combined;
+}
+
+bool SatisfiesForm(const SuccinctForm& form, const Itemset& x) {
+  if (!IsSubset(x, form.allowed)) return false;
+  for (const Itemset& g : form.groups) {
+    if (Disjoint(x, g)) return false;
+  }
+  return true;
+}
+
+}  // namespace cfq

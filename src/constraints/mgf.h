@@ -1,0 +1,64 @@
+// Member-generating-function (MGF) normal forms for succinct constraints.
+//
+// The paper ([15], Definition 2) characterizes succinct constraints as
+// those whose solution space is expressible from the powersets of a few
+// selected item sets. For mining we use an operational normal form over
+// NON-EMPTY candidate sets:
+//
+//    valid(X)  <=>  X ⊆ allowed  AND  (X ∩ g ≠ ∅ for every group g)
+//
+// `allowed` drives generate-only candidate enumeration (items outside it
+// can never appear in a valid set) and `groups` drive CAP's mandatory-
+// item candidate generation. When a constraint's solution space is not
+// expressible in this conjunctive form (e.g. S.A ⊉ V needs a union), or
+// the constraint is not succinct at all (sum/avg), the returned form is
+// a sound RELAXATION and `exact` is false; miners must then verify the
+// original constraint on the final sets.
+
+#ifndef CFQ_CONSTRAINTS_MGF_H_
+#define CFQ_CONSTRAINTS_MGF_H_
+
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/result.h"
+#include "constraints/one_var.h"
+#include "data/item_catalog.h"
+
+namespace cfq {
+
+struct SuccinctForm {
+  Itemset allowed;              // Valid sets draw only from these items.
+  std::vector<Itemset> groups;  // Valid sets intersect every group.
+  bool exact = true;            // Form == solution space on non-empty sets.
+
+  // True iff no non-empty set can satisfy the form (empty `allowed`, or
+  // some group is empty).
+  bool Unsatisfiable() const;
+};
+
+// Computes the form of `c` over the items of `domain` (the item subset
+// the variable ranges over). `nonnegative` enables the sum(X) <= c item
+// filter, valid only for nonnegative attribute domains.
+Result<SuccinctForm> ComputeSuccinctForm(const OneVarConstraint& c,
+                                         const Itemset& domain,
+                                         const ItemCatalog& catalog,
+                                         bool nonnegative = true);
+
+// Conjunction of forms: intersects `allowed`, concatenates `groups`
+// (groups are re-clipped to the combined allowed set), ANDs `exact`.
+SuccinctForm CombineForms(const SuccinctForm& a, const SuccinctForm& b);
+
+// Form over a whole constraint conjunction for `var`.
+Result<SuccinctForm> ComputeCombinedForm(
+    const std::vector<OneVarConstraint>& constraints, Var var,
+    const Itemset& domain, const ItemCatalog& catalog,
+    bool nonnegative = true);
+
+// Evaluates the form on a candidate (used by tests and by CAP's group
+// filtering). X must be canonical.
+bool SatisfiesForm(const SuccinctForm& form, const Itemset& x);
+
+}  // namespace cfq
+
+#endif  // CFQ_CONSTRAINTS_MGF_H_

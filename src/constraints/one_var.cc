@@ -1,0 +1,92 @@
+#include "constraints/one_var.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cfq {
+
+const char* SetCmpName(SetCmp cmp) {
+  switch (cmp) {
+    case SetCmp::kDisjoint:
+      return "disjoint";
+    case SetCmp::kIntersects:
+      return "intersects";
+    case SetCmp::kSubset:
+      return "subset";
+    case SetCmp::kNotSubset:
+      return "not-subset";
+    case SetCmp::kSuperset:
+      return "superset";
+    case SetCmp::kNotSuperset:
+      return "not-superset";
+    case SetCmp::kEqual:
+      return "=";
+    case SetCmp::kNotEqual:
+      return "!=";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+OneVarConstraint MakeDomain1(Var var, std::string attr, SetCmp cmp,
+                             std::vector<AttrValue> constant) {
+  std::sort(constant.begin(), constant.end());
+  constant.erase(std::unique(constant.begin(), constant.end()),
+                 constant.end());
+  return OneVarConstraint{
+      var, DomainConstraint1{std::move(attr), cmp, std::move(constant)}};
+}
+
+OneVarConstraint MakeAgg1(Var var, AggFn agg, std::string attr, CmpOp cmp,
+                          double constant) {
+  return OneVarConstraint{var,
+                          AggConstraint1{agg, std::move(attr), cmp, constant}};
+}
+
+namespace {
+
+std::string ValueSetToString(const std::vector<AttrValue>& values) {
+  std::ostringstream os;
+  os << '{';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+std::string ToString(const OneVarConstraint& c) {
+  std::ostringstream os;
+  const char* var = VarName(c.var);
+  if (const auto* d = std::get_if<DomainConstraint1>(&c.body)) {
+    os << var << '.' << d->attr << ' ' << SetCmpName(d->cmp) << ' '
+       << ValueSetToString(d->constant);
+  } else {
+    const auto& a = std::get<AggConstraint1>(c.body);
+    os << AggFnName(a.agg) << '(' << var << '.' << a.attr << ") "
+       << CmpOpName(a.cmp) << ' ' << a.constant;
+  }
+  return os.str();
+}
+
+}  // namespace cfq

@@ -1,0 +1,64 @@
+// 1-variable constraints (the [15] constraint language).
+//
+// A 1-var constraint restricts a single set variable against a query
+// constant:
+//   * domain constraints:    S.A  setcmp  V        (V a constant set)
+//   * aggregate constraints: agg(S.A)  cmp  c      (c a constant scalar)
+//
+// Class constraints like count(S.Type) = 1 are aggregate constraints
+// with AggFn::kCount (count is over distinct values, see agg.h).
+
+#ifndef CFQ_CONSTRAINTS_ONE_VAR_H_
+#define CFQ_CONSTRAINTS_ONE_VAR_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "constraints/agg.h"
+#include "constraints/domain_op.h"
+#include "data/item_catalog.h"
+
+namespace cfq {
+
+// Which CFQ variable a constraint applies to.
+enum class Var { kS, kT };
+
+inline const char* VarName(Var v) { return v == Var::kS ? "S" : "T"; }
+
+// S.A setcmp V. `constant` is kept sorted and deduplicated.
+struct DomainConstraint1 {
+  std::string attr;
+  SetCmp cmp;
+  std::vector<AttrValue> constant;
+};
+
+// agg(S.A) cmp c.
+struct AggConstraint1 {
+  AggFn agg;
+  std::string attr;
+  CmpOp cmp;
+  double constant;
+};
+
+// The body of a 1-var constraint.
+using OneVarBody = std::variant<DomainConstraint1, AggConstraint1>;
+
+// A 1-var constraint bound to a variable.
+struct OneVarConstraint {
+  Var var = Var::kS;
+  OneVarBody body;
+};
+
+// Builder helpers.
+OneVarConstraint MakeDomain1(Var var, std::string attr, SetCmp cmp,
+                             std::vector<AttrValue> constant);
+OneVarConstraint MakeAgg1(Var var, AggFn agg, std::string attr, CmpOp cmp,
+                          double constant);
+
+// "sum(S.Price) <= 100" style rendering.
+std::string ToString(const OneVarConstraint& c);
+
+}  // namespace cfq
+
+#endif  // CFQ_CONSTRAINTS_ONE_VAR_H_

@@ -1,0 +1,31 @@
+#include "constraints/two_var.h"
+
+#include <sstream>
+
+namespace cfq {
+
+TwoVarConstraint MakeDomain2(std::string attr_s, SetCmp cmp,
+                             std::string attr_t) {
+  return DomainConstraint2{std::move(attr_s), std::move(attr_t), cmp};
+}
+
+TwoVarConstraint MakeAgg2(AggFn agg_s, std::string attr_s, CmpOp cmp,
+                          AggFn agg_t, std::string attr_t) {
+  return AggConstraint2{agg_s, std::move(attr_s), cmp, agg_t,
+                        std::move(attr_t)};
+}
+
+std::string ToString(const TwoVarConstraint& c) {
+  std::ostringstream os;
+  if (const auto* d = std::get_if<DomainConstraint2>(&c)) {
+    os << "S." << d->attr_s << ' ' << SetCmpName(d->cmp) << " T."
+       << d->attr_t;
+  } else {
+    const auto& a = std::get<AggConstraint2>(c);
+    os << AggFnName(a.agg_s) << "(S." << a.attr_s << ") " << CmpOpName(a.cmp)
+       << ' ' << AggFnName(a.agg_t) << "(T." << a.attr_t << ')';
+  }
+  return os.str();
+}
+
+}  // namespace cfq

@@ -1,0 +1,51 @@
+// 2-variable constraints — the subject of the paper.
+//
+// A 2-var constraint relates the two CFQ variables through attributes in
+// a common domain:
+//   * domain constraints:    S.A  setcmp  T.B
+//   * aggregate constraints: agg1(S.A)  cmp  agg2(T.B)
+//
+// By convention the S side is always written on the left; MirrorCmp
+// converts queries written the other way around.
+
+#ifndef CFQ_CONSTRAINTS_TWO_VAR_H_
+#define CFQ_CONSTRAINTS_TWO_VAR_H_
+
+#include <string>
+#include <variant>
+
+#include "constraints/agg.h"
+#include "constraints/domain_op.h"
+
+namespace cfq {
+
+// S.attr_s setcmp T.attr_t.
+struct DomainConstraint2 {
+  std::string attr_s;  // A
+  std::string attr_t;  // B
+  SetCmp cmp;
+};
+
+// agg_s(S.attr_s) cmp agg_t(T.attr_t).
+struct AggConstraint2 {
+  AggFn agg_s;
+  std::string attr_s;
+  CmpOp cmp;
+  AggFn agg_t;
+  std::string attr_t;
+};
+
+using TwoVarConstraint = std::variant<DomainConstraint2, AggConstraint2>;
+
+// Builder helpers.
+TwoVarConstraint MakeDomain2(std::string attr_s, SetCmp cmp,
+                             std::string attr_t);
+TwoVarConstraint MakeAgg2(AggFn agg_s, std::string attr_s, CmpOp cmp,
+                          AggFn agg_t, std::string attr_t);
+
+// "max(S.Price) <= min(T.Price)" style rendering.
+std::string ToString(const TwoVarConstraint& c);
+
+}  // namespace cfq
+
+#endif  // CFQ_CONSTRAINTS_TWO_VAR_H_

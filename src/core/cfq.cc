@@ -1,0 +1,21 @@
+#include "core/cfq.h"
+
+#include <sstream>
+
+namespace cfq {
+
+std::string ToString(const CfqQuery& query) {
+  std::ostringstream os;
+  os << "{(S, T) | freq(S, " << query.min_support_s << ") & freq(T, "
+     << query.min_support_t << ")";
+  for (const OneVarConstraint& c : query.one_var) {
+    os << " & " << ToString(c);
+  }
+  for (const TwoVarConstraint& c : query.two_var) {
+    os << " & " << ToString(c);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cfq

@@ -1,0 +1,35 @@
+// CFQ: constrained frequent set queries — {(S, T) | C}.
+//
+// A query binds the two set variables to item domains (subsets of the
+// catalog's item universe, e.g. "items priced 400..1000"), gives each a
+// frequency threshold, and conjoins any number of 1-var and 2-var
+// constraints.
+
+#ifndef CFQ_CORE_CFQ_H_
+#define CFQ_CORE_CFQ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/itemset.h"
+#include "constraints/one_var.h"
+#include "constraints/two_var.h"
+
+namespace cfq {
+
+struct CfqQuery {
+  Itemset s_domain;
+  Itemset t_domain;
+  uint64_t min_support_s = 1;  // Absolute transaction counts.
+  uint64_t min_support_t = 1;
+  std::vector<OneVarConstraint> one_var;
+  std::vector<TwoVarConstraint> two_var;
+};
+
+// "{(S, T) | freq(S) & freq(T) & ...}" rendering for EXPLAIN output.
+std::string ToString(const CfqQuery& query);
+
+}  // namespace cfq
+
+#endif  // CFQ_CORE_CFQ_H_

@@ -1,0 +1,479 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "constraints/eval.h"
+#include "core/reduction.h"
+#include "mining/apriori_plus.h"
+#include "mining/cap.h"
+#include "mining/hash_counter.h"
+#include <unordered_set>
+
+#include "mining/lattice.h"
+
+namespace cfq {
+
+namespace {
+
+// A 1-var constraint that no non-empty set satisfies; injected when a
+// reduction proves a side unsatisfiable (its MGF form has allowed = ∅).
+OneVarConstraint Impossible(Var var) {
+  return MakeAgg1(var, AggFn::kCount, kItemAttr, CmpOp::kLe, 0);
+}
+
+// Collects the item ids of level-1 frequent singletons.
+Itemset LevelOneItems(const std::vector<FrequentSet>& level1) {
+  Itemset out;
+  out.reserve(level1.size());
+  for (const FrequentSet& f : level1) out.push_back(f.items[0]);
+  return MakeItemset(std::move(out));
+}
+
+// Tracks the Jmax V^k series for one bounded side (Section 5.2): the
+// sound upper bound on sum(attr) over every frequent set of the source
+// lattice is max(exact max over mined levels, V^k over deeper levels).
+class VkSeries {
+ public:
+  VkSeries(std::string attr, const ItemCatalog* catalog,
+           const JmaxOptions& options)
+      : attr_(std::move(attr)), catalog_(catalog), options_(options) {}
+
+  // Feeds the frequent sets of a completed source-lattice level.
+  // Returns the updated bound (only meaningful once level >= 1).
+  Result<double> OnLevel(size_t level, const std::vector<FrequentSet>& sets,
+                         bool lattice_done) {
+    for (const FrequentSet& f : sets) {
+      double sum = 0;
+      for (ItemId item : f.items) {
+        sum += catalog_->ValueUnchecked(attr_, item);
+      }
+      known_max_ = std::max(known_max_, sum);
+    }
+    if (lattice_done) {
+      // Every frequent set has been enumerated: the bound is exact.
+      bound_ = known_max_;
+      return bound_;
+    }
+    if (level >= 2) {
+      auto vk = ComputeVk(sets, level, attr_, *catalog_, options_);
+      if (!vk.ok()) return vk.status();
+      bound_ = std::min(bound_, std::max(known_max_, vk.value()));
+    }
+    return bound_;
+  }
+
+  double bound() const { return bound_; }
+
+ private:
+  std::string attr_;
+  const ItemCatalog* catalog_;
+  JmaxOptions options_;
+  double known_max_ = 0;
+  double bound_ = std::numeric_limits<double>::infinity();
+};
+
+// Pair formation: verify every 2-var constraint on each candidate pair.
+Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
+                 CfqResult* result) {
+  if (query.two_var.empty()) {
+    result->cross_product = true;
+    return Status::Ok();
+  }
+  for (uint32_t i = 0; i < result->s_sets.size(); ++i) {
+    for (uint32_t j = 0; j < result->t_sets.size(); ++j) {
+      ++result->stats.pair_checks;
+      auto ok = EvalAllPairs(query.two_var, result->s_sets[i].items,
+                             result->t_sets[j].items, catalog);
+      if (!ok.ok()) return ok.status();
+      if (ok.value()) result->pairs.emplace_back(i, j);
+    }
+  }
+  return Status::Ok();
+}
+
+CapOptions ToCapOptions(const PlanOptions& options) {
+  CapOptions cap;
+  cap.counter = options.counter;
+  cap.max_level = options.max_level;
+  cap.nonnegative = options.nonnegative;
+  return cap;
+}
+
+}  // namespace
+
+Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
+                              const CfqPlan& plan) {
+  Stopwatch timer;
+  const CfqQuery& query = plan.query;
+  const PlanOptions& options = plan.options;
+
+  CapOptions s_options = ToCapOptions(options);
+  s_options.counted_log = options.counted_log_s;
+  CapOptions t_options = ToCapOptions(options);
+  t_options.counted_log = options.counted_log_t;
+  auto s_lattice = ConstrainedLattice::Create(
+      db, catalog, query.s_domain, Var::kS, query.one_var,
+      query.min_support_s, s_options);
+  if (!s_lattice.ok()) return s_lattice.status();
+  auto t_lattice = ConstrainedLattice::Create(
+      db, catalog, query.t_domain, Var::kT, query.one_var,
+      query.min_support_t, t_options);
+  if (!t_lattice.ok()) return t_lattice.status();
+  ConstrainedLattice& s = **s_lattice;
+  ConstrainedLattice& t = **t_lattice;
+
+  // --- Level 1 on both sides; then decouple the 2-var constraints. ------
+  s.Step();
+  t.Step();
+  const Itemset l1_s = LevelOneItems(s.last_level_frequent());
+  const Itemset l1_t = LevelOneItems(t.last_level_frequent());
+
+  std::vector<OneVarConstraint> decoupled;
+  auto add_reduction = [&](const TwoVarConstraint& c) -> Status {
+    auto reduction =
+        ReduceTwoVar(c, l1_s, l1_t, catalog, options.nonnegative);
+    if (!reduction.ok()) return reduction.status();
+    const Reduction& r = reduction.value();
+    if (!r.s.satisfiable) {
+      decoupled.push_back(Impossible(Var::kS));
+    } else {
+      for (const OneVarConstraint& rc : r.s.constraints) {
+        decoupled.push_back(rc);
+      }
+    }
+    if (!r.t.satisfiable) {
+      decoupled.push_back(Impossible(Var::kT));
+    } else {
+      for (const OneVarConstraint& rc : r.t.constraints) {
+        decoupled.push_back(rc);
+      }
+    }
+    return Status::Ok();
+  };
+
+  // Jmax series: bounds on sum over the T lattice pruning S, and vice
+  // versa. Pairs of (series, target aggregate on the bounded side).
+  struct JmaxHook {
+    VkSeries series;
+    AggFn target_agg;
+    std::string target_attr;
+    bool prunable;
+    bool source_is_t;
+  };
+  std::vector<JmaxHook> jmax_hooks;
+
+  for (const TwoVarRoute& route : plan.routes) {
+    if (route.quasi_succinct) {
+      CFQ_RETURN_IF_ERROR(add_reduction(route.constraint));
+      continue;
+    }
+    for (const TwoVarConstraint& induced : route.induced) {
+      CFQ_RETURN_IF_ERROR(add_reduction(induced));
+    }
+    if (route.loose_reduction) {
+      CFQ_RETURN_IF_ERROR(add_reduction(route.constraint));
+    }
+    if (route.jmax_prunes_s || route.jmax_prunes_t) {
+      const auto& a = std::get<AggConstraint2>(route.constraint);
+      if (route.jmax_prunes_s) {
+        jmax_hooks.push_back(
+            JmaxHook{VkSeries(a.attr_t, &catalog, options.jmax), a.agg_s,
+                     a.attr_s, route.jmax_s_bound_anti_monotone,
+                     /*source_is_t=*/true});
+      }
+      if (route.jmax_prunes_t) {
+        jmax_hooks.push_back(
+            JmaxHook{VkSeries(a.attr_s, &catalog, options.jmax), a.agg_t,
+                     a.attr_t, route.jmax_t_bound_anti_monotone,
+                     /*source_is_t=*/false});
+      }
+    }
+  }
+  CFQ_RETURN_IF_ERROR(s.AddConstraints(decoupled));
+  CFQ_RETURN_IF_ERROR(t.AddConstraints(decoupled));
+
+  // Feed level-1 information into the Jmax series too (it tracks the
+  // exact max over mined sets).
+  auto feed_jmax = [&](bool from_t, size_t level,
+                       const std::vector<FrequentSet>& sets,
+                       bool source_done) -> Status {
+    for (JmaxHook& hook : jmax_hooks) {
+      if (hook.source_is_t != from_t) continue;
+      auto bound = hook.series.OnLevel(level, sets, source_done);
+      if (!bound.ok()) return bound.status();
+      ConstrainedLattice& target = from_t ? s : t;
+      if (std::isfinite(bound.value())) {
+        target.SetDynamicBound(hook.target_agg, hook.target_attr,
+                               bound.value(), hook.prunable);
+      }
+    }
+    return Status::Ok();
+  };
+  CFQ_RETURN_IF_ERROR(
+      feed_jmax(true, t.level(), t.last_level_frequent(), t.done()));
+  CFQ_RETURN_IF_ERROR(
+      feed_jmax(false, s.level(), s.last_level_frequent(), s.done()));
+
+  // --- Remaining levels. -------------------------------------------------
+  if (options.dovetail) {
+    while (!s.done() || !t.done()) {
+      // With a horizontal backend, dovetailing lets one pass over the
+      // transaction file count both lattices' levels (Section 5.2's
+      // I/O argument for dovetailing).
+      if (options.counter == CounterKind::kHash) {
+        // Note: counting both sides in one scan means S's level-k
+        // candidates see the V^k bound from T's level k-1 rather than
+        // level k (a one-level lag vs. sequential stepping) — still
+        // sound, slightly less pruning, half the scans.
+        const std::vector<Itemset>& t_batch = t.PrepareLevel();
+        const std::vector<Itemset>& s_batch = s.PrepareLevel();
+        if (!t_batch.empty() && !s_batch.empty()) {
+          CccStats scan_stats;
+          const auto supports =
+              CountBatchesSharedScan(*db, {&t_batch, &s_batch}, &scan_stats);
+          // One physical scan for the whole query; attribute it to T.
+          t.AccountIo(scan_stats.io.scans, scan_stats.io.pages_read);
+          t.CompleteLevel(supports[0]);
+          CFQ_RETURN_IF_ERROR(
+              feed_jmax(true, t.level(), t.last_level_frequent(), t.done()));
+          s.CompleteLevel(supports[1]);
+          CFQ_RETURN_IF_ERROR(feed_jmax(false, s.level(),
+                                        s.last_level_frequent(), s.done()));
+          continue;
+        }
+        // One side exhausted: fall through to plain stepping.
+      }
+      if (t.Step()) {
+        CFQ_RETURN_IF_ERROR(
+            feed_jmax(true, t.level(), t.last_level_frequent(), t.done()));
+      }
+      if (s.Step()) {
+        CFQ_RETURN_IF_ERROR(
+            feed_jmax(false, s.level(), s.last_level_frequent(), s.done()));
+      }
+    }
+  } else {
+    // Non-dovetailed: finish T first so S sees the exact global bound.
+    while (t.Step()) {
+      CFQ_RETURN_IF_ERROR(
+          feed_jmax(true, t.level(), t.last_level_frequent(), t.done()));
+    }
+    CFQ_RETURN_IF_ERROR(feed_jmax(true, t.level(), {}, /*source_done=*/true));
+    while (s.Step()) {
+      CFQ_RETURN_IF_ERROR(
+          feed_jmax(false, s.level(), s.last_level_frequent(), s.done()));
+    }
+  }
+
+  CfqResult result;
+  result.s_sets = s.valid_frequent();
+  result.t_sets = t.valid_frequent();
+  result.stats.s = s.stats();
+  result.stats.t = t.stats();
+  result.stats.mining_seconds = timer.ElapsedSeconds();
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result));
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  result.stats.pair_seconds =
+      result.stats.elapsed_seconds - result.stats.mining_seconds;
+  return result;
+}
+
+Result<CfqResult> ExecuteOptimized(TransactionDb* db,
+                                   const ItemCatalog& catalog,
+                                   const CfqQuery& query,
+                                   const PlanOptions& options) {
+  auto plan = BuildPlan(query, options);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(db, catalog, plan.value());
+}
+
+Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
+                                     const ItemCatalog& catalog,
+                                     const CfqQuery& query,
+                                     const PlanOptions& options) {
+  Stopwatch timer;
+  AprioriOptions apriori_options;
+  apriori_options.counter = options.counter;
+  apriori_options.max_level = options.max_level;
+
+  CfqResult result;
+  auto s = RunAprioriPlus(db, catalog, query.s_domain, Var::kS, query.one_var,
+                          query.min_support_s, apriori_options);
+  if (!s.ok()) return s.status();
+  auto t = RunAprioriPlus(db, catalog, query.t_domain, Var::kT, query.one_var,
+                          query.min_support_t, apriori_options);
+  if (!t.ok()) return t.status();
+  result.s_sets = std::move(s.value().valid_frequent);
+  result.t_sets = std::move(t.value().valid_frequent);
+  result.stats.s = std::move(s.value().stats);
+  result.stats.t = std::move(t.value().stats);
+  result.stats.mining_seconds = timer.ElapsedSeconds();
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result));
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  result.stats.pair_seconds =
+      result.stats.elapsed_seconds - result.stats.mining_seconds;
+  return result;
+}
+
+Result<CfqResult> ExecuteCapOneVar(TransactionDb* db,
+                                   const ItemCatalog& catalog,
+                                   const CfqQuery& query,
+                                   const PlanOptions& options) {
+  Stopwatch timer;
+  CfqResult result;
+  auto s = RunCap(db, catalog, query.s_domain, Var::kS, query.one_var,
+                  query.min_support_s, ToCapOptions(options));
+  if (!s.ok()) return s.status();
+  auto t = RunCap(db, catalog, query.t_domain, Var::kT, query.one_var,
+                  query.min_support_t, ToCapOptions(options));
+  if (!t.ok()) return t.status();
+  result.s_sets = std::move(s.value().valid_frequent);
+  result.t_sets = std::move(t.value().valid_frequent);
+  result.stats.s = std::move(s.value().stats);
+  result.stats.t = std::move(t.value().stats);
+  result.stats.mining_seconds = timer.ElapsedSeconds();
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result));
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  result.stats.pair_seconds =
+      result.stats.elapsed_seconds - result.stats.mining_seconds;
+  return result;
+}
+
+namespace {
+
+// One side of the FM strategy: materialize valid sets by exhaustive
+// constraint checking, then count them in ascending size, keeping the
+// frequency-closed prefix.
+Result<std::vector<FrequentSet>> FmSide(TransactionDb* db,
+                                        const ItemCatalog& catalog,
+                                        const CfqQuery& query, Var var,
+                                        uint64_t min_support,
+                                        CccStats* stats) {
+  const Itemset& domain = var == Var::kS ? query.s_domain : query.t_domain;
+  // Phase 1: constraint checking on EVERY subset (2^N - 1 checks).
+  std::vector<std::vector<Itemset>> valid_by_size(domain.size() + 1);
+  Status error;
+  ForEachNonEmptySubset(domain, [&](const Itemset& x) {
+    if (!error.ok()) return;
+    ++stats->constraint_checks;
+    auto ok = EvalAll(query.one_var, var, x, catalog);
+    if (!ok.ok()) {
+      error = ok.status();
+      return;
+    }
+    if (ok.value()) valid_by_size[x.size()].push_back(x);
+  });
+  CFQ_RETURN_IF_ERROR(error);
+
+  // Phase 2: count valid sets in ascending cardinality. Pruning may
+  // only use subsets whose frequency is known, i.e. VALID subsets
+  // (invalid ones were never counted); a set with an infrequent invalid
+  // subset still gets counted and simply turns out infrequent.
+  auto counter = MakeCounter(CounterKind::kBitmap, db);
+  std::unordered_set<Itemset, ItemsetHash> valid_index;
+  for (const auto& level : valid_by_size) {
+    valid_index.insert(level.begin(), level.end());
+  }
+  std::unordered_set<Itemset, ItemsetHash> frequent_index;
+  std::vector<FrequentSet> out;
+  for (size_t size = 1; size < valid_by_size.size(); ++size) {
+    std::vector<Itemset> candidates;
+    for (Itemset& x : valid_by_size[size]) {
+      bool known_infrequent_subset = false;
+      for (size_t drop = 0;
+           x.size() > 1 && drop < x.size() && !known_infrequent_subset;
+           ++drop) {
+        Itemset sub = WithoutIndex(x, drop);
+        if (valid_index.find(sub) != valid_index.end() &&
+            frequent_index.find(sub) == frequent_index.end()) {
+          known_infrequent_subset = true;
+        }
+      }
+      if (!known_infrequent_subset) candidates.push_back(std::move(x));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    const std::vector<uint64_t> supports = counter->Count(candidates, stats);
+    uint64_t frequent = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (supports[i] < min_support) continue;
+      ++frequent;
+      frequent_index.insert(candidates[i]);
+      out.push_back(FrequentSet{candidates[i], supports[i]});
+    }
+    stats->RecordLevel(candidates.size(), frequent);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CfqResult> ExecuteFullMaterialization(TransactionDb* db,
+                                             const ItemCatalog& catalog,
+                                             const CfqQuery& query) {
+  if (query.s_domain.size() > kFmMaxDomain ||
+      query.t_domain.size() > kFmMaxDomain) {
+    return Status::InvalidArgument(
+        "full materialization is exponential; domains are capped at " +
+        std::to_string(kFmMaxDomain) + " items");
+  }
+  Stopwatch timer;
+  CfqResult result;
+  auto s = FmSide(db, catalog, query, Var::kS, query.min_support_s,
+                  &result.stats.s);
+  if (!s.ok()) return s.status();
+  result.s_sets = std::move(s).value();
+  auto t = FmSide(db, catalog, query, Var::kT, query.min_support_t,
+                  &result.stats.t);
+  if (!t.ok()) return t.status();
+  result.t_sets = std::move(t).value();
+  result.stats.mining_seconds = timer.ElapsedSeconds();
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result));
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  result.stats.pair_seconds =
+      result.stats.elapsed_seconds - result.stats.mining_seconds;
+  return result;
+}
+
+Result<CfqResult> ExecuteBruteForce(const TransactionDb& db,
+                                    const ItemCatalog& catalog,
+                                    const CfqQuery& query) {
+  CfqResult result;
+  for (const FrequentSet& f :
+       MineFrequentBruteForce(db, query.s_domain, query.min_support_s)) {
+    auto ok = EvalAll(query.one_var, Var::kS, f.items, catalog);
+    if (!ok.ok()) return ok.status();
+    if (ok.value()) result.s_sets.push_back(f);
+  }
+  for (const FrequentSet& f :
+       MineFrequentBruteForce(db, query.t_domain, query.min_support_t)) {
+    auto ok = EvalAll(query.one_var, Var::kT, f.items, catalog);
+    if (!ok.ok()) return ok.status();
+    if (ok.value()) result.t_sets.push_back(f);
+  }
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result));
+  return result;
+}
+
+std::vector<std::pair<Itemset, Itemset>> AnswerPairs(const CfqResult& result) {
+  std::vector<std::pair<Itemset, Itemset>> out;
+  if (result.cross_product) {
+    for (const FrequentSet& s : result.s_sets) {
+      for (const FrequentSet& t : result.t_sets) {
+        out.emplace_back(s.items, t.items);
+      }
+    }
+  } else {
+    out.reserve(result.pairs.size());
+    for (const auto& [i, j] : result.pairs) {
+      out.emplace_back(result.s_sets[i].items, result.t_sets[j].items);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cfq

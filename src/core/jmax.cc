@@ -1,0 +1,101 @@
+#include "core/jmax.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/combinatorics.h"
+
+namespace cfq {
+
+JmaxBound ComputeJmax(const std::vector<FrequentSet>& frequent_k, size_t k,
+                      const JmaxOptions& options) {
+  JmaxBound out;
+  if (frequent_k.empty() || k == 0) return out;
+
+  // N_i^k: number of frequent k-sets containing each element.
+  std::unordered_map<ItemId, uint64_t> counts;
+  for (const FrequentSet& f : frequent_k) {
+    for (ItemId item : f.items) ++counts[item];
+  }
+  out.elements.reserve(counts.size());
+  for (const auto& [item, n] : counts) {
+    (void)n;
+    out.elements.push_back(item);
+  }
+  std::sort(out.elements.begin(), out.elements.end());
+  out.j_per_element.reserve(out.elements.size());
+  for (ItemId item : out.elements) {
+    const int64_t j = LargestJForCount(counts[item], k, options.max_j);
+    out.j_per_element.push_back(j);
+    out.jmax = std::max(out.jmax, j);
+  }
+  return out;
+}
+
+Result<double> ComputeVk(const std::vector<FrequentSet>& frequent_k, size_t k,
+                         const std::string& attr, const ItemCatalog& catalog,
+                         const JmaxOptions& options) {
+  if (!catalog.HasAttr(attr)) {
+    return Status::NotFound("unknown attribute '" + attr + "'");
+  }
+  if (frequent_k.empty()) return 0.0;
+
+  const JmaxBound bound = ComputeJmax(frequent_k, k, options);
+
+  // Per element: index of the best k-set (max sum), and co-occurring
+  // elements.
+  struct ElementInfo {
+    double best_sum = 0;
+    size_t best_set = 0;
+    Itemset cooccurring;  // Built sorted+deduped at the end.
+  };
+  std::unordered_map<ItemId, ElementInfo> info;
+  std::vector<double> set_sums(frequent_k.size(), 0);
+  for (size_t s = 0; s < frequent_k.size(); ++s) {
+    double sum = 0;
+    for (ItemId item : frequent_k[s].items) {
+      sum += catalog.ValueUnchecked(attr, item);
+    }
+    set_sums[s] = sum;
+    for (ItemId item : frequent_k[s].items) {
+      auto [it, inserted] = info.try_emplace(item);
+      if (inserted || sum > it->second.best_sum) {
+        it->second.best_sum = sum;
+        it->second.best_set = s;
+      }
+      for (ItemId other : frequent_k[s].items) {
+        if (other != item) it->second.cooccurring.push_back(other);
+      }
+    }
+  }
+
+  double v_k = 0;
+  for (size_t e = 0; e < bound.elements.size(); ++e) {
+    const ItemId ti = bound.elements[e];
+    ElementInfo& ei = info[ti];
+    const Itemset& best = frequent_k[ei.best_set].items;
+    // E_i^k: co-occurring elements not in the best set, by descending
+    // B-value; add the top J of them.
+    Itemset cooc = MakeItemset(std::move(ei.cooccurring));
+    std::vector<double> extra_values;
+    extra_values.reserve(cooc.size());
+    for (ItemId item : cooc) {
+      if (!Contains(best, item)) {
+        extra_values.push_back(catalog.ValueUnchecked(attr, item));
+      }
+    }
+    std::sort(extra_values.begin(), extra_values.end(),
+              std::greater<double>());
+    const int64_t j =
+        options.per_element_j ? bound.j_per_element[e] : bound.jmax;
+    double max_sum = ei.best_sum;
+    for (int64_t u = 0; u < j && u < static_cast<int64_t>(extra_values.size());
+         ++u) {
+      max_sum += extra_values[static_cast<size_t>(u)];
+    }
+    v_k = std::max(v_k, max_sum);
+  }
+  return v_k;
+}
+
+}  // namespace cfq

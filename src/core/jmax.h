@@ -1,0 +1,59 @@
+// Jmax iterative pruning (Section 5.2, Figures 5 & 6).
+//
+// Given all frequent T-sets of size k, Figure 5 bounds how much any
+// frequent T-set can still grow: an element appearing in N frequent
+// k-sets can appear in a frequent set of size at most k + j where
+// C(k+j-1, k-1) <= N. Figure 6 turns that into V^k, a decreasing series
+// of upper bounds on sum(T.B) over every frequent T-set of size >= k:
+//
+//   V^k = max over elements ti of [ best k-set sum containing ti
+//         + the Jmax largest B-values co-occurring with ti ].
+//
+// The dovetailed executor feeds V^k (combined with the max sum over
+// already-mined smaller frequent sets, which Figure 6 does not cover)
+// into the S lattice as the anti-monotone condition sum(S.A) <= V^k.
+
+#ifndef CFQ_CORE_JMAX_H_
+#define CFQ_CORE_JMAX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/result.h"
+#include "data/item_catalog.h"
+#include "mining/apriori.h"
+
+namespace cfq {
+
+struct JmaxOptions {
+  // Figure 5's J bound search cap; the largest frequent set can never
+  // exceed the item universe, so any value >= num_items is exact.
+  uint64_t max_j = 1 << 20;
+  // Paper's Figure 6 uses the global Jmax^k for every element; per-
+  // element J_i^k is a strictly tighter variant (ablation bench).
+  bool per_element_j = false;
+};
+
+// Per-element J bounds and their max (Figure 5). `frequent_k` holds the
+// frequent sets of one level; all must have size k >= 1.
+struct JmaxBound {
+  int64_t jmax = -1;            // -1 when frequent_k is empty.
+  std::vector<ItemId> elements;  // L_k (distinct items, sorted).
+  std::vector<int64_t> j_per_element;  // Aligned with `elements`.
+};
+
+JmaxBound ComputeJmax(const std::vector<FrequentSet>& frequent_k, size_t k,
+                      const JmaxOptions& options = {});
+
+// Figure 6: V^k, an upper bound on sum(T.attr) over every frequent
+// T-set of size >= k. Returns 0 when `frequent_k` is empty (no frequent
+// set of size >= k exists at all). Requires nonnegative values.
+Result<double> ComputeVk(const std::vector<FrequentSet>& frequent_k, size_t k,
+                         const std::string& attr, const ItemCatalog& catalog,
+                         const JmaxOptions& options = {});
+
+}  // namespace cfq
+
+#endif  // CFQ_CORE_JMAX_H_

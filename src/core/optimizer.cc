@@ -1,0 +1,128 @@
+#include "core/optimizer.h"
+
+#include <sstream>
+
+#include "constraints/classify.h"
+#include "core/reduction.h"
+
+namespace cfq {
+
+namespace {
+
+Status ValidateQuery(const CfqQuery& query, const ItemCatalog* catalog) {
+  if (query.s_domain.empty() || query.t_domain.empty()) {
+    return Status::InvalidArgument("S and T domains must be non-empty");
+  }
+  if (query.min_support_s == 0 || query.min_support_t == 0) {
+    return Status::InvalidArgument("support thresholds must be positive");
+  }
+  (void)catalog;  // Attribute validation happens at execution time.
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<CfqPlan> BuildPlan(const CfqQuery& query, const PlanOptions& options) {
+  CFQ_RETURN_IF_ERROR(ValidateQuery(query, nullptr));
+  CfqPlan plan;
+  plan.query = query;
+  plan.options = options;
+
+  for (const TwoVarConstraint& c : query.two_var) {
+    TwoVarRoute route;
+    route.constraint = c;
+    const TwoVarProperties props = Classify(c, options.nonnegative);
+    if (props.quasi_succinct) {
+      route.quasi_succinct = options.use_quasi_succinct;
+    } else {
+      if (options.use_induced) {
+        route.induced = InduceWeaker(c, options.nonnegative);
+        route.loose_reduction = true;
+      }
+      if (options.use_jmax) {
+        if (const auto* a = std::get_if<AggConstraint2>(&c)) {
+          // A sum() on the T side bounded from above prunes S (the
+          // V^k series bounds achievable sum(T.B)); mirrored for S.
+          const bool le = a->cmp == CmpOp::kLe || a->cmp == CmpOp::kLt ||
+                          a->cmp == CmpOp::kEq;
+          const bool ge = a->cmp == CmpOp::kGe || a->cmp == CmpOp::kGt ||
+                          a->cmp == CmpOp::kEq;
+          if (a->agg_t == AggFn::kSum && le) {
+            route.jmax_prunes_s = true;
+            route.jmax_s_bound_anti_monotone =
+                a->agg_s == AggFn::kSum && options.nonnegative;
+          }
+          if (a->agg_s == AggFn::kSum && ge) {
+            route.jmax_prunes_t = true;
+            route.jmax_t_bound_anti_monotone =
+                a->agg_t == AggFn::kSum && options.nonnegative;
+          }
+        }
+      }
+    }
+    plan.routes.push_back(std::move(route));
+  }
+  return plan;
+}
+
+std::string ExplainPlan(const CfqPlan& plan) {
+  std::ostringstream os;
+  os << "CFQ plan for " << ToString(plan.query) << "\n";
+  os << "  counting backend: "
+     << (plan.options.counter == CounterKind::kBitmap ? "vertical bitmaps"
+                                                      : "horizontal hash")
+     << ", dovetailed: " << (plan.options.dovetail ? "yes" : "no") << "\n";
+
+  size_t n_s = 0, n_t = 0;
+  for (const OneVarConstraint& c : plan.query.one_var) {
+    (c.var == Var::kS ? n_s : n_t)++;
+  }
+  os << "  1-var constraints pushed into CAP: " << n_s << " on S, " << n_t
+     << " on T\n";
+  for (const OneVarConstraint& c : plan.query.one_var) {
+    const OneVarProperties p = Classify(c, plan.options.nonnegative);
+    os << "    " << ToString(c) << "  [succinct=" << (p.succinct ? "y" : "n")
+       << " anti-monotone=" << (p.anti_monotone ? "y" : "n") << "]\n";
+  }
+
+  for (const TwoVarRoute& r : plan.routes) {
+    os << "  2-var " << ToString(r.constraint) << ":\n";
+    if (r.quasi_succinct) {
+      os << "    quasi-succinct: reduce to succinct 1-var conditions after "
+            "level 1 (Sec. 4)\n";
+    } else if (std::holds_alternative<DomainConstraint2>(r.constraint) ||
+               Classify(r.constraint, plan.options.nonnegative)
+                   .quasi_succinct) {
+      os << "    quasi-succinct reduction disabled; verify at pair "
+            "formation only\n";
+    } else {
+      for (const TwoVarConstraint& w : r.induced) {
+        os << "    induced weaker constraint " << ToString(w)
+           << " (Sec. 5.1), reduced after level 1\n";
+      }
+      if (r.loose_reduction) {
+        os << "    loose level-1 bounds from L1 aggregates (Sec. 5.1)\n";
+      }
+      if (r.jmax_prunes_s) {
+        os << "    Jmax V^k series from the T lattice bounds "
+           << AggFnName(std::get<AggConstraint2>(r.constraint).agg_s)
+           << "(S) (Sec. 5.2"
+           << (r.jmax_s_bound_anti_monotone ? ", anti-monotone prune"
+                                            : ", output filter")
+           << ")\n";
+      }
+      if (r.jmax_prunes_t) {
+        os << "    Jmax V^k series from the S lattice bounds "
+           << AggFnName(std::get<AggConstraint2>(r.constraint).agg_t)
+           << "(T) (Sec. 5.2"
+           << (r.jmax_t_bound_anti_monotone ? ", anti-monotone prune"
+                                            : ", output filter")
+           << ")\n";
+      }
+    }
+    os << "    verified on every candidate pair at pair formation\n";
+  }
+  return os.str();
+}
+
+}  // namespace cfq

@@ -1,0 +1,78 @@
+// The CFQ query optimizer (Section 6, Figure 7).
+//
+// Given a query, the optimizer routes every constraint:
+//   * 1-var constraints go straight to CAP (succinct / anti-monotone
+//     pushdowns);
+//   * quasi-succinct 2-var constraints are marked for reduction to two
+//     succinct 1-var constraints once L1^S / L1^T are known;
+//   * non-quasi-succinct 2-var constraints (sum/avg) get (a) induced
+//     weaker quasi-succinct constraints (Figure 4), (b) the loose
+//     Section-5.1 level-1 bounds, and (c) Jmax iterative pruning when a
+//     sum() appears on the side being bounded;
+//   * every 2-var constraint is additionally verified at pair formation
+//     (reductions preserve valid S-/T-sets, not valid pairs).
+
+#ifndef CFQ_CORE_OPTIMIZER_H_
+#define CFQ_CORE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cfq.h"
+#include "core/jmax.h"
+#include "mining/counter.h"
+
+namespace cfq {
+
+struct PlanOptions {
+  CounterKind counter = CounterKind::kBitmap;
+  bool nonnegative = true;
+  size_t max_level = 0;
+  // Optimization toggles (for ablations and the paper's comparisons).
+  bool use_quasi_succinct = true;  // Section 4 reduction.
+  bool use_induced = true;         // Section 5.1 induced + loose bounds.
+  bool use_jmax = true;            // Section 5.2 iterative pruning.
+  bool dovetail = true;            // Alternate S/T levels (Section 5.2).
+  JmaxOptions jmax;
+  // Optional ccc-audit evidence streams (see CccStats::counted_log).
+  std::vector<Itemset>* counted_log_s = nullptr;
+  std::vector<Itemset>* counted_log_t = nullptr;
+};
+
+// How one 2-var constraint will be processed.
+struct TwoVarRoute {
+  TwoVarConstraint constraint;
+  bool quasi_succinct = false;  // Reduce directly after level 1.
+  // Induced weaker quasi-succinct constraints (empty if none / n.a.).
+  std::vector<TwoVarConstraint> induced;
+  // Loose level-1 reduction of the original constraint (non-tight but
+  // sound); applied for non-quasi-succinct constraints.
+  bool loose_reduction = false;
+  // Jmax dynamic pruning: V^k computed from the T (resp. S) lattice
+  // tightens a bound on agg_s(S.A) (resp. agg_t(T.B)).
+  bool jmax_prunes_s = false;
+  bool jmax_prunes_t = false;
+  // Whether the dynamic bound is anti-monotone on its target side
+  // (agg == sum on a nonnegative domain) and may drop candidates, as
+  // opposed to only filtering mined sets.
+  bool jmax_s_bound_anti_monotone = false;
+  bool jmax_t_bound_anti_monotone = false;
+};
+
+struct CfqPlan {
+  CfqQuery query;
+  std::vector<TwoVarRoute> routes;  // One per query.two_var entry.
+  PlanOptions options;
+};
+
+// Builds the plan; fails on unknown attributes or empty domains.
+Result<CfqPlan> BuildPlan(const CfqQuery& query,
+                          const PlanOptions& options = {});
+
+// Human-readable EXPLAIN of the chosen strategy.
+std::string ExplainPlan(const CfqPlan& plan);
+
+}  // namespace cfq
+
+#endif  // CFQ_CORE_OPTIMIZER_H_

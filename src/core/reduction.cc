@@ -1,0 +1,325 @@
+#include "core/reduction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "constraints/eval.h"
+
+namespace cfq {
+
+namespace {
+
+Status ValidateAttr(const std::string& attr, const ItemCatalog& catalog) {
+  if (!catalog.HasAttr(attr)) {
+    return Status::NotFound("unknown attribute '" + attr + "'");
+  }
+  return Status::Ok();
+}
+
+// Distinct attribute values over the frequent singletons.
+std::vector<AttrValue> DistinctValues(const std::string& attr,
+                                      const Itemset& l1,
+                                      const ItemCatalog& catalog) {
+  auto values = ProjectSet(attr, l1, catalog);
+  return values.ok() ? values.value() : std::vector<AttrValue>{};
+}
+
+// --- Domain-constraint reduction (Figure 2 rows + exact variants). ------
+
+// Builds C1(S) for `cmp` where the S side is `attr_x` (values X = CS.A)
+// and `lvals` are the distinct values on the other side's frequent
+// singletons (L = L1T.B). Symmetric for C2(T) with mirrored `cmp`.
+void ReduceDomainSide(Var var, const std::string& attr_x, SetCmp cmp,
+                      const std::vector<AttrValue>& lvals, ReducedSide* out) {
+  switch (cmp) {
+    case SetCmp::kDisjoint:
+      // Lemmas 2 & 3: valid iff X does not contain all of L.
+      out->constraints.push_back(
+          MakeDomain1(var, attr_x, SetCmp::kNotSuperset, lvals));
+      break;
+    case SetCmp::kIntersects:
+      out->constraints.push_back(
+          MakeDomain1(var, attr_x, SetCmp::kIntersects, lvals));
+      break;
+    case SetCmp::kSubset:
+      // X ⊆ T.B for some frequent T requires X ⊆ L. Sound; tight only
+      // when a single frequent witness set covers X (not guaranteed for
+      // |X| >= 2), hence the paper-caveat flag.
+      out->constraints.push_back(
+          MakeDomain1(var, attr_x, SetCmp::kSubset, lvals));
+      out->tight = false;
+      break;
+    case SetCmp::kNotSubset:
+      // Exact form of the paper's "(CS ≠ ∅)" entry: with >= 2 distinct
+      // values on the other side a singleton witness always exists;
+      // with exactly one value {b}, X must not be {b}, i.e. X ⊄ {b}.
+      if (lvals.size() == 1) {
+        out->constraints.push_back(
+            MakeDomain1(var, attr_x, SetCmp::kNotSubset, lvals));
+      }
+      // lvals.size() >= 2: trivially satisfiable by any non-empty X.
+      break;
+    case SetCmp::kSuperset:
+      // X ⊇ T.B holds for the singleton {t} iff t.B ∈ X.
+      out->constraints.push_back(
+          MakeDomain1(var, attr_x, SetCmp::kIntersects, lvals));
+      break;
+    case SetCmp::kNotSuperset:
+      // X ⊉ {t.B} for some frequent singleton iff some L value is
+      // missing from X.
+      out->constraints.push_back(
+          MakeDomain1(var, attr_x, SetCmp::kNotSuperset, lvals));
+      break;
+    case SetCmp::kEqual:
+      out->constraints.push_back(
+          MakeDomain1(var, attr_x, SetCmp::kSubset, lvals));
+      out->tight = false;  // Needs a frequent multi-item witness.
+      break;
+    case SetCmp::kNotEqual:
+      // With one distinct value {b} on the other side every frequent
+      // set projects to {b}; X must differ, i.e. contain a non-b value.
+      if (lvals.size() == 1) {
+        out->constraints.push_back(
+            MakeDomain1(var, attr_x, SetCmp::kNotSubset, lvals));
+      }
+      break;
+  }
+}
+
+// --- Aggregate-constraint reduction (Figure 3 generalized). -------------
+
+// Builds the condition "∃ achievable v with agg_x(X) cmp v" where the
+// achievable values of the other side lie in `other`.
+void ReduceAggSide(Var var, AggFn agg_x, const std::string& attr_x, CmpOp cmp,
+                   const AchievableInterval& other, ReducedSide* out) {
+  switch (cmp) {
+    case CmpOp::kLe:
+      out->constraints.push_back(
+          MakeAgg1(var, agg_x, attr_x, CmpOp::kLe, other.hi));
+      out->tight = out->tight && other.hi_tight;
+      break;
+    case CmpOp::kLt:
+      out->constraints.push_back(
+          MakeAgg1(var, agg_x, attr_x, CmpOp::kLt, other.hi));
+      out->tight = out->tight && other.hi_tight;
+      break;
+    case CmpOp::kGe:
+      out->constraints.push_back(
+          MakeAgg1(var, agg_x, attr_x, CmpOp::kGe, other.lo));
+      out->tight = out->tight && other.lo_tight;
+      break;
+    case CmpOp::kGt:
+      out->constraints.push_back(
+          MakeAgg1(var, agg_x, attr_x, CmpOp::kGt, other.lo));
+      out->tight = out->tight && other.lo_tight;
+      break;
+    case CmpOp::kEq:
+      out->constraints.push_back(
+          MakeAgg1(var, agg_x, attr_x, CmpOp::kGe, other.lo));
+      out->constraints.push_back(
+          MakeAgg1(var, agg_x, attr_x, CmpOp::kLe, other.hi));
+      out->tight = false;
+      break;
+    case CmpOp::kNe:
+      if (other.lo == other.hi && other.lo_tight && other.hi_tight) {
+        // Every frequent set on the other side has the same aggregate.
+        out->constraints.push_back(
+            MakeAgg1(var, agg_x, attr_x, CmpOp::kNe, other.lo));
+      } else if (!(other.lo < other.hi && other.lo_tight &&
+                   other.hi_tight)) {
+        // Cannot prove two distinct achievable values: stay trivial
+        // (sound) but not tight.
+        out->tight = false;
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+Result<AchievableInterval> AchievableAgg(AggFn agg, const std::string& attr,
+                                         const Itemset& l1,
+                                         const ItemCatalog& catalog,
+                                         bool nonnegative) {
+  CFQ_RETURN_IF_ERROR(ValidateAttr(attr, catalog));
+  AchievableInterval out;
+  if (l1.empty()) return out;
+  out.empty = false;
+  auto projected = catalog.Project(attr, l1);
+  if (!projected.ok()) return projected.status();
+  const std::vector<AttrValue>& vals = projected.value();
+  const double vmin = *std::min_element(vals.begin(), vals.end());
+  const double vmax = *std::max_element(vals.begin(), vals.end());
+  switch (agg) {
+    case AggFn::kMin:
+    case AggFn::kMax:
+    case AggFn::kAvg:
+      // Singletons achieve every L1 value, and any frequent set's
+      // min/max/avg lies within [vmin, vmax].
+      out.lo = vmin;
+      out.hi = vmax;
+      out.lo_tight = true;
+      out.hi_tight = true;
+      break;
+    case AggFn::kSum: {
+      if (nonnegative) {
+        // sum >= its largest element >= vmin; the singleton of the
+        // cheapest item achieves vmin. Upper end: sum over all of L1
+        // (Section 5.1's loose bound; Jmax later tightens it).
+        out.lo = vmin;
+        out.lo_tight = true;
+        double total = 0;
+        for (AttrValue v : vals) total += v;
+        out.hi = total;
+        out.hi_tight = false;
+      } else {
+        double neg = 0, pos = 0;
+        for (AttrValue v : vals) (v < 0 ? neg : pos) += v;
+        out.lo = std::min(neg, vmin);
+        out.hi = std::max(pos, vmax);
+        out.lo_tight = false;
+        out.hi_tight = false;
+      }
+      break;
+    }
+    case AggFn::kCount: {
+      out.lo = 1;
+      out.lo_tight = true;  // Any frequent singleton.
+      std::vector<AttrValue> distinct = vals;
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      out.hi = static_cast<double>(distinct.size());
+      out.hi_tight = false;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Reduction> ReduceTwoVar(const TwoVarConstraint& c, const Itemset& l1_s,
+                               const Itemset& l1_t,
+                               const ItemCatalog& catalog, bool nonnegative) {
+  Reduction out;
+  // No frequent set on one side means no valid set on the other
+  // (Definition 3 requires a frequent witness).
+  if (l1_t.empty()) out.s.satisfiable = false;
+  if (l1_s.empty()) out.t.satisfiable = false;
+
+  if (const auto* d = std::get_if<DomainConstraint2>(&c)) {
+    CFQ_RETURN_IF_ERROR(ValidateAttr(d->attr_s, catalog));
+    CFQ_RETURN_IF_ERROR(ValidateAttr(d->attr_t, catalog));
+    const std::vector<AttrValue> ltb = DistinctValues(d->attr_t, l1_t, catalog);
+    const std::vector<AttrValue> lsa = DistinctValues(d->attr_s, l1_s, catalog);
+    if (out.s.satisfiable) {
+      ReduceDomainSide(Var::kS, d->attr_s, d->cmp, ltb, &out.s);
+    }
+    if (out.t.satisfiable) {
+      // C(S, T) reads X cmp Y with X = S.A; from T's perspective the
+      // comparison mirrors: Y cmp' X with subset/superset swapped.
+      SetCmp mirrored = d->cmp;
+      switch (d->cmp) {
+        case SetCmp::kSubset:
+          mirrored = SetCmp::kSuperset;
+          break;
+        case SetCmp::kSuperset:
+          mirrored = SetCmp::kSubset;
+          break;
+        case SetCmp::kNotSubset:
+          mirrored = SetCmp::kNotSuperset;
+          break;
+        case SetCmp::kNotSuperset:
+          mirrored = SetCmp::kNotSubset;
+          break;
+        default:
+          break;  // Symmetric comparisons.
+      }
+      ReduceDomainSide(Var::kT, d->attr_t, mirrored, lsa, &out.t);
+    }
+    return out;
+  }
+
+  const auto& a = std::get<AggConstraint2>(c);
+  CFQ_RETURN_IF_ERROR(ValidateAttr(a.attr_s, catalog));
+  CFQ_RETURN_IF_ERROR(ValidateAttr(a.attr_t, catalog));
+  if (out.s.satisfiable) {
+    auto other = AchievableAgg(a.agg_t, a.attr_t, l1_t, catalog, nonnegative);
+    if (!other.ok()) return other.status();
+    ReduceAggSide(Var::kS, a.agg_s, a.attr_s, a.cmp, other.value(), &out.s);
+  }
+  if (out.t.satisfiable) {
+    auto other = AchievableAgg(a.agg_s, a.attr_s, l1_s, catalog, nonnegative);
+    if (!other.ok()) return other.status();
+    ReduceAggSide(Var::kT, a.agg_t, a.attr_t, MirrorCmp(a.cmp), other.value(),
+                  &out.t);
+  }
+  return out;
+}
+
+std::vector<TwoVarConstraint> InduceWeaker(const TwoVarConstraint& c,
+                                           bool nonnegative) {
+  const auto* a = std::get_if<AggConstraint2>(&c);
+  if (a == nullptr) return {};
+
+  const bool s_needs = a->agg_s == AggFn::kSum || a->agg_s == AggFn::kAvg;
+  const bool t_needs = a->agg_t == AggFn::kSum || a->agg_t == AggFn::kAvg;
+  if (!s_needs && !t_needs) return {};  // Already min/max (or count).
+
+  // Rewrites an aggregate so the original constraint implies the new
+  // one, for the "lhs cmp rhs" direction given by `le` (true: <=/<).
+  // Returns false when no implied min/max rewrite exists.
+  auto rewrite = [&](AggFn agg, bool lhs, bool le,
+                     AggFn* out_agg) -> bool {
+    switch (agg) {
+      case AggFn::kMin:
+      case AggFn::kMax:
+        *out_agg = agg;
+        return true;
+      case AggFn::kAvg:
+        // min <= avg <= max: shrinking lhs / growing rhs weakens.
+        *out_agg = (lhs == le) ? AggFn::kMin : AggFn::kMax;
+        return true;
+      case AggFn::kSum:
+        // On a nonnegative domain max <= sum; only the "shrink the
+        // large side" direction yields a weaker constraint.
+        if (!nonnegative) return false;
+        if (lhs == le) {
+          *out_agg = AggFn::kMax;  // sum(lhs) <= x  =>  max(lhs) <= x.
+          return true;
+        }
+        return false;
+      case AggFn::kCount:
+        return false;
+    }
+    return false;
+  };
+
+  auto induce_direction = [&](CmpOp cmp) -> std::optional<TwoVarConstraint> {
+    const bool le = cmp == CmpOp::kLe || cmp == CmpOp::kLt;
+    AggFn new_s = a->agg_s;
+    AggFn new_t = a->agg_t;
+    if (!rewrite(a->agg_s, /*lhs=*/true, le, &new_s)) return std::nullopt;
+    if (!rewrite(a->agg_t, /*lhs=*/false, le, &new_t)) return std::nullopt;
+    return MakeAgg2(new_s, a->attr_s, cmp, new_t, a->attr_t);
+  };
+
+  std::vector<TwoVarConstraint> out;
+  switch (a->cmp) {
+    case CmpOp::kLe:
+    case CmpOp::kLt:
+    case CmpOp::kGe:
+    case CmpOp::kGt:
+      if (auto w = induce_direction(a->cmp)) out.push_back(*w);
+      break;
+    case CmpOp::kEq:
+      // agg1 = agg2 implies both agg1 <= agg2 and agg1 >= agg2.
+      if (auto w = induce_direction(CmpOp::kLe)) out.push_back(*w);
+      if (auto w = induce_direction(CmpOp::kGe)) out.push_back(*w);
+      break;
+    case CmpOp::kNe:
+      break;  // No useful induced form.
+  }
+  return out;
+}
+
+}  // namespace cfq

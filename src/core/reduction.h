@@ -1,0 +1,96 @@
+// Quasi-succinct reduction (Section 4, Figures 2 & 3) and the sound
+// relaxations for non-quasi-succinct constraints (Section 5.1, Figure 4).
+//
+// Given a 2-var constraint C(S, T) and the level-1 frequent singletons
+// L1^S, L1^T of the two lattices, the reduction produces two 1-var
+// pruning-condition conjunctions C1(S) and C2(T) whose constants are
+// derived from L1^S.A / L1^T.B:
+//
+//   * sound:  no valid S-set (T-set) is pruned (always guaranteed);
+//   * tight:  every pruned set was invalid (guaranteed for the rows the
+//     paper proves tight; see the `tight` flags).
+//
+// Tightness caveat documented against the paper: the Figure-2 rows for
+// S.A ⊆ T.B (the C1 side), S.A ⊇ T.B (C2) and S.A = T.B need a frequent
+// multi-item witness set, which L1 membership alone cannot promise, so
+// this implementation marks them sound-but-not-tight. Two rows the paper
+// abbreviates (S.A ⊄ T.B with "CS ≠ ∅", and the ≠ rows) are implemented
+// with their exact sound-and-tight conditions.
+//
+// For aggregate constraints the reduction is bound-based: the set of
+// aggregate values achievable by frequent sets is summarized by a
+// [lo, hi] interval with per-end tightness flags (for min/max/avg the
+// ends are achieved by frequent singletons — this yields exactly the
+// Figure-3 table; for sum the upper end is the Section-5.1 bound
+// sum(L1.B), sound only, later tightened by Jmax's V^k series).
+
+#ifndef CFQ_CORE_REDUCTION_H_
+#define CFQ_CORE_REDUCTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/result.h"
+#include "constraints/one_var.h"
+#include "constraints/two_var.h"
+#include "data/item_catalog.h"
+
+namespace cfq {
+
+// The reduced pruning condition for one side.
+struct ReducedSide {
+  // False when no set on this side can be valid (e.g. the other side
+  // has no frequent sets at all).
+  bool satisfiable = true;
+  // Conjunction of 1-var constraints (already bound to the right
+  // variable). Empty + satisfiable == trivially true.
+  std::vector<OneVarConstraint> constraints;
+  // True when the conjunction prunes every invalid candidate.
+  bool tight = true;
+};
+
+struct Reduction {
+  ReducedSide s;
+  ReducedSide t;
+};
+
+// Reduces a 2-var constraint given the frequent singletons of both
+// sides. Works for EVERY constraint in the language: quasi-succinct
+// constraints get sound (+tight where provable) conditions; sum/avg
+// constraints get the sound Section-5.1 relaxations. Fails only on
+// unknown attributes.
+Result<Reduction> ReduceTwoVar(const TwoVarConstraint& c, const Itemset& l1_s,
+                               const Itemset& l1_t,
+                               const ItemCatalog& catalog,
+                               bool nonnegative = true);
+
+// Induced weaker constraints (Figure 4): rewrites sum/avg aggregates to
+// the min/max aggregate that the original constraint implies, where such
+// a rewrite exists:  for <=  avg->min, sum->max on the S side and
+// avg->max on the T side; mirrored for >=. Returns the weaker
+// constraints (possibly two for '='), or empty when no rewrite applies.
+// The results are quasi-succinct whenever both sides end up min/max.
+// Requires nonnegative attribute domains for the sum rewrites.
+std::vector<TwoVarConstraint> InduceWeaker(const TwoVarConstraint& c,
+                                           bool nonnegative = true);
+
+// Achievable-aggregate interval: bounds on agg(X.attr) over frequent
+// sets X whose items come from `l1` (every frequent set's items are
+// frequent singletons). Used by the aggregate reduction and by tests.
+struct AchievableInterval {
+  double lo = 0;
+  double hi = 0;
+  bool lo_tight = false;  // lo is achieved by some frequent set.
+  bool hi_tight = false;
+  bool empty = true;      // No frequent set exists (l1 empty).
+};
+
+Result<AchievableInterval> AchievableAgg(AggFn agg, const std::string& attr,
+                                         const Itemset& l1,
+                                         const ItemCatalog& catalog,
+                                         bool nonnegative = true);
+
+}  // namespace cfq
+
+#endif  // CFQ_CORE_REDUCTION_H_

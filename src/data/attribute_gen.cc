@@ -1,0 +1,141 @@
+#include "data/attribute_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cfq {
+
+Status AssignUniformPrices(ItemCatalog* catalog, const std::string& attr,
+                           int64_t lo, int64_t hi, uint64_t seed) {
+  if (lo > hi) return Status::InvalidArgument("price range is empty");
+  Rng rng(seed);
+  std::vector<AttrValue> prices(catalog->num_items());
+  for (AttrValue& p : prices) {
+    p = static_cast<AttrValue>(rng.UniformInt(lo, hi));
+  }
+  return catalog->AddNumericAttr(attr, std::move(prices));
+}
+
+Status AssignSplitUniformPrices(ItemCatalog* catalog, const std::string& attr,
+                                int64_t s_lo, int64_t s_hi, int64_t t_lo,
+                                int64_t t_hi, uint64_t seed,
+                                ExperimentDomains* domains) {
+  if (s_lo > s_hi || t_lo > t_hi) {
+    return Status::InvalidArgument("price range is empty");
+  }
+  Rng rng(seed);
+  const size_t n = catalog->num_items();
+  std::vector<AttrValue> prices(n);
+  ExperimentDomains out;
+  for (ItemId item = 0; item < n; ++item) {
+    const bool s_side = (item % 2 == 0);
+    if (s_side) {
+      prices[item] = static_cast<AttrValue>(rng.UniformInt(s_lo, s_hi));
+      out.s_domain.push_back(item);
+    } else {
+      prices[item] = static_cast<AttrValue>(rng.UniformInt(t_lo, t_hi));
+      out.t_domain.push_back(item);
+    }
+  }
+  CFQ_RETURN_IF_ERROR(catalog->AddNumericAttr(attr, std::move(prices)));
+  if (domains != nullptr) *domains = std::move(out);
+  return Status::Ok();
+}
+
+Status AssignSplitNormalPrices(ItemCatalog* catalog, const std::string& attr,
+                               double s_mean, double t_mean, double sigma,
+                               uint64_t seed, ExperimentDomains* domains) {
+  if (sigma < 0) return Status::InvalidArgument("sigma must be nonnegative");
+  Rng rng(seed);
+  const size_t n = catalog->num_items();
+  std::vector<AttrValue> prices(n);
+  ExperimentDomains out;
+  for (ItemId item = 0; item < n; ++item) {
+    const bool s_side = (item % 2 == 0);
+    const double mean = s_side ? s_mean : t_mean;
+    const double draw = std::max(0.0, rng.Normal(mean, sigma));
+    prices[item] = std::round(draw);
+    (s_side ? out.s_domain : out.t_domain).push_back(item);
+  }
+  CFQ_RETURN_IF_ERROR(catalog->AddNumericAttr(attr, std::move(prices)));
+  if (domains != nullptr) *domains = std::move(out);
+  return Status::Ok();
+}
+
+Status AssignTypesWithOverlap(ItemCatalog* catalog, const std::string& attr,
+                              const ExperimentDomains& domains,
+                              int32_t num_types_per_side,
+                              double overlap_percent, uint64_t seed) {
+  if (num_types_per_side <= 0) {
+    return Status::InvalidArgument("num_types_per_side must be positive");
+  }
+  if (overlap_percent < 0 || overlap_percent > 100) {
+    return Status::InvalidArgument("overlap_percent must be in [0, 100]");
+  }
+  // S-side types are [0, k). T-side types are [k - shared, 2k - shared),
+  // so exactly `shared` values are common to both sides.
+  const int32_t k = num_types_per_side;
+  const int32_t shared = static_cast<int32_t>(
+      std::lround(overlap_percent / 100.0 * static_cast<double>(k)));
+  const int32_t t_start = k - shared;
+
+  Rng rng(seed);
+  std::vector<int32_t> codes(catalog->num_items(), 0);
+  for (size_t i = 0; i < domains.s_domain.size(); ++i) {
+    codes[domains.s_domain[i]] =
+        static_cast<int32_t>(rng.UniformInt(0, k - 1));
+  }
+  for (size_t i = 0; i < domains.t_domain.size(); ++i) {
+    codes[domains.t_domain[i]] =
+        t_start + static_cast<int32_t>(rng.UniformInt(0, k - 1));
+  }
+  return catalog->AddCategoricalAttr(attr, std::move(codes));
+}
+
+Status AssignBandedTypes(ItemCatalog* catalog, const std::string& type_attr,
+                         const std::string& price_attr, double s_lo,
+                         double t_hi, int32_t num_types_per_side,
+                         double overlap_percent, uint64_t seed) {
+  if (num_types_per_side <= 0) {
+    return Status::InvalidArgument("num_types_per_side must be positive");
+  }
+  if (overlap_percent < 0 || overlap_percent > 100) {
+    return Status::InvalidArgument("overlap_percent must be in [0, 100]");
+  }
+  if (!catalog->HasAttr(price_attr)) {
+    return Status::NotFound("unknown attribute '" + price_attr + "'");
+  }
+  const int32_t k = num_types_per_side;
+  const int32_t shared = static_cast<int32_t>(
+      std::lround(overlap_percent / 100.0 * static_cast<double>(k)));
+  // S pool: [0, k). T pool: [k - shared, 2k - shared).
+  // Intersection: [k - shared, k).
+  const int32_t t_start = k - shared;
+
+  Rng rng(seed);
+  std::vector<int32_t> codes(catalog->num_items(), 0);
+  bool flip = false;
+  for (ItemId i = 0; i < catalog->num_items(); ++i) {
+    const AttrValue price = catalog->ValueUnchecked(price_attr, i);
+    if (price > t_hi) {
+      codes[i] = static_cast<int32_t>(rng.UniformInt(0, k - 1));  // S pool.
+    } else if (price < s_lo) {
+      codes[i] =
+          t_start + static_cast<int32_t>(rng.UniformInt(0, k - 1));  // T pool.
+    } else if (shared > 0) {
+      codes[i] =
+          t_start + static_cast<int32_t>(rng.UniformInt(0, shared - 1));
+    } else {
+      // Disjoint pools: alternate, accepting slight pollution.
+      codes[i] = flip
+                     ? static_cast<int32_t>(rng.UniformInt(0, k - 1))
+                     : t_start + static_cast<int32_t>(rng.UniformInt(0, k - 1));
+      flip = !flip;
+    }
+  }
+  return catalog->AddCategoricalAttr(type_attr, std::move(codes));
+}
+
+}  // namespace cfq

@@ -1,0 +1,73 @@
+// Attribute generators reproducing the itemInfo(Item, Type, Price)
+// setups of the paper's Section 7 experiments.
+//
+// The experiments control (a) the Price range/distribution of the items
+// the S and T variables range over and (b) the overlap between the Type
+// values on the two sides. We model this by splitting the item universe
+// into an S-eligible and a T-eligible half and assigning attributes per
+// half; the returned ExperimentDomains carry the per-variable domains.
+
+#ifndef CFQ_DATA_ATTRIBUTE_GEN_H_
+#define CFQ_DATA_ATTRIBUTE_GEN_H_
+
+#include <cstdint>
+
+#include "common/itemset.h"
+#include "common/status.h"
+#include "data/item_catalog.h"
+
+namespace cfq {
+
+// The item subsets the S and T variables range over.
+struct ExperimentDomains {
+  Itemset s_domain;
+  Itemset t_domain;
+};
+
+// Assigns integer prices uniformly in [lo, hi] to every item.
+Status AssignUniformPrices(ItemCatalog* catalog, const std::string& attr,
+                           int64_t lo, int64_t hi, uint64_t seed);
+
+// Section 7.1 setup (Figure 8(a)): even items are S-eligible with Price
+// uniform in [s_lo, s_hi]; odd items are T-eligible with Price uniform
+// in [t_lo, t_hi]. Interleaving (rather than splitting into halves)
+// keeps the two sides statistically identical w.r.t. the generator's
+// pattern structure.
+Status AssignSplitUniformPrices(ItemCatalog* catalog, const std::string& attr,
+                                int64_t s_lo, int64_t s_hi, int64_t t_lo,
+                                int64_t t_hi, uint64_t seed,
+                                ExperimentDomains* domains);
+
+// Section 7.3 setup (Jmax): even items get Price ~ Normal(s_mean, sigma),
+// odd items ~ Normal(t_mean, sigma), clamped to be nonnegative (the
+// induced-constraint theory of Section 5 assumes nonnegative domains).
+Status AssignSplitNormalPrices(ItemCatalog* catalog, const std::string& attr,
+                               double s_mean, double t_mean, double sigma,
+                               uint64_t seed, ExperimentDomains* domains);
+
+// Section 7.2 setup (Figure 8(b)): assigns `num_types_per_side` types to
+// each side such that the two sides' type sets overlap in
+// `overlap_percent` percent of the values. Types are distributed
+// round-robin within a side. Domains are the full sides.
+Status AssignTypesWithOverlap(ItemCatalog* catalog, const std::string& attr,
+                              const ExperimentDomains& domains,
+                              int32_t num_types_per_side,
+                              double overlap_percent, uint64_t seed);
+
+// Section 7.2 setup over GLOBAL prices: the sides are defined by price
+// bands rather than by item identity. Items priced above `t_hi` are
+// S-only and draw their type from the S pool; items priced below `s_lo`
+// are T-only (T pool); items in the shared band [s_lo, t_hi] qualify
+// for both sides and draw from the intersection of the two pools, so
+// that the type overlap observed between the sides equals
+// `overlap_percent` of the `num_types_per_side` values. When the pools
+// are disjoint (0% overlap) shared-band items alternate between the two
+// pools, slightly polluting both sides (documented approximation).
+Status AssignBandedTypes(ItemCatalog* catalog, const std::string& type_attr,
+                         const std::string& price_attr, double s_lo,
+                         double t_hi, int32_t num_types_per_side,
+                         double overlap_percent, uint64_t seed);
+
+}  // namespace cfq
+
+#endif  // CFQ_DATA_ATTRIBUTE_GEN_H_

@@ -1,0 +1,41 @@
+// Page-based I/O cost model.
+//
+// The paper's experiments report CPU + I/O time with a 4 KB page size.
+// Our substrate is in-memory, so miners account I/O symbolically: each
+// full pass over the transaction file costs the number of pages the file
+// occupies on disk under a simple record layout (4-byte TID + length +
+// 4 bytes per item, records not split across pages).
+
+#ifndef CFQ_DATA_IO_MODEL_H_
+#define CFQ_DATA_IO_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cfq {
+
+struct IoModel {
+  size_t page_size_bytes = 4096;
+  size_t bytes_per_item = 4;
+  size_t record_header_bytes = 8;  // TID + item count.
+
+  // Pages needed for one transaction record.
+  size_t RecordBytes(size_t num_items_in_txn) const {
+    return record_header_bytes + bytes_per_item * num_items_in_txn;
+  }
+};
+
+// Accumulated symbolic I/O for one mining run.
+struct IoStats {
+  uint64_t scans = 0;        // Full passes over the transaction file.
+  uint64_t pages_read = 0;   // Total pages fetched.
+
+  void AddScan(uint64_t pages_per_scan) {
+    ++scans;
+    pages_read += pages_per_scan;
+  }
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_DATA_IO_MODEL_H_

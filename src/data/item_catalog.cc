@@ -1,0 +1,119 @@
+#include "data/item_catalog.h"
+
+#include <cmath>
+
+namespace cfq {
+
+ItemCatalog::ItemCatalog(size_t num_items) : num_items_(num_items) {}
+
+Status ItemCatalog::AddNumericAttr(const std::string& name,
+                                   std::vector<AttrValue> values) {
+  if (name == kItemAttr) {
+    return Status::InvalidArgument("'Item' is a reserved attribute name");
+  }
+  if (values.size() != num_items_) {
+    return Status::InvalidArgument("attribute '" + name + "' has " +
+                                   std::to_string(values.size()) +
+                                   " values, catalog has " +
+                                   std::to_string(num_items_) + " items");
+  }
+  categorical_.erase(name);
+  numeric_[name] = std::move(values);
+  return Status::Ok();
+}
+
+Status ItemCatalog::AddCategoricalAttr(const std::string& name,
+                                       std::vector<int32_t> codes,
+                                       std::vector<std::string> value_names) {
+  if (name == kItemAttr) {
+    return Status::InvalidArgument("'Item' is a reserved attribute name");
+  }
+  if (codes.size() != num_items_) {
+    return Status::InvalidArgument("attribute '" + name + "' has " +
+                                   std::to_string(codes.size()) +
+                                   " codes, catalog has " +
+                                   std::to_string(num_items_) + " items");
+  }
+  numeric_.erase(name);
+  categorical_[name] =
+      CategoricalColumn{std::move(codes), std::move(value_names)};
+  return Status::Ok();
+}
+
+bool ItemCatalog::HasAttr(const std::string& name) const {
+  return name == kItemAttr || numeric_.count(name) > 0 ||
+         categorical_.count(name) > 0;
+}
+
+Result<AttrValue> ItemCatalog::Value(const std::string& name,
+                                     ItemId item) const {
+  if (item >= num_items_) {
+    return Status::OutOfRange("item " + std::to_string(item) +
+                              " outside catalog of " +
+                              std::to_string(num_items_));
+  }
+  if (name == kItemAttr) return static_cast<AttrValue>(item);
+  if (auto it = numeric_.find(name); it != numeric_.end()) {
+    return it->second[item];
+  }
+  if (auto it = categorical_.find(name); it != categorical_.end()) {
+    return static_cast<AttrValue>(it->second.codes[item]);
+  }
+  return Status::NotFound("unknown attribute '" + name + "'");
+}
+
+AttrValue ItemCatalog::ValueUnchecked(const std::string& name,
+                                      ItemId item) const {
+  if (name == kItemAttr) return static_cast<AttrValue>(item);
+  if (auto it = numeric_.find(name); it != numeric_.end()) {
+    return it->second[item];
+  }
+  return static_cast<AttrValue>(categorical_.at(name).codes[item]);
+}
+
+Result<std::vector<AttrValue>> ItemCatalog::Project(const std::string& name,
+                                                    const Itemset& s) const {
+  if (!HasAttr(name)) {
+    return Status::NotFound("unknown attribute '" + name + "'");
+  }
+  std::vector<AttrValue> out;
+  out.reserve(s.size());
+  for (ItemId item : s) {
+    if (item >= num_items_) {
+      return Status::OutOfRange("item " + std::to_string(item) +
+                                " outside catalog");
+    }
+    out.push_back(ValueUnchecked(name, item));
+  }
+  return out;
+}
+
+Result<Itemset> ItemCatalog::SelectRange(const std::string& name, AttrValue lo,
+                                         AttrValue hi) const {
+  if (!HasAttr(name)) {
+    return Status::NotFound("unknown attribute '" + name + "'");
+  }
+  Itemset out;
+  for (ItemId item = 0; item < num_items_; ++item) {
+    const AttrValue v = ValueUnchecked(name, item);
+    if (v >= lo && v <= hi) out.push_back(item);
+  }
+  return out;
+}
+
+std::string ItemCatalog::ValueName(const std::string& attr,
+                                   AttrValue value) const {
+  if (auto it = categorical_.find(attr); it != categorical_.end()) {
+    const auto code = static_cast<size_t>(value);
+    if (code < it->second.value_names.size()) {
+      return it->second.value_names[code];
+    }
+  }
+  // Render integers without a trailing ".000000".
+  if (value == std::floor(value)) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  return std::to_string(value);
+}
+
+}  // namespace cfq

@@ -1,0 +1,86 @@
+// ItemCatalog: the auxiliary item information relation of the paper,
+// itemInfo(Item, Type, Price). Generalized to any number of named
+// numeric attributes (e.g. "Price") and categorical attributes (e.g.
+// "Type", stored as dense codes with a value-name table).
+//
+// Constraints refer to attributes by name; the catalog resolves the name
+// to a column. The pseudo-attribute "Item" (kItemAttr) always exists and
+// maps every item to its own id, so raw set constraints like
+// `S intersect T = {}` are expressed as attribute constraints over it.
+
+#ifndef CFQ_DATA_ITEM_CATALOG_H_
+#define CFQ_DATA_ITEM_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cfq {
+
+// All attribute values are doubles. Categorical codes are stored as
+// exact small integers, so equality comparisons are safe.
+using AttrValue = double;
+
+// Name of the built-in identity attribute.
+inline constexpr char kItemAttr[] = "Item";
+
+class ItemCatalog {
+ public:
+  // Creates a catalog for items [0, num_items).
+  explicit ItemCatalog(size_t num_items);
+
+  size_t num_items() const { return num_items_; }
+
+  // Registers a numeric attribute column. `values` must have one entry
+  // per item. Replaces any existing column with the same name.
+  Status AddNumericAttr(const std::string& name,
+                        std::vector<AttrValue> values);
+
+  // Registers a categorical attribute column; `codes[i]` is the category
+  // of item i and `value_names` (optional) names each code.
+  Status AddCategoricalAttr(const std::string& name,
+                            std::vector<int32_t> codes,
+                            std::vector<std::string> value_names = {});
+
+  bool HasAttr(const std::string& name) const;
+
+  // Value of attribute `name` for `item`. Returns an error for unknown
+  // attributes or out-of-range items. The "Item" attribute returns the
+  // item id itself.
+  Result<AttrValue> Value(const std::string& name, ItemId item) const;
+
+  // Unchecked fast-path accessor: the caller must have validated the
+  // attribute via HasAttr/Value once. "Item" returns the id.
+  AttrValue ValueUnchecked(const std::string& name, ItemId item) const;
+
+  // Projects an itemset to its multiset of attribute values (in item
+  // order, duplicates preserved): the S.A of the paper.
+  Result<std::vector<AttrValue>> Project(const std::string& name,
+                                         const Itemset& s) const;
+
+  // Items whose attribute `name` lies in [lo, hi] (numeric selection
+  // sigma_p(Item), the building block of succinct sets).
+  Result<Itemset> SelectRange(const std::string& name, AttrValue lo,
+                              AttrValue hi) const;
+
+  // Human-readable name of a categorical code, or the number itself.
+  std::string ValueName(const std::string& attr, AttrValue value) const;
+
+ private:
+  struct CategoricalColumn {
+    std::vector<int32_t> codes;
+    std::vector<std::string> value_names;
+  };
+
+  size_t num_items_;
+  std::unordered_map<std::string, std::vector<AttrValue>> numeric_;
+  std::unordered_map<std::string, CategoricalColumn> categorical_;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_DATA_ITEM_CATALOG_H_

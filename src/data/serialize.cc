@@ -1,0 +1,193 @@
+#include "data/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cfq {
+
+namespace {
+
+bool HasWhitespace(const std::string& s) {
+  return s.find_first_of(" \t\n\r") != std::string::npos;
+}
+
+}  // namespace
+
+Status SaveTransactions(const TransactionDb& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  out << "cfqdb 1 " << db.num_items() << ' ' << db.num_transactions()
+      << '\n';
+  for (const Itemset& txn : db.transactions()) {
+    for (size_t i = 0; i < txn.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << txn[i];
+    }
+    out << '\n';
+  }
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<TransactionDb> LoadTransactions(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string magic;
+  int version = 0;
+  size_t num_items = 0, num_txns = 0;
+  in >> magic >> version >> num_items >> num_txns;
+  if (!in || magic != "cfqdb") {
+    return Status::InvalidArgument("'" + path + "' is not a cfqdb file");
+  }
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported cfqdb version " +
+                                   std::to_string(version));
+  }
+  std::string rest;
+  std::getline(in, rest);  // Consume the header's newline.
+
+  TransactionDb db(num_items);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::vector<ItemId> items;
+    uint64_t item = 0;
+    while (fields >> item) {
+      if (item >= num_items) {
+        return Status::OutOfRange("item " + std::to_string(item) +
+                                  " outside declared universe of " +
+                                  std::to_string(num_items));
+      }
+      items.push_back(static_cast<ItemId>(item));
+    }
+    if (!fields.eof()) {
+      return Status::InvalidArgument("malformed transaction line: " + line);
+    }
+    db.Add(std::move(items));
+  }
+  if (db.num_transactions() != num_txns) {
+    return Status::InvalidArgument(
+        "declared " + std::to_string(num_txns) + " transactions, found " +
+        std::to_string(db.num_transactions()));
+  }
+  return db;
+}
+
+Status SaveCatalog(const ItemCatalog& catalog,
+                   const std::vector<std::string>& numeric_attrs,
+                   const std::vector<std::string>& categorical_attrs,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  out << "cfqcat 1 " << catalog.num_items() << '\n';
+  for (const std::string& attr : numeric_attrs) {
+    if (HasWhitespace(attr)) {
+      return Status::InvalidArgument("attribute name '" + attr +
+                                     "' contains whitespace");
+    }
+    if (!catalog.HasAttr(attr)) {
+      return Status::NotFound("unknown attribute '" + attr + "'");
+    }
+    out << "numeric " << attr;
+    for (ItemId i = 0; i < catalog.num_items(); ++i) {
+      out << ' ' << catalog.ValueUnchecked(attr, i);
+    }
+    out << '\n';
+  }
+  for (const std::string& attr : categorical_attrs) {
+    if (HasWhitespace(attr)) {
+      return Status::InvalidArgument("attribute name '" + attr +
+                                     "' contains whitespace");
+    }
+    if (!catalog.HasAttr(attr)) {
+      return Status::NotFound("unknown attribute '" + attr + "'");
+    }
+    // Collect the code range and names.
+    int32_t max_code = 0;
+    for (ItemId i = 0; i < catalog.num_items(); ++i) {
+      max_code = std::max(
+          max_code, static_cast<int32_t>(catalog.ValueUnchecked(attr, i)));
+    }
+    out << "categorical " << attr << ' ' << max_code + 1;
+    for (int32_t code = 0; code <= max_code; ++code) {
+      std::string name = catalog.ValueName(attr, code);
+      if (HasWhitespace(name)) {
+        return Status::InvalidArgument("value name '" + name +
+                                       "' contains whitespace");
+      }
+      out << ' ' << name;
+    }
+    out << "\ncodes";
+    for (ItemId i = 0; i < catalog.num_items(); ++i) {
+      out << ' ' << static_cast<int32_t>(catalog.ValueUnchecked(attr, i));
+    }
+    out << '\n';
+  }
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<ItemCatalog> LoadCatalog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string magic;
+  int version = 0;
+  size_t num_items = 0;
+  in >> magic >> version >> num_items;
+  if (!in || magic != "cfqcat") {
+    return Status::InvalidArgument("'" + path + "' is not a cfqcat file");
+  }
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported cfqcat version " +
+                                   std::to_string(version));
+  }
+  ItemCatalog catalog(num_items);
+  std::string kind;
+  while (in >> kind) {
+    if (kind == "numeric") {
+      std::string attr;
+      in >> attr;
+      std::vector<AttrValue> values(num_items);
+      for (AttrValue& v : values) in >> v;
+      if (!in) {
+        return Status::InvalidArgument("truncated numeric column '" + attr +
+                                       "'");
+      }
+      CFQ_RETURN_IF_ERROR(catalog.AddNumericAttr(attr, std::move(values)));
+    } else if (kind == "categorical") {
+      std::string attr;
+      size_t num_values = 0;
+      in >> attr >> num_values;
+      std::vector<std::string> names(num_values);
+      for (std::string& name : names) in >> name;
+      std::string codes_tag;
+      in >> codes_tag;
+      if (!in || codes_tag != "codes") {
+        return Status::InvalidArgument("expected 'codes' row for '" + attr +
+                                       "'");
+      }
+      std::vector<int32_t> codes(num_items);
+      for (int32_t& code : codes) {
+        in >> code;
+        if (code < 0 || static_cast<size_t>(code) >= num_values) {
+          return Status::OutOfRange("code outside declared value range in '" +
+                                    attr + "'");
+        }
+      }
+      if (!in) {
+        return Status::InvalidArgument("truncated categorical column '" +
+                                       attr + "'");
+      }
+      CFQ_RETURN_IF_ERROR(catalog.AddCategoricalAttr(attr, std::move(codes),
+                                                     std::move(names)));
+    } else {
+      return Status::InvalidArgument("unknown column kind '" + kind + "'");
+    }
+  }
+  return catalog;
+}
+
+}  // namespace cfq

@@ -1,0 +1,41 @@
+// Plain-text persistence for transaction databases and item catalogs.
+//
+// A downstream user needs to get real data in and out; the format is a
+// deliberately simple line-oriented text format:
+//
+//   transactions file:            catalog file:
+//     cfqdb 1 <items> <txns>        cfqcat 1 <items>
+//     3 17 92                       numeric Price 10 20 30 ...
+//     5                             categorical Type 2 Snacks Beers
+//     ...one line per basket        codes 0 1 0 ...
+//
+// Both Save functions write atomically-enough for tooling (write then
+// close); Load functions validate counts and ranges and fail with a
+// descriptive Status.
+
+#ifndef CFQ_DATA_SERIALIZE_H_
+#define CFQ_DATA_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/item_catalog.h"
+#include "data/transaction_db.h"
+
+namespace cfq {
+
+Status SaveTransactions(const TransactionDb& db, const std::string& path);
+Result<TransactionDb> LoadTransactions(const std::string& path);
+
+// Saves every attribute column registered on the catalog.
+// Note: attribute names and categorical value names must not contain
+// whitespace (enforced on save).
+Status SaveCatalog(const ItemCatalog& catalog,
+                   const std::vector<std::string>& numeric_attrs,
+                   const std::vector<std::string>& categorical_attrs,
+                   const std::string& path);
+Result<ItemCatalog> LoadCatalog(const std::string& path);
+
+}  // namespace cfq
+
+#endif  // CFQ_DATA_SERIALIZE_H_

@@ -1,0 +1,175 @@
+#include "data/synthetic_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cfq {
+
+namespace {
+
+Status ValidateParams(const QuestParams& p) {
+  if (p.num_items == 0) {
+    return Status::InvalidArgument("num_items must be positive");
+  }
+  if (p.num_patterns == 0) {
+    return Status::InvalidArgument("num_patterns must be positive");
+  }
+  if (p.avg_transaction_size <= 0) {
+    return Status::InvalidArgument("avg_transaction_size must be positive");
+  }
+  if (p.avg_pattern_size <= 0) {
+    return Status::InvalidArgument("avg_pattern_size must be positive");
+  }
+  if (p.avg_pattern_size > static_cast<double>(p.num_items)) {
+    return Status::InvalidArgument(
+        "avg_pattern_size cannot exceed num_items");
+  }
+  if (p.correlation < 0 || p.correlation > 1) {
+    return Status::InvalidArgument("correlation must be in [0, 1]");
+  }
+  if (p.corruption_mean < 0 || p.corruption_mean > 1) {
+    return Status::InvalidArgument("corruption_mean must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+// Draws a pattern-size sample: Poisson clamped to [1, num_items].
+size_t DrawSize(Rng& rng, double mean, uint64_t cap) {
+  int64_t size = rng.Poisson(mean);
+  if (size < 1) size = 1;
+  if (size > static_cast<int64_t>(cap)) size = static_cast<int64_t>(cap);
+  return static_cast<size_t>(size);
+}
+
+QuestPatterns DrawPatterns(const QuestParams& p, Rng& rng) {
+  QuestPatterns out;
+  out.patterns.reserve(p.num_patterns);
+  Itemset previous;
+  for (uint64_t i = 0; i < p.num_patterns; ++i) {
+    const size_t size = DrawSize(rng, p.avg_pattern_size, p.num_items);
+    std::vector<ItemId> items;
+    items.reserve(size);
+    if (!previous.empty() && p.correlation > 0) {
+      // Reuse an exponentially distributed fraction of the previous
+      // pattern, as in the Quest generator.
+      double frac = rng.Exponential(p.correlation);
+      frac = std::min(frac, 1.0);
+      size_t reuse = std::min(
+          static_cast<size_t>(std::lround(frac * static_cast<double>(size))),
+          previous.size());
+      for (size_t j = 0; j < reuse; ++j) {
+        items.push_back(previous[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(previous.size()) - 1))]);
+      }
+    }
+    while (items.size() < size) {
+      items.push_back(static_cast<ItemId>(
+          rng.UniformInt(0, static_cast<int64_t>(p.num_items) - 1)));
+    }
+    Itemset pattern = MakeItemset(std::move(items));
+    previous = pattern;
+    out.patterns.push_back(std::move(pattern));
+  }
+
+  // Exponential weights, normalized.
+  out.weights.resize(out.patterns.size());
+  double total = 0;
+  for (double& w : out.weights) {
+    w = rng.Exponential(1.0);
+    total += w;
+  }
+  for (double& w : out.weights) w /= total;
+
+  // Corruption levels.
+  out.corruption.resize(out.patterns.size());
+  for (double& c : out.corruption) {
+    c = std::clamp(rng.Normal(p.corruption_mean, p.corruption_sigma), 0.0,
+                   1.0);
+  }
+  return out;
+}
+
+// Picks a pattern index by weight via inverse-CDF on a prefix-sum table.
+class WeightedPicker {
+ public:
+  explicit WeightedPicker(const std::vector<double>& weights) {
+    cumulative_.reserve(weights.size());
+    double run = 0;
+    for (double w : weights) {
+      run += w;
+      cumulative_.push_back(run);
+    }
+  }
+
+  size_t Pick(Rng& rng) const {
+    const double u = rng.UniformReal(0.0, cumulative_.back());
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<size_t>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+Result<TransactionDb> GenerateQuestDbWithPatterns(const QuestParams& p,
+                                                  QuestPatterns* patterns) {
+  CFQ_RETURN_IF_ERROR(ValidateParams(p));
+  Rng rng(p.seed);
+  QuestPatterns table = DrawPatterns(p, rng);
+  const WeightedPicker picker(table.weights);
+
+  TransactionDb db(p.num_items);
+  std::vector<ItemId> carry;  // Overflow pattern carried to the next txn.
+  for (uint64_t t = 0; t < p.num_transactions; ++t) {
+    const size_t target = DrawSize(rng, p.avg_transaction_size, p.num_items);
+    std::vector<ItemId> txn;
+    txn.reserve(target + 8);
+    if (!carry.empty()) {
+      txn = std::move(carry);
+      carry.clear();
+    }
+    // Guard against pathological parameter combinations where corruption
+    // keeps emptying patterns.
+    int attempts = 0;
+    while (txn.size() < target && attempts < 64) {
+      ++attempts;
+      const size_t pick = picker.Pick(rng);
+      std::vector<ItemId> chunk = table.patterns[pick];
+      // Corrupt: drop items while the coin keeps coming up heads.
+      while (!chunk.empty() && rng.Flip(table.corruption[pick])) {
+        const size_t victim = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(chunk.size()) - 1));
+        chunk.erase(chunk.begin() + static_cast<int64_t>(victim));
+      }
+      if (chunk.empty()) continue;
+      if (txn.size() + chunk.size() > target && !txn.empty()) {
+        // Half the time include the overflowing pattern anyway, else
+        // carry it over, as in the original generator.
+        if (rng.Flip(0.5)) {
+          txn.insert(txn.end(), chunk.begin(), chunk.end());
+        } else {
+          carry = std::move(chunk);
+        }
+        break;
+      }
+      txn.insert(txn.end(), chunk.begin(), chunk.end());
+    }
+    if (txn.empty()) {
+      // Ensure no empty transactions: add one random item.
+      txn.push_back(static_cast<ItemId>(
+          rng.UniformInt(0, static_cast<int64_t>(p.num_items) - 1)));
+    }
+    db.Add(std::move(txn));
+  }
+  if (patterns != nullptr) *patterns = std::move(table);
+  return db;
+}
+
+Result<TransactionDb> GenerateQuestDb(const QuestParams& params) {
+  return GenerateQuestDbWithPatterns(params, nullptr);
+}
+
+}  // namespace cfq

@@ -1,0 +1,66 @@
+// Quest-style synthetic market-basket generator.
+//
+// The paper generated its transaction databases with the IBM Almaden
+// Quest program of Agrawal & Srikant (VLDB'94). That binary is not
+// distributable, so this module reimplements the published generation
+// process:
+//
+//   1. Draw |L| maximal potentially-large itemsets. Pattern sizes are
+//      Poisson with mean |I|; after the first, each pattern reuses a
+//      random prefix fraction (exponential with the `correlation` mean)
+//      of the previous pattern's items, the rest drawn uniformly.
+//   2. Each pattern gets a weight (exponential, normalized to sum 1) and
+//      a corruption level (normal, mean/sigma configurable).
+//   3. Each transaction draws a size from Poisson(|T|) and fills it with
+//      whole patterns chosen by weight; each chosen pattern is corrupted
+//      by dropping items while a coin with the pattern's corruption level
+//      comes up heads. An overflowing final pattern is included anyway
+//      half the time, otherwise queued for the next transaction.
+//
+// With default parameters this matches the T10.I4 family used across the
+// Apriori literature; the paper's setup (100k transactions, 1000 items)
+// corresponds to QuestParams{.num_transactions=100000, .num_items=1000}.
+
+#ifndef CFQ_DATA_SYNTHETIC_GEN_H_
+#define CFQ_DATA_SYNTHETIC_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/transaction_db.h"
+
+namespace cfq {
+
+struct QuestParams {
+  uint64_t num_transactions = 100000;  // |D|
+  double avg_transaction_size = 10;    // |T|
+  double avg_pattern_size = 4;         // |I|
+  uint64_t num_patterns = 2000;        // |L|
+  uint64_t num_items = 1000;           // N
+  double correlation = 0.5;            // Mean fraction reused across patterns.
+  double corruption_mean = 0.5;        // Mean per-pattern corruption level.
+  double corruption_sigma = 0.1;
+  uint64_t seed = 42;
+};
+
+// Generates a database; fails on out-of-range parameters (zero items,
+// nonpositive sizes, pattern size above the universe, ...).
+Result<TransactionDb> GenerateQuestDb(const QuestParams& params);
+
+// The potentially-large patterns underlying a generated database;
+// exposed for tests that check frequent patterns actually emerge.
+struct QuestPatterns {
+  std::vector<Itemset> patterns;
+  std::vector<double> weights;     // Normalized to sum 1.
+  std::vector<double> corruption;  // In [0, 1].
+};
+
+// As GenerateQuestDb, also returning the pattern table used.
+Result<TransactionDb> GenerateQuestDbWithPatterns(const QuestParams& params,
+                                                  QuestPatterns* patterns);
+
+}  // namespace cfq
+
+#endif  // CFQ_DATA_SYNTHETIC_GEN_H_

@@ -1,0 +1,49 @@
+#include "data/transaction_db.h"
+
+#include <algorithm>
+
+namespace cfq {
+
+TransactionDb::TransactionDb(size_t num_items) : num_items_(num_items) {}
+
+void TransactionDb::Add(std::vector<ItemId> items) {
+  items.erase(std::remove_if(items.begin(), items.end(),
+                             [this](ItemId id) { return id >= num_items_; }),
+              items.end());
+  transactions_.push_back(MakeItemset(std::move(items)));
+  vertical_.clear();  // Invalidate any stale index.
+}
+
+uint64_t TransactionDb::CountSupport(const Itemset& s) const {
+  uint64_t count = 0;
+  for (const Itemset& t : transactions_) {
+    if (IsSubset(s, t)) ++count;
+  }
+  return count;
+}
+
+void TransactionDb::BuildVerticalIndex() {
+  vertical_.assign(num_items_, Bitset64(transactions_.size()));
+  for (size_t tid = 0; tid < transactions_.size(); ++tid) {
+    for (ItemId item : transactions_[tid]) {
+      vertical_[item].Set(tid);
+    }
+  }
+}
+
+uint64_t TransactionDb::PagesPerScan(const IoModel& model) const {
+  // Records are packed into pages without splitting.
+  uint64_t pages = 0;
+  size_t bytes_left = 0;
+  for (const Itemset& t : transactions_) {
+    const size_t rec = model.RecordBytes(t.size());
+    if (rec > bytes_left) {
+      ++pages;
+      bytes_left = model.page_size_bytes;
+    }
+    bytes_left -= std::min(rec, bytes_left);
+  }
+  return pages;
+}
+
+}  // namespace cfq

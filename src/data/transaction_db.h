@@ -1,0 +1,57 @@
+// TransactionDb: the trans(TID, Itemset) relation.
+//
+// Stores transactions horizontally (one canonical Itemset per TID) and
+// can materialize a vertical index (one TID-bitmap per item) for the
+// bitmap counting backend. Also computes the page footprint used by the
+// symbolic I/O model.
+
+#ifndef CFQ_DATA_TRANSACTION_DB_H_
+#define CFQ_DATA_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset64.h"
+#include "common/itemset.h"
+#include "data/io_model.h"
+
+namespace cfq {
+
+class TransactionDb {
+ public:
+  // `num_items`: size of the item universe; every item id in every
+  // transaction must be < num_items.
+  explicit TransactionDb(size_t num_items);
+
+  // Adds a transaction; the items are canonicalized (sorted, deduped).
+  // Items >= num_items() are dropped.
+  void Add(std::vector<ItemId> items);
+
+  size_t num_items() const { return num_items_; }
+  size_t num_transactions() const { return transactions_.size(); }
+  const std::vector<Itemset>& transactions() const { return transactions_; }
+  const Itemset& transaction(size_t tid) const { return transactions_[tid]; }
+
+  // Exact support (absolute transaction count) of `s` by a horizontal
+  // scan. O(|DB|) — intended for oracles and tests.
+  uint64_t CountSupport(const Itemset& s) const;
+
+  // Builds (or rebuilds) the vertical index. Must be called after the
+  // last Add() before vertical(item) is used.
+  void BuildVerticalIndex();
+  bool has_vertical_index() const { return !vertical_.empty(); }
+  // TID-bitmap of `item`; BuildVerticalIndex() must have been called.
+  const Bitset64& vertical(ItemId item) const { return vertical_[item]; }
+
+  // Pages a full scan of this database reads under `model`.
+  uint64_t PagesPerScan(const IoModel& model = IoModel()) const;
+
+ private:
+  size_t num_items_;
+  std::vector<Itemset> transactions_;
+  std::vector<Bitset64> vertical_;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_DATA_TRANSACTION_DB_H_

@@ -1,0 +1,57 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+
+#include "mining/candidate_gen.h"
+
+namespace cfq {
+
+AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
+                           uint64_t min_support, const AprioriOptions& options) {
+  AprioriResult result;
+  result.stats.counted_log = options.counted_log;
+  auto counter = MakeCounter(options.counter, db);
+
+  // Level 1: all domain singletons.
+  std::vector<Itemset> candidates;
+  candidates.reserve(domain.size());
+  for (ItemId item : domain) candidates.push_back(Itemset{item});
+
+  size_t level = 1;
+  while (!candidates.empty()) {
+    const std::vector<uint64_t> supports =
+        counter->Count(candidates, &result.stats);
+    std::vector<Itemset> frequent_level;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (supports[i] >= min_support) {
+        frequent_level.push_back(candidates[i]);
+        result.frequent.push_back(FrequentSet{candidates[i], supports[i]});
+      }
+    }
+    result.stats.RecordLevel(candidates.size(), frequent_level.size());
+    if (options.max_level != 0 && level >= options.max_level) break;
+    candidates = GenerateCandidatesJoinPrune(frequent_level);
+    ++level;
+  }
+  return result;
+}
+
+std::vector<FrequentSet> MineFrequentBruteForce(const TransactionDb& db,
+                                                const Itemset& domain,
+                                                uint64_t min_support) {
+  std::vector<FrequentSet> out;
+  ForEachNonEmptySubset(domain, [&](const Itemset& subset) {
+    const uint64_t support = db.CountSupport(subset);
+    if (support >= min_support) out.push_back(FrequentSet{subset, support});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const FrequentSet& a, const FrequentSet& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace cfq

@@ -1,0 +1,52 @@
+// Apriori: levelwise frequent-set mining over an item domain.
+//
+// This is the substrate algorithm (Agrawal & Srikant, VLDB'94) that both
+// the Apriori+ baseline and CAP build on.
+
+#ifndef CFQ_MINING_APRIORI_H_
+#define CFQ_MINING_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/itemset.h"
+#include "data/transaction_db.h"
+#include "mining/ccc_stats.h"
+#include "mining/counter.h"
+
+namespace cfq {
+
+// One mined set with its absolute support.
+struct FrequentSet {
+  Itemset items;
+  uint64_t support = 0;
+};
+
+struct AprioriOptions {
+  CounterKind counter = CounterKind::kBitmap;
+  // 0 = unlimited. Otherwise stop after this lattice level.
+  size_t max_level = 0;
+  // Optional evidence stream for the ccc auditor (see CccStats).
+  std::vector<Itemset>* counted_log = nullptr;
+};
+
+struct AprioriResult {
+  std::vector<FrequentSet> frequent;  // All levels, ascending size.
+  CccStats stats;
+};
+
+// Mines all frequent itemsets drawn from `domain` with absolute support
+// >= `min_support` (> 0). Items outside `domain` are ignored.
+AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
+                           uint64_t min_support,
+                           const AprioriOptions& options = {});
+
+// Brute-force oracle: enumerates every non-empty subset of `domain` and
+// keeps those with support >= min_support. Exponential; tests only.
+std::vector<FrequentSet> MineFrequentBruteForce(const TransactionDb& db,
+                                                const Itemset& domain,
+                                                uint64_t min_support);
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_APRIORI_H_

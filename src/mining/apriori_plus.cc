@@ -1,0 +1,32 @@
+#include "mining/apriori_plus.h"
+
+#include "constraints/eval.h"
+
+namespace cfq {
+
+Result<AprioriPlusResult> RunAprioriPlus(
+    TransactionDb* db, const ItemCatalog& catalog, const Itemset& domain,
+    Var var, const std::vector<OneVarConstraint>& constraints,
+    uint64_t min_support, const AprioriOptions& options) {
+  if (min_support == 0) {
+    return Status::InvalidArgument("min_support must be positive");
+  }
+  AprioriPlusResult result;
+  AprioriResult mined = MineFrequent(db, domain, min_support, options);
+  result.stats = std::move(mined.stats);
+  result.all_frequent = std::move(mined.frequent);
+
+  bool any = false;
+  for (const OneVarConstraint& c : constraints) {
+    if (c.var == var) any = true;
+  }
+  for (const FrequentSet& f : result.all_frequent) {
+    if (any) ++result.stats.constraint_checks;
+    auto ok = EvalAll(constraints, var, f.items, catalog);
+    if (!ok.ok()) return ok.status();
+    if (ok.value()) result.valid_frequent.push_back(f);
+  }
+  return result;
+}
+
+}  // namespace cfq

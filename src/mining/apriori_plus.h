@@ -1,0 +1,34 @@
+// Apriori+: the paper's baseline. Computes ALL frequent sets first, then
+// checks each against the constraints (generate-and-test).
+
+#ifndef CFQ_MINING_APRIORI_PLUS_H_
+#define CFQ_MINING_APRIORI_PLUS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/one_var.h"
+#include "data/item_catalog.h"
+#include "mining/apriori.h"
+
+namespace cfq {
+
+struct AprioriPlusResult {
+  std::vector<FrequentSet> valid_frequent;
+  // All frequent sets (pre-filter); the Section 7.1 per-level table
+  // reports both counts.
+  std::vector<FrequentSet> all_frequent;
+  CccStats stats;
+};
+
+// Mines frequent sets from `domain` then filters by the 1-var
+// constraints bound to `var`. Every frequent set costs one constraint
+// check, which is what makes Apriori+ generally not ccc-optimal.
+Result<AprioriPlusResult> RunAprioriPlus(
+    TransactionDb* db, const ItemCatalog& catalog, const Itemset& domain,
+    Var var, const std::vector<OneVarConstraint>& constraints,
+    uint64_t min_support, const AprioriOptions& options = {});
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_APRIORI_PLUS_H_

@@ -1,0 +1,62 @@
+#include "mining/bitmap_counter.h"
+
+#include "mining/hash_counter.h"
+#include "mining/hash_tree_counter.h"
+
+namespace cfq {
+
+std::vector<uint64_t> BitmapCounter::Count(
+    const std::vector<Itemset>& candidates, CccStats* stats) {
+  std::vector<uint64_t> supports(candidates.size(), 0);
+  if (!db_->has_vertical_index()) db_->BuildVerticalIndex();
+  if (stats != nullptr && !index_scan_accounted_) {
+    stats->io.AddScan(db_->PagesPerScan());
+    index_scan_accounted_ = true;
+  }
+  if (candidates.empty()) return supports;
+
+  // Candidates arriving from the Apriori join are lexicographically
+  // sorted, so consecutive candidates usually share their k-1 prefix;
+  // cache the prefix intersection across iterations.
+  Itemset cached_prefix;
+  Bitset64 prefix_bits;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Itemset& c = candidates[i];
+    if (c.size() == 1) {
+      supports[i] = db_->vertical(c[0]).Count();
+      continue;
+    }
+    Itemset prefix(c.begin(), c.end() - 1);
+    if (prefix != cached_prefix) {
+      prefix_bits = db_->vertical(prefix[0]);
+      for (size_t j = 1; j < prefix.size(); ++j) {
+        prefix_bits.AndWith(db_->vertical(prefix[j]));
+      }
+      cached_prefix = std::move(prefix);
+    }
+    supports[i] = Bitset64::AndCount(prefix_bits, db_->vertical(c.back()));
+  }
+  if (stats != nullptr) {
+    stats->sets_counted += candidates.size();
+    if (stats->counted_log != nullptr) {
+      stats->counted_log->insert(stats->counted_log->end(),
+                                 candidates.begin(), candidates.end());
+    }
+  }
+  return supports;
+}
+
+std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
+                                            TransactionDb* db) {
+  switch (kind) {
+    case CounterKind::kHash:
+      return std::make_unique<HashCounter>(db);
+    case CounterKind::kHashTree:
+      return std::make_unique<HashTreeCounter>(db);
+    case CounterKind::kBitmap:
+      break;
+  }
+  return std::make_unique<BitmapCounter>(db);
+}
+
+}  // namespace cfq

@@ -1,0 +1,29 @@
+// Vertical TID-bitmap support counting (see counter.h).
+
+#ifndef CFQ_MINING_BITMAP_COUNTER_H_
+#define CFQ_MINING_BITMAP_COUNTER_H_
+
+#include <vector>
+
+#include "common/bitset64.h"
+#include "mining/counter.h"
+
+namespace cfq {
+
+class BitmapCounter : public SupportCounter {
+ public:
+  // Builds the vertical index if missing (accounted as one scan on the
+  // first Count call). `db` must outlive the counter.
+  explicit BitmapCounter(TransactionDb* db) : db_(db) {}
+
+  std::vector<uint64_t> Count(const std::vector<Itemset>& candidates,
+                              CccStats* stats) override;
+
+ private:
+  TransactionDb* db_;
+  bool index_scan_accounted_ = false;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_BITMAP_COUNTER_H_

@@ -1,0 +1,56 @@
+#include "mining/candidate_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cfq {
+
+std::vector<Itemset> GenerateCandidatesJoinPrune(
+    const std::vector<Itemset>& frequent_k) {
+  std::vector<Itemset> candidates;
+  if (frequent_k.empty()) return candidates;
+  const size_t k = frequent_k[0].size();
+
+  std::unordered_set<Itemset, ItemsetHash> frequent_index(frequent_k.begin(),
+                                                          frequent_k.end());
+  // Join step: sets sharing the first k-1 items form a contiguous block
+  // in the sorted input.
+  for (size_t i = 0; i < frequent_k.size(); ++i) {
+    for (size_t j = i + 1; j < frequent_k.size(); ++j) {
+      Itemset joined;
+      if (!AprioriJoin(frequent_k[i], frequent_k[j], &joined)) break;
+      // Prune step: all k-subsets must be frequent. The two generators
+      // are subsets by construction; check the rest.
+      bool all_frequent = true;
+      for (size_t drop = 0; drop + 2 < joined.size() && all_frequent;
+           ++drop) {
+        if (frequent_index.find(WithoutIndex(joined, drop)) ==
+            frequent_index.end()) {
+          all_frequent = false;
+        }
+      }
+      // k == 1: no additional subsets to check.
+      if (k >= 1 && all_frequent) candidates.push_back(std::move(joined));
+    }
+  }
+  return candidates;
+}
+
+std::vector<Itemset> GenerateCandidatesExtend(
+    const std::vector<Itemset>& base_k, const Itemset& extension_items) {
+  std::unordered_set<Itemset, ItemsetHash> seen;
+  std::vector<Itemset> candidates;
+  for (const Itemset& base : base_k) {
+    for (ItemId item : extension_items) {
+      if (Contains(base, item)) continue;
+      Itemset extended = Union(base, Itemset{item});
+      if (seen.insert(extended).second) {
+        candidates.push_back(std::move(extended));
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace cfq

@@ -1,0 +1,29 @@
+// Apriori candidate generation.
+
+#ifndef CFQ_MINING_CANDIDATE_GEN_H_
+#define CFQ_MINING_CANDIDATE_GEN_H_
+
+#include <vector>
+
+#include "common/itemset.h"
+
+namespace cfq {
+
+// Classic Apriori-gen: joins lexicographically sorted frequent k-sets
+// sharing a k-1 prefix, then prunes candidates having any infrequent
+// k-subset. `frequent_k` must be sorted and of uniform size.
+std::vector<Itemset> GenerateCandidatesJoinPrune(
+    const std::vector<Itemset>& frequent_k);
+
+// Extension-based generation used by CAP when mandatory-group succinct
+// constraints reshape the lattice (a valid set's lexicographic-prefix
+// subsets need not be valid, so the classic join is incomplete).
+// Produces every set `f ∪ {i}` with f in `base_k` (uniform size k) and
+// i a frequent singleton from `extension_items`, deduplicated and
+// sorted. The caller applies its own pruning.
+std::vector<Itemset> GenerateCandidatesExtend(
+    const std::vector<Itemset>& base_k, const Itemset& extension_items);
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_CANDIDATE_GEN_H_

@@ -1,0 +1,28 @@
+#include "mining/cap.h"
+
+#include "mining/lattice.h"
+
+namespace cfq {
+
+Result<CapResult> RunCap(TransactionDb* db, const ItemCatalog& catalog,
+                         const Itemset& domain, Var var,
+                         const std::vector<OneVarConstraint>& constraints,
+                         uint64_t min_support, const CapOptions& options,
+                         CapLevelHooks* hooks) {
+  auto lattice = ConstrainedLattice::Create(db, catalog, domain, var,
+                                            constraints, min_support, options);
+  if (!lattice.ok()) return lattice.status();
+  ConstrainedLattice& l = **lattice;
+  while (!l.done()) {
+    if (!l.Step()) break;
+    if (hooks != nullptr) {
+      hooks->OnLevelComplete(l.level(), l.last_level_frequent());
+    }
+  }
+  CapResult result;
+  result.valid_frequent = l.valid_frequent();
+  result.stats = l.stats();
+  return result;
+}
+
+}  // namespace cfq

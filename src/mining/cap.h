@@ -1,0 +1,83 @@
+// CAP: Constrained APriori (Ng, Lakshmanan, Han, Pang — SIGMOD'98).
+//
+// CAP pushes 1-var constraints into the levelwise computation:
+//   * Exact succinct forms (mgf.h) restrict the item universe
+//     ("allowed") and reshape candidate generation around mandatory
+//     groups, operating generate-only — the original constraint is never
+//     re-checked on multi-item sets (ccc condition 2).
+//   * Anti-monotone, non-succinct constraints (e.g. sum(S.A) <= c on a
+//     nonnegative domain) drop candidates before support counting.
+//   * Everything else is verified on the mined frequent sets (they
+//     cannot prune the lattice soundly).
+//
+// The paper's Figure-7 optimizer reuses CAP for the reduced 1-var
+// constraints of quasi-succinct 2-var constraints, and hooks into each
+// level for the Jmax dynamic pruning of Section 5.2; `CapLevelHooks`
+// provides those extension points.
+
+#ifndef CFQ_MINING_CAP_H_
+#define CFQ_MINING_CAP_H_
+
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/result.h"
+#include "constraints/one_var.h"
+#include "data/item_catalog.h"
+#include "mining/apriori.h"
+
+namespace cfq {
+
+struct CapOptions {
+  CounterKind counter = CounterKind::kBitmap;
+  size_t max_level = 0;     // 0 = unlimited.
+  bool nonnegative = true;  // Enables the sum <= c pushdowns.
+  // Ablation toggles: disable individual pushdowns to measure their
+  // contribution. With both off CAP degenerates to Apriori+.
+  bool push_succinct = true;
+  bool push_anti_monotone = true;
+  // Optional evidence stream for the ccc auditor: every support-counted
+  // candidate is appended. Not owned; may be null.
+  std::vector<Itemset>* counted_log = nullptr;
+};
+
+// Per-level extension points used by the dovetailed CFQ executor.
+class CapLevelHooks {
+ public:
+  virtual ~CapLevelHooks() = default;
+
+  // Invoked before counting level `level` candidates. May erase
+  // candidates; only sound (anti-monotone) filters may do so.
+  virtual void FilterCandidates(size_t level,
+                                std::vector<Itemset>* candidates) {
+    (void)level;
+    (void)candidates;
+  }
+
+  // Invoked after `level` completes with every frequent set of that
+  // level (valid or not).
+  virtual void OnLevelComplete(size_t level,
+                               const std::vector<FrequentSet>& frequent) {
+    (void)level;
+    (void)frequent;
+  }
+};
+
+struct CapResult {
+  // Frequent sets from `domain` satisfying every given 1-var constraint.
+  std::vector<FrequentSet> valid_frequent;
+  CccStats stats;
+};
+
+// Runs CAP for variable `var` over `domain`. Constraints bound to the
+// other variable are ignored. Fails if a constraint references an
+// unknown attribute.
+Result<CapResult> RunCap(TransactionDb* db, const ItemCatalog& catalog,
+                         const Itemset& domain, Var var,
+                         const std::vector<OneVarConstraint>& constraints,
+                         uint64_t min_support, const CapOptions& options = {},
+                         CapLevelHooks* hooks = nullptr);
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_CAP_H_

@@ -1,0 +1,64 @@
+// ccc accounting: "constraint checking and counting" (Section 6.2).
+//
+// The paper's cost model counts (i) the number of candidate sets whose
+// support is counted and (ii) the number of invocations of the
+// constraint-checking operation. Every miner in this library reports
+// both, making ccc-optimality (Definition 6) an observable property.
+
+#ifndef CFQ_MINING_CCC_STATS_H_
+#define CFQ_MINING_CCC_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/itemset.h"
+#include "data/io_model.h"
+
+namespace cfq {
+
+struct CccStats {
+  // When non-null, counters append every support-counted candidate here
+  // (the evidence stream for the ccc-optimality auditor). Not owned; not
+  // merged by MergeFrom.
+  std::vector<Itemset>* counted_log = nullptr;
+  // Candidate sets for which support counting was performed.
+  uint64_t sets_counted = 0;
+  // Invocations of the constraint-checking operation. Evaluating the
+  // whole constraint conjunction on one set counts as one invocation,
+  // following the paper's granularity. MGF set-up work (building the
+  // allowed/group item lists) is counted as one check per singleton.
+  uint64_t constraint_checks = 0;
+  // Per level (index 0 = level 1): candidates counted and survivors.
+  std::vector<uint64_t> candidates_per_level;
+  std::vector<uint64_t> frequent_per_level;
+  // Symbolic I/O (one scan per level for horizontal counting; the
+  // vertical backend pays one scan to build its index).
+  IoStats io;
+
+  void RecordLevel(uint64_t candidates, uint64_t frequent) {
+    candidates_per_level.push_back(candidates);
+    frequent_per_level.push_back(frequent);
+  }
+
+  // Merges another run's counters into this one (used when a strategy
+  // runs one lattice per variable).
+  void MergeFrom(const CccStats& other) {
+    sets_counted += other.sets_counted;
+    constraint_checks += other.constraint_checks;
+    io.scans += other.io.scans;
+    io.pages_read += other.io.pages_read;
+    for (size_t i = 0; i < other.candidates_per_level.size(); ++i) {
+      if (i >= candidates_per_level.size()) {
+        candidates_per_level.push_back(other.candidates_per_level[i]);
+        frequent_per_level.push_back(other.frequent_per_level[i]);
+      } else {
+        candidates_per_level[i] += other.candidates_per_level[i];
+        frequent_per_level[i] += other.frequent_per_level[i];
+      }
+    }
+  }
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_CCC_STATS_H_

@@ -1,0 +1,49 @@
+// Support-counting backends.
+//
+// Counting dominates the cost of frequent-set mining; the library ships
+// two interchangeable exact backends:
+//   * HashCounter  — horizontal: one pass over the transactions per
+//     level, enumerating candidate-sized subsets (the classic layout the
+//     paper's SPARC-10 experiments used, with per-level I/O scans).
+//   * BitmapCounter — vertical: per-item TID bitmaps; a candidate's
+//     support is a word-parallel AND + popcount (pays one scan up front
+//     to build the index).
+// Both produce identical supports; tests cross-check them.
+
+#ifndef CFQ_MINING_COUNTER_H_
+#define CFQ_MINING_COUNTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/itemset.h"
+#include "data/transaction_db.h"
+#include "mining/ccc_stats.h"
+
+namespace cfq {
+
+enum class CounterKind {
+  kHash,      // Horizontal, per-transaction subset enumeration.
+  kHashTree,  // Horizontal, classic Apriori hash tree.
+  kBitmap,    // Vertical TID bitmaps.
+};
+
+class SupportCounter {
+ public:
+  virtual ~SupportCounter() = default;
+
+  // Counts the support of each candidate (all of equal size k >= 1,
+  // canonical). Returns supports aligned with `candidates` and accounts
+  // the work in `stats` (sets_counted, io).
+  virtual std::vector<uint64_t> Count(const std::vector<Itemset>& candidates,
+                                      CccStats* stats) = 0;
+};
+
+// Factory. The BitmapCounter builds the vertical index on first use if
+// the database does not have one yet.
+std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
+                                            TransactionDb* db);
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_COUNTER_H_

@@ -1,0 +1,114 @@
+#include "mining/hash_counter.h"
+
+#include <unordered_map>
+
+#include "common/combinatorics.h"
+
+namespace cfq {
+
+namespace {
+
+// Recursively enumerates the size-k subsets of `txn` that are present in
+// `index`, bumping their supports. Prunes on remaining length.
+void CountSubsets(const Itemset& txn, size_t start, size_t k, Itemset* prefix,
+                  const std::unordered_map<Itemset, size_t, ItemsetHash>& index,
+                  std::vector<uint64_t>* supports) {
+  if (k == 0) {
+    auto it = index.find(*prefix);
+    if (it != index.end()) ++(*supports)[it->second];
+    return;
+  }
+  for (size_t i = start; i + k <= txn.size(); ++i) {
+    prefix->push_back(txn[i]);
+    CountSubsets(txn, i + 1, k - 1, prefix, index, supports);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
+    const TransactionDb& db,
+    const std::vector<const std::vector<Itemset>*>& batches,
+    CccStats* stats) {
+  struct BatchState {
+    size_t k = 0;
+    std::unordered_map<Itemset, size_t, ItemsetHash> index;
+    std::vector<uint64_t> supports;
+  };
+  std::vector<BatchState> states(batches.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const std::vector<Itemset>& candidates = *batches[b];
+    states[b].supports.assign(candidates.size(), 0);
+    if (candidates.empty()) continue;
+    states[b].k = candidates[0].size();
+    states[b].index.reserve(candidates.size() * 2);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      states[b].index.emplace(candidates[i], i);
+    }
+  }
+
+  for (const Itemset& txn : db.transactions()) {
+    for (size_t b = 0; b < batches.size(); ++b) {
+      BatchState& state = states[b];
+      const std::vector<Itemset>& candidates = *batches[b];
+      if (candidates.empty() || txn.size() < state.k) continue;
+      const uint64_t subsets = BinomialSaturating(txn.size(), state.k);
+      if (subsets > 4 * candidates.size()) {
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (IsSubset(candidates[i], txn)) ++state.supports[i];
+        }
+      } else {
+        Itemset prefix;
+        prefix.reserve(state.k);
+        CountSubsets(txn, 0, state.k, &prefix, state.index,
+                     &state.supports);
+      }
+    }
+  }
+
+  if (stats != nullptr) stats->io.AddScan(db.PagesPerScan());
+  std::vector<std::vector<uint64_t>> out;
+  out.reserve(states.size());
+  for (BatchState& state : states) out.push_back(std::move(state.supports));
+  return out;
+}
+
+std::vector<uint64_t> HashCounter::Count(const std::vector<Itemset>& candidates,
+                                         CccStats* stats) {
+  std::vector<uint64_t> supports(candidates.size(), 0);
+  if (candidates.empty()) return supports;
+  const size_t k = candidates[0].size();
+
+  std::unordered_map<Itemset, size_t, ItemsetHash> index;
+  index.reserve(candidates.size() * 2);
+  for (size_t i = 0; i < candidates.size(); ++i) index.emplace(candidates[i], i);
+
+  for (const Itemset& txn : db_->transactions()) {
+    if (txn.size() < k) continue;
+    // When a transaction has far more k-subsets than there are
+    // candidates, testing candidates directly is cheaper.
+    const uint64_t subsets = BinomialSaturating(txn.size(), k);
+    if (subsets > 4 * candidates.size()) {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (IsSubset(candidates[i], txn)) ++supports[i];
+      }
+    } else {
+      Itemset prefix;
+      prefix.reserve(k);
+      CountSubsets(txn, 0, k, &prefix, index, &supports);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->sets_counted += candidates.size();
+    stats->io.AddScan(db_->PagesPerScan());
+    if (stats->counted_log != nullptr) {
+      stats->counted_log->insert(stats->counted_log->end(),
+                                 candidates.begin(), candidates.end());
+    }
+  }
+  return supports;
+}
+
+}  // namespace cfq

@@ -1,0 +1,36 @@
+// Horizontal hash-based support counting (see counter.h).
+
+#ifndef CFQ_MINING_HASH_COUNTER_H_
+#define CFQ_MINING_HASH_COUNTER_H_
+
+#include <vector>
+
+#include "mining/counter.h"
+
+namespace cfq {
+
+// Counts several candidate batches (each of uniform size, but sizes may
+// differ across batches) in ONE pass over the transaction file — the
+// shared scan of dovetailed execution (Section 5.2). Returns one
+// support vector per batch, aligned with `batches`. Accounts exactly
+// one scan in `stats` (sets_counted and counted-log accounting is the
+// caller's business, since the batches belong to different lattices).
+std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
+    const TransactionDb& db,
+    const std::vector<const std::vector<Itemset>*>& batches, CccStats* stats);
+
+class HashCounter : public SupportCounter {
+ public:
+  // Does not take ownership; `db` must outlive the counter.
+  explicit HashCounter(const TransactionDb* db) : db_(db) {}
+
+  std::vector<uint64_t> Count(const std::vector<Itemset>& candidates,
+                              CccStats* stats) override;
+
+ private:
+  const TransactionDb* db_;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_HASH_COUNTER_H_

@@ -1,0 +1,96 @@
+#include "mining/hash_tree_counter.h"
+
+namespace cfq {
+
+void HashTreeCounter::Insert(Node* node, size_t depth, size_t candidate,
+                             const std::vector<Itemset>& candidates) {
+  if (!node->leaf) {
+    const size_t child =
+        candidates[candidate][depth] % branch_;
+    Insert(node->children[child].get(), depth + 1, candidate, candidates);
+    return;
+  }
+  node->bucket.push_back(candidate);
+  // Split when over capacity and there is still an item position left
+  // to hash on.
+  if (node->bucket.size() > leaf_capacity_ && depth < k_) {
+    node->leaf = false;
+    node->children.resize(branch_);
+    for (auto& child : node->children) child = std::make_unique<Node>();
+    std::vector<size_t> bucket = std::move(node->bucket);
+    node->bucket.clear();
+    for (size_t c : bucket) {
+      const size_t child = candidates[c][depth] % branch_;
+      Insert(node->children[child].get(), depth + 1, c, candidates);
+    }
+  }
+}
+
+size_t HashTreeCounter::AssignLeafIds(Node* node, size_t next) {
+  if (node->leaf) {
+    node->leaf_id = next;
+    return next + 1;
+  }
+  for (auto& child : node->children) {
+    next = AssignLeafIds(child.get(), next);
+  }
+  return next;
+}
+
+void HashTreeCounter::Visit(const Node& node, size_t depth, const Itemset& txn,
+                            size_t start, size_t txn_id,
+                            const std::vector<Itemset>& candidates,
+                            std::vector<size_t>* stamps,
+                            std::vector<uint64_t>* supports) const {
+  if (node.leaf) {
+    if ((*stamps)[node.leaf_id] == txn_id) return;  // Already counted.
+    (*stamps)[node.leaf_id] = txn_id;
+    for (size_t c : node.bucket) {
+      const Itemset& candidate = candidates[c];
+      // The first `depth` items already matched the hash path; verify
+      // the candidate is contained in the transaction suffix. (Hash
+      // collisions mean the path match is necessary, not sufficient.)
+      if (IsSubset(candidate, txn)) ++(*supports)[c];
+    }
+    return;
+  }
+  // Interior: try every remaining transaction item as the next hashed
+  // position, as long as enough items remain to complete a k-set.
+  for (size_t i = start; i < txn.size(); ++i) {
+    if (txn.size() - i < k_ - depth) break;
+    const size_t child = txn[i] % branch_;
+    Visit(*node.children[child], depth + 1, txn, i + 1, txn_id, candidates,
+          stamps, supports);
+  }
+}
+
+std::vector<uint64_t> HashTreeCounter::Count(
+    const std::vector<Itemset>& candidates, CccStats* stats) {
+  std::vector<uint64_t> supports(candidates.size(), 0);
+  if (candidates.empty()) return supports;
+  k_ = candidates[0].size();
+
+  Node root;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    Insert(&root, 0, c, candidates);
+  }
+  const size_t leaf_count = AssignLeafIds(&root, 0);
+  std::vector<size_t> stamps(leaf_count, static_cast<size_t>(-1));
+  const auto& transactions = db_->transactions();
+  for (size_t t = 0; t < transactions.size(); ++t) {
+    if (transactions[t].size() < k_) continue;
+    Visit(root, 0, transactions[t], 0, t, candidates, &stamps, &supports);
+  }
+
+  if (stats != nullptr) {
+    stats->sets_counted += candidates.size();
+    stats->io.AddScan(db_->PagesPerScan());
+    if (stats->counted_log != nullptr) {
+      stats->counted_log->insert(stats->counted_log->end(),
+                                 candidates.begin(), candidates.end());
+    }
+  }
+  return supports;
+}
+
+}  // namespace cfq

@@ -1,0 +1,58 @@
+// Hash-tree support counting — the classic Apriori candidate structure
+// (Agrawal & Srikant, VLDB'94), closest to what the paper's own C
+// implementation used. Interior nodes hash one item position; leaves
+// hold small candidate buckets. Counting walks each transaction through
+// the tree, visiting only subtrees reachable from the transaction's
+// items, so the per-transaction cost scales with matching candidates
+// rather than with C(|t|, k).
+
+#ifndef CFQ_MINING_HASH_TREE_COUNTER_H_
+#define CFQ_MINING_HASH_TREE_COUNTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "mining/counter.h"
+
+namespace cfq {
+
+class HashTreeCounter : public SupportCounter {
+ public:
+  // `branch`: fan-out of interior nodes; `leaf_capacity`: bucket size
+  // above which a leaf splits (when items remain to hash on).
+  explicit HashTreeCounter(const TransactionDb* db, size_t branch = 16,
+                           size_t leaf_capacity = 32)
+      : db_(db), branch_(branch), leaf_capacity_(leaf_capacity) {}
+
+  std::vector<uint64_t> Count(const std::vector<Itemset>& candidates,
+                              CccStats* stats) override;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    size_t leaf_id = 0;                           // Assigned post-build.
+    std::vector<size_t> bucket;                   // Candidate indices.
+    std::vector<std::unique_ptr<Node>> children;  // When interior.
+  };
+
+  void Insert(Node* node, size_t depth, size_t candidate,
+              const std::vector<Itemset>& candidates);
+  size_t AssignLeafIds(Node* node, size_t next);
+  // `stamps` guards against counting a leaf twice for one transaction:
+  // hash collisions can route a transaction to the same leaf along
+  // several item choices.
+  void Visit(const Node& node, size_t depth, const Itemset& txn,
+             size_t start, size_t txn_id,
+             const std::vector<Itemset>& candidates,
+             std::vector<size_t>* stamps,
+             std::vector<uint64_t>* supports) const;
+
+  const TransactionDb* db_;
+  size_t branch_;
+  size_t leaf_capacity_;
+  size_t k_ = 0;  // Candidate size of the current Count call.
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_HASH_TREE_COUNTER_H_

@@ -1,0 +1,350 @@
+#include "mining/lattice.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "constraints/classify.h"
+#include "constraints/eval.h"
+#include "mining/candidate_gen.h"
+
+namespace cfq {
+
+namespace {
+
+const std::string& AttrOf(const OneVarConstraint& c) {
+  if (const auto* d = std::get_if<DomainConstraint1>(&c.body)) return d->attr;
+  return std::get<AggConstraint1>(c.body).attr;
+}
+
+}  // namespace
+
+ConstrainedLattice::ConstrainedLattice(TransactionDb* db,
+                                       const ItemCatalog& catalog,
+                                       Itemset domain, Var var,
+                                       uint64_t min_support,
+                                       const CapOptions& options)
+    : db_(db),
+      catalog_(catalog),
+      domain_(std::move(domain)),
+      var_(var),
+      min_support_(min_support),
+      options_(options),
+      counter_(MakeCounter(options.counter, db)) {
+  form_.allowed = domain_;
+  stats_.counted_log = options.counted_log;
+}
+
+Result<std::unique_ptr<ConstrainedLattice>> ConstrainedLattice::Create(
+    TransactionDb* db, const ItemCatalog& catalog, const Itemset& domain,
+    Var var, std::vector<OneVarConstraint> constraints, uint64_t min_support,
+    const CapOptions& options) {
+  if (min_support == 0) {
+    return Status::InvalidArgument("min_support must be positive");
+  }
+  std::unique_ptr<ConstrainedLattice> lattice(new ConstrainedLattice(
+      db, catalog, domain, var, min_support, options));
+  CFQ_RETURN_IF_ERROR(lattice->Init(std::move(constraints)));
+  return lattice;
+}
+
+Status ConstrainedLattice::Init(std::vector<OneVarConstraint> constraints) {
+  bool any = false;
+  for (OneVarConstraint& c : constraints) {
+    if (c.var != var_) continue;
+    any = true;
+    CFQ_RETURN_IF_ERROR(DispatchConstraint(c));
+  }
+  // MGF set-up touches each domain singleton once (ccc condition 2).
+  if (any) stats_.constraint_checks += domain_.size();
+  RebuildMasks();
+
+  if (form_.Unsatisfiable()) {
+    done_ = true;
+    return Status::Ok();
+  }
+  pending_candidates_.clear();
+  for (ItemId item : form_.allowed) {
+    Itemset singleton{item};
+    if (PassesCandidateFilters(singleton)) {
+      pending_candidates_.push_back(std::move(singleton));
+    }
+  }
+  done_ = pending_candidates_.empty();
+  return Status::Ok();
+}
+
+Status ConstrainedLattice::DispatchConstraint(const OneVarConstraint& c) {
+  if (!catalog_.HasAttr(AttrOf(c))) {
+    return Status::NotFound("constraint references unknown attribute '" +
+                            AttrOf(c) + "'");
+  }
+  owned_constraints_.push_back(std::make_unique<OneVarConstraint>(c));
+  const OneVarConstraint* stored = owned_constraints_.back().get();
+
+  bool captured = false;
+  if (options_.push_succinct) {
+    auto one =
+        ComputeSuccinctForm(*stored, domain_, catalog_, options_.nonnegative);
+    if (!one.ok()) return one.status();
+    captured = one.value().exact;
+    form_ = CombineForms(form_, one.value());
+    if (structural_group_ == -1 && !form_.groups.empty()) {
+      structural_group_ = 0;
+    }
+  }
+  if (captured) return Status::Ok();
+  const OneVarProperties props = Classify(*stored, options_.nonnegative);
+  if (props.anti_monotone && options_.push_anti_monotone) {
+    candidate_filters_.push_back(stored);
+  } else {
+    output_filters_.push_back(stored);
+  }
+  return Status::Ok();
+}
+
+Status ConstrainedLattice::AddConstraints(
+    const std::vector<OneVarConstraint>& more) {
+  bool any = false;
+  for (const OneVarConstraint& c : more) {
+    if (c.var != var_) continue;
+    any = true;
+    CFQ_RETURN_IF_ERROR(DispatchConstraint(c));
+  }
+  if (!any) return Status::Ok();
+  // Setting up the injected constraints re-examines the (current)
+  // allowed singletons once.
+  stats_.constraint_checks += form_.allowed.size();
+  RefilterState();
+  return Status::Ok();
+}
+
+void ConstrainedLattice::SetDynamicBound(AggFn agg, const std::string& attr,
+                                         double bound, bool prunable) {
+  for (DynamicBound& b : dynamic_bounds_) {
+    if (b.agg == agg && b.attr == attr && b.prunable == prunable) {
+      b.bound = std::min(b.bound, bound);  // Bounds may only tighten.
+      return;
+    }
+  }
+  dynamic_bounds_.push_back(DynamicBound{agg, attr, bound, prunable});
+}
+
+void ConstrainedLattice::RebuildMasks() {
+  allowed_mask_.assign(catalog_.num_items(), 0);
+  for (ItemId item : form_.allowed) allowed_mask_[item] = 1;
+  group_masks_.clear();
+  group_masks_.reserve(form_.groups.size());
+  for (const Itemset& g : form_.groups) {
+    std::vector<char> mask(catalog_.num_items(), 0);
+    for (ItemId item : g) mask[item] = 1;
+    group_masks_.push_back(std::move(mask));
+  }
+}
+
+bool ConstrainedLattice::WithinAllowed(const Itemset& x) const {
+  for (ItemId item : x) {
+    if (!allowed_mask_[item]) return false;
+  }
+  return true;
+}
+
+bool ConstrainedLattice::SatisfiesFormFast(const Itemset& x) const {
+  if (!WithinAllowed(x)) return false;
+  for (const std::vector<char>& mask : group_masks_) {
+    bool hit = false;
+    for (ItemId item : x) {
+      if (mask[item]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+void ConstrainedLattice::RefilterState() {
+  if (form_.Unsatisfiable()) {
+    pending_candidates_.clear();
+    generation_basis_.clear();
+    valid_frequent_.clear();
+    done_ = true;
+    return;
+  }
+  RebuildMasks();
+  // Sets containing a now-disallowed item can never be subsets of a
+  // valid set: drop them from everything.
+  std::erase_if(pending_candidates_, [&](const Itemset& x) {
+    return !WithinAllowed(x) || !PassesCandidateFilters(x);
+  });
+  std::erase_if(generation_basis_, [&](const Itemset& x) {
+    if (!WithinAllowed(x)) return true;
+    // An injected anti-monotone filter dooms every superset too, so a
+    // failing basis set can be dropped from generation.
+    if (!PassesCandidateFilters(x)) return true;
+    // Basis sets must intersect the structural group (if adopted).
+    if (structural_group_ >= 0 &&
+        Disjoint(x, form_.groups[static_cast<size_t>(structural_group_)])) {
+      return true;
+    }
+    return false;
+  });
+  std::erase_if(frequent_singletons_,
+                [&](ItemId item) { return !allowed_mask_[item]; });
+  // Retroactively re-validate collected results. Unlike the steady
+  // state (where candidate filters were enforced before counting),
+  // injected filters must also be re-applied here.
+  std::erase_if(valid_frequent_, [&](const FrequentSet& f) {
+    return !IsValidOutput(f.items) || !PassesCandidateFilters(f.items);
+  });
+  if (pending_candidates_.empty()) done_ = true;
+}
+
+bool ConstrainedLattice::PassesCandidateFilters(const Itemset& x) {
+  for (const OneVarConstraint* c : candidate_filters_) {
+    ++stats_.constraint_checks;
+    auto ok = Eval(*c, x, catalog_);
+    if (!ok.ok() || !ok.value()) return false;
+  }
+  return true;
+}
+
+bool ConstrainedLattice::PassesDynamicPrune(const Itemset& x) {
+  for (const DynamicBound& b : dynamic_bounds_) {
+    if (!b.prunable) continue;
+    ++stats_.constraint_checks;
+    auto v = AggregateOver(b.agg, b.attr, x, catalog_);
+    if (!v.ok() || v.value() > b.bound) return false;
+  }
+  return true;
+}
+
+bool ConstrainedLattice::IsValidOutput(const Itemset& x) {
+  if (!SatisfiesFormFast(x)) return false;
+  for (const OneVarConstraint* c : output_filters_) {
+    ++stats_.constraint_checks;
+    auto ok = Eval(*c, x, catalog_);
+    if (!ok.ok() || !ok.value()) return false;
+  }
+  for (const DynamicBound& b : dynamic_bounds_) {
+    auto v = AggregateOver(b.agg, b.attr, x, catalog_);
+    if (!v.ok() || v.value() > b.bound) return false;
+  }
+  return true;
+}
+
+std::vector<Itemset> ConstrainedLattice::GenerateNext() {
+  if (structural_group_ < 0) {
+    return GenerateCandidatesJoinPrune(generation_basis_);
+  }
+  const std::vector<char>& group_mask =
+      group_masks_[static_cast<size_t>(structural_group_)];
+  auto hits_group = [&](const Itemset& x) {
+    for (ItemId item : x) {
+      if (group_mask[item]) return true;
+    }
+    return false;
+  };
+  std::unordered_set<Itemset, ItemsetHash> basis_index(
+      generation_basis_.begin(), generation_basis_.end());
+  std::vector<Itemset> extended =
+      GenerateCandidatesExtend(generation_basis_, frequent_singletons_);
+  std::vector<Itemset> out;
+  for (Itemset& x : extended) {
+    bool ok = true;
+    for (size_t drop = 0; drop < x.size() && ok; ++drop) {
+      Itemset sub = WithoutIndex(x, drop);
+      // Subsets that intersect the structural group must themselves be
+      // frequent basis sets; group-free subsets were never counted.
+      if (hits_group(sub) && basis_index.find(sub) == basis_index.end()) {
+        ok = false;
+      }
+    }
+    if (ok) out.push_back(std::move(x));
+  }
+  return out;
+}
+
+const std::vector<Itemset>& ConstrainedLattice::PrepareLevel() {
+  static const std::vector<Itemset> kEmpty;
+  if (done_) return kEmpty;
+  if (options_.max_level != 0 && level_ >= options_.max_level) {
+    done_ = true;
+    return kEmpty;
+  }
+  // Dynamic bounds may have tightened since generation.
+  std::erase_if(pending_candidates_,
+                [&](const Itemset& x) { return !PassesDynamicPrune(x); });
+  if (pending_candidates_.empty()) {
+    done_ = true;
+    return kEmpty;
+  }
+  return pending_candidates_;
+}
+
+bool ConstrainedLattice::Step() {
+  if (PrepareLevel().empty()) return false;
+  // The counter accounts sets_counted / io / counted-log itself.
+  CccStats scratch;
+  scratch.counted_log = stats_.counted_log;
+  const std::vector<uint64_t> supports =
+      counter_->Count(pending_candidates_, &scratch);
+  scratch.counted_log = nullptr;
+  stats_.sets_counted += scratch.sets_counted;
+  stats_.io.scans += scratch.io.scans;
+  stats_.io.pages_read += scratch.io.pages_read;
+  CompleteLevelInternal(supports, /*account_counted=*/false);
+  return true;
+}
+
+void ConstrainedLattice::CompleteLevel(
+    const std::vector<uint64_t>& supports) {
+  CompleteLevelInternal(supports, /*account_counted=*/true);
+}
+
+void ConstrainedLattice::CompleteLevelInternal(
+    const std::vector<uint64_t>& supports, bool account_counted) {
+  if (account_counted) {
+    stats_.sets_counted += pending_candidates_.size();
+    if (stats_.counted_log != nullptr) {
+      stats_.counted_log->insert(stats_.counted_log->end(),
+                                 pending_candidates_.begin(),
+                                 pending_candidates_.end());
+    }
+  }
+  last_level_frequent_.clear();
+  std::vector<Itemset> next_basis;
+  const bool use_groups = structural_group_ >= 0;
+  const std::vector<char>* group_mask =
+      use_groups ? &group_masks_[static_cast<size_t>(structural_group_)]
+                 : nullptr;
+  auto hits_group = [&](const Itemset& x) {
+    for (ItemId item : x) {
+      if ((*group_mask)[item]) return true;
+    }
+    return false;
+  };
+  ++level_;
+  for (size_t i = 0; i < pending_candidates_.size(); ++i) {
+    if (supports[i] < min_support_) continue;
+    const Itemset& items = pending_candidates_[i];
+    last_level_frequent_.push_back(FrequentSet{items, supports[i]});
+    if (level_ == 1) frequent_singletons_.push_back(items[0]);
+    if (!use_groups || hits_group(items)) next_basis.push_back(items);
+    if (IsValidOutput(items)) {
+      valid_frequent_.push_back(FrequentSet{items, supports[i]});
+    }
+  }
+  stats_.RecordLevel(pending_candidates_.size(), last_level_frequent_.size());
+  generation_basis_ = std::move(next_basis);
+
+  // Generate the next level's candidates.
+  std::vector<Itemset> generated = GenerateNext();
+  pending_candidates_.clear();
+  for (Itemset& x : generated) {
+    if (PassesCandidateFilters(x)) pending_candidates_.push_back(std::move(x));
+  }
+  if (pending_candidates_.empty()) done_ = true;
+}
+
+}  // namespace cfq

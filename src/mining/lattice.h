@@ -1,0 +1,150 @@
+// ConstrainedLattice: stepwise CAP.
+//
+// The CFQ optimizer needs more control than a run-to-completion miner:
+//   * quasi-succinct 2-var constraints decouple into 1-var constraints
+//     only after level 1 has been counted (their constants come from
+//     L1^S / L1^T), so constraints must be injectable mid-run;
+//   * the Jmax iterative pruning of Section 5.2 dovetails the S and T
+//     lattices, feeding a decreasing bound V^k from one into the other
+//     between levels.
+//
+// ConstrainedLattice exposes one CAP lattice as a steppable object:
+// constraints can be added after any level, and dynamic anti-monotone
+// bounds can be tightened between steps. RunCap (cap.h) is a thin
+// wrapper that steps a lattice to completion.
+
+#ifndef CFQ_MINING_LATTICE_H_
+#define CFQ_MINING_LATTICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/result.h"
+#include "constraints/mgf.h"
+#include "constraints/one_var.h"
+#include "data/item_catalog.h"
+#include "mining/apriori.h"
+#include "mining/cap.h"
+
+namespace cfq {
+
+class ConstrainedLattice {
+ public:
+  // `db` and `catalog` must outlive the lattice. Fails on unknown
+  // attributes or zero support.
+  static Result<std::unique_ptr<ConstrainedLattice>> Create(
+      TransactionDb* db, const ItemCatalog& catalog, const Itemset& domain,
+      Var var, std::vector<OneVarConstraint> constraints,
+      uint64_t min_support, const CapOptions& options = {});
+
+  // Counts the next level. Returns false (and does nothing) once the
+  // lattice is exhausted or max_level was reached.
+  bool Step();
+
+  // Split-phase stepping, used by the executor's shared-scan dovetail
+  // path (Section 5.2: "dovetailing ... allows for sharing of scans on
+  // the transaction database"): PrepareLevel() applies the dynamic
+  // prunes and exposes the candidates to count; the caller counts them
+  // (possibly in one scan together with the other lattice's batch) and
+  // hands the supports to CompleteLevel(), which also does the
+  // sets_counted / counted-log accounting. PrepareLevel() returns an
+  // empty batch when the lattice is done.
+  const std::vector<Itemset>& PrepareLevel();
+  void CompleteLevel(const std::vector<uint64_t>& supports);
+  // Attributes symbolic I/O performed on this lattice's behalf by an
+  // external (shared-scan) counting pass.
+  void AccountIo(uint64_t scans, uint64_t pages) {
+    stats_.io.scans += scans;
+    stats_.io.pages_read += pages;
+  }
+
+  bool done() const { return done_; }
+  // Number of completed levels.
+  size_t level() const { return level_; }
+
+  // Frequent sets (valid or not) found by the last Step().
+  const std::vector<FrequentSet>& last_level_frequent() const {
+    return last_level_frequent_;
+  }
+  // All frequent sets satisfying every constraint seen so far.
+  const std::vector<FrequentSet>& valid_frequent() const {
+    return valid_frequent_;
+  }
+  const CccStats& stats() const { return stats_; }
+
+  // Injects additional 1-var constraints (bound to this lattice's
+  // variable; others are ignored). Already-collected valid sets and the
+  // generation basis are re-filtered, so this is sound at any point.
+  Status AddConstraints(const std::vector<OneVarConstraint>& more);
+
+  // Installs or tightens a dynamic bound agg(X.attr) <= bound. When
+  // `prunable` (sum on a nonnegative domain: anti-monotone), failing
+  // candidates are dropped before counting; otherwise the bound only
+  // filters the validity of mined sets. Bounds may only decrease;
+  // attempts to raise an existing bound are ignored.
+  void SetDynamicBound(AggFn agg, const std::string& attr, double bound,
+                       bool prunable);
+
+ private:
+  ConstrainedLattice(TransactionDb* db, const ItemCatalog& catalog,
+                     Itemset domain, Var var, uint64_t min_support,
+                     const CapOptions& options);
+
+  Status Init(std::vector<OneVarConstraint> constraints);
+  Status DispatchConstraint(const OneVarConstraint& c);
+  void RefilterState();
+  void RebuildMasks();
+  bool WithinAllowed(const Itemset& x) const;
+  bool SatisfiesFormFast(const Itemset& x) const;
+  void CompleteLevelInternal(const std::vector<uint64_t>& supports,
+                             bool account_counted);
+  bool PassesCandidateFilters(const Itemset& x);
+  bool PassesDynamicPrune(const Itemset& x);
+  bool IsValidOutput(const Itemset& x);
+  std::vector<Itemset> GenerateNext();
+
+  struct DynamicBound {
+    AggFn agg;
+    std::string attr;
+    double bound;
+    bool prunable;
+  };
+
+  TransactionDb* db_;
+  const ItemCatalog& catalog_;
+  Itemset domain_;
+  Var var_;
+  uint64_t min_support_;
+  CapOptions options_;
+
+  std::unique_ptr<SupportCounter> counter_;
+  // Constraints stored stably so dispatch pointers remain valid.
+  std::vector<std::unique_ptr<OneVarConstraint>> owned_constraints_;
+  std::vector<const OneVarConstraint*> candidate_filters_;
+  std::vector<const OneVarConstraint*> output_filters_;
+  SuccinctForm form_;
+  // O(1) membership views of form_: one byte per catalog item. Rebuilt
+  // whenever form_ changes; they turn the subset/intersection tests on
+  // the hot candidate paths into per-item lookups.
+  std::vector<char> allowed_mask_;
+  std::vector<std::vector<char>> group_masks_;
+  // Index into form_.groups of the group driving candidate generation,
+  // or -1 when generation is the classic join+prune.
+  int structural_group_ = -1;
+  std::vector<DynamicBound> dynamic_bounds_;
+
+  std::vector<Itemset> pending_candidates_;
+  std::vector<Itemset> generation_basis_;
+  Itemset frequent_singletons_;
+  std::vector<FrequentSet> last_level_frequent_;
+  std::vector<FrequentSet> valid_frequent_;
+  CccStats stats_;
+  size_t level_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_LATTICE_H_

@@ -1,0 +1,233 @@
+#include "mining/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "mining/candidate_gen.h"
+#include "mining/hash_counter.h"
+
+namespace cfq {
+
+namespace {
+
+// Counts `candidates` (mixed sizes allowed) against `db`, batching by
+// size for the uniform-size counter API. With a horizontal backend the
+// batches share a single scan (the verification pass of the two-pass
+// algorithms is one pass over the file, whatever the candidate sizes).
+std::vector<uint64_t> CountMixed(TransactionDb* db,
+                                 const std::vector<Itemset>& candidates,
+                                 CounterKind kind, CccStats* stats) {
+  std::map<size_t, std::vector<size_t>> by_size;  // size -> indices.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    by_size[candidates[i].size()].push_back(i);
+  }
+  std::vector<std::vector<Itemset>> batches;
+  batches.reserve(by_size.size());
+  for (const auto& [size, indices] : by_size) {
+    (void)size;
+    std::vector<Itemset> batch;
+    batch.reserve(indices.size());
+    for (size_t i : indices) batch.push_back(candidates[i]);
+    batches.push_back(std::move(batch));
+  }
+
+  std::vector<uint64_t> supports(candidates.size(), 0);
+  auto scatter = [&](size_t batch_index,
+                     const std::vector<uint64_t>& counted) {
+    size_t b = 0;
+    for (const auto& [size, indices] : by_size) {
+      (void)size;
+      if (b++ != batch_index) continue;
+      for (size_t j = 0; j < indices.size(); ++j) {
+        supports[indices[j]] = counted[j];
+      }
+      break;
+    }
+  };
+
+  if (kind == CounterKind::kHash) {
+    std::vector<const std::vector<Itemset>*> views;
+    views.reserve(batches.size());
+    for (const auto& batch : batches) views.push_back(&batch);
+    const auto counted = CountBatchesSharedScan(*db, views, stats);
+    if (stats != nullptr) {
+      for (const auto& batch : batches) {
+        stats->sets_counted += batch.size();
+      }
+    }
+    for (size_t b = 0; b < counted.size(); ++b) scatter(b, counted[b]);
+    return supports;
+  }
+  auto counter = MakeCounter(kind, db);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    scatter(b, counter->Count(batches[b], stats));
+  }
+  return supports;
+}
+
+}  // namespace
+
+Result<PartitionResult> MineFrequentPartitioned(
+    TransactionDb* db, const Itemset& domain, uint64_t min_support,
+    const PartitionOptions& options) {
+  if (min_support == 0) {
+    return Status::InvalidArgument("min_support must be positive");
+  }
+  if (options.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  const size_t n = db->num_transactions();
+  const size_t parts = std::min(options.num_partitions, std::max<size_t>(n, 1));
+
+  PartitionResult result;
+  // Pass 1: mine each partition's locally frequent sets.
+  std::unordered_set<Itemset, ItemsetHash> global_pool;
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t begin = n * p / parts;
+    const size_t end = n * (p + 1) / parts;
+    if (begin == end) continue;
+    TransactionDb partition(db->num_items());
+    for (size_t t = begin; t < end; ++t) {
+      partition.Add(db->transaction(t));
+    }
+    // Local threshold: a globally frequent set must be locally frequent
+    // in at least one partition at the proportional threshold.
+    const auto local_support = static_cast<uint64_t>(std::max<double>(
+        1.0, std::ceil(static_cast<double>(min_support) *
+                       static_cast<double>(end - begin) /
+                       static_cast<double>(n))));
+    AprioriOptions local_options;
+    local_options.counter = options.counter;
+    AprioriResult local =
+        MineFrequent(&partition, domain, local_support, local_options);
+    // Local mining happens in memory: the partition is read from disk
+    // once, not once per level. Keep the counting/check counters but
+    // replace the per-level I/O with a single read of the partition.
+    local.stats.io = IoStats{};
+    local.stats.io.AddScan(partition.PagesPerScan());
+    result.stats.MergeFrom(local.stats);
+    for (FrequentSet& f : local.frequent) {
+      global_pool.insert(std::move(f.items));
+    }
+  }
+
+  // Pass 2: verify the unioned pool against the full database.
+  std::vector<Itemset> candidates(global_pool.begin(), global_pool.end());
+  std::sort(candidates.begin(), candidates.end());
+  result.global_candidates = candidates.size();
+  const std::vector<uint64_t> supports =
+      CountMixed(db, candidates, options.counter, &result.stats);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (supports[i] >= min_support) {
+      result.frequent.push_back(FrequentSet{candidates[i], supports[i]});
+    }
+  }
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentSet& a, const FrequentSet& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return result;
+}
+
+Result<SampleResult> MineFrequentSampled(TransactionDb* db,
+                                         const Itemset& domain,
+                                         uint64_t min_support,
+                                         const SampleOptions& options) {
+  if (min_support == 0) {
+    return Status::InvalidArgument("min_support must be positive");
+  }
+  if (options.sample_fraction <= 0 || options.sample_fraction > 1) {
+    return Status::InvalidArgument("sample_fraction must be in (0, 1]");
+  }
+  if (options.safety <= 0 || options.safety > 1) {
+    return Status::InvalidArgument("safety must be in (0, 1]");
+  }
+  const size_t n = db->num_transactions();
+  if (n == 0) return SampleResult{};
+
+  SampleResult result;
+  // Draw the sample (with replacement) and mine it at a lowered
+  // threshold.
+  Rng rng(options.seed);
+  const size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             options.sample_fraction * static_cast<double>(n))));
+  TransactionDb sample(db->num_items());
+  for (size_t t = 0; t < sample_size; ++t) {
+    sample.Add(db->transaction(static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1))));
+  }
+  const auto sample_support = static_cast<uint64_t>(std::max<double>(
+      1.0, std::floor(static_cast<double>(min_support) *
+                      static_cast<double>(sample_size) /
+                      static_cast<double>(n) * options.safety)));
+  AprioriOptions sample_options;
+  sample_options.counter = options.counter;
+  AprioriResult mined =
+      MineFrequent(&sample, domain, sample_support, sample_options);
+  result.stats.MergeFrom(mined.stats);
+  result.sample_candidates = mined.frequent.size();
+
+  // Candidate pool: sample-frequent sets plus their negative border
+  // (minimal sets not in the pool whose subsets all are).
+  std::unordered_set<Itemset, ItemsetHash> pool;
+  for (const FrequentSet& f : mined.frequent) pool.insert(f.items);
+  std::unordered_set<Itemset, ItemsetHash> border;
+  for (ItemId item : domain) {
+    if (pool.find(Itemset{item}) == pool.end()) border.insert({item});
+  }
+  for (const FrequentSet& f : mined.frequent) {
+    for (ItemId item : domain) {
+      if (Contains(f.items, item)) continue;
+      Itemset extended = Union(f.items, {item});
+      if (pool.find(extended) != pool.end()) continue;
+      bool all_subsets_in_pool = true;
+      for (size_t drop = 0; drop < extended.size() && all_subsets_in_pool;
+           ++drop) {
+        if (pool.find(WithoutIndex(extended, drop)) == pool.end()) {
+          all_subsets_in_pool = false;
+        }
+      }
+      if (all_subsets_in_pool) border.insert(std::move(extended));
+    }
+  }
+
+  // Verify pool + border against the full database.
+  std::vector<Itemset> candidates(pool.begin(), pool.end());
+  candidates.insert(candidates.end(), border.begin(), border.end());
+  std::sort(candidates.begin(), candidates.end());
+  const std::vector<uint64_t> supports =
+      CountMixed(db, candidates, options.counter, &result.stats);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (supports[i] < min_support) continue;
+    if (border.find(candidates[i]) != border.end()) ++result.misses;
+    result.frequent.push_back(FrequentSet{candidates[i], supports[i]});
+  }
+
+  if (result.misses > 0) {
+    // The sample missed part of the lattice: recompute exactly so the
+    // result is always correct (Toivonen's "second pass" fallback).
+    AprioriOptions exact_options;
+    exact_options.counter = options.counter;
+    AprioriResult exact = MineFrequent(db, domain, min_support, exact_options);
+    result.stats.MergeFrom(exact.stats);
+    result.frequent = std::move(exact.frequent);
+    return result;
+  }
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentSet& a, const FrequentSet& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return result;
+}
+
+}  // namespace cfq

@@ -1,0 +1,76 @@
+// Alternative frequent-set miners from the literature the paper builds
+// on (Section 1's "performance and efficiency" group):
+//
+//   * MineFrequentPartitioned — the partition algorithm of Savasere,
+//     Omiecinski & Navathe (VLDB'95): split the transaction file into
+//     partitions that fit in memory, mine each partition's locally
+//     frequent sets at a scaled-down threshold, union the local results
+//     into a global candidate pool, and verify it with one more pass.
+//     Exactly two scans of the database regardless of lattice depth.
+//
+//   * MineFrequentSampled — Toivonen's sampling algorithm (VLDB'96):
+//     mine a random sample at a lowered threshold, then verify the
+//     sample-frequent sets AND their negative border against the full
+//     database; if a negative-border set turns out frequent the sample
+//     missed something and the caller is told (`misses`), in which case
+//     this implementation falls back to exact Apriori so the result is
+//     always exact.
+//
+// Both return exactly the same frequent sets as MineFrequent (tests
+// enforce it); they trade candidate-pool size for scan count.
+
+#ifndef CFQ_MINING_PARTITION_H_
+#define CFQ_MINING_PARTITION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "mining/apriori.h"
+
+namespace cfq {
+
+struct PartitionOptions {
+  size_t num_partitions = 4;
+  CounterKind counter = CounterKind::kBitmap;
+};
+
+struct PartitionResult {
+  std::vector<FrequentSet> frequent;
+  // Size of the unioned candidate pool verified in the second scan.
+  uint64_t global_candidates = 0;
+  CccStats stats;
+};
+
+// Exact frequent-set mining in two passes. `min_support` is absolute;
+// a set is locally frequent in a partition holding fraction f of the
+// transactions when its local support reaches ceil(f * min_support).
+Result<PartitionResult> MineFrequentPartitioned(
+    TransactionDb* db, const Itemset& domain, uint64_t min_support,
+    const PartitionOptions& options = {});
+
+struct SampleOptions {
+  // Fraction of transactions sampled (with replacement).
+  double sample_fraction = 0.1;
+  // The sample is mined at min_support * sample_fraction * safety.
+  double safety = 0.8;
+  uint64_t seed = 1;
+  CounterKind counter = CounterKind::kBitmap;
+};
+
+struct SampleResult {
+  std::vector<FrequentSet> frequent;
+  // Negative-border sets found frequent in the full data (the sample
+  // missed them). When nonzero the result was recomputed exactly.
+  uint64_t misses = 0;
+  uint64_t sample_candidates = 0;  // Sets mined from the sample.
+  CccStats stats;
+};
+
+Result<SampleResult> MineFrequentSampled(TransactionDb* db,
+                                         const Itemset& domain,
+                                         uint64_t min_support,
+                                         const SampleOptions& options = {});
+
+}  // namespace cfq
+
+#endif  // CFQ_MINING_PARTITION_H_

@@ -1,0 +1,447 @@
+#include "parser/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace cfq {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer.
+
+enum class TokenKind {
+  kIdent,    // letters/digits/underscore, starting with a letter
+  kNumber,   // [-]digits[.digits]
+  kSymbol,   // one of { } ( ) | & , . and comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t position = 0;  // Byte offset in the input, for error messages.
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) break;
+      const size_t start = pos_;
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back(
+            {TokenKind::kIdent, text_.substr(start, pos_ - start), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.')) {
+          ++pos_;
+        }
+        tokens.push_back(
+            {TokenKind::kNumber, text_.substr(start, pos_ - start), start});
+        continue;
+      }
+      // Two-character operators first.
+      if (pos_ + 1 < text_.size()) {
+        const std::string two = text_.substr(pos_, 2);
+        if (two == "<=" || two == ">=" || two == "!=" || two == "==") {
+          pos_ += 2;
+          tokens.push_back(
+              {TokenKind::kSymbol, two == "==" ? "=" : two, start});
+          continue;
+        }
+      }
+      if (std::string("{}()|&,.<>=").find(c) != std::string::npos) {
+        ++pos_;
+        tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+        continue;
+      }
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at position " +
+                                     std::to_string(start));
+    }
+    tokens.push_back({TokenKind::kEnd, "", text_.size()});
+    return tokens;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Parser.
+
+// One side of a relation, before semantic resolution.
+struct Operand {
+  enum class Kind { kAggOfVar, kSetOfVar, kScalar, kLiteralSet };
+  Kind kind;
+  Var var = Var::kS;            // kAggOfVar / kSetOfVar.
+  AggFn agg = AggFn::kMin;      // kAggOfVar.
+  std::string attr;             // kAggOfVar / kSetOfVar.
+  double scalar = 0;            // kScalar.
+  std::vector<AttrValue> literal;  // kLiteralSet.
+  size_t position = 0;
+};
+
+// A relation operator: either a scalar comparison or a set comparison.
+struct RelOp {
+  bool is_set_op = false;
+  CmpOp cmp = CmpOp::kLe;
+  SetCmp set = SetCmp::kSubset;
+  size_t position = 0;
+};
+
+SetCmp MirrorSetCmp(SetCmp cmp) {
+  switch (cmp) {
+    case SetCmp::kSubset:
+      return SetCmp::kSuperset;
+    case SetCmp::kSuperset:
+      return SetCmp::kSubset;
+    case SetCmp::kNotSubset:
+      return SetCmp::kNotSuperset;
+    case SetCmp::kNotSuperset:
+      return SetCmp::kNotSubset;
+    default:
+      return cmp;  // Symmetric.
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<CfqQuery> Run() {
+    CfqQuery query;
+    // Optional "{(S, T) |" header.
+    if (PeekSymbol("{") && tokens_.size() > 1 &&
+        tokens_[1].text == "(") {
+      CFQ_RETURN_IF_ERROR(ExpectSymbol("{"));
+      CFQ_RETURN_IF_ERROR(ExpectSymbol("("));
+      CFQ_RETURN_IF_ERROR(ExpectIdent("S"));
+      CFQ_RETURN_IF_ERROR(ExpectSymbol(","));
+      CFQ_RETURN_IF_ERROR(ExpectIdent("T"));
+      CFQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+      CFQ_RETURN_IF_ERROR(ExpectSymbol("|"));
+      header_ = true;
+    }
+    CFQ_RETURN_IF_ERROR(ParseConjunct(&query));
+    while (PeekSymbol("&")) {
+      ++pos_;
+      CFQ_RETURN_IF_ERROR(ParseConjunct(&query));
+    }
+    if (header_) CFQ_RETURN_IF_ERROR(ExpectSymbol("}"));
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool PeekSymbol(const std::string& text) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == text;
+  }
+  bool PeekIdent(const std::string& text) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == text;
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " at position " + std::to_string(Peek().position) +
+        (Peek().text.empty() ? "" : " near '" + Peek().text + "'"));
+  }
+  Status ExpectSymbol(const std::string& text) {
+    if (!PeekSymbol(text)) return Error("expected '" + text + "'");
+    ++pos_;
+    return Status::Ok();
+  }
+  Status ExpectIdent(const std::string& text) {
+    if (!PeekIdent(text)) return Error("expected '" + text + "'");
+    ++pos_;
+    return Status::Ok();
+  }
+
+  std::optional<Var> AsVar(const Token& token) const {
+    if (token.kind != TokenKind::kIdent) return std::nullopt;
+    if (token.text == "S") return Var::kS;
+    if (token.text == "T") return Var::kT;
+    return std::nullopt;
+  }
+
+  std::optional<AggFn> AsAgg(const Token& token) const {
+    if (token.kind != TokenKind::kIdent) return std::nullopt;
+    if (token.text == "min") return AggFn::kMin;
+    if (token.text == "max") return AggFn::kMax;
+    if (token.text == "sum") return AggFn::kSum;
+    if (token.text == "avg") return AggFn::kAvg;
+    if (token.text == "count") return AggFn::kCount;
+    return std::nullopt;
+  }
+
+  Status ParseConjunct(CfqQuery* query) {
+    if (PeekIdent("freq")) return ParseFreq(query);
+    Operand lhs;
+    CFQ_RETURN_IF_ERROR(ParseOperand(&lhs));
+    RelOp op;
+    CFQ_RETURN_IF_ERROR(ParseRelOp(&op));
+    Operand rhs;
+    CFQ_RETURN_IF_ERROR(ParseOperand(&rhs));
+    return Resolve(lhs, op, rhs, query);
+  }
+
+  Status ParseFreq(CfqQuery* query) {
+    ++pos_;  // 'freq'
+    CFQ_RETURN_IF_ERROR(ExpectSymbol("("));
+    const auto var = AsVar(Peek());
+    if (!var) return Error("expected S or T in freq()");
+    ++pos_;
+    uint64_t threshold = 1;
+    if (PeekSymbol(",")) {
+      ++pos_;
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected a support threshold");
+      }
+      const double value = std::stod(Peek().text);
+      if (value < 1) return Error("support threshold must be >= 1");
+      threshold = static_cast<uint64_t>(value);
+      ++pos_;
+    }
+    CFQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    (*var == Var::kS ? query->min_support_s : query->min_support_t) =
+        threshold;
+    return Status::Ok();
+  }
+
+  Status ParseOperand(Operand* out) {
+    out->position = Peek().position;
+    if (const auto agg = AsAgg(Peek())) {
+      ++pos_;
+      CFQ_RETURN_IF_ERROR(ExpectSymbol("("));
+      const auto var = AsVar(Peek());
+      if (!var) return Error("expected S or T inside aggregate");
+      ++pos_;
+      CFQ_RETURN_IF_ERROR(ExpectSymbol("."));
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected an attribute name");
+      }
+      out->kind = Operand::Kind::kAggOfVar;
+      out->agg = *agg;
+      out->var = *var;
+      out->attr = Peek().text;
+      ++pos_;
+      return ExpectSymbol(")");
+    }
+    if (const auto var = AsVar(Peek())) {
+      ++pos_;
+      CFQ_RETURN_IF_ERROR(ExpectSymbol("."));
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected an attribute name");
+      }
+      out->kind = Operand::Kind::kSetOfVar;
+      out->var = *var;
+      out->attr = Peek().text;
+      ++pos_;
+      return Status::Ok();
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      out->kind = Operand::Kind::kScalar;
+      out->scalar = std::stod(Peek().text);
+      ++pos_;
+      return Status::Ok();
+    }
+    if (PeekSymbol("{")) {
+      ++pos_;
+      out->kind = Operand::Kind::kLiteralSet;
+      if (!PeekSymbol("}")) {
+        while (true) {
+          if (Peek().kind != TokenKind::kNumber) {
+            return Error("expected a number in set literal");
+          }
+          out->literal.push_back(std::stod(Peek().text));
+          ++pos_;
+          if (!PeekSymbol(",")) break;
+          ++pos_;
+        }
+      }
+      return ExpectSymbol("}");
+    }
+    return Error("expected an operand");
+  }
+
+  Status ParseRelOp(RelOp* out) {
+    out->position = Peek().position;
+    if (Peek().kind == TokenKind::kSymbol) {
+      const std::string& text = Peek().text;
+      if (text == "<=") out->cmp = CmpOp::kLe;
+      else if (text == ">=") out->cmp = CmpOp::kGe;
+      else if (text == "<") out->cmp = CmpOp::kLt;
+      else if (text == ">") out->cmp = CmpOp::kGt;
+      else if (text == "=") out->cmp = CmpOp::kEq;
+      else if (text == "!=") out->cmp = CmpOp::kNe;
+      else return Error("expected a comparison operator");
+      ++pos_;
+      return Status::Ok();
+    }
+    if (Peek().kind == TokenKind::kIdent) {
+      const std::string& text = Peek().text;
+      out->is_set_op = true;
+      if (text == "subset") out->set = SetCmp::kSubset;
+      else if (text == "superset") out->set = SetCmp::kSuperset;
+      else if (text == "disjoint") out->set = SetCmp::kDisjoint;
+      else if (text == "intersects") out->set = SetCmp::kIntersects;
+      else if (text == "not") {
+        ++pos_;
+        if (PeekIdent("subset")) out->set = SetCmp::kNotSubset;
+        else if (PeekIdent("superset")) out->set = SetCmp::kNotSuperset;
+        else return Error("expected 'subset' or 'superset' after 'not'");
+      } else {
+        return Error("expected a comparison or set operator");
+      }
+      ++pos_;
+      return Status::Ok();
+    }
+    return Error("expected an operator");
+  }
+
+  // Maps the (lhs, op, rhs) triple onto the constraint ASTs.
+  Status Resolve(Operand lhs, RelOp op, Operand rhs, CfqQuery* query) {
+    using Kind = Operand::Kind;
+    // Normalize: put any variable-bearing operand on the left.
+    if ((lhs.kind == Kind::kScalar || lhs.kind == Kind::kLiteralSet) &&
+        (rhs.kind == Kind::kAggOfVar || rhs.kind == Kind::kSetOfVar)) {
+      std::swap(lhs, rhs);
+      if (op.is_set_op) {
+        op.set = MirrorSetCmp(op.set);
+      } else {
+        op.cmp = MirrorCmp(op.cmp);
+      }
+    }
+    // Sugar: set term vs scalar under a comparison.
+    if (lhs.kind == Kind::kSetOfVar && rhs.kind == Kind::kScalar &&
+        !op.is_set_op) {
+      switch (op.cmp) {
+        case CmpOp::kLe:
+        case CmpOp::kLt:
+          lhs.kind = Kind::kAggOfVar;
+          lhs.agg = AggFn::kMax;  // Every value <= c.
+          break;
+        case CmpOp::kGe:
+        case CmpOp::kGt:
+          lhs.kind = Kind::kAggOfVar;
+          lhs.agg = AggFn::kMin;  // Every value >= c.
+          break;
+        case CmpOp::kEq:
+        case CmpOp::kNe:
+          // S.Type = 3 means S.Type = {3}.
+          rhs.kind = Kind::kLiteralSet;
+          rhs.literal = {rhs.scalar};
+          op.is_set_op = true;
+          op.set = op.cmp == CmpOp::kEq ? SetCmp::kEqual : SetCmp::kNotEqual;
+          break;
+      }
+    }
+    // '='/'!=' between two set terms is set equality.
+    if (lhs.kind == Kind::kSetOfVar &&
+        (rhs.kind == Kind::kSetOfVar || rhs.kind == Kind::kLiteralSet) &&
+        !op.is_set_op && (op.cmp == CmpOp::kEq || op.cmp == CmpOp::kNe)) {
+      op.is_set_op = true;
+      op.set = op.cmp == CmpOp::kEq ? SetCmp::kEqual : SetCmp::kNotEqual;
+    }
+
+    if (lhs.kind == Kind::kAggOfVar && !op.is_set_op) {
+      if (rhs.kind == Kind::kScalar) {
+        query->one_var.push_back(
+            MakeAgg1(lhs.var, lhs.agg, lhs.attr, op.cmp, rhs.scalar));
+        return Status::Ok();
+      }
+      if (rhs.kind == Kind::kAggOfVar) {
+        if (lhs.var == rhs.var) {
+          return Status::InvalidArgument(
+              "aggregate comparisons within one variable are not supported "
+              "(position " + std::to_string(op.position) + ")");
+        }
+        if (lhs.var == Var::kT) {  // Normalize S to the left.
+          std::swap(lhs, rhs);
+          op.cmp = MirrorCmp(op.cmp);
+        }
+        query->two_var.push_back(
+            MakeAgg2(lhs.agg, lhs.attr, op.cmp, rhs.agg, rhs.attr));
+        return Status::Ok();
+      }
+      return Status::InvalidArgument(
+          "aggregates compare against scalars or other aggregates "
+          "(position " + std::to_string(rhs.position) + ")");
+    }
+
+    if (lhs.kind == Kind::kSetOfVar && op.is_set_op) {
+      if (rhs.kind == Kind::kLiteralSet) {
+        query->one_var.push_back(
+            MakeDomain1(lhs.var, lhs.attr, op.set, rhs.literal));
+        return Status::Ok();
+      }
+      if (rhs.kind == Kind::kSetOfVar) {
+        if (lhs.var == rhs.var) {
+          return Status::InvalidArgument(
+              "set comparisons within one variable are not supported "
+              "(position " + std::to_string(op.position) + ")");
+        }
+        if (lhs.var == Var::kT) {
+          std::swap(lhs, rhs);
+          op.set = MirrorSetCmp(op.set);
+        }
+        query->two_var.push_back(MakeDomain2(lhs.attr, op.set, rhs.attr));
+        return Status::Ok();
+      }
+      return Status::InvalidArgument(
+          "set operators compare against set literals or set terms "
+          "(position " + std::to_string(rhs.position) + ")");
+    }
+
+    return Status::InvalidArgument(
+        "cannot combine these operands with this operator (position " +
+        std::to_string(op.position) + ")");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool header_ = false;
+};
+
+}  // namespace
+
+Result<CfqQuery> ParseCfq(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Run();
+}
+
+}  // namespace cfq

@@ -1,0 +1,50 @@
+// Text front-end for the CFQ language.
+//
+// Parses queries written the way the paper writes them:
+//
+//   {(S, T) | freq(S, 40) & freq(T, 40)
+//           & sum(S.Price) <= 100
+//           & avg(T.Price) >= 200
+//           & max(S.Price) <= min(T.Price)
+//           & S.Type = T.Type
+//           & S.Type subset {0, 1}
+//           & T.Price >= 600 }
+//
+// Grammar (EBNF):
+//   query     := '{' '(' 'S' ',' 'T' ')' '|' conjuncts '}' | conjuncts
+//   conjuncts := conjunct ( '&' conjunct )*
+//   conjunct  := 'freq' '(' var [ ',' number ] ')' | relation
+//   relation  := operand op operand
+//   operand   := agg '(' var '.' ident ')' | var '.' ident | number
+//              | '{' [ number ( ',' number )* ] '}'
+//   op        := '<=' | '>=' | '<' | '>' | '=' | '!='
+//              | 'subset' | 'superset' | 'disjoint' | 'intersects'
+//              | 'not' ( 'subset' | 'superset' )
+//   agg       := 'min' | 'max' | 'sum' | 'avg' | 'count'
+//   var       := 'S' | 'T'
+//
+// Semantic sugar following the paper's notation: a bare set term
+// compared with a scalar means "every item's value" — `T.Price >= 600`
+// parses as `min(T.Price) >= 600`, `S.Price <= 400` as
+// `max(S.Price) <= 400`, and `S.Type = 3` as `S.Type = {3}`.
+//
+// The parsed query has no domains (callers bind s_domain/t_domain to
+// item sets) and default support 1 where `freq` gives no threshold.
+
+#ifndef CFQ_PARSER_PARSER_H_
+#define CFQ_PARSER_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/cfq.h"
+
+namespace cfq {
+
+// Parses `text` into a query. On error the Status message contains the
+// offending position and token.
+Result<CfqQuery> ParseCfq(const std::string& text);
+
+}  // namespace cfq
+
+#endif  // CFQ_PARSER_PARSER_H_

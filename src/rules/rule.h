@@ -1,0 +1,37 @@
+// Association rules — phase II of the paper's two-phase architecture.
+//
+// The CFQ machinery (phase I) computes the constrained frequent pairs
+// (S, T); this module forms the final rules S => T with the classic
+// quality measures. The paper deliberately keeps this phase cheap
+// ("the computation cost of finding (constrained) frequent sets far
+// dominates the cost of forming the final rules"), and so does this
+// implementation: one batched support count for the unions.
+
+#ifndef CFQ_RULES_RULE_H_
+#define CFQ_RULES_RULE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/itemset.h"
+
+namespace cfq {
+
+struct AssociationRule {
+  Itemset antecedent;  // S
+  Itemset consequent;  // T
+  uint64_t support_antecedent = 0;  // |{t : S ⊆ t}|
+  uint64_t support_consequent = 0;  // |{t : T ⊆ t}|
+  uint64_t support_union = 0;       // |{t : S ∪ T ⊆ t}|
+  // Derived measures (database size N):
+  double support = 0;     // support_union / N
+  double confidence = 0;  // support_union / support_antecedent
+  double lift = 0;        // confidence / (support_consequent / N)
+};
+
+// "{1, 2} => {5} (conf 0.82, lift 3.1)" rendering.
+std::string ToString(const AssociationRule& rule);
+
+}  // namespace cfq
+
+#endif  // CFQ_RULES_RULE_H_

@@ -1,0 +1,114 @@
+#include "rules/rule_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "mining/counter.h"
+
+namespace cfq {
+
+std::string ToString(const AssociationRule& rule) {
+  std::ostringstream os;
+  os << ToString(rule.antecedent) << " => " << ToString(rule.consequent)
+     << " (conf " << rule.confidence << ", lift " << rule.lift << ")";
+  return os.str();
+}
+
+Result<std::vector<AssociationRule>> FormRules(TransactionDb* db,
+                                               const CfqResult& result,
+                                               const RuleOptions& options) {
+  if (db->num_transactions() == 0) {
+    return Status::FailedPrecondition("empty transaction database");
+  }
+  const double n = static_cast<double>(db->num_transactions());
+
+  // Collect the candidate (i, j) index pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  if (result.cross_product) {
+    pairs.reserve(result.s_sets.size() * result.t_sets.size());
+    for (uint32_t i = 0; i < result.s_sets.size(); ++i) {
+      for (uint32_t j = 0; j < result.t_sets.size(); ++j) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  } else {
+    pairs = result.pairs;
+  }
+
+  // Deduplicate union sets so each distinct union is counted once.
+  std::map<Itemset, uint64_t> union_support;
+  std::vector<Itemset> kept_union;          // Aligned with kept_pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> kept_pairs;
+  for (const auto& [i, j] : pairs) {
+    const Itemset& s = result.s_sets[i].items;
+    const Itemset& t = result.t_sets[j].items;
+    if (options.require_disjoint && !Disjoint(s, t)) continue;
+    kept_pairs.emplace_back(i, j);
+    Itemset u = Union(s, t);
+    union_support.emplace(u, 0);
+    kept_union.push_back(std::move(u));
+  }
+
+  // One batched count per union size (counters require uniform size).
+  std::map<size_t, std::vector<Itemset>> by_size;
+  for (const auto& [u, support] : union_support) {
+    (void)support;
+    by_size[u.size()].push_back(u);
+  }
+  auto counter = MakeCounter(options.counter, db);
+  for (auto& [size, candidates] : by_size) {
+    (void)size;
+    std::sort(candidates.begin(), candidates.end());
+    const std::vector<uint64_t> supports = counter->Count(candidates, nullptr);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      union_support[candidates[c]] = supports[c];
+    }
+  }
+
+  std::vector<AssociationRule> rules;
+  rules.reserve(kept_pairs.size());
+  for (size_t p = 0; p < kept_pairs.size(); ++p) {
+    const auto& [i, j] = kept_pairs[p];
+    AssociationRule rule;
+    rule.antecedent = result.s_sets[i].items;
+    rule.consequent = result.t_sets[j].items;
+    rule.support_antecedent = result.s_sets[i].support;
+    rule.support_consequent = result.t_sets[j].support;
+    rule.support_union = union_support[kept_union[p]];
+    rule.support = static_cast<double>(rule.support_union) / n;
+    rule.confidence = rule.support_antecedent == 0
+                          ? 0
+                          : static_cast<double>(rule.support_union) /
+                                static_cast<double>(rule.support_antecedent);
+    const double consequent_frequency =
+        static_cast<double>(rule.support_consequent) / n;
+    rule.lift = consequent_frequency == 0
+                    ? 0
+                    : rule.confidence / consequent_frequency;
+    if (rule.confidence < options.min_confidence) continue;
+    if (rule.lift < options.min_lift) continue;
+    rules.push_back(std::move(rule));
+  }
+
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.lift != b.lift) return a.lift > b.lift;
+              if (a.support_union != b.support_union) {
+                return a.support_union > b.support_union;
+              }
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  if (options.top_k != 0 && rules.size() > options.top_k) {
+    rules.resize(options.top_k);
+  }
+  return rules;
+}
+
+}  // namespace cfq

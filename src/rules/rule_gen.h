@@ -1,0 +1,36 @@
+// Rule formation from a CFQ answer.
+
+#ifndef CFQ_RULES_RULE_GEN_H_
+#define CFQ_RULES_RULE_GEN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/executor.h"
+#include "data/transaction_db.h"
+#include "rules/rule.h"
+
+namespace cfq {
+
+struct RuleOptions {
+  double min_confidence = 0.0;  // Keep rules with confidence >= this.
+  double min_lift = 0.0;        // ... and lift >= this.
+  // Classic association rules need disjoint sides; CFQ pairs may
+  // overlap, and overlapping pairs are skipped unless this is false.
+  bool require_disjoint = true;
+  CounterKind counter = CounterKind::kBitmap;
+  // 0 = unlimited. Otherwise keep only the top-k by confidence
+  // (ties broken by lift, then support).
+  size_t top_k = 0;
+};
+
+// Turns a CFQ result's answer pairs into rules S => T, counting the
+// union supports against `db` in one batch. For a cross_product result
+// every (s, t) combination is considered.
+Result<std::vector<AssociationRule>> FormRules(TransactionDb* db,
+                                               const CfqResult& result,
+                                               const RuleOptions& options = {});
+
+}  // namespace cfq
+
+#endif  // CFQ_RULES_RULE_GEN_H_

@@ -1,0 +1,79 @@
+#include "constraints/agg.h"
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+TEST(AggTest, MinMax) {
+  auto min = Aggregate(AggFn::kMin, {3, 1, 2});
+  auto max = Aggregate(AggFn::kMax, {3, 1, 2});
+  ASSERT_TRUE(min.ok());
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(min.value(), 1);
+  EXPECT_EQ(max.value(), 3);
+}
+
+TEST(AggTest, SumAndAvgArePerItem) {
+  // Duplicate values both count: sum/avg aggregate the multiset.
+  auto sum = Aggregate(AggFn::kSum, {5, 5, 10});
+  auto avg = Aggregate(AggFn::kAvg, {5, 5, 10});
+  ASSERT_TRUE(sum.ok());
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(sum.value(), 20);
+  EXPECT_NEAR(avg.value(), 20.0 / 3, 1e-12);
+}
+
+TEST(AggTest, CountIsDistinct) {
+  // count(S.Type) counts distinct values (the paper's class constraint).
+  auto count = Aggregate(AggFn::kCount, {2, 2, 2});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 1);
+  count = Aggregate(AggFn::kCount, {1, 2, 2, 3});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 3);
+}
+
+TEST(AggTest, EmptyProjection) {
+  EXPECT_EQ(Aggregate(AggFn::kSum, {}).value(), 0);
+  EXPECT_EQ(Aggregate(AggFn::kCount, {}).value(), 0);
+  EXPECT_EQ(Aggregate(AggFn::kMin, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Aggregate(AggFn::kMax, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Aggregate(AggFn::kAvg, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AggTest, SingletonAggregatesCoincide) {
+  for (AggFn fn : {AggFn::kMin, AggFn::kMax, AggFn::kSum, AggFn::kAvg}) {
+    auto v = Aggregate(fn, {7});
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), 7) << AggFnName(fn);
+  }
+}
+
+TEST(AggTest, NegativeValues) {
+  EXPECT_EQ(Aggregate(AggFn::kMin, {-5, 3}).value(), -5);
+  EXPECT_EQ(Aggregate(AggFn::kSum, {-5, 3}).value(), -2);
+}
+
+TEST(AggTest, AggFnNames) {
+  EXPECT_STREQ(AggFnName(AggFn::kMin), "min");
+  EXPECT_STREQ(AggFnName(AggFn::kMax), "max");
+  EXPECT_STREQ(AggFnName(AggFn::kSum), "sum");
+  EXPECT_STREQ(AggFnName(AggFn::kAvg), "avg");
+  EXPECT_STREQ(AggFnName(AggFn::kCount), "count");
+}
+
+TEST(AggTest, AggregateOverProjectsCatalog) {
+  ItemCatalog catalog(3);
+  ASSERT_TRUE(catalog.AddNumericAttr("Price", {10, 20, 30}).ok());
+  auto v = AggregateOver(AggFn::kSum, "Price", {0, 2}, catalog);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 40);
+  EXPECT_FALSE(AggregateOver(AggFn::kSum, "Nope", {0}, catalog).ok());
+}
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,161 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_gen.h"
+
+namespace cfq {
+namespace {
+
+TransactionDb RandomDb(int seed, size_t num_items, size_t num_txns) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 6);
+  std::uniform_int_distribution<ItemId> item(
+      0, static_cast<ItemId>(num_items - 1));
+  TransactionDb db(num_items);
+  for (size_t t = 0; t < num_txns; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    db.Add(std::move(txn));
+  }
+  return db;
+}
+
+std::map<Itemset, uint64_t> AsMap(const std::vector<FrequentSet>& sets) {
+  std::map<Itemset, uint64_t> out;
+  for (const FrequentSet& f : sets) out[f.items] = f.support;
+  return out;
+}
+
+TEST(AprioriTest, TinyHandComputedExample) {
+  TransactionDb db(3);
+  db.Add({0, 1});
+  db.Add({0, 1});
+  db.Add({0, 2});
+  db.Add({1, 2});
+  auto result = MineFrequent(&db, {0, 1, 2}, 2);
+  const auto m = AsMap(result.frequent);
+  EXPECT_EQ(m.at({0}), 3u);
+  EXPECT_EQ(m.at({1}), 3u);
+  EXPECT_EQ(m.at({2}), 2u);
+  EXPECT_EQ(m.at({0, 1}), 2u);
+  EXPECT_EQ(m.count({0, 2}), 0u);  // Support 1 < 2.
+  EXPECT_EQ(m.count({0, 1, 2}), 0u);
+}
+
+TEST(AprioriTest, DomainRestrictsItems) {
+  TransactionDb db(4);
+  for (int i = 0; i < 5; ++i) db.Add({0, 1, 2, 3});
+  auto result = MineFrequent(&db, {1, 2}, 1);
+  for (const FrequentSet& f : result.frequent) {
+    EXPECT_TRUE(IsSubset(f.items, Itemset{1, 2}));
+  }
+  EXPECT_EQ(result.frequent.size(), 3u);  // {1}, {2}, {1,2}.
+}
+
+TEST(AprioriTest, MaxLevelStopsEarly) {
+  TransactionDb db(4);
+  for (int i = 0; i < 5; ++i) db.Add({0, 1, 2, 3});
+  AprioriOptions options;
+  options.max_level = 2;
+  auto result = MineFrequent(&db, {0, 1, 2, 3}, 1, options);
+  for (const FrequentSet& f : result.frequent) {
+    EXPECT_LE(f.items.size(), 2u);
+  }
+  EXPECT_EQ(result.stats.candidates_per_level.size(), 2u);
+}
+
+TEST(AprioriTest, StatsTrackLevels) {
+  TransactionDb db(3);
+  for (int i = 0; i < 4; ++i) db.Add({0, 1, 2});
+  auto result = MineFrequent(&db, {0, 1, 2}, 2);
+  ASSERT_EQ(result.stats.candidates_per_level.size(), 3u);
+  EXPECT_EQ(result.stats.candidates_per_level[0], 3u);  // Singletons.
+  EXPECT_EQ(result.stats.frequent_per_level[0], 3u);
+  EXPECT_EQ(result.stats.candidates_per_level[1], 3u);  // Pairs.
+  EXPECT_EQ(result.stats.frequent_per_level[2], 1u);    // {0,1,2}.
+  EXPECT_EQ(result.stats.sets_counted, 3u + 3u + 1u);
+}
+
+TEST(AprioriTest, EmptyDatabaseYieldsNothing) {
+  TransactionDb db(3);
+  auto result = MineFrequent(&db, {0, 1, 2}, 1);
+  EXPECT_TRUE(result.frequent.empty());
+}
+
+TEST(AprioriTest, SupportAboveEverythingYieldsNothing) {
+  TransactionDb db(3);
+  db.Add({0, 1, 2});
+  auto result = MineFrequent(&db, {0, 1, 2}, 10);
+  EXPECT_TRUE(result.frequent.empty());
+}
+
+TEST(AprioriTest, BruteForceOracleOrdering) {
+  TransactionDb db(3);
+  db.Add({0, 1, 2});
+  db.Add({0, 1});
+  const auto sets = MineFrequentBruteForce(db, {0, 1, 2}, 1);
+  // Ascending size, lexicographic within size.
+  for (size_t i = 1; i < sets.size(); ++i) {
+    const bool ordered =
+        sets[i - 1].items.size() < sets[i].items.size() ||
+        (sets[i - 1].items.size() == sets[i].items.size() &&
+         sets[i - 1].items < sets[i].items);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+// Property: Apriori (both backends) equals the brute-force oracle.
+class AprioriOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, CounterKind>> {
+};
+
+TEST_P(AprioriOracleTest, MatchesBruteForce) {
+  const auto [seed, min_support, kind] = GetParam();
+  TransactionDb db = RandomDb(seed, 10, 120);
+  Itemset domain;
+  for (ItemId i = 0; i < 10; ++i) domain.push_back(i);
+
+  AprioriOptions options;
+  options.counter = kind;
+  auto mined = MineFrequent(&db, domain, min_support, options);
+  const auto oracle = MineFrequentBruteForce(db, domain, min_support);
+  EXPECT_EQ(AsMap(mined.frequent), AsMap(oracle));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, AprioriOracleTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(uint64_t{2}, uint64_t{5},
+                                         uint64_t{12}),
+                       ::testing::Values(CounterKind::kHash,
+                                         CounterKind::kBitmap)));
+
+TEST(AprioriTest, QuestDataBothBackendsAgree) {
+  QuestParams params;
+  params.num_transactions = 600;
+  params.num_items = 50;
+  params.num_patterns = 25;
+  params.seed = 11;
+  auto db = GenerateQuestDb(params);
+  ASSERT_TRUE(db.ok());
+  TransactionDb quest = std::move(db).value();
+  Itemset domain;
+  for (ItemId i = 0; i < 50; ++i) domain.push_back(i);
+
+  AprioriOptions hash_options;
+  hash_options.counter = CounterKind::kHash;
+  AprioriOptions bitmap_options;
+  bitmap_options.counter = CounterKind::kBitmap;
+  auto a = MineFrequent(&quest, domain, 12, hash_options);
+  auto b = MineFrequent(&quest, domain, 12, bitmap_options);
+  EXPECT_EQ(AsMap(a.frequent), AsMap(b.frequent));
+  EXPECT_FALSE(a.frequent.empty());
+}
+
+}  // namespace
+}  // namespace cfq

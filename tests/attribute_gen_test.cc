@@ -1,0 +1,134 @@
+#include "data/attribute_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+TEST(AttributeGenTest, UniformPricesInRange) {
+  ItemCatalog catalog(200);
+  ASSERT_TRUE(AssignUniformPrices(&catalog, "Price", 100, 500, 1).ok());
+  for (ItemId i = 0; i < 200; ++i) {
+    const AttrValue v = catalog.ValueUnchecked("Price", i);
+    EXPECT_GE(v, 100);
+    EXPECT_LE(v, 500);
+    EXPECT_EQ(v, std::floor(v));  // Integer prices.
+  }
+}
+
+TEST(AttributeGenTest, UniformPricesRejectEmptyRange) {
+  ItemCatalog catalog(10);
+  EXPECT_FALSE(AssignUniformPrices(&catalog, "Price", 5, 4, 1).ok());
+}
+
+TEST(AttributeGenTest, SplitUniformDomainsPartitionUniverse) {
+  ItemCatalog catalog(100);
+  ExperimentDomains domains;
+  ASSERT_TRUE(AssignSplitUniformPrices(&catalog, "Price", 400, 1000, 0, 600,
+                                       3, &domains)
+                  .ok());
+  EXPECT_EQ(domains.s_domain.size() + domains.t_domain.size(), 100u);
+  EXPECT_TRUE(Disjoint(domains.s_domain, domains.t_domain));
+  for (ItemId i : domains.s_domain) {
+    const AttrValue v = catalog.ValueUnchecked("Price", i);
+    EXPECT_GE(v, 400);
+    EXPECT_LE(v, 1000);
+  }
+  for (ItemId i : domains.t_domain) {
+    const AttrValue v = catalog.ValueUnchecked("Price", i);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 600);
+  }
+}
+
+TEST(AttributeGenTest, SplitUniformInterleavesSides) {
+  ItemCatalog catalog(10);
+  ExperimentDomains domains;
+  ASSERT_TRUE(AssignSplitUniformPrices(&catalog, "Price", 0, 1, 0, 1, 3,
+                                       &domains)
+                  .ok());
+  EXPECT_EQ(domains.s_domain, (Itemset{0, 2, 4, 6, 8}));
+  EXPECT_EQ(domains.t_domain, (Itemset{1, 3, 5, 7, 9}));
+}
+
+TEST(AttributeGenTest, SplitNormalPricesNonnegativeAndCentered) {
+  ItemCatalog catalog(2000);
+  ExperimentDomains domains;
+  ASSERT_TRUE(AssignSplitNormalPrices(&catalog, "Price", 1000, 400, 100, 5,
+                                      &domains)
+                  .ok());
+  double s_total = 0, t_total = 0;
+  for (ItemId i : domains.s_domain) {
+    const AttrValue v = catalog.ValueUnchecked("Price", i);
+    EXPECT_GE(v, 0);
+    s_total += v;
+  }
+  for (ItemId i : domains.t_domain) {
+    const AttrValue v = catalog.ValueUnchecked("Price", i);
+    EXPECT_GE(v, 0);
+    t_total += v;
+  }
+  EXPECT_NEAR(s_total / domains.s_domain.size(), 1000, 20);
+  EXPECT_NEAR(t_total / domains.t_domain.size(), 400, 20);
+}
+
+TEST(AttributeGenTest, SplitNormalRejectsNegativeSigma) {
+  ItemCatalog catalog(10);
+  EXPECT_FALSE(
+      AssignSplitNormalPrices(&catalog, "Price", 10, 10, -1, 1, nullptr).ok());
+}
+
+// Type overlap: with k types per side and x% overlap, exactly
+// round(x/100 * k) codes appear on both sides.
+class TypeOverlapTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TypeOverlapTest, SharedTypeCountMatchesOverlap) {
+  const double overlap = GetParam();
+  ItemCatalog catalog(2000);
+  ExperimentDomains domains;
+  ASSERT_TRUE(AssignSplitUniformPrices(&catalog, "Price", 0, 9, 0, 9, 11,
+                                       &domains)
+                  .ok());
+  const int32_t k = 10;
+  ASSERT_TRUE(
+      AssignTypesWithOverlap(&catalog, "Type", domains, k, overlap, 13).ok());
+  std::set<AttrValue> s_types, t_types;
+  for (ItemId i : domains.s_domain) {
+    s_types.insert(catalog.ValueUnchecked("Type", i));
+  }
+  for (ItemId i : domains.t_domain) {
+    t_types.insert(catalog.ValueUnchecked("Type", i));
+  }
+  // With 1000 items per side and 10 types, every type value appears.
+  EXPECT_EQ(s_types.size(), 10u);
+  EXPECT_EQ(t_types.size(), 10u);
+  std::vector<AttrValue> shared;
+  std::set_intersection(s_types.begin(), s_types.end(), t_types.begin(),
+                        t_types.end(), std::back_inserter(shared));
+  EXPECT_EQ(shared.size(),
+            static_cast<size_t>(std::lround(overlap / 100.0 * k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, TypeOverlapTest,
+                         ::testing::Values(0.0, 20.0, 40.0, 60.0, 80.0,
+                                           100.0));
+
+TEST(AttributeGenTest, TypeOverlapRejectsBadArguments) {
+  ItemCatalog catalog(10);
+  ExperimentDomains domains;
+  domains.s_domain = {0, 1};
+  domains.t_domain = {2, 3};
+  EXPECT_FALSE(
+      AssignTypesWithOverlap(&catalog, "Type", domains, 0, 50, 1).ok());
+  EXPECT_FALSE(
+      AssignTypesWithOverlap(&catalog, "Type", domains, 5, 101, 1).ok());
+  EXPECT_FALSE(
+      AssignTypesWithOverlap(&catalog, "Type", domains, 5, -1, 1).ok());
+}
+
+}  // namespace
+}  // namespace cfq

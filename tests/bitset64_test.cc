@@ -1,0 +1,113 @@
+#include "common/bitset64.h"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+TEST(Bitset64Test, StartsCleared) {
+  Bitset64 b(100);
+  EXPECT_EQ(b.num_bits(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(Bitset64Test, SetClearTest) {
+  Bitset64 b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(Bitset64Test, AndWith) {
+  Bitset64 a(130), b(130);
+  a.Set(0);
+  a.Set(64);
+  a.Set(128);
+  b.Set(64);
+  b.Set(129);
+  a.AndWith(b);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(64));
+}
+
+TEST(Bitset64Test, AndCountMatchesAndInto) {
+  Bitset64 a(200), b(200), out;
+  for (size_t i = 0; i < 200; i += 3) a.Set(i);
+  for (size_t i = 0; i < 200; i += 5) b.Set(i);
+  const size_t count = Bitset64::AndCount(a, b);
+  const size_t into = Bitset64::AndInto(a, b, &out);
+  EXPECT_EQ(count, into);
+  EXPECT_EQ(out.Count(), count);
+  // Multiples of 15 in [0, 200): 0, 15, ..., 195.
+  EXPECT_EQ(count, 14u);
+}
+
+TEST(Bitset64Test, EqualityOperator) {
+  Bitset64 a(10), b(10), c(11);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  a.Set(3);
+  EXPECT_FALSE(a == b);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitset64Test, ZeroBits) {
+  Bitset64 b(0);
+  EXPECT_EQ(b.Count(), 0u);
+  Bitset64 other(0), out;
+  EXPECT_EQ(Bitset64::AndCount(b, other), 0u);
+  EXPECT_EQ(Bitset64::AndInto(b, other, &out), 0u);
+}
+
+class Bitset64PropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Bitset64PropertyTest, MatchesReferenceVectorBool) {
+  const size_t n = GetParam();
+  std::mt19937 rng(n);
+  std::bernoulli_distribution flip(0.3);
+  Bitset64 a(n), b(n);
+  std::vector<bool> ra(n), rb(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (flip(rng)) {
+      a.Set(i);
+      ra[i] = true;
+    }
+    if (flip(rng)) {
+      b.Set(i);
+      rb[i] = true;
+    }
+  }
+  size_t expected_and = 0, expected_a = 0;
+  for (size_t i = 0; i < n; ++i) {
+    expected_and += (ra[i] && rb[i]) ? 1 : 0;
+    expected_a += ra[i] ? 1 : 0;
+  }
+  EXPECT_EQ(a.Count(), expected_a);
+  EXPECT_EQ(Bitset64::AndCount(a, b), expected_and);
+  Bitset64 out;
+  EXPECT_EQ(Bitset64::AndInto(a, b, &out), expected_and);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out.Test(i), ra[i] && rb[i]) << "bit " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Bitset64PropertyTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000));
+
+}  // namespace
+}  // namespace cfq

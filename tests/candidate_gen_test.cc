@@ -1,0 +1,69 @@
+#include "mining/candidate_gen.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+TEST(CandidateGenTest, JoinsSingletons) {
+  const auto out = GenerateCandidatesJoinPrune({{1}, {3}, {5}});
+  EXPECT_EQ(out, (std::vector<Itemset>{{1, 3}, {1, 5}, {3, 5}}));
+}
+
+TEST(CandidateGenTest, EmptyInput) {
+  EXPECT_TRUE(GenerateCandidatesJoinPrune({}).empty());
+}
+
+TEST(CandidateGenTest, SingleSetYieldsNothing) {
+  EXPECT_TRUE(GenerateCandidatesJoinPrune({{1, 2}}).empty());
+}
+
+TEST(CandidateGenTest, JoinRequiresSharedPrefix) {
+  // {1,2} and {3,4} share no prefix: nothing to join.
+  EXPECT_TRUE(GenerateCandidatesJoinPrune({{1, 2}, {3, 4}}).empty());
+}
+
+TEST(CandidateGenTest, PruneRemovesCandidatesWithInfrequentSubsets) {
+  // {1,2}, {1,3} join to {1,2,3}, but {2,3} is not frequent: pruned.
+  EXPECT_TRUE(GenerateCandidatesJoinPrune({{1, 2}, {1, 3}}).empty());
+  // With {2,3} present the candidate survives.
+  const auto out = GenerateCandidatesJoinPrune({{1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(out, (std::vector<Itemset>{{1, 2, 3}}));
+}
+
+TEST(CandidateGenTest, LargerLevels) {
+  const std::vector<Itemset> f3{{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4}};
+  const auto out = GenerateCandidatesJoinPrune(f3);
+  EXPECT_EQ(out, (std::vector<Itemset>{{1, 2, 3, 4}}));
+}
+
+TEST(CandidateGenTest, ExtendGeneratesUnions) {
+  const auto out = GenerateCandidatesExtend({{1}, {2}}, {1, 2, 3});
+  EXPECT_EQ(out, (std::vector<Itemset>{{1, 2}, {1, 3}, {2, 3}}));
+}
+
+TEST(CandidateGenTest, ExtendSkipsContainedItems) {
+  const auto out = GenerateCandidatesExtend({{1, 2}}, {1, 2});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CandidateGenTest, ExtendDeduplicates) {
+  // {1,3} from base {1} + item 3 and from base {3} + item 1.
+  const auto out = GenerateCandidatesExtend({{1}, {3}}, {1, 3});
+  EXPECT_EQ(out, (std::vector<Itemset>{{1, 3}}));
+}
+
+TEST(CandidateGenTest, ExtendEmptyInputs) {
+  EXPECT_TRUE(GenerateCandidatesExtend({}, {1, 2}).empty());
+  EXPECT_TRUE(GenerateCandidatesExtend({{1}}, {}).empty());
+}
+
+TEST(CandidateGenTest, ExtendOutputSorted) {
+  const auto out = GenerateCandidatesExtend({{5}, {1}}, {0, 9});
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+}  // namespace
+}  // namespace cfq

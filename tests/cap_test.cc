@@ -1,0 +1,284 @@
+#include "mining/cap.h"
+
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraints/eval.h"
+#include "mining/apriori_plus.h"
+#include "mining/lattice.h"
+
+namespace cfq {
+namespace {
+
+TransactionDb RandomDb(int seed, size_t num_items, size_t num_txns) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 6);
+  std::uniform_int_distribution<ItemId> item(
+      0, static_cast<ItemId>(num_items - 1));
+  TransactionDb db(num_items);
+  for (size_t t = 0; t < num_txns; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    db.Add(std::move(txn));
+  }
+  return db;
+}
+
+ItemCatalog RandomCatalog(int seed, size_t num_items) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> price(0, 9);
+  ItemCatalog catalog(num_items);
+  std::vector<AttrValue> values(num_items);
+  for (auto& v : values) v = price(rng);
+  EXPECT_TRUE(catalog.AddNumericAttr("Price", values).ok());
+  return catalog;
+}
+
+std::map<Itemset, uint64_t> AsMap(const std::vector<FrequentSet>& sets) {
+  std::map<Itemset, uint64_t> out;
+  for (const FrequentSet& f : sets) out[f.items] = f.support;
+  return out;
+}
+
+Itemset FullDomain(size_t n) {
+  Itemset out;
+  for (ItemId i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+
+TEST(CapTest, NoConstraintsEqualsApriori) {
+  TransactionDb db = RandomDb(1, 8, 100);
+  const ItemCatalog catalog = RandomCatalog(1, 8);
+  auto cap = RunCap(&db, catalog, FullDomain(8), Var::kS, {}, 4);
+  ASSERT_TRUE(cap.ok());
+  auto plain = MineFrequent(&db, FullDomain(8), 4);
+  EXPECT_EQ(AsMap(cap->valid_frequent), AsMap(plain.frequent));
+}
+
+TEST(CapTest, RejectsZeroSupport) {
+  TransactionDb db = RandomDb(1, 4, 10);
+  const ItemCatalog catalog = RandomCatalog(1, 4);
+  EXPECT_FALSE(RunCap(&db, catalog, FullDomain(4), Var::kS, {}, 0).ok());
+}
+
+TEST(CapTest, RejectsUnknownAttribute) {
+  TransactionDb db = RandomDb(1, 4, 10);
+  const ItemCatalog catalog = RandomCatalog(1, 4);
+  std::vector<OneVarConstraint> cs{
+      MakeAgg1(Var::kS, AggFn::kMax, "Missing", CmpOp::kLe, 3)};
+  EXPECT_FALSE(RunCap(&db, catalog, FullDomain(4), Var::kS, cs, 2).ok());
+}
+
+TEST(CapTest, IgnoresOtherVariableConstraints) {
+  TransactionDb db = RandomDb(2, 8, 100);
+  const ItemCatalog catalog = RandomCatalog(2, 8);
+  std::vector<OneVarConstraint> cs{
+      MakeAgg1(Var::kT, AggFn::kMax, "Price", CmpOp::kLe, 0)};
+  auto cap = RunCap(&db, catalog, FullDomain(8), Var::kS, cs, 4);
+  ASSERT_TRUE(cap.ok());
+  auto plain = MineFrequent(&db, FullDomain(8), 4);
+  EXPECT_EQ(cap->valid_frequent.size(), plain.frequent.size());
+}
+
+TEST(CapTest, UnsatisfiableConstraintYieldsEmpty) {
+  TransactionDb db = RandomDb(3, 8, 100);
+  const ItemCatalog catalog = RandomCatalog(3, 8);
+  std::vector<OneVarConstraint> cs{
+      MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLt, -1)};
+  auto cap = RunCap(&db, catalog, FullDomain(8), Var::kS, cs, 2);
+  ASSERT_TRUE(cap.ok());
+  EXPECT_TRUE(cap->valid_frequent.empty());
+  EXPECT_EQ(cap->stats.sets_counted, 0u);
+}
+
+TEST(CapTest, SuccinctAllowedFormCutsCandidates) {
+  TransactionDb db = RandomDb(4, 10, 200);
+  const ItemCatalog catalog = RandomCatalog(4, 10);
+  std::vector<OneVarConstraint> cs{
+      MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 4)};
+  auto cap = RunCap(&db, catalog, FullDomain(10), Var::kS, cs, 3);
+  auto base = RunAprioriPlus(&db, catalog, FullDomain(10), Var::kS, cs, 3);
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(AsMap(cap->valid_frequent), AsMap(base->valid_frequent));
+  EXPECT_LE(cap->stats.sets_counted, base->stats.sets_counted);
+}
+
+TEST(CapTest, GroupConstraintNeverCountsOptionalPairs) {
+  // min(S.Price) <= 1 makes cheap items mandatory. CAP must not count
+  // any multi-item set of expensive-only items.
+  TransactionDb db = RandomDb(5, 10, 300);
+  ItemCatalog catalog(10);
+  // Items 0,1 cheap (price 0); the rest expensive.
+  ASSERT_TRUE(
+      catalog.AddNumericAttr("Price", {0, 0, 5, 5, 5, 5, 5, 5, 5, 5}).ok());
+  std::vector<OneVarConstraint> cs{
+      MakeAgg1(Var::kS, AggFn::kMin, "Price", CmpOp::kLe, 1)};
+  std::vector<Itemset> counted;
+  CapOptions options;
+  options.counted_log = &counted;
+  auto cap = RunCap(&db, catalog, FullDomain(10), Var::kS, cs, 3, options);
+  ASSERT_TRUE(cap.ok());
+  for (const Itemset& x : counted) {
+    if (x.size() >= 2) {
+      EXPECT_TRUE(Contains(x, 0) || Contains(x, 1))
+          << "counted optional-only set " << ToString(x);
+    }
+  }
+  // And the answers match the baseline.
+  auto base = RunAprioriPlus(&db, catalog, FullDomain(10), Var::kS, cs, 3);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(AsMap(cap->valid_frequent), AsMap(base->valid_frequent));
+}
+
+TEST(CapTest, AblationTogglesDegradeToBaselineResults) {
+  TransactionDb db = RandomDb(6, 10, 200);
+  const ItemCatalog catalog = RandomCatalog(6, 10);
+  std::vector<OneVarConstraint> cs{
+      MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLe, 8),
+      MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 7)};
+  CapOptions off;
+  off.push_succinct = false;
+  off.push_anti_monotone = false;
+  auto no_push = RunCap(&db, catalog, FullDomain(10), Var::kS, cs, 3, off);
+  auto full = RunCap(&db, catalog, FullDomain(10), Var::kS, cs, 3);
+  auto base = RunAprioriPlus(&db, catalog, FullDomain(10), Var::kS, cs, 3);
+  ASSERT_TRUE(no_push.ok());
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(AsMap(no_push->valid_frequent), AsMap(base->valid_frequent));
+  EXPECT_EQ(AsMap(full->valid_frequent), AsMap(base->valid_frequent));
+  EXPECT_LE(full->stats.sets_counted, no_push->stats.sets_counted);
+}
+
+// Property sweep: CAP and Apriori+ agree for every constraint shape.
+struct CapCase {
+  const char* name;
+  OneVarConstraint constraint;
+};
+
+class CapOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CapOracleTest, MatchesAprioriPlus) {
+  const auto [seed, which] = GetParam();
+  const std::vector<OneVarConstraint> all_constraints{
+      MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 5),
+      MakeAgg1(Var::kS, AggFn::kMin, "Price", CmpOp::kGe, 3),
+      MakeAgg1(Var::kS, AggFn::kMin, "Price", CmpOp::kLe, 2),
+      MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kGe, 7),
+      MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLe, 9),
+      MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kGe, 6),
+      MakeAgg1(Var::kS, AggFn::kAvg, "Price", CmpOp::kLe, 4),
+      MakeAgg1(Var::kS, AggFn::kAvg, "Price", CmpOp::kGe, 5),
+      MakeAgg1(Var::kS, AggFn::kCount, "Price", CmpOp::kLe, 2),
+      MakeAgg1(Var::kS, AggFn::kMin, "Price", CmpOp::kEq, 3),
+      MakeDomain1(Var::kS, "Price", SetCmp::kSubset, {1.0, 2.0, 3.0, 4.0}),
+      MakeDomain1(Var::kS, "Price", SetCmp::kDisjoint, {0.0, 9.0}),
+      MakeDomain1(Var::kS, "Price", SetCmp::kIntersects, {2.0, 5.0}),
+      MakeDomain1(Var::kS, "Price", SetCmp::kSuperset, {3.0}),
+      MakeDomain1(Var::kS, "Price", SetCmp::kNotSuperset, {1.0, 2.0}),
+      MakeDomain1(Var::kS, "Price", SetCmp::kNotSubset, {1.0}),
+      MakeDomain1(Var::kS, "Price", SetCmp::kEqual, {2.0, 4.0}),
+      MakeDomain1(Var::kS, "Price", SetCmp::kNotEqual, {3.0}),
+  };
+  const OneVarConstraint& c = all_constraints[static_cast<size_t>(which)];
+
+  TransactionDb db = RandomDb(seed, 9, 150);
+  const ItemCatalog catalog = RandomCatalog(seed + 50, 9);
+  auto cap = RunCap(&db, catalog, FullDomain(9), Var::kS, {c}, 3);
+  auto base = RunAprioriPlus(&db, catalog, FullDomain(9), Var::kS, {c}, 3);
+  ASSERT_TRUE(cap.ok()) << ToString(c);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(AsMap(cap->valid_frequent), AsMap(base->valid_frequent))
+      << ToString(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, CapOracleTest,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 18)));
+
+// Stepwise lattice specifics.
+TEST(LatticeTest, StepReportsLevels) {
+  TransactionDb db = RandomDb(7, 8, 100);
+  const ItemCatalog catalog = RandomCatalog(7, 8);
+  auto lattice =
+      ConstrainedLattice::Create(&db, catalog, FullDomain(8), Var::kS, {}, 4);
+  ASSERT_TRUE(lattice.ok());
+  ConstrainedLattice& l = **lattice;
+  EXPECT_EQ(l.level(), 0u);
+  ASSERT_TRUE(l.Step());
+  EXPECT_EQ(l.level(), 1u);
+  for (const FrequentSet& f : l.last_level_frequent()) {
+    EXPECT_EQ(f.items.size(), 1u);
+  }
+  size_t guard = 0;
+  while (l.Step() && guard++ < 20) {
+  }
+  EXPECT_TRUE(l.done());
+  EXPECT_FALSE(l.Step());
+}
+
+TEST(LatticeTest, AddConstraintsRetroactivelyFilters) {
+  TransactionDb db = RandomDb(8, 8, 150);
+  const ItemCatalog catalog = RandomCatalog(8, 8);
+  auto lattice =
+      ConstrainedLattice::Create(&db, catalog, FullDomain(8), Var::kS, {}, 4);
+  ASSERT_TRUE(lattice.ok());
+  ConstrainedLattice& l = **lattice;
+  l.Step();
+  const size_t before = l.valid_frequent().size();
+  const auto c = MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 4);
+  ASSERT_TRUE(l.AddConstraints({c}).ok());
+  for (const FrequentSet& f : l.valid_frequent()) {
+    auto ok = Eval(c, f.items, catalog);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(ok.value());
+  }
+  EXPECT_LE(l.valid_frequent().size(), before);
+  while (l.Step()) {
+  }
+  // Final results match running CAP with the constraint from scratch.
+  auto reference = RunCap(&db, catalog, FullDomain(8), Var::kS, {c}, 4);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(AsMap(l.valid_frequent()), AsMap(reference->valid_frequent));
+}
+
+TEST(LatticeTest, DynamicBoundPrunesAndOnlyTightens) {
+  TransactionDb db = RandomDb(9, 8, 150);
+  const ItemCatalog catalog = RandomCatalog(9, 8);
+  auto lattice =
+      ConstrainedLattice::Create(&db, catalog, FullDomain(8), Var::kS, {}, 3);
+  ASSERT_TRUE(lattice.ok());
+  ConstrainedLattice& l = **lattice;
+  l.SetDynamicBound(AggFn::kSum, "Price", 6, /*prunable=*/true);
+  l.SetDynamicBound(AggFn::kSum, "Price", 10, /*prunable=*/true);  // Ignored.
+  while (l.Step()) {
+  }
+  for (const FrequentSet& f : l.valid_frequent()) {
+    auto v = AggregateOver(AggFn::kSum, "Price", f.items, catalog);
+    ASSERT_TRUE(v.ok());
+    EXPECT_LE(v.value(), 6);
+  }
+}
+
+TEST(LatticeTest, UnsatisfiableInjectionClearsEverything) {
+  TransactionDb db = RandomDb(10, 8, 100);
+  const ItemCatalog catalog = RandomCatalog(10, 8);
+  auto lattice =
+      ConstrainedLattice::Create(&db, catalog, FullDomain(8), Var::kS, {}, 3);
+  ASSERT_TRUE(lattice.ok());
+  ConstrainedLattice& l = **lattice;
+  l.Step();
+  ASSERT_TRUE(
+      l.AddConstraints(
+           {MakeAgg1(Var::kS, AggFn::kCount, kItemAttr, CmpOp::kLe, 0)})
+          .ok());
+  EXPECT_TRUE(l.done());
+  EXPECT_TRUE(l.valid_frequent().empty());
+}
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,104 @@
+#include "common/combinatorics.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(BinomialSaturating(0, 0), 1u);
+  EXPECT_EQ(BinomialSaturating(5, 0), 1u);
+  EXPECT_EQ(BinomialSaturating(5, 5), 1u);
+  EXPECT_EQ(BinomialSaturating(5, 1), 5u);
+  EXPECT_EQ(BinomialSaturating(5, 2), 10u);
+  EXPECT_EQ(BinomialSaturating(6, 3), 20u);
+  EXPECT_EQ(BinomialSaturating(10, 4), 210u);
+}
+
+TEST(BinomialTest, KGreaterThanNIsZero) {
+  EXPECT_EQ(BinomialSaturating(3, 4), 0u);
+  EXPECT_EQ(BinomialSaturating(0, 1), 0u);
+}
+
+TEST(BinomialTest, SymmetricInK) {
+  for (uint64_t n = 0; n <= 20; ++n) {
+    for (uint64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(BinomialSaturating(n, k), BinomialSaturating(n, n - k));
+    }
+  }
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (uint64_t n = 1; n <= 30; ++n) {
+    for (uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(BinomialSaturating(n, k),
+                BinomialSaturating(n - 1, k - 1) + BinomialSaturating(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialTest, LargeExactValue) {
+  EXPECT_EQ(BinomialSaturating(52, 5), 2598960u);
+  EXPECT_EQ(BinomialSaturating(60, 30), 118264581564861424ull);
+}
+
+TEST(BinomialTest, SaturatesInsteadOfOverflowing) {
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  EXPECT_EQ(BinomialSaturating(200, 100), kMax);
+  EXPECT_EQ(BinomialSaturating(1000, 500), kMax);
+  // C(68,34) overflows 64 bits; C(66,33) does not.
+  EXPECT_LT(BinomialSaturating(66, 33), kMax);
+}
+
+// Figure 5's worked example: k=4, N=17 frequent 4-sets containing t1.
+// C(6,3)=20 > 17 so no frequent 7-set; C(5,3)=10 <= 17 allows size 6,
+// hence J = 2.
+TEST(LargestJTest, PaperWorkedExample) {
+  EXPECT_EQ(LargestJForCount(17, 4, 1000), 2);
+}
+
+TEST(LargestJTest, ZeroCountMeansNoSet) {
+  EXPECT_EQ(LargestJForCount(0, 3, 100), -1);
+}
+
+TEST(LargestJTest, OneOccurrenceAllowsNoGrowth) {
+  // C(k-1, k-1) = 1 <= 1 but C(k, k-1) = k > 1 for k >= 2.
+  EXPECT_EQ(LargestJForCount(1, 4, 100), 0);
+  EXPECT_EQ(LargestJForCount(1, 2, 100), 0);
+}
+
+TEST(LargestJTest, DefinitionHolds) {
+  for (uint64_t k = 1; k <= 6; ++k) {
+    for (uint64_t count = 1; count <= 200; count += 7) {
+      const int64_t j = LargestJForCount(count, k, 64);
+      ASSERT_GE(j, 0);
+      EXPECT_GE(count, BinomialSaturating(k + static_cast<uint64_t>(j) - 1,
+                                          k - 1));
+      if (static_cast<uint64_t>(j) < 64) {
+        EXPECT_LT(count, BinomialSaturating(k + static_cast<uint64_t>(j),
+                                            k - 1));
+      }
+    }
+  }
+}
+
+TEST(LargestJTest, MonotoneInCount) {
+  for (uint64_t k = 2; k <= 5; ++k) {
+    int64_t prev = -1;
+    for (uint64_t count = 1; count <= 500; ++count) {
+      const int64_t j = LargestJForCount(count, k, 64);
+      EXPECT_GE(j, prev);
+      prev = j;
+    }
+  }
+}
+
+TEST(LargestJTest, CappedByMaxJ) {
+  EXPECT_EQ(LargestJForCount(1000000, 2, 3), 3);
+}
+
+}  // namespace
+}  // namespace cfq

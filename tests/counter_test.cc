@@ -1,0 +1,167 @@
+#include "mining/counter.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_gen.h"
+#include "mining/bitmap_counter.h"
+#include "mining/hash_counter.h"
+
+namespace cfq {
+namespace {
+
+TransactionDb RandomDb(int seed, size_t num_items, size_t num_txns) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 8);
+  std::uniform_int_distribution<ItemId> item(0,
+                                             static_cast<ItemId>(num_items - 1));
+  TransactionDb db(num_items);
+  for (size_t t = 0; t < num_txns; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    db.Add(std::move(txn));
+  }
+  return db;
+}
+
+TEST(CounterTest, SingletonSupports) {
+  TransactionDb db(3);
+  db.Add({0, 1});
+  db.Add({1});
+  db.Add({1, 2});
+  for (CounterKind kind : {CounterKind::kHash, CounterKind::kBitmap}) {
+    auto counter = MakeCounter(kind, &db);
+    CccStats stats;
+    auto supports = counter->Count({{0}, {1}, {2}}, &stats);
+    EXPECT_EQ(supports, (std::vector<uint64_t>{1, 3, 1}));
+    EXPECT_EQ(stats.sets_counted, 3u);
+  }
+}
+
+TEST(CounterTest, EmptyCandidateList) {
+  TransactionDb db(3);
+  db.Add({0});
+  for (CounterKind kind : {CounterKind::kHash, CounterKind::kBitmap}) {
+    auto counter = MakeCounter(kind, &db);
+    CccStats stats;
+    EXPECT_TRUE(counter->Count({}, &stats).empty());
+  }
+}
+
+TEST(CounterTest, NullStatsAccepted) {
+  TransactionDb db(3);
+  db.Add({0, 1, 2});
+  for (CounterKind kind : {CounterKind::kHash, CounterKind::kBitmap}) {
+    auto counter = MakeCounter(kind, &db);
+    auto supports = counter->Count({{0, 1}}, nullptr);
+    EXPECT_EQ(supports[0], 1u);
+  }
+}
+
+TEST(CounterTest, HashCounterAccountsScansPerLevel) {
+  TransactionDb db(4);
+  for (int i = 0; i < 100; ++i) db.Add({0, 1, 2, 3});
+  HashCounter counter(&db);
+  CccStats stats;
+  counter.Count({{0}}, &stats);
+  counter.Count({{0, 1}}, &stats);
+  EXPECT_EQ(stats.io.scans, 2u);
+  EXPECT_GT(stats.io.pages_read, 0u);
+}
+
+TEST(CounterTest, BitmapCounterAccountsOneIndexScan) {
+  TransactionDb db(4);
+  for (int i = 0; i < 100; ++i) db.Add({0, 1, 2, 3});
+  BitmapCounter counter(&db);
+  CccStats stats;
+  counter.Count({{0}}, &stats);
+  counter.Count({{0, 1}}, &stats);
+  counter.Count({{0, 1, 2}}, &stats);
+  EXPECT_EQ(stats.io.scans, 1u);
+}
+
+TEST(CounterTest, CountedLogRecordsCandidates) {
+  TransactionDb db(3);
+  db.Add({0, 1, 2});
+  std::vector<Itemset> log;
+  CccStats stats;
+  stats.counted_log = &log;
+  auto counter = MakeCounter(CounterKind::kBitmap, &db);
+  counter->Count({{0}, {1}}, &stats);
+  counter->Count({{0, 1}}, &stats);
+  EXPECT_EQ(log, (std::vector<Itemset>{{0}, {1}, {0, 1}}));
+}
+
+// Property: both backends agree with the naive horizontal scan on random
+// databases and candidate sets of every size.
+class CounterCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterCrossCheckTest, BackendsMatchNaiveSupport) {
+  TransactionDb db = RandomDb(GetParam(), 12, 200);
+  std::mt19937 rng(GetParam() + 999);
+  std::uniform_int_distribution<ItemId> item(0, 11);
+  for (size_t k = 1; k <= 4; ++k) {
+    // Random candidate batch of size-k itemsets.
+    std::vector<Itemset> candidates;
+    std::set<Itemset> seen;
+    const size_t target = k == 1 ? 10 : 20;  // Only 12 singletons exist.
+    while (candidates.size() < target) {
+      std::vector<ItemId> raw(k);
+      for (auto& x : raw) x = item(rng);
+      Itemset c = MakeItemset(raw);
+      if (c.size() != k || !seen.insert(c).second) continue;
+      candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    HashCounter hash(&db);
+    BitmapCounter bitmap(&db);
+    const auto s1 = hash.Count(candidates, nullptr);
+    const auto s2 = bitmap.Count(candidates, nullptr);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const uint64_t expected = db.CountSupport(candidates[i]);
+      EXPECT_EQ(s1[i], expected) << ToString(candidates[i]);
+      EXPECT_EQ(s2[i], expected) << ToString(candidates[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterCrossCheckTest, ::testing::Range(0, 10));
+
+// The hash counter's two internal paths (subset enumeration vs direct
+// candidate probing) must agree: exercise with few candidates + long
+// transactions (probing) and many candidates + short transactions.
+TEST(CounterTest, HashCounterPathsAgree) {
+  TransactionDb db(30);
+  std::vector<ItemId> wide;
+  for (ItemId i = 0; i < 30; ++i) wide.push_back(i);
+  for (int t = 0; t < 10; ++t) db.Add(wide);  // C(30,3) >> candidates.
+  db.Add({0, 1, 2});
+  HashCounter counter(&db);
+  auto supports = counter.Count({{0, 1, 2}, {27, 28, 29}}, nullptr);
+  EXPECT_EQ(supports[0], 11u);
+  EXPECT_EQ(supports[1], 10u);
+}
+
+TEST(CounterTest, QuestDbCrossCheck) {
+  QuestParams params;
+  params.num_transactions = 400;
+  params.num_items = 40;
+  params.num_patterns = 20;
+  params.seed = 3;
+  auto db = GenerateQuestDb(params);
+  ASSERT_TRUE(db.ok());
+  TransactionDb quest = std::move(db).value();
+  HashCounter hash(&quest);
+  BitmapCounter bitmap(&quest);
+  std::vector<Itemset> candidates;
+  for (ItemId i = 0; i + 1 < 40; i += 2) candidates.push_back({i, i + 1});
+  const auto s1 = hash.Count(candidates, nullptr);
+  const auto s2 = bitmap.Count(candidates, nullptr);
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace cfq

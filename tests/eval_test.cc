@@ -1,0 +1,192 @@
+#include "constraints/eval.h"
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+// Catalog: items 0..5 with Price {10,20,30,40,50,60} and
+// Type {0,0,1,1,2,2}.
+ItemCatalog MakeCatalog() {
+  ItemCatalog catalog(6);
+  EXPECT_TRUE(
+      catalog.AddNumericAttr("Price", {10, 20, 30, 40, 50, 60}).ok());
+  EXPECT_TRUE(catalog.AddCategoricalAttr("Type", {0, 0, 1, 1, 2, 2}).ok());
+  return catalog;
+}
+
+bool MustEval(const OneVarConstraint& c, const Itemset& s,
+              const ItemCatalog& catalog) {
+  auto r = Eval(c, s, catalog);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && r.value();
+}
+
+bool MustEvalPair(const TwoVarConstraint& c, const Itemset& s,
+                  const Itemset& t, const ItemCatalog& catalog) {
+  auto r = EvalPair(c, s, t, catalog);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && r.value();
+}
+
+TEST(EvalTest, ProjectSetDedupes) {
+  const ItemCatalog catalog = MakeCatalog();
+  auto set = ProjectSet("Type", {0, 1, 2}, catalog);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set.value(), (std::vector<AttrValue>{0, 1}));
+}
+
+TEST(EvalTest, SetCmpAllOperators) {
+  const std::vector<AttrValue> x{1, 2};
+  const std::vector<AttrValue> y{1, 2, 3};
+  EXPECT_TRUE(EvalSetCmp(x, SetCmp::kSubset, y));
+  EXPECT_FALSE(EvalSetCmp(y, SetCmp::kSubset, x));
+  EXPECT_TRUE(EvalSetCmp(y, SetCmp::kSuperset, x));
+  EXPECT_TRUE(EvalSetCmp(x, SetCmp::kIntersects, y));
+  EXPECT_FALSE(EvalSetCmp(x, SetCmp::kDisjoint, y));
+  EXPECT_TRUE(EvalSetCmp(x, SetCmp::kDisjoint, {7}));
+  EXPECT_TRUE(EvalSetCmp(x, SetCmp::kNotEqual, y));
+  EXPECT_TRUE(EvalSetCmp(x, SetCmp::kEqual, {1, 2}));
+  EXPECT_TRUE(EvalSetCmp(y, SetCmp::kNotSubset, x));
+  EXPECT_TRUE(EvalSetCmp(x, SetCmp::kNotSuperset, y));
+}
+
+TEST(EvalTest, SetCmpEmptySets) {
+  const std::vector<AttrValue> empty;
+  const std::vector<AttrValue> x{1};
+  EXPECT_TRUE(EvalSetCmp(empty, SetCmp::kSubset, x));
+  EXPECT_TRUE(EvalSetCmp(empty, SetCmp::kDisjoint, x));
+  EXPECT_FALSE(EvalSetCmp(empty, SetCmp::kIntersects, x));
+  EXPECT_TRUE(EvalSetCmp(empty, SetCmp::kEqual, empty));
+  EXPECT_TRUE(EvalSetCmp(x, SetCmp::kSuperset, empty));
+}
+
+TEST(EvalTest, DomainConstraint1) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto subset =
+      MakeDomain1(Var::kS, "Type", SetCmp::kSubset, {0.0, 1.0});
+  EXPECT_TRUE(MustEval(subset, {0, 2}, catalog));
+  EXPECT_FALSE(MustEval(subset, {0, 4}, catalog));  // Type 2 leaks in.
+
+  const auto disjoint = MakeDomain1(Var::kS, "Type", SetCmp::kDisjoint, {2.0});
+  EXPECT_TRUE(MustEval(disjoint, {0, 1, 2}, catalog));
+  EXPECT_FALSE(MustEval(disjoint, {4}, catalog));
+}
+
+TEST(EvalTest, AggConstraint1AllOps) {
+  const ItemCatalog catalog = MakeCatalog();
+  const Itemset s{0, 1, 2};  // Prices 10, 20, 30.
+  EXPECT_TRUE(MustEval(MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLe, 60),
+                       s, catalog));
+  EXPECT_FALSE(MustEval(
+      MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLt, 60), s, catalog));
+  EXPECT_TRUE(MustEval(MakeAgg1(Var::kS, AggFn::kMin, "Price", CmpOp::kEq, 10),
+                       s, catalog));
+  EXPECT_TRUE(MustEval(MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kGe, 30),
+                       s, catalog));
+  EXPECT_TRUE(MustEval(MakeAgg1(Var::kS, AggFn::kAvg, "Price", CmpOp::kEq, 20),
+                       s, catalog));
+  EXPECT_TRUE(MustEval(
+      MakeAgg1(Var::kS, AggFn::kCount, "Price", CmpOp::kNe, 2), s, catalog));
+  EXPECT_TRUE(MustEval(MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kGt, 59),
+                       s, catalog));
+}
+
+TEST(EvalTest, EmptySetSemantics) {
+  const ItemCatalog catalog = MakeCatalog();
+  // min/max/avg over the empty set: constraint fails (not an error).
+  EXPECT_FALSE(MustEval(
+      MakeAgg1(Var::kS, AggFn::kMin, "Price", CmpOp::kLe, 100), {}, catalog));
+  // sum over empty = 0; count = 0.
+  EXPECT_TRUE(MustEval(MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kEq, 0),
+                       {}, catalog));
+  EXPECT_TRUE(MustEval(
+      MakeAgg1(Var::kS, AggFn::kCount, "Price", CmpOp::kEq, 0), {}, catalog));
+}
+
+TEST(EvalTest, UnknownAttributeIsError) {
+  const ItemCatalog catalog = MakeCatalog();
+  auto r = Eval(MakeAgg1(Var::kS, AggFn::kSum, "Nope", CmpOp::kLe, 1), {0},
+                catalog);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EvalTest, TwoVarDomainConstraints) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto disjoint = MakeDomain2("Type", SetCmp::kDisjoint, "Type");
+  EXPECT_TRUE(MustEvalPair(disjoint, {0, 1}, {2, 4}, catalog));
+  EXPECT_FALSE(MustEvalPair(disjoint, {0, 2}, {3}, catalog));
+
+  const auto subset = MakeDomain2("Type", SetCmp::kSubset, "Type");
+  EXPECT_TRUE(MustEvalPair(subset, {0}, {1, 2}, catalog));
+  EXPECT_FALSE(MustEvalPair(subset, {0, 2}, {1}, catalog));
+
+  const auto equal = MakeDomain2("Type", SetCmp::kEqual, "Type");
+  EXPECT_TRUE(MustEvalPair(equal, {0}, {1}, catalog));  // Both {type 0}.
+  EXPECT_FALSE(MustEvalPair(equal, {0}, {2}, catalog));
+}
+
+TEST(EvalTest, TwoVarAggConstraints) {
+  const ItemCatalog catalog = MakeCatalog();
+  // max(S.Price) <= min(T.Price): snack/beer style.
+  const auto cheap = MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin,
+                              "Price");
+  EXPECT_TRUE(MustEvalPair(cheap, {0, 1}, {2, 5}, catalog));   // 20 <= 30.
+  EXPECT_FALSE(MustEvalPair(cheap, {0, 3}, {2, 5}, catalog));  // 40 > 30.
+
+  const auto sums =
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price");
+  EXPECT_TRUE(MustEvalPair(sums, {0, 1}, {4}, catalog));   // 30 <= 50.
+  EXPECT_FALSE(MustEvalPair(sums, {4, 5}, {0}, catalog));  // 110 > 10.
+}
+
+TEST(EvalTest, TwoVarMixedAttrs) {
+  const ItemCatalog catalog = MakeCatalog();
+  // S.Type intersects T.Type across different item sets.
+  const auto inter = MakeDomain2("Type", SetCmp::kIntersects, "Type");
+  EXPECT_TRUE(MustEvalPair(inter, {0, 2}, {3}, catalog));
+  EXPECT_FALSE(MustEvalPair(inter, {0}, {4}, catalog));
+}
+
+TEST(EvalTest, EvalAllConjunctionAndVarFiltering) {
+  const ItemCatalog catalog = MakeCatalog();
+  std::vector<OneVarConstraint> cs;
+  cs.push_back(MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLe, 100));
+  cs.push_back(MakeAgg1(Var::kT, AggFn::kSum, "Price", CmpOp::kLe, 1));
+  // The T constraint must not affect S evaluation.
+  auto r = EvalAll(cs, Var::kS, {0, 1}, catalog);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  r = EvalAll(cs, Var::kT, {0, 1}, catalog);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST(EvalTest, EvalAllPairsConjunction) {
+  const ItemCatalog catalog = MakeCatalog();
+  std::vector<TwoVarConstraint> cs;
+  cs.push_back(MakeDomain2("Type", SetCmp::kDisjoint, "Type"));
+  cs.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  auto r = EvalAllPairs(cs, {0}, {4, 5}, catalog);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  r = EvalAllPairs(cs, {4}, {0}, catalog);  // Price violates.
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST(EvalTest, ToStringRendering) {
+  EXPECT_EQ(ToString(MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLe, 100)),
+            "sum(S.Price) <= 100");
+  EXPECT_EQ(ToString(MakeDomain1(Var::kT, "Type", SetCmp::kDisjoint, {1.0})),
+            "T.Type disjoint {1}");
+  EXPECT_EQ(ToString(MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin,
+                              "Price")),
+            "max(S.Price) <= min(T.Price)");
+  EXPECT_EQ(ToString(MakeDomain2("Type", SetCmp::kEqual, "Type")),
+            "S.Type = T.Type");
+}
+
+}  // namespace
+}  // namespace cfq

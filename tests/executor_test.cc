@@ -1,0 +1,365 @@
+#include "core/executor.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+struct Instance {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  CfqQuery query;
+};
+
+// Random small instance: S over even items, T over odd items, Price and
+// Type attributes.
+Instance MakeInstance(int seed) {
+  Instance inst;
+  const size_t n = 10;
+  inst.db = TransactionDb(n);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 6);
+  std::uniform_int_distribution<ItemId> item(0, n - 1);
+  for (int t = 0; t < 80; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    inst.db.Add(std::move(txn));
+  }
+  inst.catalog = ItemCatalog(n);
+  std::vector<AttrValue> price(n);
+  std::vector<int32_t> type(n);
+  std::uniform_int_distribution<int> price_dist(1, 9);
+  std::uniform_int_distribution<int> type_dist(0, 2);
+  for (size_t i = 0; i < n; ++i) {
+    price[i] = price_dist(rng);
+    type[i] = type_dist(rng);
+  }
+  EXPECT_TRUE(inst.catalog.AddNumericAttr("Price", price).ok());
+  EXPECT_TRUE(inst.catalog.AddCategoricalAttr("Type", type).ok());
+  for (ItemId i = 0; i < n; ++i) {
+    ((i % 2 == 0) ? inst.query.s_domain : inst.query.t_domain).push_back(i);
+  }
+  inst.query.min_support_s = 4;
+  inst.query.min_support_t = 4;
+  return inst;
+}
+
+// Query shapes covering every optimization path.
+std::vector<CfqQuery> QueryShapes(const CfqQuery& base) {
+  std::vector<CfqQuery> out;
+  {
+    CfqQuery q = base;  // Pure frequency (cross product).
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // 1-var only.
+    q.one_var.push_back(
+        MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLe, 14));
+    q.one_var.push_back(
+        MakeAgg1(Var::kT, AggFn::kMin, "Price", CmpOp::kGe, 3));
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // Quasi-succinct 2-var (Fig 8(a) shape).
+    q.two_var.push_back(
+        MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // Domain 2-var.
+    q.two_var.push_back(MakeDomain2("Type", SetCmp::kDisjoint, "Type"));
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // 1-var + 2-var (Fig 8(b) shape).
+    q.one_var.push_back(
+        MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 6));
+    q.one_var.push_back(
+        MakeAgg1(Var::kT, AggFn::kMin, "Price", CmpOp::kGe, 4));
+    q.two_var.push_back(MakeDomain2("Type", SetCmp::kEqual, "Type"));
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // Non-quasi-succinct: sum vs sum (Sec 7.3 shape).
+    q.two_var.push_back(
+        MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // avg constraint with induced weaker form.
+    q.two_var.push_back(
+        MakeAgg2(AggFn::kAvg, "Price", CmpOp::kLe, AggFn::kAvg, "Price"));
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // Subset (sound-not-tight reduction row).
+    q.two_var.push_back(MakeDomain2("Type", SetCmp::kSubset, "Type"));
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // Multiple 2-var constraints together.
+    q.two_var.push_back(
+        MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMax, "Price"));
+    q.two_var.push_back(MakeDomain2("Type", SetCmp::kIntersects, "Type"));
+    out.push_back(q);
+  }
+  {
+    CfqQuery q = base;  // Mixed: 1-var + sum/avg 2-var.
+    q.one_var.push_back(
+        MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 7));
+    q.two_var.push_back(
+        MakeAgg2(AggFn::kSum, "Price", CmpOp::kGe, AggFn::kAvg, "Price"));
+    out.push_back(q);
+  }
+  return out;
+}
+
+// The central correctness property: every strategy returns the same
+// answer pairs as the brute-force oracle, across query shapes, seeds,
+// dovetailing and counting backends.
+class ExecutorEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, bool, CounterKind>> {};
+
+TEST_P(ExecutorEquivalenceTest, AllStrategiesMatchOracle) {
+  const auto [seed, dovetail, counter] = GetParam();
+  Instance inst = MakeInstance(seed);
+  PlanOptions options;
+  options.dovetail = dovetail;
+  options.counter = counter;
+
+  for (const CfqQuery& q : QueryShapes(inst.query)) {
+    auto oracle = ExecuteBruteForce(inst.db, inst.catalog, q);
+    ASSERT_TRUE(oracle.ok()) << ToString(q);
+    const auto expected = AnswerPairs(oracle.value());
+
+    auto optimized = ExecuteOptimized(&inst.db, inst.catalog, q, options);
+    ASSERT_TRUE(optimized.ok()) << ToString(q);
+    EXPECT_EQ(AnswerPairs(optimized.value()), expected) << ToString(q);
+
+    auto naive = ExecuteAprioriPlus(&inst.db, inst.catalog, q, options);
+    ASSERT_TRUE(naive.ok()) << ToString(q);
+    EXPECT_EQ(AnswerPairs(naive.value()), expected) << ToString(q);
+
+    auto cap = ExecuteCapOneVar(&inst.db, inst.catalog, q, options);
+    ASSERT_TRUE(cap.ok()) << ToString(q);
+    EXPECT_EQ(AnswerPairs(cap.value()), expected) << ToString(q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ExecutorEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Bool(),
+                       ::testing::Values(CounterKind::kBitmap,
+                                         CounterKind::kHash)));
+
+// Ablation toggles must not change answers.
+class ExecutorAblationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorAblationTest, TogglesPreserveAnswers) {
+  Instance inst = MakeInstance(GetParam() + 42);
+  for (const CfqQuery& q : QueryShapes(inst.query)) {
+    auto oracle = ExecuteBruteForce(inst.db, inst.catalog, q);
+    ASSERT_TRUE(oracle.ok());
+    const auto expected = AnswerPairs(oracle.value());
+    for (int mask = 0; mask < 8; ++mask) {
+      PlanOptions options;
+      options.use_quasi_succinct = mask & 1;
+      options.use_induced = mask & 2;
+      options.use_jmax = mask & 4;
+      auto result = ExecuteOptimized(&inst.db, inst.catalog, q, options);
+      ASSERT_TRUE(result.ok()) << ToString(q) << " mask=" << mask;
+      EXPECT_EQ(AnswerPairs(result.value()), expected)
+          << ToString(q) << " mask=" << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorAblationTest, ::testing::Range(0, 3));
+
+TEST(ExecutorTest, OptimizedNeverCountsMoreThanAprioriPlus) {
+  Instance inst = MakeInstance(7);
+  CfqQuery q = inst.query;
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  auto optimized = ExecuteOptimized(&inst.db, inst.catalog, q);
+  auto naive = ExecuteAprioriPlus(&inst.db, inst.catalog, q);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_LE(optimized->stats.s.sets_counted + optimized->stats.t.sets_counted,
+            naive->stats.s.sets_counted + naive->stats.t.sets_counted);
+}
+
+TEST(ExecutorTest, SideSetsAreSubsetOfBaselineSideSets) {
+  Instance inst = MakeInstance(8);
+  CfqQuery q = inst.query;
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  auto optimized = ExecuteOptimized(&inst.db, inst.catalog, q);
+  auto naive = ExecuteAprioriPlus(&inst.db, inst.catalog, q);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(naive.ok());
+  auto contains = [](const std::vector<FrequentSet>& haystack,
+                     const Itemset& needle) {
+    for (const FrequentSet& f : haystack) {
+      if (f.items == needle) return true;
+    }
+    return false;
+  };
+  for (const FrequentSet& f : optimized->s_sets) {
+    EXPECT_TRUE(contains(naive->s_sets, f.items)) << ToString(f.items);
+  }
+  for (const FrequentSet& f : optimized->t_sets) {
+    EXPECT_TRUE(contains(naive->t_sets, f.items)) << ToString(f.items);
+  }
+  // And every paired set survives in the optimized side sets.
+  for (const auto& [i, j] : naive->pairs) {
+    EXPECT_TRUE(contains(optimized->s_sets, naive->s_sets[i].items));
+    EXPECT_TRUE(contains(optimized->t_sets, naive->t_sets[j].items));
+  }
+}
+
+TEST(ExecutorTest, CrossProductFlagForPureFrequencyQuery) {
+  Instance inst = MakeInstance(9);
+  auto result = ExecuteOptimized(&inst.db, inst.catalog, inst.query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->cross_product);
+  EXPECT_TRUE(result->pairs.empty());
+  EXPECT_EQ(AnswerPairs(result.value()).size(),
+            result->s_sets.size() * result->t_sets.size());
+}
+
+TEST(ExecutorTest, UnsatisfiableTwoVarYieldsNoPairs) {
+  Instance inst = MakeInstance(10);
+  CfqQuery q = inst.query;
+  // Prices are 1..9; S sums are >= 1, so sum(S) <= min(T) with min(T)
+  // forced below 1 is unsatisfiable.
+  q.one_var.push_back(MakeAgg1(Var::kT, AggFn::kMin, "Price", CmpOp::kLe, 0));
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  auto result = ExecuteOptimized(&inst.db, inst.catalog, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+  EXPECT_TRUE(result->t_sets.empty());
+  // The reduction should have killed the S side too (no frequent valid
+  // T witness exists).
+  EXPECT_TRUE(result->s_sets.empty());
+}
+
+TEST(ExecutorTest, UnknownAttributeSurfacesError) {
+  Instance inst = MakeInstance(11);
+  CfqQuery q = inst.query;
+  q.two_var.push_back(MakeDomain2("Ghost", SetCmp::kDisjoint, "Type"));
+  EXPECT_FALSE(ExecuteOptimized(&inst.db, inst.catalog, q).ok());
+}
+
+TEST(ExecutorTest, MaxLevelLimitsLatticeDepth) {
+  Instance inst = MakeInstance(12);
+  PlanOptions options;
+  options.max_level = 1;
+  auto result = ExecuteOptimized(&inst.db, inst.catalog, inst.query, options);
+  ASSERT_TRUE(result.ok());
+  for (const FrequentSet& f : result->s_sets) {
+    EXPECT_EQ(f.items.size(), 1u);
+  }
+}
+
+TEST(ExecutorTest, ExecutePlanMatchesExecuteOptimized) {
+  Instance inst = MakeInstance(13);
+  CfqQuery q = inst.query;
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+  auto plan = BuildPlan(q);
+  ASSERT_TRUE(plan.ok());
+  auto via_plan = ExecutePlan(&inst.db, inst.catalog, plan.value());
+  auto direct = ExecuteOptimized(&inst.db, inst.catalog, q);
+  ASSERT_TRUE(via_plan.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(AnswerPairs(via_plan.value()), AnswerPairs(direct.value()));
+}
+
+// Section 5.2's I/O argument: with a horizontal backend, dovetailing
+// shares one transaction-file scan between the two lattices' levels.
+TEST(ExecutorTest, DovetailSharesScansWithHorizontalBackend) {
+  Instance inst = MakeInstance(15);
+  CfqQuery q = inst.query;
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+
+  PlanOptions dovetailed;
+  dovetailed.counter = CounterKind::kHash;
+  PlanOptions sequential = dovetailed;
+  sequential.dovetail = false;
+
+  auto shared = ExecuteOptimized(&inst.db, inst.catalog, q, dovetailed);
+  auto split = ExecuteOptimized(&inst.db, inst.catalog, q, sequential);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(AnswerPairs(shared.value()), AnswerPairs(split.value()));
+  const uint64_t shared_scans =
+      shared->stats.s.io.scans + shared->stats.t.io.scans;
+  const uint64_t split_scans =
+      split->stats.s.io.scans + split->stats.t.io.scans;
+  EXPECT_LT(shared_scans, split_scans);
+}
+
+// Negative attribute values: every sum-related pushdown assumes
+// nonnegative domains (Section 5); with nonnegative=false the executor
+// must stay sound and agree with the oracle.
+class NegativeValuesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NegativeValuesTest, SoundWithNonnegativeDisabled) {
+  std::mt19937 rng(GetParam() + 900);
+  TransactionDb db(8);
+  std::uniform_int_distribution<int> len(1, 5);
+  std::uniform_int_distribution<ItemId> item(0, 7);
+  for (int t = 0; t < 60; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    db.Add(std::move(txn));
+  }
+  ItemCatalog catalog(8);
+  std::vector<AttrValue> price(8);
+  std::uniform_int_distribution<int> price_dist(-5, 5);
+  for (auto& p : price) p = price_dist(rng);
+  ASSERT_TRUE(catalog.AddNumericAttr("Price", price).ok());
+
+  CfqQuery query;
+  for (ItemId i = 0; i < 8; ++i) {
+    ((i % 2 == 0) ? query.s_domain : query.t_domain).push_back(i);
+  }
+  query.min_support_s = query.min_support_t = 3;
+  query.one_var.push_back(
+      MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLe, 2));
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+
+  PlanOptions options;
+  options.nonnegative = false;
+  auto oracle = ExecuteBruteForce(db, catalog, query);
+  auto optimized = ExecuteOptimized(&db, catalog, query, options);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(AnswerPairs(optimized.value()), AnswerPairs(oracle.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegativeValuesTest, ::testing::Range(0, 6));
+
+TEST(ExecutorTest, StatsArePopulated) {
+  Instance inst = MakeInstance(14);
+  CfqQuery q = inst.query;
+  q.two_var.push_back(MakeDomain2("Type", SetCmp::kDisjoint, "Type"));
+  auto result = ExecuteOptimized(&inst.db, inst.catalog, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.s.sets_counted, 0u);
+  EXPECT_GT(result->stats.t.sets_counted, 0u);
+  EXPECT_GE(result->stats.elapsed_seconds, 0.0);
+  if (!result->s_sets.empty() && !result->t_sets.empty()) {
+    EXPECT_EQ(result->stats.pair_checks,
+              result->s_sets.size() * result->t_sets.size());
+  }
+}
+
+}  // namespace
+}  // namespace cfq

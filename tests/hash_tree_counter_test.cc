@@ -1,0 +1,134 @@
+#include "mining/hash_tree_counter.h"
+
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_gen.h"
+#include "mining/apriori.h"
+
+namespace cfq {
+namespace {
+
+TransactionDb RandomDb(int seed, size_t num_items, size_t num_txns,
+                       int max_len = 8) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, max_len);
+  std::uniform_int_distribution<ItemId> item(
+      0, static_cast<ItemId>(num_items - 1));
+  TransactionDb db(num_items);
+  for (size_t t = 0; t < num_txns; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    db.Add(std::move(txn));
+  }
+  return db;
+}
+
+TEST(HashTreeCounterTest, SingletonSupports) {
+  TransactionDb db(3);
+  db.Add({0, 1});
+  db.Add({1});
+  db.Add({1, 2});
+  HashTreeCounter counter(&db);
+  CccStats stats;
+  EXPECT_EQ(counter.Count({{0}, {1}, {2}}, &stats),
+            (std::vector<uint64_t>{1, 3, 1}));
+  EXPECT_EQ(stats.sets_counted, 3u);
+  EXPECT_EQ(stats.io.scans, 1u);
+}
+
+TEST(HashTreeCounterTest, NoDoubleCountingUnderCollisions) {
+  // branch = 1 forces every path into the same chain of nodes: all
+  // candidates share all leaves reachable along any item choice, the
+  // worst case for duplicate leaf visits.
+  TransactionDb db(6);
+  db.Add({0, 1, 2, 3, 4, 5});
+  db.Add({0, 2, 4});
+  HashTreeCounter counter(&db, /*branch=*/1, /*leaf_capacity=*/1);
+  const std::vector<Itemset> candidates{{0, 2}, {0, 4}, {2, 4}, {1, 3}};
+  EXPECT_EQ(counter.Count(candidates, nullptr),
+            (std::vector<uint64_t>{2, 2, 2, 1}));
+}
+
+TEST(HashTreeCounterTest, TinyLeafCapacityStillExact) {
+  TransactionDb db = RandomDb(3, 10, 150);
+  HashTreeCounter tiny(&db, /*branch=*/2, /*leaf_capacity=*/1);
+  HashTreeCounter big(&db, /*branch=*/64, /*leaf_capacity=*/1024);
+  std::vector<Itemset> candidates;
+  for (ItemId a = 0; a < 10; ++a) {
+    for (ItemId b = a + 1; b < 10; ++b) candidates.push_back({a, b});
+  }
+  const auto s1 = tiny.Count(candidates, nullptr);
+  const auto s2 = big.Count(candidates, nullptr);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(s1[i], db.CountSupport(candidates[i]));
+    EXPECT_EQ(s2[i], s1[i]);
+  }
+}
+
+class HashTreeCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashTreeCrossCheckTest, MatchesNaiveOnRandomData) {
+  TransactionDb db = RandomDb(GetParam(), 15, 250, 10);
+  std::mt19937 rng(GetParam() + 77);
+  std::uniform_int_distribution<ItemId> item(0, 14);
+  for (size_t k = 1; k <= 5; ++k) {
+    std::vector<Itemset> candidates;
+    std::set<Itemset> seen;
+    const size_t want = k == 1 ? 12 : 30;
+    int attempts = 0;
+    while (candidates.size() < want && attempts++ < 10000) {
+      std::vector<ItemId> raw(k);
+      for (auto& x : raw) x = item(rng);
+      Itemset c = MakeItemset(raw);
+      if (c.size() == k && seen.insert(c).second) candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    HashTreeCounter counter(&db);
+    const auto supports = counter.Count(candidates, nullptr);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(supports[i], db.CountSupport(candidates[i]))
+          << ToString(candidates[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashTreeCrossCheckTest,
+                         ::testing::Range(0, 8));
+
+TEST(HashTreeCounterTest, MiningWithHashTreeMatchesBitmap) {
+  QuestParams params;
+  params.num_transactions = 400;
+  params.num_items = 40;
+  params.num_patterns = 20;
+  params.seed = 5;
+  auto generated = GenerateQuestDb(params);
+  ASSERT_TRUE(generated.ok());
+  TransactionDb db = std::move(generated).value();
+  Itemset domain;
+  for (ItemId i = 0; i < 40; ++i) domain.push_back(i);
+
+  AprioriOptions tree_options;
+  tree_options.counter = CounterKind::kHashTree;
+  AprioriOptions bitmap_options;
+  bitmap_options.counter = CounterKind::kBitmap;
+  auto a = MineFrequent(&db, domain, 10, tree_options);
+  auto b = MineFrequent(&db, domain, 10, bitmap_options);
+  ASSERT_EQ(a.frequent.size(), b.frequent.size());
+  for (size_t i = 0; i < a.frequent.size(); ++i) {
+    EXPECT_EQ(a.frequent[i].items, b.frequent[i].items);
+    EXPECT_EQ(a.frequent[i].support, b.frequent[i].support);
+  }
+}
+
+TEST(HashTreeCounterTest, EmptyCandidates) {
+  TransactionDb db(3);
+  db.Add({0});
+  HashTreeCounter counter(&db);
+  EXPECT_TRUE(counter.Count({}, nullptr).empty());
+}
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,229 @@
+// End-to-end tests on Quest-generated data, shaped like the paper's
+// Section 7 experiments (scaled down for CI).
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "data/attribute_gen.h"
+#include "data/synthetic_gen.h"
+
+namespace cfq {
+namespace {
+
+struct Workbench {
+  TransactionDb db{0};
+  ItemCatalog catalog{100};
+  ExperimentDomains domains;
+};
+
+Workbench MakeFig8aBench(int64_t t_price_hi) {
+  Workbench w;
+  QuestParams params;
+  params.num_transactions = 1500;
+  params.num_items = 100;
+  params.num_patterns = 60;
+  params.avg_transaction_size = 8;
+  params.avg_pattern_size = 3;
+  params.seed = 21;
+  auto db = GenerateQuestDb(params);
+  EXPECT_TRUE(db.ok());
+  w.db = std::move(db).value();
+  w.catalog = ItemCatalog(100);
+  EXPECT_TRUE(AssignSplitUniformPrices(&w.catalog, "Price", 400, 1000, 0,
+                                       t_price_hi, 5, &w.domains)
+                  .ok());
+  return w;
+}
+
+// Section 7.1: a single quasi-succinct constraint
+// max(S.Price) <= min(T.Price).
+TEST(IntegrationTest, Fig8aShapeOptimizedMatchesBaselineAndPrunes) {
+  Workbench w = MakeFig8aBench(/*t_price_hi=*/500);  // 16.6% overlap.
+  CfqQuery query;
+  query.s_domain = w.domains.s_domain;
+  query.t_domain = w.domains.t_domain;
+  query.min_support_s = 12;
+  query.min_support_t = 12;
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+
+  auto optimized = ExecuteOptimized(&w.db, w.catalog, query);
+  auto naive = ExecuteAprioriPlus(&w.db, w.catalog, query);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(AnswerPairs(optimized.value()), AnswerPairs(naive.value()));
+  // The paper's headline: quasi-succinctness cuts the candidate space.
+  EXPECT_LT(
+      optimized->stats.s.sets_counted + optimized->stats.t.sets_counted,
+      naive->stats.s.sets_counted + naive->stats.t.sets_counted);
+}
+
+TEST(IntegrationTest, Fig8aSelectivityMonotonicity) {
+  // More price overlap -> less selective constraint -> less pruning.
+  CfqQuery base;
+  base.min_support_s = 12;
+  base.min_support_t = 12;
+  base.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+
+  uint64_t counted_low_overlap = 0, counted_high_overlap = 0;
+  {
+    Workbench w = MakeFig8aBench(500);
+    CfqQuery q = base;
+    q.s_domain = w.domains.s_domain;
+    q.t_domain = w.domains.t_domain;
+    auto r = ExecuteOptimized(&w.db, w.catalog, q);
+    ASSERT_TRUE(r.ok());
+    counted_low_overlap = r->stats.s.sets_counted + r->stats.t.sets_counted;
+  }
+  {
+    Workbench w = MakeFig8aBench(900);
+    CfqQuery q = base;
+    q.s_domain = w.domains.s_domain;
+    q.t_domain = w.domains.t_domain;
+    auto r = ExecuteOptimized(&w.db, w.catalog, q);
+    ASSERT_TRUE(r.ok());
+    counted_high_overlap = r->stats.s.sets_counted + r->stats.t.sets_counted;
+  }
+  EXPECT_LE(counted_low_overlap, counted_high_overlap);
+}
+
+// Section 7.2: 1-var + 2-var constraints; three strategies agree and
+// the optimizer dominates on work.
+TEST(IntegrationTest, Fig8bShapeThreeStrategiesAgree) {
+  Workbench w = MakeFig8aBench(600);
+  ASSERT_TRUE(AssignTypesWithOverlap(&w.catalog, "Type", w.domains, 10, 40.0,
+                                     17)
+                  .ok());
+  CfqQuery query;
+  query.s_domain = w.domains.s_domain;
+  query.t_domain = w.domains.t_domain;
+  query.min_support_s = 12;
+  query.min_support_t = 12;
+  query.one_var.push_back(
+      MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 700));
+  query.one_var.push_back(
+      MakeAgg1(Var::kT, AggFn::kMin, "Price", CmpOp::kGe, 100));
+  query.two_var.push_back(MakeDomain2("Type", SetCmp::kEqual, "Type"));
+
+  auto optimized = ExecuteOptimized(&w.db, w.catalog, query);
+  auto cap = ExecuteCapOneVar(&w.db, w.catalog, query);
+  auto naive = ExecuteAprioriPlus(&w.db, w.catalog, query);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(naive.ok());
+  const auto expected = AnswerPairs(naive.value());
+  EXPECT_EQ(AnswerPairs(optimized.value()), expected);
+  EXPECT_EQ(AnswerPairs(cap.value()), expected);
+  EXPECT_LE(cap->stats.s.sets_counted, naive->stats.s.sets_counted);
+  EXPECT_LE(optimized->stats.s.sets_counted + optimized->stats.t.sets_counted,
+            cap->stats.s.sets_counted + cap->stats.t.sets_counted);
+}
+
+// Section 7.3: sum(S.Price) <= sum(T.Price) with normal prices and Jmax
+// iterative pruning.
+TEST(IntegrationTest, JmaxShapeSumSumAgreesAndPrunes) {
+  QuestParams params;
+  params.num_transactions = 1200;
+  params.num_items = 80;
+  params.num_patterns = 40;
+  params.avg_transaction_size = 8;
+  params.seed = 23;
+  auto db = GenerateQuestDb(params);
+  ASSERT_TRUE(db.ok());
+  TransactionDb quest = std::move(db).value();
+  ItemCatalog catalog(80);
+  ExperimentDomains domains;
+  ASSERT_TRUE(AssignSplitNormalPrices(&catalog, "Price", 1000, 400, 100, 29,
+                                      &domains)
+                  .ok());
+  CfqQuery query;
+  query.s_domain = domains.s_domain;
+  query.t_domain = domains.t_domain;
+  query.min_support_s = 8;   // Low S support: deep S lattice.
+  query.min_support_t = 12;
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+
+  PlanOptions with_jmax;
+  PlanOptions without_jmax;
+  without_jmax.use_jmax = false;
+  without_jmax.use_induced = false;
+  auto a = ExecuteOptimized(&quest, catalog, query, with_jmax);
+  auto b = ExecuteOptimized(&quest, catalog, query, without_jmax);
+  auto naive = ExecuteAprioriPlus(&quest, catalog, query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(naive.ok());
+  const auto expected = AnswerPairs(naive.value());
+  EXPECT_EQ(AnswerPairs(a.value()), expected);
+  EXPECT_EQ(AnswerPairs(b.value()), expected);
+  // Jmax should never count more S candidates than the unpruned run.
+  EXPECT_LE(a->stats.s.sets_counted, b->stats.s.sets_counted);
+}
+
+// Non-dovetailed mode (compute T first, then use the exact global
+// bound) also agrees.
+TEST(IntegrationTest, NonDovetailedJmaxAgrees) {
+  QuestParams params;
+  params.num_transactions = 800;
+  params.num_items = 60;
+  params.num_patterns = 30;
+  params.seed = 31;
+  auto db = GenerateQuestDb(params);
+  ASSERT_TRUE(db.ok());
+  TransactionDb quest = std::move(db).value();
+  ItemCatalog catalog(60);
+  ExperimentDomains domains;
+  ASSERT_TRUE(AssignSplitNormalPrices(&catalog, "Price", 800, 500, 100, 37,
+                                      &domains)
+                  .ok());
+  CfqQuery query;
+  query.s_domain = domains.s_domain;
+  query.t_domain = domains.t_domain;
+  query.min_support_s = 8;
+  query.min_support_t = 8;
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+
+  PlanOptions dovetailed;
+  PlanOptions sequential;
+  sequential.dovetail = false;
+  auto a = ExecuteOptimized(&quest, catalog, query, dovetailed);
+  auto b = ExecuteOptimized(&quest, catalog, query, sequential);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(AnswerPairs(a.value()), AnswerPairs(b.value()));
+}
+
+// The per-level a/b table of Section 7.1: valid counts never exceed
+// frequent counts, and the optimized S lattice never has more frequent
+// sets per level than the baseline.
+TEST(IntegrationTest, PerLevelTableShape) {
+  Workbench w = MakeFig8aBench(500);
+  CfqQuery query;
+  query.s_domain = w.domains.s_domain;
+  query.t_domain = w.domains.t_domain;
+  query.min_support_s = 12;
+  query.min_support_t = 12;
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  auto optimized = ExecuteOptimized(&w.db, w.catalog, query);
+  auto naive = ExecuteAprioriPlus(&w.db, w.catalog, query);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(naive.ok());
+  const auto& opt = optimized->stats.s;
+  const auto& base = naive->stats.s;
+  for (size_t level = 0; level < opt.frequent_per_level.size(); ++level) {
+    EXPECT_LE(opt.frequent_per_level[level], opt.candidates_per_level[level]);
+    if (level < base.frequent_per_level.size()) {
+      EXPECT_LE(opt.frequent_per_level[level],
+                base.frequent_per_level[level]);
+    }
+  }
+  // The optimized lattice must not go deeper than the baseline.
+  EXPECT_LE(opt.frequent_per_level.size(), base.frequent_per_level.size());
+}
+
+}  // namespace
+}  // namespace cfq

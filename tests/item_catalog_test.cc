@@ -1,0 +1,119 @@
+#include "data/item_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+ItemCatalog MakeCatalog() {
+  ItemCatalog catalog(4);
+  EXPECT_TRUE(catalog.AddNumericAttr("Price", {10, 20, 30, 40}).ok());
+  EXPECT_TRUE(catalog
+                  .AddCategoricalAttr("Type", {0, 1, 0, 1},
+                                      {"Snacks", "Beers"})
+                  .ok());
+  return catalog;
+}
+
+TEST(ItemCatalogTest, NumericValues) {
+  const ItemCatalog catalog = MakeCatalog();
+  auto v = catalog.Value("Price", 2);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 30);
+}
+
+TEST(ItemCatalogTest, CategoricalValues) {
+  const ItemCatalog catalog = MakeCatalog();
+  auto v = catalog.Value("Type", 1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 1);
+  EXPECT_EQ(catalog.ValueName("Type", 1), "Beers");
+  EXPECT_EQ(catalog.ValueName("Type", 0), "Snacks");
+}
+
+TEST(ItemCatalogTest, ItemPseudoAttribute) {
+  const ItemCatalog catalog = MakeCatalog();
+  EXPECT_TRUE(catalog.HasAttr(kItemAttr));
+  auto v = catalog.Value(kItemAttr, 3);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 3);
+}
+
+TEST(ItemCatalogTest, UnknownAttributeIsNotFound) {
+  const ItemCatalog catalog = MakeCatalog();
+  EXPECT_FALSE(catalog.HasAttr("Weight"));
+  EXPECT_EQ(catalog.Value("Weight", 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ItemCatalogTest, OutOfRangeItem) {
+  const ItemCatalog catalog = MakeCatalog();
+  EXPECT_EQ(catalog.Value("Price", 4).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ItemCatalogTest, WrongColumnLengthRejected) {
+  ItemCatalog catalog(3);
+  EXPECT_EQ(catalog.AddNumericAttr("Price", {1, 2}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.AddCategoricalAttr("Type", {0, 1, 2, 3}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ItemCatalogTest, ReservedNameRejected) {
+  ItemCatalog catalog(1);
+  EXPECT_EQ(catalog.AddNumericAttr(kItemAttr, {1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.AddCategoricalAttr(kItemAttr, {0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ItemCatalogTest, ReplacingColumnChangesKind) {
+  ItemCatalog catalog(2);
+  ASSERT_TRUE(catalog.AddNumericAttr("X", {1.5, 2.5}).ok());
+  ASSERT_TRUE(catalog.AddCategoricalAttr("X", {7, 8}).ok());
+  auto v = catalog.Value("X", 0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+}
+
+TEST(ItemCatalogTest, ProjectPreservesDuplicatesAndOrder) {
+  ItemCatalog catalog(3);
+  ASSERT_TRUE(catalog.AddNumericAttr("P", {5, 5, 9}).ok());
+  auto proj = catalog.Project("P", {0, 1, 2});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj.value(), (std::vector<AttrValue>{5, 5, 9}));
+}
+
+TEST(ItemCatalogTest, ProjectEmptySet) {
+  const ItemCatalog catalog = MakeCatalog();
+  auto proj = catalog.Project("Price", {});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_TRUE(proj.value().empty());
+}
+
+TEST(ItemCatalogTest, ProjectOutOfRange) {
+  const ItemCatalog catalog = MakeCatalog();
+  EXPECT_FALSE(catalog.Project("Price", {9}).ok());
+}
+
+TEST(ItemCatalogTest, SelectRange) {
+  const ItemCatalog catalog = MakeCatalog();
+  auto sel = catalog.SelectRange("Price", 15, 35);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value(), (Itemset{1, 2}));
+  auto all = catalog.SelectRange("Price", 0, 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), (Itemset{0, 1, 2, 3}));
+  auto none = catalog.SelectRange("Price", 99, 100);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
+TEST(ItemCatalogTest, ValueNameFallsBackToNumber) {
+  const ItemCatalog catalog = MakeCatalog();
+  EXPECT_EQ(catalog.ValueName("Price", 30), "30");
+  EXPECT_EQ(catalog.ValueName("Type", 9), "9");  // Unnamed code.
+}
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,180 @@
+#include "common/itemset.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+TEST(ItemsetTest, MakeItemsetSortsAndDedupes) {
+  EXPECT_EQ(MakeItemset({3, 1, 2, 1, 3}), (Itemset{1, 2, 3}));
+  EXPECT_EQ(MakeItemset({}), Itemset{});
+  EXPECT_EQ(MakeItemset({7}), Itemset{7});
+}
+
+TEST(ItemsetTest, IsCanonical) {
+  EXPECT_TRUE(IsCanonical({}));
+  EXPECT_TRUE(IsCanonical({5}));
+  EXPECT_TRUE(IsCanonical({1, 2, 9}));
+  EXPECT_FALSE(IsCanonical({2, 1}));
+  EXPECT_FALSE(IsCanonical({1, 1}));
+}
+
+TEST(ItemsetTest, IsSubsetBasic) {
+  EXPECT_TRUE(IsSubset({}, {1, 2}));
+  EXPECT_TRUE(IsSubset({1}, {1, 2}));
+  EXPECT_TRUE(IsSubset({1, 2}, {1, 2}));
+  EXPECT_FALSE(IsSubset({3}, {1, 2}));
+  EXPECT_FALSE(IsSubset({1, 2, 3}, {1, 2}));
+}
+
+TEST(ItemsetTest, DisjointBasic) {
+  EXPECT_TRUE(Disjoint({}, {}));
+  EXPECT_TRUE(Disjoint({1}, {2}));
+  EXPECT_TRUE(Disjoint({1, 3, 5}, {2, 4, 6}));
+  EXPECT_FALSE(Disjoint({1, 3}, {3, 4}));
+}
+
+TEST(ItemsetTest, ContainsUsesBinarySearch) {
+  const Itemset s{2, 4, 6, 8};
+  EXPECT_TRUE(Contains(s, 2));
+  EXPECT_TRUE(Contains(s, 8));
+  EXPECT_FALSE(Contains(s, 5));
+  EXPECT_FALSE(Contains({}, 1));
+}
+
+TEST(ItemsetTest, SetOperations) {
+  EXPECT_EQ(Union({1, 3}, {2, 3}), (Itemset{1, 2, 3}));
+  EXPECT_EQ(Intersect({1, 2, 3}, {2, 3, 4}), (Itemset{2, 3}));
+  EXPECT_EQ(Difference({1, 2, 3}, {2}), (Itemset{1, 3}));
+  EXPECT_EQ(Union({}, {}), Itemset{});
+  EXPECT_EQ(Intersect({1}, {2}), Itemset{});
+}
+
+TEST(ItemsetTest, WithoutIndex) {
+  EXPECT_EQ(WithoutIndex({1, 2, 3}, 0), (Itemset{2, 3}));
+  EXPECT_EQ(WithoutIndex({1, 2, 3}, 1), (Itemset{1, 3}));
+  EXPECT_EQ(WithoutIndex({1, 2, 3}, 2), (Itemset{1, 2}));
+  EXPECT_EQ(WithoutIndex({5}, 0), Itemset{});
+}
+
+TEST(ItemsetTest, AprioriJoinSharedPrefix) {
+  Itemset out;
+  ASSERT_TRUE(AprioriJoin({1, 2}, {1, 3}, &out));
+  EXPECT_EQ(out, (Itemset{1, 2, 3}));
+}
+
+TEST(ItemsetTest, AprioriJoinRejectsDifferentPrefix) {
+  Itemset out;
+  EXPECT_FALSE(AprioriJoin({1, 2}, {2, 3}, &out));
+}
+
+TEST(ItemsetTest, AprioriJoinRejectsWrongOrder) {
+  Itemset out;
+  EXPECT_FALSE(AprioriJoin({1, 3}, {1, 2}, &out));
+  EXPECT_FALSE(AprioriJoin({1, 2}, {1, 2}, &out));
+}
+
+TEST(ItemsetTest, AprioriJoinSingletons) {
+  Itemset out;
+  ASSERT_TRUE(AprioriJoin({4}, {7}, &out));
+  EXPECT_EQ(out, (Itemset{4, 7}));
+  EXPECT_FALSE(AprioriJoin({7}, {4}, &out));
+}
+
+TEST(ItemsetTest, AprioriJoinRejectsEmptyAndMismatchedSizes) {
+  Itemset out;
+  EXPECT_FALSE(AprioriJoin({}, {}, &out));
+  EXPECT_FALSE(AprioriJoin({1}, {1, 2}, &out));
+}
+
+TEST(ItemsetTest, ToStringRendering) {
+  EXPECT_EQ(ToString(Itemset{}), "{}");
+  EXPECT_EQ(ToString(Itemset{4}), "{4}");
+  EXPECT_EQ(ToString(Itemset{1, 2}), "{1, 2}");
+}
+
+TEST(ItemsetTest, HashIsConsistent) {
+  ItemsetHash hash;
+  EXPECT_EQ(hash({1, 2, 3}), hash({1, 2, 3}));
+  EXPECT_NE(hash({1, 2, 3}), hash({1, 2, 4}));
+  EXPECT_NE(hash({}), hash({0}));
+}
+
+TEST(ItemsetTest, ForEachNonEmptySubsetCountsAll) {
+  int count = 0;
+  ForEachNonEmptySubset(Itemset{1, 2, 3, 4}, [&](const Itemset& s) {
+    EXPECT_TRUE(IsCanonical(s));
+    EXPECT_FALSE(s.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 15);  // 2^4 - 1.
+}
+
+TEST(ItemsetTest, ForEachNonEmptySubsetOfEmptyUniverse) {
+  int count = 0;
+  ForEachNonEmptySubset(Itemset{}, [&](const Itemset&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ItemsetTest, ForEachSubsetOfSizeEnumeratesCombinations) {
+  std::vector<Itemset> subsets;
+  ForEachSubsetOfSize(Itemset{1, 2, 3, 4}, 2,
+                      [&](const Itemset& s) { subsets.push_back(s); });
+  EXPECT_EQ(subsets.size(), 6u);  // C(4,2).
+  EXPECT_TRUE(std::is_sorted(subsets.begin(), subsets.end()));
+  for (const Itemset& s : subsets) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(ItemsetTest, ForEachSubsetOfSizeEdgeCases) {
+  int count = 0;
+  ForEachSubsetOfSize(Itemset{1, 2}, 0, [&](const Itemset&) { ++count; });
+  EXPECT_EQ(count, 0);
+  ForEachSubsetOfSize(Itemset{1, 2}, 3, [&](const Itemset&) { ++count; });
+  EXPECT_EQ(count, 0);
+  ForEachSubsetOfSize(Itemset{1, 2}, 2, [&](const Itemset& s) {
+    EXPECT_EQ(s, (Itemset{1, 2}));
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+// Property sweep: merge-based set operations agree with std::set math on
+// random inputs.
+class ItemsetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ItemsetPropertyTest, SetOpsMatchStdSet) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> size_dist(0, 12);
+  std::uniform_int_distribution<ItemId> item_dist(0, 15);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<ItemId> raw_a(size_dist(rng)), raw_b(size_dist(rng));
+    for (auto& x : raw_a) x = item_dist(rng);
+    for (auto& x : raw_b) x = item_dist(rng);
+    const Itemset a = MakeItemset(raw_a);
+    const Itemset b = MakeItemset(raw_b);
+    const std::set<ItemId> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+
+    std::set<ItemId> su = sa;
+    su.insert(sb.begin(), sb.end());
+    EXPECT_EQ(Union(a, b), Itemset(su.begin(), su.end()));
+
+    std::set<ItemId> si;
+    for (ItemId x : sa) {
+      if (sb.count(x)) si.insert(x);
+    }
+    EXPECT_EQ(Intersect(a, b), Itemset(si.begin(), si.end()));
+    EXPECT_EQ(Disjoint(a, b), si.empty());
+    EXPECT_EQ(IsSubset(a, b),
+              std::includes(sb.begin(), sb.end(), sa.begin(), sa.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItemsetPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace cfq

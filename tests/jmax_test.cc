@@ -1,0 +1,243 @@
+#include "core/jmax.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "data/transaction_db.h"
+
+namespace cfq {
+namespace {
+
+std::vector<FrequentSet> OfSize(const std::vector<FrequentSet>& sets,
+                                size_t k) {
+  std::vector<FrequentSet> out;
+  for (const FrequentSet& f : sets) {
+    if (f.items.size() == k) out.push_back(f);
+  }
+  return out;
+}
+
+// Random database + brute-force frequent sets for property checks.
+struct Instance {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  Itemset domain;
+  std::vector<FrequentSet> frequent;
+};
+
+Instance MakeInstance(int seed, uint64_t min_support) {
+  Instance inst;
+  const size_t n = 9;
+  inst.db = TransactionDb(n);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(2, 7);
+  std::uniform_int_distribution<ItemId> item(0, n - 1);
+  for (int t = 0; t < 80; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    inst.db.Add(std::move(txn));
+  }
+  inst.catalog = ItemCatalog(n);
+  std::vector<AttrValue> values(n);
+  std::uniform_int_distribution<int> value(1, 20);
+  for (auto& v : values) v = value(rng);
+  EXPECT_TRUE(inst.catalog.AddNumericAttr("B", values).ok());
+  for (ItemId i = 0; i < n; ++i) inst.domain.push_back(i);
+  inst.frequent = MineFrequentBruteForce(inst.db, inst.domain, min_support);
+  return inst;
+}
+
+TEST(JmaxTest, EmptyLevelGivesMinusOne) {
+  const JmaxBound bound = ComputeJmax({}, 3);
+  EXPECT_EQ(bound.jmax, -1);
+  EXPECT_TRUE(bound.elements.empty());
+}
+
+TEST(JmaxTest, SingleSetAllowsNoGrowth) {
+  // One frequent 2-set: each element appears once; J = 0 (a set of size
+  // 3 containing it would need C(2,1)=2 frequent 2-subsets).
+  const std::vector<FrequentSet> level{{Itemset{1, 2}, 5}};
+  const JmaxBound bound = ComputeJmax(level, 2);
+  EXPECT_EQ(bound.jmax, 0);
+  EXPECT_EQ(bound.elements, (std::vector<ItemId>{1, 2}));
+}
+
+TEST(JmaxTest, PaperExampleSeventeenSetsOfSizeFour) {
+  // Figure 5's example: an element in 17 frequent 4-sets has J = 2.
+  std::vector<FrequentSet> level;
+  // Build 17 distinct 4-sets all containing item 0.
+  for (ItemId a = 1; level.size() < 17; ++a) {
+    for (ItemId b = a + 1; b <= a + 4 && level.size() < 17; ++b) {
+      level.push_back(FrequentSet{MakeItemset({0, a, b, b + 10}), 3});
+    }
+  }
+  const JmaxBound bound = ComputeJmax(level, 4);
+  // Item 0 appears in all 17 sets: J_0 = 2.
+  auto it = std::find(bound.elements.begin(), bound.elements.end(), 0u);
+  ASSERT_NE(it, bound.elements.end());
+  EXPECT_EQ(bound.j_per_element[static_cast<size_t>(
+                it - bound.elements.begin())],
+            2);
+}
+
+// Property (Figure 5's purpose): k + Jmax^k bounds the size of the
+// largest frequent set.
+class JmaxBoundPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JmaxBoundPropertyTest, BoundsLargestFrequentSet) {
+  const Instance inst = MakeInstance(GetParam(), 4);
+  size_t largest = 0;
+  for (const FrequentSet& f : inst.frequent) {
+    largest = std::max(largest, f.items.size());
+  }
+  for (size_t k = 2; k <= largest; ++k) {
+    const auto level = OfSize(inst.frequent, k);
+    if (level.empty()) continue;
+    const JmaxBound bound = ComputeJmax(level, k);
+    ASSERT_GE(bound.jmax, 0);
+    EXPECT_GE(k + static_cast<size_t>(bound.jmax), largest)
+        << "k=" << k << " jmax=" << bound.jmax << " largest=" << largest;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JmaxBoundPropertyTest, ::testing::Range(0, 10));
+
+// Lemma 5: the per-element bounds shrink as k increases (where the
+// element still appears).
+class JmaxLemma5Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(JmaxLemma5Test, BoundsShrinkAcrossLevels) {
+  const Instance inst = MakeInstance(GetParam() + 50, 3);
+  size_t largest = 0;
+  for (const FrequentSet& f : inst.frequent) {
+    largest = std::max(largest, f.items.size());
+  }
+  for (size_t k = 2; k + 1 <= largest; ++k) {
+    const auto level_k = OfSize(inst.frequent, k);
+    const auto level_k1 = OfSize(inst.frequent, k + 1);
+    if (level_k.empty() || level_k1.empty()) continue;
+    const JmaxBound a = ComputeJmax(level_k, k);
+    const JmaxBound b = ComputeJmax(level_k1, k + 1);
+    // Compare k + J (the implied size bound): it must not grow.
+    EXPECT_LE(k + 1 + static_cast<size_t>(b.jmax),
+              k + static_cast<size_t>(a.jmax) + 1)
+        << "k=" << k;
+    // Lemma 5 as stated: J^{k+1} < J^k elementwise where defined and
+    // J^k > 0.
+    for (size_t e = 0; e < b.elements.size(); ++e) {
+      const ItemId item = b.elements[e];
+      auto it = std::find(a.elements.begin(), a.elements.end(), item);
+      if (it == a.elements.end()) continue;
+      const int64_t jk =
+          a.j_per_element[static_cast<size_t>(it - a.elements.begin())];
+      const int64_t jk1 = b.j_per_element[e];
+      if (jk > 0) {
+        EXPECT_LT(jk1, jk) << "item " << item << " k=" << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JmaxLemma5Test, ::testing::Range(0, 10));
+
+// Lemma 6: V^k bounds sum(T.B) for every frequent T-set of size >= k.
+class VkSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VkSoundnessTest, VkBoundsAllLargerFrequentSums) {
+  const Instance inst = MakeInstance(GetParam() + 100, 4);
+  for (size_t k = 2; k <= 4; ++k) {
+    const auto level = OfSize(inst.frequent, k);
+    if (level.empty()) continue;
+    auto vk = ComputeVk(level, k, "B", inst.catalog);
+    ASSERT_TRUE(vk.ok());
+    for (const FrequentSet& f : inst.frequent) {
+      if (f.items.size() < k) continue;
+      double sum = 0;
+      for (ItemId i : f.items) sum += inst.catalog.ValueUnchecked("B", i);
+      EXPECT_LE(sum, vk.value() + 1e-9)
+          << "k=" << k << " set=" << ToString(f.items);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VkSoundnessTest, ::testing::Range(0, 12));
+
+// Lemma 7: the V^k series is non-increasing.
+class VkMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VkMonotoneTest, SeriesDoesNotIncrease) {
+  const Instance inst = MakeInstance(GetParam() + 150, 3);
+  double previous = std::numeric_limits<double>::infinity();
+  for (size_t k = 2; k <= 5; ++k) {
+    const auto level = OfSize(inst.frequent, k);
+    if (level.empty()) break;
+    auto vk = ComputeVk(level, k, "B", inst.catalog);
+    ASSERT_TRUE(vk.ok());
+    EXPECT_LE(vk.value(), previous + 1e-9) << "k=" << k;
+    previous = vk.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VkMonotoneTest, ::testing::Range(0, 10));
+
+// Per-element J variant is at least as tight as the paper's global Jmax.
+class VkPerElementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VkPerElementTest, PerElementNoLooserAndStillSound) {
+  const Instance inst = MakeInstance(GetParam() + 200, 4);
+  JmaxOptions per_element;
+  per_element.per_element_j = true;
+  for (size_t k = 2; k <= 3; ++k) {
+    const auto level = OfSize(inst.frequent, k);
+    if (level.empty()) continue;
+    auto paper = ComputeVk(level, k, "B", inst.catalog);
+    auto tight = ComputeVk(level, k, "B", inst.catalog, per_element);
+    ASSERT_TRUE(paper.ok());
+    ASSERT_TRUE(tight.ok());
+    EXPECT_LE(tight.value(), paper.value() + 1e-9);
+    for (const FrequentSet& f : inst.frequent) {
+      if (f.items.size() < k) continue;
+      double sum = 0;
+      for (ItemId i : f.items) sum += inst.catalog.ValueUnchecked("B", i);
+      EXPECT_LE(sum, tight.value() + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VkPerElementTest, ::testing::Range(0, 8));
+
+TEST(VkTest, EmptyLevelGivesZero) {
+  ItemCatalog catalog(2);
+  ASSERT_TRUE(catalog.AddNumericAttr("B", {1, 2}).ok());
+  auto vk = ComputeVk({}, 3, "B", catalog);
+  ASSERT_TRUE(vk.ok());
+  EXPECT_EQ(vk.value(), 0.0);
+}
+
+TEST(VkTest, UnknownAttributeFails) {
+  ItemCatalog catalog(2);
+  EXPECT_FALSE(ComputeVk({{Itemset{0, 1}, 3}}, 2, "B", catalog).ok());
+}
+
+TEST(VkTest, WorkedExampleMatchesFigure6Arithmetic) {
+  // Three frequent 2-sets over items {0,1,2} with B = {10, 20, 30}:
+  // {0,1}, {0,2}, {1,2}. Each element is in two 2-sets: J = 1
+  // (C(2,1)=2 needed for j=1; C(3,1)=3 > 2 for j=2).
+  ItemCatalog catalog(3);
+  ASSERT_TRUE(catalog.AddNumericAttr("B", {10, 20, 30}).ok());
+  const std::vector<FrequentSet> level{
+      {Itemset{0, 1}, 3}, {Itemset{0, 2}, 3}, {Itemset{1, 2}, 3}};
+  const JmaxBound bound = ComputeJmax(level, 2);
+  EXPECT_EQ(bound.jmax, 1);
+  // Item 0: best 2-set {0,2} (sum 40), E={1}, MaxSum = 40+20 = 60.
+  // Item 1: best {1,2} (sum 50), E={0}, 50+10 = 60.
+  // Item 2: best {1,2} (sum 50), E={0}, 50+10 = 60.  V^2 = 60.
+  auto vk = ComputeVk(level, 2, "B", catalog);
+  ASSERT_TRUE(vk.ok());
+  EXPECT_EQ(vk.value(), 60);
+}
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,235 @@
+#include "constraints/mgf.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraints/classify.h"
+#include "constraints/eval.h"
+
+namespace cfq {
+namespace {
+
+ItemCatalog MakeCatalog() {
+  // Items 0..7 with A = {1, 2, 3, 4, 5, 6, 7, 8}.
+  ItemCatalog catalog(8);
+  EXPECT_TRUE(
+      catalog.AddNumericAttr("A", {1, 2, 3, 4, 5, 6, 7, 8}).ok());
+  return catalog;
+}
+
+const Itemset kDomain{0, 1, 2, 3, 4, 5, 6, 7};
+
+SuccinctForm MustForm(const OneVarConstraint& c, const ItemCatalog& catalog) {
+  auto form = ComputeSuccinctForm(c, kDomain, catalog);
+  EXPECT_TRUE(form.ok()) << form.status();
+  return form.value();
+}
+
+TEST(MgfTest, SubsetRestrictsAllowed) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form = MustForm(
+      MakeDomain1(Var::kS, "A", SetCmp::kSubset, {1.0, 2.0, 3.0}), catalog);
+  EXPECT_EQ(form.allowed, (Itemset{0, 1, 2}));
+  EXPECT_TRUE(form.groups.empty());
+  EXPECT_TRUE(form.exact);
+}
+
+TEST(MgfTest, DisjointExcludesValues) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form = MustForm(
+      MakeDomain1(Var::kS, "A", SetCmp::kDisjoint, {1.0, 8.0}), catalog);
+  EXPECT_EQ(form.allowed, (Itemset{1, 2, 3, 4, 5, 6}));
+  EXPECT_TRUE(form.exact);
+}
+
+TEST(MgfTest, SupersetCreatesOneGroupPerValue) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form = MustForm(
+      MakeDomain1(Var::kS, "A", SetCmp::kSuperset, {2.0, 5.0}), catalog);
+  ASSERT_EQ(form.groups.size(), 2u);
+  EXPECT_EQ(form.groups[0], Itemset{1});
+  EXPECT_EQ(form.groups[1], Itemset{4});
+  EXPECT_TRUE(form.exact);
+}
+
+TEST(MgfTest, MinGeIsAllowedForm) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form =
+      MustForm(MakeAgg1(Var::kS, AggFn::kMin, "A", CmpOp::kGe, 5), catalog);
+  EXPECT_EQ(form.allowed, (Itemset{4, 5, 6, 7}));
+  EXPECT_TRUE(form.exact);
+}
+
+TEST(MgfTest, MinLeIsGroupForm) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form =
+      MustForm(MakeAgg1(Var::kS, AggFn::kMin, "A", CmpOp::kLe, 3), catalog);
+  EXPECT_EQ(form.allowed, kDomain);
+  ASSERT_EQ(form.groups.size(), 1u);
+  EXPECT_EQ(form.groups[0], (Itemset{0, 1, 2}));
+  EXPECT_TRUE(form.exact);
+}
+
+TEST(MgfTest, MaxEqCombinesAllowedAndGroup) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form =
+      MustForm(MakeAgg1(Var::kS, AggFn::kMax, "A", CmpOp::kEq, 4), catalog);
+  EXPECT_EQ(form.allowed, (Itemset{0, 1, 2, 3}));
+  ASSERT_EQ(form.groups.size(), 1u);
+  EXPECT_EQ(form.groups[0], Itemset{3});
+  EXPECT_TRUE(form.exact);
+}
+
+TEST(MgfTest, SumLeGetsSoundItemFilter) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form =
+      MustForm(MakeAgg1(Var::kS, AggFn::kSum, "A", CmpOp::kLe, 4), catalog);
+  EXPECT_EQ(form.allowed, (Itemset{0, 1, 2, 3}));  // Values <= 4.
+  EXPECT_FALSE(form.exact);
+}
+
+TEST(MgfTest, AvgHasNoFilter) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form =
+      MustForm(MakeAgg1(Var::kS, AggFn::kAvg, "A", CmpOp::kLe, 4), catalog);
+  EXPECT_EQ(form.allowed, kDomain);
+  EXPECT_TRUE(form.groups.empty());
+  EXPECT_FALSE(form.exact);
+}
+
+TEST(MgfTest, CountZeroIsUnsatisfiable) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form =
+      MustForm(MakeAgg1(Var::kS, AggFn::kCount, "A", CmpOp::kLe, 0), catalog);
+  EXPECT_TRUE(form.Unsatisfiable());
+  EXPECT_TRUE(form.exact);
+}
+
+TEST(MgfTest, UnsatisfiableWhenGroupEmpty) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto form =
+      MustForm(MakeAgg1(Var::kS, AggFn::kMin, "A", CmpOp::kLe, 0), catalog);
+  EXPECT_TRUE(form.Unsatisfiable());  // No item has A <= 0.
+}
+
+TEST(MgfTest, UnknownAttributeFails) {
+  const ItemCatalog catalog = MakeCatalog();
+  EXPECT_FALSE(ComputeSuccinctForm(
+                   MakeAgg1(Var::kS, AggFn::kMin, "Nope", CmpOp::kLe, 1),
+                   kDomain, catalog)
+                   .ok());
+}
+
+TEST(MgfTest, CombineIntersectsAllowedAndClipsGroups) {
+  const ItemCatalog catalog = MakeCatalog();
+  const auto a =
+      MustForm(MakeAgg1(Var::kS, AggFn::kMax, "A", CmpOp::kLe, 6), catalog);
+  const auto b =
+      MustForm(MakeAgg1(Var::kS, AggFn::kMin, "A", CmpOp::kLe, 2), catalog);
+  const SuccinctForm combined = CombineForms(a, b);
+  EXPECT_EQ(combined.allowed, (Itemset{0, 1, 2, 3, 4, 5}));
+  ASSERT_EQ(combined.groups.size(), 1u);
+  EXPECT_EQ(combined.groups[0], (Itemset{0, 1}));
+}
+
+TEST(MgfTest, ComputeCombinedFormSkipsOtherVariable) {
+  const ItemCatalog catalog = MakeCatalog();
+  std::vector<OneVarConstraint> cs;
+  cs.push_back(MakeAgg1(Var::kS, AggFn::kMax, "A", CmpOp::kLe, 4));
+  cs.push_back(MakeAgg1(Var::kT, AggFn::kMax, "A", CmpOp::kLe, 1));
+  auto form = ComputeCombinedForm(cs, Var::kS, kDomain, catalog);
+  ASSERT_TRUE(form.ok());
+  EXPECT_EQ(form->allowed, (Itemset{0, 1, 2, 3}));
+}
+
+TEST(MgfTest, SatisfiesFormChecksAllowedAndGroups) {
+  SuccinctForm form;
+  form.allowed = {0, 1, 2, 3};
+  form.groups = {{0, 1}};
+  EXPECT_TRUE(SatisfiesForm(form, {0, 2}));
+  EXPECT_FALSE(SatisfiesForm(form, {2, 3}));  // Misses the group.
+  EXPECT_FALSE(SatisfiesForm(form, {0, 4}));  // Outside allowed.
+}
+
+// Property: for every succinct constraint whose form is exact, the form
+// agrees with direct evaluation on every non-empty subset.
+class MgfExactnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MgfExactnessTest, ExactFormsMatchEval) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> value(0, 5);
+  ItemCatalog catalog(7);
+  std::vector<AttrValue> values(7);
+  for (auto& v : values) v = value(rng);
+  ASSERT_TRUE(catalog.AddNumericAttr("A", values).ok());
+  const Itemset domain{0, 1, 2, 3, 4, 5, 6};
+
+  std::vector<OneVarConstraint> constraints;
+  for (SetCmp cmp : {SetCmp::kSubset, SetCmp::kDisjoint, SetCmp::kSuperset,
+                     SetCmp::kIntersects, SetCmp::kNotSubset, SetCmp::kEqual}) {
+    constraints.push_back(MakeDomain1(Var::kS, "A", cmp, {1.0, 3.0}));
+  }
+  for (AggFn agg : {AggFn::kMin, AggFn::kMax}) {
+    for (CmpOp cmp :
+         {CmpOp::kLe, CmpOp::kGe, CmpOp::kLt, CmpOp::kGt, CmpOp::kEq}) {
+      constraints.push_back(MakeAgg1(Var::kS, agg, "A", cmp, 3));
+    }
+  }
+
+  for (const OneVarConstraint& c : constraints) {
+    auto form = ComputeSuccinctForm(c, domain, catalog);
+    ASSERT_TRUE(form.ok());
+    if (!form->exact) continue;
+    ForEachNonEmptySubset(domain, [&](const Itemset& x) {
+      auto expected = Eval(c, x, catalog);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(SatisfiesForm(form.value(), x), expected.value())
+          << ToString(c) << " on " << ToString(x);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MgfExactnessTest, ::testing::Range(0, 6));
+
+// Property: non-exact forms are sound relaxations — they never reject a
+// satisfying set.
+class MgfSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MgfSoundnessTest, RelaxedFormsAreSound) {
+  std::mt19937 rng(GetParam() + 100);
+  std::uniform_int_distribution<int> value(0, 5);
+  ItemCatalog catalog(7);
+  std::vector<AttrValue> values(7);
+  for (auto& v : values) v = value(rng);
+  ASSERT_TRUE(catalog.AddNumericAttr("A", values).ok());
+  const Itemset domain{0, 1, 2, 3, 4, 5, 6};
+
+  std::vector<OneVarConstraint> constraints;
+  constraints.push_back(MakeAgg1(Var::kS, AggFn::kSum, "A", CmpOp::kLe, 7));
+  constraints.push_back(MakeAgg1(Var::kS, AggFn::kAvg, "A", CmpOp::kGe, 2));
+  constraints.push_back(MakeAgg1(Var::kS, AggFn::kCount, "A", CmpOp::kLe, 2));
+  constraints.push_back(
+      MakeDomain1(Var::kS, "A", SetCmp::kNotSuperset, {1.0, 2.0}));
+  constraints.push_back(
+      MakeDomain1(Var::kS, "A", SetCmp::kNotEqual, {1.0}));
+  constraints.push_back(MakeAgg1(Var::kS, AggFn::kMin, "A", CmpOp::kNe, 3));
+
+  for (const OneVarConstraint& c : constraints) {
+    auto form = ComputeSuccinctForm(c, domain, catalog);
+    ASSERT_TRUE(form.ok());
+    ForEachNonEmptySubset(domain, [&](const Itemset& x) {
+      auto satisfied = Eval(c, x, catalog);
+      ASSERT_TRUE(satisfied.ok());
+      if (satisfied.value()) {
+        EXPECT_TRUE(SatisfiesForm(form.value(), x))
+            << ToString(c) << " wrongly rejects " << ToString(x);
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MgfSoundnessTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,133 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+CfqQuery BaseQuery() {
+  CfqQuery q;
+  q.s_domain = {0, 1, 2};
+  q.t_domain = {3, 4, 5};
+  q.min_support_s = 2;
+  q.min_support_t = 2;
+  return q;
+}
+
+TEST(OptimizerTest, RejectsEmptyDomains) {
+  CfqQuery q = BaseQuery();
+  q.s_domain.clear();
+  EXPECT_FALSE(BuildPlan(q).ok());
+}
+
+TEST(OptimizerTest, RejectsZeroSupport) {
+  CfqQuery q = BaseQuery();
+  q.min_support_t = 0;
+  EXPECT_FALSE(BuildPlan(q).ok());
+}
+
+TEST(OptimizerTest, QuasiSuccinctRouting) {
+  CfqQuery q = BaseQuery();
+  q.two_var.push_back(MakeDomain2("Type", SetCmp::kDisjoint, "Type"));
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  auto plan = BuildPlan(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->routes.size(), 2u);
+  for (const TwoVarRoute& r : plan->routes) {
+    EXPECT_TRUE(r.quasi_succinct);
+    EXPECT_TRUE(r.induced.empty());
+    EXPECT_FALSE(r.jmax_prunes_s);
+  }
+}
+
+TEST(OptimizerTest, NonQuasiSuccinctGetsInducedAndJmax) {
+  CfqQuery q = BaseQuery();
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+  auto plan = BuildPlan(q);
+  ASSERT_TRUE(plan.ok());
+  const TwoVarRoute& r = plan->routes[0];
+  EXPECT_FALSE(r.quasi_succinct);
+  EXPECT_TRUE(r.loose_reduction);
+  EXPECT_TRUE(r.induced.empty());  // sum<=sum has no min/max rewrite.
+  EXPECT_TRUE(r.jmax_prunes_s);    // V^k from T bounds sum(S).
+  EXPECT_TRUE(r.jmax_s_bound_anti_monotone);
+  EXPECT_FALSE(r.jmax_prunes_t);   // No >= direction.
+}
+
+TEST(OptimizerTest, AvgLeSumRoutesJmaxAsOutputFilter) {
+  CfqQuery q = BaseQuery();
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kAvg, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+  auto plan = BuildPlan(q);
+  ASSERT_TRUE(plan.ok());
+  const TwoVarRoute& r = plan->routes[0];
+  EXPECT_TRUE(r.jmax_prunes_s);
+  EXPECT_FALSE(r.jmax_s_bound_anti_monotone);  // avg bound can't prune.
+}
+
+TEST(OptimizerTest, SumOnSGeDirectionPrunesT) {
+  CfqQuery q = BaseQuery();
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kGe, AggFn::kSum, "Price"));
+  auto plan = BuildPlan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->routes[0].jmax_prunes_t);
+  EXPECT_FALSE(plan->routes[0].jmax_prunes_s);
+}
+
+TEST(OptimizerTest, InducedWeakerRecorded) {
+  CfqQuery q = BaseQuery();
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kAvg, "Price", CmpOp::kLe, AggFn::kAvg, "Price"));
+  auto plan = BuildPlan(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->routes[0].induced.size(), 1u);
+  const auto& w = std::get<AggConstraint2>(plan->routes[0].induced[0]);
+  EXPECT_EQ(w.agg_s, AggFn::kMin);
+  EXPECT_EQ(w.agg_t, AggFn::kMax);
+}
+
+TEST(OptimizerTest, TogglesDisableRouting) {
+  CfqQuery q = BaseQuery();
+  q.two_var.push_back(MakeDomain2("Type", SetCmp::kDisjoint, "Type"));
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+  PlanOptions off;
+  off.use_quasi_succinct = false;
+  off.use_induced = false;
+  off.use_jmax = false;
+  auto plan = BuildPlan(q, off);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->routes[0].quasi_succinct);
+  EXPECT_FALSE(plan->routes[1].loose_reduction);
+  EXPECT_FALSE(plan->routes[1].jmax_prunes_s);
+}
+
+TEST(OptimizerTest, ExplainMentionsEachConstraint) {
+  CfqQuery q = BaseQuery();
+  q.one_var.push_back(MakeAgg1(Var::kS, AggFn::kSum, "Price", CmpOp::kLe, 100));
+  q.two_var.push_back(MakeDomain2("Type", SetCmp::kEqual, "Type"));
+  q.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+  auto plan = BuildPlan(q);
+  ASSERT_TRUE(plan.ok());
+  const std::string text = ExplainPlan(plan.value());
+  EXPECT_NE(text.find("sum(S.Price) <= 100"), std::string::npos);
+  EXPECT_NE(text.find("S.Type = T.Type"), std::string::npos);
+  EXPECT_NE(text.find("quasi-succinct"), std::string::npos);
+  EXPECT_NE(text.find("Jmax"), std::string::npos);
+  EXPECT_NE(text.find("pair formation"), std::string::npos);
+}
+
+TEST(OptimizerTest, QueryToStringRendering) {
+  CfqQuery q = BaseQuery();
+  q.one_var.push_back(MakeAgg1(Var::kT, AggFn::kAvg, "Price", CmpOp::kGe, 200));
+  const std::string text = ToString(q);
+  EXPECT_NE(text.find("freq(S, 2)"), std::string::npos);
+  EXPECT_NE(text.find("avg(T.Price) >= 200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfq

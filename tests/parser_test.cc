@@ -1,0 +1,200 @@
+#include "parser/parser.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+CfqQuery MustParse(const std::string& text) {
+  auto q = ParseCfq(text);
+  EXPECT_TRUE(q.ok()) << text << " -> " << q.status();
+  return q.ok() ? std::move(q).value() : CfqQuery{};
+}
+
+TEST(ParserTest, FullHeaderQuery) {
+  const CfqQuery q = MustParse(
+      "{(S, T) | freq(S, 40) & freq(T, 25) & sum(S.Price) <= 100 "
+      "& max(S.Price) <= min(T.Price)}");
+  EXPECT_EQ(q.min_support_s, 40u);
+  EXPECT_EQ(q.min_support_t, 25u);
+  ASSERT_EQ(q.one_var.size(), 1u);
+  EXPECT_EQ(ToString(q.one_var[0]), "sum(S.Price) <= 100");
+  ASSERT_EQ(q.two_var.size(), 1u);
+  EXPECT_EQ(ToString(q.two_var[0]), "max(S.Price) <= min(T.Price)");
+}
+
+TEST(ParserTest, HeaderlessShorthand) {
+  const CfqQuery q = MustParse("avg(T.Price) >= 200");
+  EXPECT_EQ(q.min_support_s, 1u);
+  ASSERT_EQ(q.one_var.size(), 1u);
+  EXPECT_EQ(ToString(q.one_var[0]), "avg(T.Price) >= 200");
+}
+
+TEST(ParserTest, FreqWithoutThresholdDefaultsToOne) {
+  const CfqQuery q = MustParse("freq(S) & freq(T, 9)");
+  EXPECT_EQ(q.min_support_s, 1u);
+  EXPECT_EQ(q.min_support_t, 9u);
+}
+
+TEST(ParserTest, ScalarOnLeftIsMirrored) {
+  const CfqQuery q = MustParse("100 >= sum(S.Price)");
+  ASSERT_EQ(q.one_var.size(), 1u);
+  EXPECT_EQ(ToString(q.one_var[0]), "sum(S.Price) <= 100");
+}
+
+TEST(ParserTest, TwoVarNormalizedToSLeft) {
+  const CfqQuery q = MustParse("min(T.Price) >= max(S.Price)");
+  ASSERT_EQ(q.two_var.size(), 1u);
+  EXPECT_EQ(ToString(q.two_var[0]), "max(S.Price) <= min(T.Price)");
+}
+
+TEST(ParserTest, SetOperators) {
+  const CfqQuery q = MustParse(
+      "S.Type subset {0, 1} & S.Type disjoint T.Type "
+      "& T.Type not superset {5} & S.Type intersects {2}");
+  ASSERT_EQ(q.one_var.size(), 3u);
+  EXPECT_EQ(ToString(q.one_var[0]), "S.Type subset {0, 1}");
+  EXPECT_EQ(ToString(q.one_var[1]), "T.Type not-superset {5}");
+  EXPECT_EQ(ToString(q.one_var[2]), "S.Type intersects {2}");
+  ASSERT_EQ(q.two_var.size(), 1u);
+  EXPECT_EQ(ToString(q.two_var[0]), "S.Type disjoint T.Type");
+}
+
+TEST(ParserTest, SetEqualityViaEqualsSign) {
+  const CfqQuery q = MustParse("S.Type = T.Type & S.Type != {3}");
+  ASSERT_EQ(q.two_var.size(), 1u);
+  EXPECT_EQ(ToString(q.two_var[0]), "S.Type = T.Type");
+  ASSERT_EQ(q.one_var.size(), 1u);
+  EXPECT_EQ(ToString(q.one_var[0]), "S.Type != {3}");
+}
+
+TEST(ParserTest, LiteralOnLeftOfSetOpIsMirrored) {
+  const CfqQuery q = MustParse("{1, 2} subset S.Type");
+  ASSERT_EQ(q.one_var.size(), 1u);
+  EXPECT_EQ(ToString(q.one_var[0]), "S.Type superset {1, 2}");
+}
+
+TEST(ParserTest, BareSetVsScalarSugar) {
+  const CfqQuery q =
+      MustParse("T.Price >= 600 & S.Price <= 400 & S.Type = 3");
+  ASSERT_EQ(q.one_var.size(), 3u);
+  EXPECT_EQ(ToString(q.one_var[0]), "min(T.Price) >= 600");
+  EXPECT_EQ(ToString(q.one_var[1]), "max(S.Price) <= 400");
+  EXPECT_EQ(ToString(q.one_var[2]), "S.Type = {3}");
+}
+
+TEST(ParserTest, StrictComparisons) {
+  const CfqQuery q = MustParse("min(S.A) < 5 & max(T.B) > 2");
+  EXPECT_EQ(ToString(q.one_var[0]), "min(S.A) < 5");
+  EXPECT_EQ(ToString(q.one_var[1]), "max(T.B) > 2");
+}
+
+TEST(ParserTest, NegativeAndFractionalNumbers) {
+  const CfqQuery q = MustParse("min(S.A) >= -2.5");
+  const auto& a = std::get<AggConstraint1>(q.one_var[0].body);
+  EXPECT_EQ(a.constant, -2.5);
+}
+
+TEST(ParserTest, EmptyLiteralSet) {
+  const CfqQuery q = MustParse("S.Type disjoint {}");
+  const auto& d = std::get<DomainConstraint1>(q.one_var[0].body);
+  EXPECT_TRUE(d.constant.empty());
+}
+
+TEST(ParserTest, PaperIntroQueryRoundTrips) {
+  const CfqQuery q = MustParse(
+      "{(S, T) | freq(S, 30) & freq(T, 30) & sum(S.Price) <= 100 "
+      "& avg(T.Price) >= 200}");
+  EXPECT_EQ(q.one_var.size(), 2u);
+  EXPECT_TRUE(q.two_var.empty());
+}
+
+TEST(ParserTest, CountConstraint) {
+  const CfqQuery q = MustParse("count(S.Type) = 1 & S.Type disjoint T.Type");
+  EXPECT_EQ(ToString(q.one_var[0]), "count(S.Type) = 1");
+}
+
+// --------- Error cases. ---------------------------------------------------
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  auto r = ParseCfq("sum(S.Price) <= ");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(ParseCfq("sum(S.Price) <= 100 # comment").ok());
+}
+
+TEST(ParserTest, RejectsSameVariableTwoVar) {
+  EXPECT_FALSE(ParseCfq("max(S.Price) <= min(S.Price)").ok());
+  EXPECT_FALSE(ParseCfq("S.Type disjoint S.Type").ok());
+}
+
+TEST(ParserTest, RejectsAggWithSetOperator) {
+  EXPECT_FALSE(ParseCfq("max(S.Price) subset {1}").ok());
+}
+
+TEST(ParserTest, RejectsSetVsAgg) {
+  EXPECT_FALSE(ParseCfq("S.Type <= min(T.Price)").ok());
+}
+
+TEST(ParserTest, RejectsMalformedHeader) {
+  EXPECT_FALSE(ParseCfq("{(S T) | freq(S)}").ok());
+  EXPECT_FALSE(ParseCfq("{(S, T) | freq(S)").ok());
+}
+
+TEST(ParserTest, RejectsBadFreq) {
+  EXPECT_FALSE(ParseCfq("freq(X, 5)").ok());
+  EXPECT_FALSE(ParseCfq("freq(S, 0)").ok());
+  EXPECT_FALSE(ParseCfq("freq(S, )").ok());
+}
+
+TEST(ParserTest, RejectsTrailingInput) {
+  EXPECT_FALSE(ParseCfq("freq(S, 5) freq(T, 5)").ok());
+}
+
+TEST(ParserTest, RejectsScalarVsScalar) {
+  EXPECT_FALSE(ParseCfq("5 <= 6").ok());
+}
+
+TEST(ParserTest, RejectsNotWithoutSetOp) {
+  EXPECT_FALSE(ParseCfq("S.Type not disjoint T.Type").ok());
+}
+
+// Fuzz: random token soup must never crash — only parse or fail cleanly.
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoupIsSafe) {
+  static const char* kFragments[] = {
+      "S",     "T",    ".",     "Price", "Type",  "min",  "max",
+      "sum",   "avg",  "count", "freq",  "(",     ")",    "{",
+      "}",     "|",    "&",     ",",     "<=",    ">=",   "<",
+      ">",     "=",    "!=",    "subset", "superset",     "disjoint",
+      "intersects",    "not",   "0",     "42",    "-3",   "1.5",
+  };
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<size_t> pick(0, std::size(kFragments) - 1);
+  std::uniform_int_distribution<int> length(1, 25);
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const int n = length(rng);
+    for (int i = 0; i < n; ++i) {
+      text += kFragments[pick(rng)];
+      text += ' ';
+    }
+    // Must not crash; outcome (ok or error) is irrelevant.
+    auto result = ParseCfq(text);
+    if (result.ok()) {
+      // Whatever parsed must render without crashing either.
+      (void)ToString(result.value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,172 @@
+#include "mining/partition.h"
+
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_gen.h"
+
+namespace cfq {
+namespace {
+
+TransactionDb RandomDb(int seed, size_t num_items, size_t num_txns) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 6);
+  std::uniform_int_distribution<ItemId> item(
+      0, static_cast<ItemId>(num_items - 1));
+  TransactionDb db(num_items);
+  for (size_t t = 0; t < num_txns; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    db.Add(std::move(txn));
+  }
+  return db;
+}
+
+std::map<Itemset, uint64_t> AsMap(const std::vector<FrequentSet>& sets) {
+  std::map<Itemset, uint64_t> out;
+  for (const FrequentSet& f : sets) out[f.items] = f.support;
+  return out;
+}
+
+Itemset FullDomain(size_t n) {
+  Itemset out;
+  for (ItemId i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+
+TEST(PartitionTest, RejectsBadArguments) {
+  TransactionDb db = RandomDb(1, 5, 20);
+  EXPECT_FALSE(MineFrequentPartitioned(&db, FullDomain(5), 0).ok());
+  PartitionOptions zero;
+  zero.num_partitions = 0;
+  EXPECT_FALSE(MineFrequentPartitioned(&db, FullDomain(5), 2, zero).ok());
+}
+
+TEST(PartitionTest, SinglePartitionIsPlainApriori) {
+  TransactionDb db = RandomDb(2, 8, 100);
+  PartitionOptions options;
+  options.num_partitions = 1;
+  auto partitioned =
+      MineFrequentPartitioned(&db, FullDomain(8), 4, options);
+  ASSERT_TRUE(partitioned.ok());
+  auto exact = MineFrequent(&db, FullDomain(8), 4);
+  EXPECT_EQ(AsMap(partitioned->frequent), AsMap(exact.frequent));
+}
+
+TEST(PartitionTest, EmptyDatabase) {
+  TransactionDb db(5);
+  auto result = MineFrequentPartitioned(&db, FullDomain(5), 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->frequent.empty());
+}
+
+TEST(PartitionTest, MorePartitionsThanTransactions) {
+  TransactionDb db(4);
+  db.Add({0, 1});
+  db.Add({0, 1});
+  PartitionOptions options;
+  options.num_partitions = 10;
+  auto result = MineFrequentPartitioned(&db, FullDomain(4), 2, options);
+  ASSERT_TRUE(result.ok());
+  auto exact = MineFrequent(&db, FullDomain(4), 2);
+  EXPECT_EQ(AsMap(result->frequent), AsMap(exact.frequent));
+}
+
+class PartitionOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, size_t>> {};
+
+TEST_P(PartitionOracleTest, ExactAcrossPartitionCounts) {
+  const auto [seed, min_support, parts] = GetParam();
+  TransactionDb db = RandomDb(seed, 10, 150);
+  PartitionOptions options;
+  options.num_partitions = parts;
+  auto partitioned =
+      MineFrequentPartitioned(&db, FullDomain(10), min_support, options);
+  ASSERT_TRUE(partitioned.ok());
+  auto exact = MineFrequent(&db, FullDomain(10), min_support);
+  EXPECT_EQ(AsMap(partitioned->frequent), AsMap(exact.frequent))
+      << "seed=" << seed << " support=" << min_support
+      << " partitions=" << parts;
+  EXPECT_GE(partitioned->global_candidates, exact.frequent.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, PartitionOracleTest,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(uint64_t{3}, uint64_t{8}),
+                       ::testing::Values(size_t{2}, size_t{4}, size_t{7})));
+
+TEST(SampleTest, RejectsBadArguments) {
+  TransactionDb db = RandomDb(3, 5, 20);
+  EXPECT_FALSE(MineFrequentSampled(&db, FullDomain(5), 0).ok());
+  SampleOptions bad;
+  bad.sample_fraction = 0;
+  EXPECT_FALSE(MineFrequentSampled(&db, FullDomain(5), 2, bad).ok());
+  bad.sample_fraction = 0.5;
+  bad.safety = 1.5;
+  EXPECT_FALSE(MineFrequentSampled(&db, FullDomain(5), 2, bad).ok());
+}
+
+TEST(SampleTest, EmptyDatabase) {
+  TransactionDb db(4);
+  auto result = MineFrequentSampled(&db, FullDomain(4), 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->frequent.empty());
+}
+
+TEST(SampleTest, FullSampleIsExact) {
+  TransactionDb db = RandomDb(4, 8, 100);
+  SampleOptions options;
+  options.sample_fraction = 1.0;
+  options.safety = 1.0;
+  auto sampled = MineFrequentSampled(&db, FullDomain(8), 4, options);
+  ASSERT_TRUE(sampled.ok());
+  auto exact = MineFrequent(&db, FullDomain(8), 4);
+  EXPECT_EQ(AsMap(sampled->frequent), AsMap(exact.frequent));
+}
+
+// Toivonen's guarantee (with the exact-fallback on misses): the result
+// is always exact, regardless of sample luck.
+class SampleOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, double>> {};
+
+TEST_P(SampleOracleTest, AlwaysExact) {
+  const auto [seed, min_support, fraction] = GetParam();
+  TransactionDb db = RandomDb(seed + 20, 10, 200);
+  SampleOptions options;
+  options.sample_fraction = fraction;
+  options.seed = static_cast<uint64_t>(seed);
+  auto sampled =
+      MineFrequentSampled(&db, FullDomain(10), min_support, options);
+  ASSERT_TRUE(sampled.ok());
+  auto exact = MineFrequent(&db, FullDomain(10), min_support);
+  EXPECT_EQ(AsMap(sampled->frequent), AsMap(exact.frequent))
+      << "seed=" << seed << " support=" << min_support
+      << " fraction=" << fraction << " misses=" << sampled->misses;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, SampleOracleTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(uint64_t{5}, uint64_t{12}),
+                       ::testing::Values(0.1, 0.3, 0.6)));
+
+TEST(SampleTest, QuestDataExact) {
+  QuestParams params;
+  params.num_transactions = 800;
+  params.num_items = 40;
+  params.num_patterns = 20;
+  params.seed = 13;
+  auto generated = GenerateQuestDb(params);
+  ASSERT_TRUE(generated.ok());
+  TransactionDb db = std::move(generated).value();
+  auto sampled = MineFrequentSampled(&db, FullDomain(40), 20);
+  ASSERT_TRUE(sampled.ok());
+  auto exact = MineFrequent(&db, FullDomain(40), 20);
+  EXPECT_EQ(AsMap(sampled->frequent), AsMap(exact.frequent));
+}
+
+}  // namespace
+}  // namespace cfq

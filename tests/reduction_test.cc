@@ -1,0 +1,402 @@
+#include "core/reduction.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraints/classify.h"
+#include "constraints/eval.h"
+#include "data/transaction_db.h"
+#include "mining/apriori.h"
+
+namespace cfq {
+namespace {
+
+// Random instance: one shared attribute value space for A and B so that
+// domain constraints are meaningful. S ranges over even items, T over
+// odd items (disjoint domains, like the paper's experiments).
+struct Instance {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  Itemset s_domain;
+  Itemset t_domain;
+  Itemset l1_s;  // Frequent singleton items per side.
+  Itemset l1_t;
+  std::vector<Itemset> frequent_s;  // All frequent sets per side.
+  std::vector<Itemset> frequent_t;
+  uint64_t min_support = 3;
+};
+
+Instance MakeInstance(int seed) {
+  Instance inst;
+  inst.db = TransactionDb(10);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 5);
+  std::uniform_int_distribution<ItemId> item(0, 9);
+  for (int t = 0; t < 60; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    inst.db.Add(std::move(txn));
+  }
+  inst.catalog = ItemCatalog(10);
+  std::vector<AttrValue> a(10), b(10);
+  std::uniform_int_distribution<int> value(0, 4);
+  for (size_t i = 0; i < 10; ++i) {
+    a[i] = value(rng);
+    b[i] = value(rng);
+  }
+  EXPECT_TRUE(inst.catalog.AddNumericAttr("A", a).ok());
+  EXPECT_TRUE(inst.catalog.AddNumericAttr("B", b).ok());
+  for (ItemId i = 0; i < 10; ++i) {
+    (i % 2 == 0 ? inst.s_domain : inst.t_domain).push_back(i);
+  }
+  for (const FrequentSet& f :
+       MineFrequentBruteForce(inst.db, inst.s_domain, inst.min_support)) {
+    inst.frequent_s.push_back(f.items);
+    if (f.items.size() == 1) inst.l1_s.push_back(f.items[0]);
+  }
+  for (const FrequentSet& f :
+       MineFrequentBruteForce(inst.db, inst.t_domain, inst.min_support)) {
+    inst.frequent_t.push_back(f.items);
+    if (f.items.size() == 1) inst.l1_t.push_back(f.items[0]);
+  }
+  return inst;
+}
+
+// All 2-var constraint shapes exercised by the property suites.
+std::vector<TwoVarConstraint> AllConstraints() {
+  std::vector<TwoVarConstraint> out;
+  for (SetCmp cmp : {SetCmp::kDisjoint, SetCmp::kIntersects, SetCmp::kSubset,
+                     SetCmp::kNotSubset, SetCmp::kSuperset,
+                     SetCmp::kNotSuperset, SetCmp::kEqual, SetCmp::kNotEqual}) {
+    out.push_back(MakeDomain2("A", cmp, "B"));
+  }
+  for (AggFn s : {AggFn::kMin, AggFn::kMax}) {
+    for (AggFn t : {AggFn::kMin, AggFn::kMax}) {
+      for (CmpOp cmp : {CmpOp::kLe, CmpOp::kGe, CmpOp::kLt, CmpOp::kGt,
+                        CmpOp::kEq, CmpOp::kNe}) {
+        out.push_back(MakeAgg2(s, "A", cmp, t, "B"));
+      }
+    }
+  }
+  for (CmpOp cmp : {CmpOp::kLe, CmpOp::kGe}) {
+    out.push_back(MakeAgg2(AggFn::kSum, "A", cmp, AggFn::kSum, "B"));
+    out.push_back(MakeAgg2(AggFn::kAvg, "A", cmp, AggFn::kAvg, "B"));
+    out.push_back(MakeAgg2(AggFn::kSum, "A", cmp, AggFn::kMax, "B"));
+    out.push_back(MakeAgg2(AggFn::kAvg, "A", cmp, AggFn::kMin, "B"));
+    out.push_back(MakeAgg2(AggFn::kMin, "A", cmp, AggFn::kSum, "B"));
+    out.push_back(MakeAgg2(AggFn::kMax, "A", cmp, AggFn::kAvg, "B"));
+    // count() rows: outside the paper's tables, handled by the same
+    // achievable-interval machinery (sound; tight only on the lo side).
+    out.push_back(MakeAgg2(AggFn::kCount, "A", cmp, AggFn::kCount, "B"));
+    out.push_back(MakeAgg2(AggFn::kCount, "A", cmp, AggFn::kMax, "B"));
+    out.push_back(MakeAgg2(AggFn::kMin, "A", cmp, AggFn::kCount, "B"));
+  }
+  return out;
+}
+
+// Oracle: is `s0` a valid S-set (Definition 3) — some frequent T
+// witness satisfies the constraint with it?
+bool IsValidSSet(const Instance& inst, const TwoVarConstraint& c,
+                 const Itemset& s0) {
+  for (const Itemset& t : inst.frequent_t) {
+    auto ok = EvalPair(c, s0, t, inst.catalog);
+    EXPECT_TRUE(ok.ok());
+    if (ok.ok() && ok.value()) return true;
+  }
+  return false;
+}
+
+bool IsValidTSet(const Instance& inst, const TwoVarConstraint& c,
+                 const Itemset& t0) {
+  for (const Itemset& s : inst.frequent_s) {
+    auto ok = EvalPair(c, s, t0, inst.catalog);
+    EXPECT_TRUE(ok.ok());
+    if (ok.ok() && ok.value()) return true;
+  }
+  return false;
+}
+
+bool SatisfiesConjunction(const std::vector<OneVarConstraint>& cs, Var var,
+                          const Itemset& x, const ItemCatalog& catalog) {
+  auto ok = EvalAll(cs, var, x, catalog);
+  EXPECT_TRUE(ok.ok());
+  return ok.ok() && ok.value();
+}
+
+// ---------- Soundness: the reduced conditions never prune valid sets. ----
+
+class ReductionSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionSoundnessTest, NoValidSetIsPruned) {
+  const Instance inst = MakeInstance(GetParam());
+  for (const TwoVarConstraint& c : AllConstraints()) {
+    auto reduction = ReduceTwoVar(c, inst.l1_s, inst.l1_t, inst.catalog);
+    ASSERT_TRUE(reduction.ok()) << ToString(c);
+    const Reduction& r = reduction.value();
+    ForEachNonEmptySubset(inst.s_domain, [&](const Itemset& s0) {
+      if (!IsValidSSet(inst, c, s0)) return;
+      ASSERT_TRUE(r.s.satisfiable)
+          << ToString(c) << ": valid " << ToString(s0) << " but side unsat";
+      EXPECT_TRUE(
+          SatisfiesConjunction(r.s.constraints, Var::kS, s0, inst.catalog))
+          << ToString(c) << " prunes valid S-set " << ToString(s0);
+    });
+    ForEachNonEmptySubset(inst.t_domain, [&](const Itemset& t0) {
+      if (!IsValidTSet(inst, c, t0)) return;
+      ASSERT_TRUE(r.t.satisfiable) << ToString(c);
+      EXPECT_TRUE(
+          SatisfiesConjunction(r.t.constraints, Var::kT, t0, inst.catalog))
+          << ToString(c) << " prunes valid T-set " << ToString(t0);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionSoundnessTest,
+                         ::testing::Range(0, 8));
+
+// ---------- Tightness: where flagged, only invalid sets are pruned. ------
+
+class ReductionTightnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionTightnessTest, TightSidesPruneExactly) {
+  const Instance inst = MakeInstance(GetParam() + 200);
+  for (const TwoVarConstraint& c : AllConstraints()) {
+    auto reduction = ReduceTwoVar(c, inst.l1_s, inst.l1_t, inst.catalog);
+    ASSERT_TRUE(reduction.ok()) << ToString(c);
+    const Reduction& r = reduction.value();
+    if (r.s.tight && r.s.satisfiable) {
+      ForEachNonEmptySubset(inst.s_domain, [&](const Itemset& s0) {
+        if (SatisfiesConjunction(r.s.constraints, Var::kS, s0,
+                                 inst.catalog)) {
+          EXPECT_TRUE(IsValidSSet(inst, c, s0))
+              << ToString(c) << " admits invalid S-set " << ToString(s0);
+        }
+      });
+    }
+    if (r.t.tight && r.t.satisfiable) {
+      ForEachNonEmptySubset(inst.t_domain, [&](const Itemset& t0) {
+        if (SatisfiesConjunction(r.t.constraints, Var::kT, t0,
+                                 inst.catalog)) {
+          EXPECT_TRUE(IsValidTSet(inst, c, t0))
+              << ToString(c) << " admits invalid T-set " << ToString(t0);
+        }
+      });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionTightnessTest,
+                         ::testing::Range(0, 8));
+
+// ---------- Specific Figure-2 / Figure-3 rows. ----------------------------
+
+TEST(ReductionTest, DisjointRowMatchesLemmas2And3) {
+  const Instance inst = MakeInstance(42);
+  auto r = ReduceTwoVar(MakeDomain2("A", SetCmp::kDisjoint, "B"), inst.l1_s,
+                        inst.l1_t, inst.catalog);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->s.constraints.size(), 1u);
+  const auto& d = std::get<DomainConstraint1>(r->s.constraints[0].body);
+  EXPECT_EQ(d.cmp, SetCmp::kNotSuperset);
+  EXPECT_EQ(d.attr, "A");
+  EXPECT_TRUE(r->s.tight);
+  EXPECT_TRUE(r->t.tight);
+}
+
+TEST(ReductionTest, MaxLeMinRowMatchesFigure3) {
+  // max(S.A) <= min(T.B) reduces to max(CS.A) <= max(L1T.B) and
+  // min(CT.B) >= min(L1S.A).
+  Instance inst = MakeInstance(43);
+  auto r = ReduceTwoVar(MakeAgg2(AggFn::kMax, "A", CmpOp::kLe, AggFn::kMin,
+                                 "B"),
+                        inst.l1_s, inst.l1_t, inst.catalog);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->s.constraints.size(), 1u);
+  ASSERT_EQ(r->t.constraints.size(), 1u);
+  const auto& cs = std::get<AggConstraint1>(r->s.constraints[0].body);
+  EXPECT_EQ(cs.agg, AggFn::kMax);
+  EXPECT_EQ(cs.cmp, CmpOp::kLe);
+  auto ltb = ProjectSet("B", inst.l1_t, inst.catalog);
+  ASSERT_TRUE(ltb.ok());
+  EXPECT_EQ(cs.constant, ltb->back());  // max of L1T.B.
+  const auto& ct = std::get<AggConstraint1>(r->t.constraints[0].body);
+  EXPECT_EQ(ct.agg, AggFn::kMin);
+  EXPECT_EQ(ct.cmp, CmpOp::kGe);
+  auto lsa = ProjectSet("A", inst.l1_s, inst.catalog);
+  ASSERT_TRUE(lsa.ok());
+  EXPECT_EQ(ct.constant, lsa->front());  // min of L1S.A.
+  EXPECT_TRUE(r->s.tight);
+  EXPECT_TRUE(r->t.tight);
+}
+
+TEST(ReductionTest, SubsetRowIsSoundButNotTight) {
+  const Instance inst = MakeInstance(44);
+  auto r = ReduceTwoVar(MakeDomain2("A", SetCmp::kSubset, "B"), inst.l1_s,
+                        inst.l1_t, inst.catalog);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->s.tight);  // Needs a frequent multi-item witness.
+  EXPECT_TRUE(r->t.tight);
+}
+
+TEST(ReductionTest, SumSumRowGivesLooseUpperBound) {
+  const Instance inst = MakeInstance(45);
+  auto r = ReduceTwoVar(
+      MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kSum, "B"), inst.l1_s,
+      inst.l1_t, inst.catalog);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->s.constraints.size(), 1u);
+  const auto& cs = std::get<AggConstraint1>(r->s.constraints[0].body);
+  EXPECT_EQ(cs.agg, AggFn::kSum);
+  double total = 0;
+  auto proj = inst.catalog.Project("B", inst.l1_t);
+  ASSERT_TRUE(proj.ok());
+  for (AttrValue v : proj.value()) total += v;
+  EXPECT_EQ(cs.constant, total);  // sum(L1T.B): Section 5.1's bound.
+  EXPECT_FALSE(r->s.tight);
+  // T side: sum(CT.B) >= min(L1S.A) is tight (singleton witness).
+  EXPECT_TRUE(r->t.tight);
+}
+
+TEST(ReductionTest, EmptyOtherSideIsUnsatisfiable) {
+  const Instance inst = MakeInstance(46);
+  auto r = ReduceTwoVar(MakeDomain2("A", SetCmp::kDisjoint, "B"), inst.l1_s,
+                        /*l1_t=*/{}, inst.catalog);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->s.satisfiable);
+  EXPECT_TRUE(r->t.satisfiable);  // l1_s is non-empty here.
+}
+
+TEST(ReductionTest, UnknownAttributeFails) {
+  const Instance inst = MakeInstance(47);
+  EXPECT_FALSE(ReduceTwoVar(MakeDomain2("Nope", SetCmp::kDisjoint, "B"),
+                            inst.l1_s, inst.l1_t, inst.catalog)
+                   .ok());
+}
+
+// ---------- Achievable intervals. -----------------------------------------
+
+TEST(AchievableAggTest, MinMaxAvgUseL1Extremes) {
+  ItemCatalog catalog(4);
+  ASSERT_TRUE(catalog.AddNumericAttr("B", {3, 7, 1, 9}).ok());
+  for (AggFn agg : {AggFn::kMin, AggFn::kMax, AggFn::kAvg}) {
+    auto i = AchievableAgg(agg, "B", {0, 1, 2}, catalog);
+    ASSERT_TRUE(i.ok());
+    EXPECT_EQ(i->lo, 1);
+    EXPECT_EQ(i->hi, 7);
+    EXPECT_TRUE(i->lo_tight);
+    EXPECT_TRUE(i->hi_tight);
+    EXPECT_FALSE(i->empty);
+  }
+}
+
+TEST(AchievableAggTest, SumUsesTotalUpperBound) {
+  ItemCatalog catalog(4);
+  ASSERT_TRUE(catalog.AddNumericAttr("B", {3, 7, 1, 9}).ok());
+  auto i = AchievableAgg(AggFn::kSum, "B", {0, 1, 2}, catalog);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->lo, 1);
+  EXPECT_TRUE(i->lo_tight);
+  EXPECT_EQ(i->hi, 11);
+  EXPECT_FALSE(i->hi_tight);
+}
+
+TEST(AchievableAggTest, EmptyL1) {
+  ItemCatalog catalog(2);
+  ASSERT_TRUE(catalog.AddNumericAttr("B", {1, 2}).ok());
+  auto i = AchievableAgg(AggFn::kMin, "B", {}, catalog);
+  ASSERT_TRUE(i.ok());
+  EXPECT_TRUE(i->empty);
+}
+
+TEST(AchievableAggTest, CountInterval) {
+  ItemCatalog catalog(4);
+  ASSERT_TRUE(catalog.AddNumericAttr("B", {3, 3, 1, 9}).ok());
+  auto i = AchievableAgg(AggFn::kCount, "B", {0, 1, 2, 3}, catalog);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->lo, 1);
+  EXPECT_EQ(i->hi, 3);  // Distinct values {1, 3, 9}.
+}
+
+// ---------- Induced weaker constraints (Figure 4). -------------------------
+
+TEST(InduceWeakerTest, Figure4Rows) {
+  auto expect_induced = [](const TwoVarConstraint& c, AggFn s, AggFn t) {
+    const auto induced = InduceWeaker(c);
+    ASSERT_EQ(induced.size(), 1u) << ToString(c);
+    const auto& a = std::get<AggConstraint2>(induced[0]);
+    EXPECT_EQ(a.agg_s, s) << ToString(c);
+    EXPECT_EQ(a.agg_t, t) << ToString(c);
+  };
+  expect_induced(MakeAgg2(AggFn::kAvg, "A", CmpOp::kLe, AggFn::kMin, "B"),
+                 AggFn::kMin, AggFn::kMin);
+  expect_induced(MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kMax, "B"),
+                 AggFn::kMax, AggFn::kMax);
+  expect_induced(MakeAgg2(AggFn::kAvg, "A", CmpOp::kLe, AggFn::kAvg, "B"),
+                 AggFn::kMin, AggFn::kMax);
+}
+
+TEST(InduceWeakerTest, SumOnTheWrongSideHasNoForm) {
+  EXPECT_TRUE(
+      InduceWeaker(MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kSum, "B"))
+          .empty());
+  EXPECT_TRUE(
+      InduceWeaker(MakeAgg2(AggFn::kMin, "A", CmpOp::kLe, AggFn::kSum, "B"))
+          .empty());
+}
+
+TEST(InduceWeakerTest, MinMaxConstraintsNeedNoInduction) {
+  EXPECT_TRUE(
+      InduceWeaker(MakeAgg2(AggFn::kMax, "A", CmpOp::kLe, AggFn::kMin, "B"))
+          .empty());
+}
+
+TEST(InduceWeakerTest, DomainConstraintsNeedNoInduction) {
+  EXPECT_TRUE(InduceWeaker(MakeDomain2("A", SetCmp::kDisjoint, "B")).empty());
+}
+
+TEST(InduceWeakerTest, EqualityInducesBothDirections) {
+  const auto induced =
+      InduceWeaker(MakeAgg2(AggFn::kAvg, "A", CmpOp::kEq, AggFn::kAvg, "B"));
+  EXPECT_EQ(induced.size(), 2u);
+}
+
+TEST(InduceWeakerTest, SumRewriteNeedsNonnegativity) {
+  EXPECT_TRUE(InduceWeaker(
+                  MakeAgg2(AggFn::kSum, "A", CmpOp::kLe, AggFn::kMax, "B"),
+                  /*nonnegative=*/false)
+                  .empty());
+}
+
+// Property: induced constraints are genuinely weaker — implied by the
+// original on every pair.
+class InduceWeakerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InduceWeakerPropertyTest, InducedIsImplied) {
+  const Instance inst = MakeInstance(GetParam() + 500);
+  for (const TwoVarConstraint& c : AllConstraints()) {
+    const auto induced = InduceWeaker(c);
+    if (induced.empty()) continue;
+    ForEachNonEmptySubset(inst.s_domain, [&](const Itemset& s0) {
+      // Sample T-sets from the frequent pool for speed.
+      for (const Itemset& t0 : inst.frequent_t) {
+        auto original = EvalPair(c, s0, t0, inst.catalog);
+        ASSERT_TRUE(original.ok());
+        if (!original.value()) continue;
+        for (const TwoVarConstraint& w : induced) {
+          auto weaker = EvalPair(w, s0, t0, inst.catalog);
+          ASSERT_TRUE(weaker.ok());
+          EXPECT_TRUE(weaker.value())
+              << ToString(c) << " does not imply " << ToString(w) << " on ("
+              << ToString(s0) << ", " << ToString(t0) << ")";
+        }
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InduceWeakerPropertyTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace cfq

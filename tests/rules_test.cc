@@ -1,0 +1,158 @@
+#include "rules/rule_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+// Hand-checkable database:
+//   t0 {0,1,2}  t1 {0,1}  t2 {0,2}  t3 {1,2}  t4 {0,1,2}
+TransactionDb MakeDb() {
+  TransactionDb db(3);
+  db.Add({0, 1, 2});
+  db.Add({0, 1});
+  db.Add({0, 2});
+  db.Add({1, 2});
+  db.Add({0, 1, 2});
+  return db;
+}
+
+// A CfqResult with s_sets {0}, t_sets {1}, {2}, all pairs.
+CfqResult MakeResult() {
+  CfqResult result;
+  result.s_sets.push_back(FrequentSet{{0}, 4});
+  result.t_sets.push_back(FrequentSet{{1}, 4});
+  result.t_sets.push_back(FrequentSet{{2}, 4});
+  result.pairs = {{0, 0}, {0, 1}};
+  return result;
+}
+
+TEST(RulesTest, HandComputedMeasures) {
+  TransactionDb db = MakeDb();
+  const CfqResult result = MakeResult();
+  auto rules = FormRules(&db, result);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 2u);
+  // {0} => {1}: support({0,1}) = 3, conf = 3/4, lift = (3/4)/(4/5).
+  const AssociationRule& r = (*rules)[0];
+  EXPECT_EQ(r.antecedent, Itemset{0});
+  EXPECT_EQ(r.support_union, 3u);
+  EXPECT_DOUBLE_EQ(r.confidence, 0.75);
+  EXPECT_DOUBLE_EQ(r.support, 3.0 / 5);
+  EXPECT_DOUBLE_EQ(r.lift, 0.75 / (4.0 / 5));
+}
+
+TEST(RulesTest, SortedByConfidenceDescending) {
+  TransactionDb db = MakeDb();
+  CfqResult result = MakeResult();
+  // Make {0} => {2} weaker: support({0,2}) = 3 as well, so add a
+  // stronger pair via t_sets[0] with smaller consequent support.
+  auto rules = FormRules(&db, result);
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].confidence, (*rules)[i].confidence);
+  }
+}
+
+TEST(RulesTest, MinConfidenceFilters) {
+  TransactionDb db = MakeDb();
+  const CfqResult result = MakeResult();
+  RuleOptions options;
+  options.min_confidence = 0.9;
+  auto rules = FormRules(&db, result, options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());  // Both rules have conf 0.75.
+}
+
+TEST(RulesTest, MinLiftFilters) {
+  TransactionDb db = MakeDb();
+  const CfqResult result = MakeResult();
+  RuleOptions options;
+  options.min_lift = 1.0;
+  auto rules = FormRules(&db, result, options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());  // Lift is 0.9375 for both.
+}
+
+TEST(RulesTest, TopKTruncates) {
+  TransactionDb db = MakeDb();
+  const CfqResult result = MakeResult();
+  RuleOptions options;
+  options.top_k = 1;
+  auto rules = FormRules(&db, result, options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 1u);
+}
+
+TEST(RulesTest, OverlappingPairsSkippedByDefault) {
+  TransactionDb db = MakeDb();
+  CfqResult result;
+  result.s_sets.push_back(FrequentSet{{0, 1}, 3});
+  result.t_sets.push_back(FrequentSet{{1, 2}, 3});
+  result.pairs = {{0, 0}};  // S and T share item 1.
+  auto rules = FormRules(&db, result);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+
+  RuleOptions allow;
+  allow.require_disjoint = false;
+  auto overlapping = FormRules(&db, result, allow);
+  ASSERT_TRUE(overlapping.ok());
+  ASSERT_EQ(overlapping->size(), 1u);
+  // Union {0,1,2} has support 2.
+  EXPECT_EQ((*overlapping)[0].support_union, 2u);
+}
+
+TEST(RulesTest, CrossProductResultExpandsAllPairs) {
+  TransactionDb db = MakeDb();
+  CfqResult result = MakeResult();
+  result.pairs.clear();
+  result.cross_product = true;
+  auto rules = FormRules(&db, result);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 2u);  // 1 s_set x 2 t_sets.
+}
+
+TEST(RulesTest, EmptyDatabaseIsError) {
+  TransactionDb db(3);
+  const CfqResult result = MakeResult();
+  EXPECT_FALSE(FormRules(&db, result).ok());
+}
+
+TEST(RulesTest, EmptyResultYieldsNoRules) {
+  TransactionDb db = MakeDb();
+  CfqResult result;
+  auto rules = FormRules(&db, result);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(RulesTest, ToStringRendering) {
+  AssociationRule rule;
+  rule.antecedent = {1};
+  rule.consequent = {2};
+  rule.confidence = 0.5;
+  rule.lift = 2;
+  const std::string text = ToString(rule);
+  EXPECT_NE(text.find("{1} => {2}"), std::string::npos);
+  EXPECT_NE(text.find("conf 0.5"), std::string::npos);
+}
+
+TEST(RulesTest, UnionCountsMatchDbAcrossBackends) {
+  TransactionDb db = MakeDb();
+  const CfqResult result = MakeResult();
+  for (CounterKind kind :
+       {CounterKind::kHash, CounterKind::kHashTree, CounterKind::kBitmap}) {
+    RuleOptions options;
+    options.counter = kind;
+    auto rules = FormRules(&db, result, options);
+    ASSERT_TRUE(rules.ok());
+    for (const AssociationRule& r : *rules) {
+      EXPECT_EQ(r.support_union,
+                db.CountSupport(Union(r.antecedent, r.consequent)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfq

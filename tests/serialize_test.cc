@@ -1,0 +1,134 @@
+#include "data/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_gen.h"
+
+namespace cfq {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/cfq_" + name;
+  }
+};
+
+TEST_F(SerializeTest, TransactionsRoundTrip) {
+  TransactionDb db(5);
+  db.Add({0, 2, 4});
+  db.Add({1});
+  db.Add({0, 1, 2, 3, 4});
+  const std::string path = TempPath("txns.txt");
+  ASSERT_TRUE(SaveTransactions(db, path).ok());
+  auto loaded = LoadTransactions(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_items(), 5u);
+  EXPECT_EQ(loaded->transactions(), db.transactions());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, QuestDataRoundTrip) {
+  QuestParams params;
+  params.num_transactions = 200;
+  params.num_items = 30;
+  params.num_patterns = 15;
+  auto db = GenerateQuestDb(params);
+  ASSERT_TRUE(db.ok());
+  const std::string path = TempPath("quest.txt");
+  ASSERT_TRUE(SaveTransactions(db.value(), path).ok());
+  auto loaded = LoadTransactions(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->transactions(), db->transactions());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, LoadRejectsMissingFile) {
+  EXPECT_EQ(LoadTransactions(TempPath("nope.txt")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SerializeTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("bad_magic.txt");
+  std::ofstream(path) << "notadb 1 3 0\n";
+  EXPECT_FALSE(LoadTransactions(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, LoadRejectsBadVersion) {
+  const std::string path = TempPath("bad_version.txt");
+  std::ofstream(path) << "cfqdb 9 3 0\n";
+  EXPECT_FALSE(LoadTransactions(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, LoadRejectsOutOfRangeItem) {
+  const std::string path = TempPath("bad_item.txt");
+  std::ofstream(path) << "cfqdb 1 3 1\n0 7\n";
+  EXPECT_EQ(LoadTransactions(path).status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, LoadRejectsCountMismatch) {
+  const std::string path = TempPath("bad_count.txt");
+  std::ofstream(path) << "cfqdb 1 3 2\n0 1\n";
+  EXPECT_FALSE(LoadTransactions(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, LoadRejectsMalformedLine) {
+  const std::string path = TempPath("bad_line.txt");
+  std::ofstream(path) << "cfqdb 1 3 1\n0 x 1\n";
+  EXPECT_FALSE(LoadTransactions(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, CatalogRoundTrip) {
+  ItemCatalog catalog(3);
+  ASSERT_TRUE(catalog.AddNumericAttr("Price", {1.5, 2, 3}).ok());
+  ASSERT_TRUE(
+      catalog.AddCategoricalAttr("Type", {0, 1, 0}, {"Snacks", "Beers"}).ok());
+  const std::string path = TempPath("catalog.txt");
+  ASSERT_TRUE(SaveCatalog(catalog, {"Price"}, {"Type"}, path).ok());
+  auto loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_items(), 3u);
+  EXPECT_EQ(loaded->Value("Price", 0).value(), 1.5);
+  EXPECT_EQ(loaded->Value("Type", 1).value(), 1);
+  EXPECT_EQ(loaded->ValueName("Type", 1), "Beers");
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, SaveCatalogRejectsUnknownAttr) {
+  ItemCatalog catalog(2);
+  EXPECT_EQ(
+      SaveCatalog(catalog, {"Ghost"}, {}, TempPath("x.txt")).code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(SerializeTest, SaveCatalogRejectsWhitespaceNames) {
+  ItemCatalog catalog(2);
+  ASSERT_TRUE(
+      catalog.AddCategoricalAttr("Type", {0, 0}, {"two words"}).ok());
+  EXPECT_FALSE(SaveCatalog(catalog, {}, {"Type"}, TempPath("y.txt")).ok());
+}
+
+TEST_F(SerializeTest, LoadCatalogRejectsBadCodes) {
+  const std::string path = TempPath("bad_codes.txt");
+  std::ofstream(path) << "cfqcat 1 2\ncategorical Type 1 A\ncodes 0 5\n";
+  EXPECT_EQ(LoadCatalog(path).status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, LoadCatalogRejectsUnknownKind) {
+  const std::string path = TempPath("bad_kind.txt");
+  std::ofstream(path) << "cfqcat 1 2\nblob Type 1 2\n";
+  EXPECT_FALSE(LoadCatalog(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,243 @@
+// Randomized stress tests: conjunctions of randomly drawn constraints
+// across every miner and strategy, validated against brute force. These
+// are the suite's widest nets — anything the targeted tests missed
+// (constraint interactions, group + anti-monotone mixes, injection
+// order effects) tends to surface here.
+
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraints/eval.h"
+#include "core/executor.h"
+#include "mining/apriori_plus.h"
+#include "mining/cap.h"
+#include "mining/lattice.h"
+
+namespace cfq {
+namespace {
+
+struct Instance {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  Itemset domain;
+};
+
+Instance MakeInstance(std::mt19937& rng) {
+  Instance inst;
+  const size_t n = 9;
+  inst.db = TransactionDb(n);
+  std::uniform_int_distribution<int> len(1, 6);
+  std::uniform_int_distribution<ItemId> item(0, n - 1);
+  std::uniform_int_distribution<int> txns(40, 90);
+  const int count = txns(rng);
+  for (int t = 0; t < count; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    inst.db.Add(std::move(txn));
+  }
+  inst.catalog = ItemCatalog(n);
+  std::vector<AttrValue> price(n);
+  std::vector<int32_t> type(n);
+  std::uniform_int_distribution<int> price_dist(0, 9);
+  std::uniform_int_distribution<int> type_dist(0, 2);
+  for (size_t i = 0; i < n; ++i) {
+    price[i] = price_dist(rng);
+    type[i] = type_dist(rng);
+  }
+  EXPECT_TRUE(inst.catalog.AddNumericAttr("Price", price).ok());
+  EXPECT_TRUE(inst.catalog.AddCategoricalAttr("Type", type).ok());
+  for (ItemId i = 0; i < n; ++i) inst.domain.push_back(i);
+  return inst;
+}
+
+OneVarConstraint RandomOneVar(std::mt19937& rng, Var var) {
+  std::uniform_int_distribution<int> pick(0, 13);
+  std::uniform_int_distribution<int> c(0, 9);
+  std::uniform_int_distribution<int> t(0, 2);
+  switch (pick(rng)) {
+    case 0:
+      return MakeAgg1(var, AggFn::kMax, "Price", CmpOp::kLe, c(rng));
+    case 1:
+      return MakeAgg1(var, AggFn::kMin, "Price", CmpOp::kGe, c(rng));
+    case 2:
+      return MakeAgg1(var, AggFn::kMin, "Price", CmpOp::kLe, c(rng));
+    case 3:
+      return MakeAgg1(var, AggFn::kMax, "Price", CmpOp::kGe, c(rng));
+    case 4:
+      return MakeAgg1(var, AggFn::kSum, "Price", CmpOp::kLe, c(rng) + 8);
+    case 5:
+      return MakeAgg1(var, AggFn::kSum, "Price", CmpOp::kGe, c(rng));
+    case 6:
+      return MakeAgg1(var, AggFn::kAvg, "Price", CmpOp::kLe, c(rng));
+    case 7:
+      return MakeAgg1(var, AggFn::kAvg, "Price", CmpOp::kGe, c(rng));
+    case 8:
+      return MakeAgg1(var, AggFn::kCount, "Type", CmpOp::kLe, 1 + t(rng));
+    case 9:
+      return MakeDomain1(var, "Type", SetCmp::kSubset,
+                         {0.0, static_cast<double>(t(rng))});
+    case 10:
+      return MakeDomain1(var, "Type", SetCmp::kIntersects,
+                         {static_cast<double>(t(rng))});
+    case 11:
+      return MakeDomain1(var, "Type", SetCmp::kDisjoint,
+                         {static_cast<double>(t(rng))});
+    case 12:
+      return MakeAgg1(var, AggFn::kMin, "Price", CmpOp::kEq, c(rng));
+    default:
+      return MakeDomain1(var, "Price", SetCmp::kNotSuperset,
+                         {static_cast<double>(c(rng))});
+  }
+}
+
+TwoVarConstraint RandomTwoVar(std::mt19937& rng) {
+  std::uniform_int_distribution<int> pick(0, 8);
+  switch (pick(rng)) {
+    case 0:
+      return MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price");
+    case 1:
+      return MakeAgg2(AggFn::kMin, "Price", CmpOp::kLe, AggFn::kMax, "Price");
+    case 2:
+      return MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price");
+    case 3:
+      return MakeAgg2(AggFn::kAvg, "Price", CmpOp::kGe, AggFn::kAvg, "Price");
+    case 4:
+      return MakeDomain2("Type", SetCmp::kDisjoint, "Type");
+    case 5:
+      return MakeDomain2("Type", SetCmp::kEqual, "Type");
+    case 6:
+      return MakeDomain2("Type", SetCmp::kIntersects, "Type");
+    case 7:
+      return MakeAgg2(AggFn::kSum, "Price", CmpOp::kGe, AggFn::kSum, "Price");
+    default:
+      return MakeDomain2("Type", SetCmp::kNotSubset, "Type");
+  }
+}
+
+// CAP vs Apriori+ over random 1-var conjunctions.
+class OneVarStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OneVarStressTest, RandomConjunctionsMatchBaseline) {
+  std::mt19937 rng(GetParam() * 1299721);
+  for (int round = 0; round < 8; ++round) {
+    Instance inst = MakeInstance(rng);
+    std::uniform_int_distribution<int> count(1, 4);
+    std::vector<OneVarConstraint> constraints;
+    const int k = count(rng);
+    for (int i = 0; i < k; ++i) {
+      constraints.push_back(RandomOneVar(rng, Var::kS));
+    }
+    auto cap =
+        RunCap(&inst.db, inst.catalog, inst.domain, Var::kS, constraints, 3);
+    auto base = RunAprioriPlus(&inst.db, inst.catalog, inst.domain, Var::kS,
+                               constraints, 3);
+    ASSERT_TRUE(cap.ok());
+    ASSERT_TRUE(base.ok());
+    ASSERT_EQ(cap->valid_frequent.size(), base->valid_frequent.size())
+        << [&] {
+             std::string msg = "constraints:";
+             for (const auto& c : constraints) msg += " " + ToString(c);
+             return msg;
+           }();
+    for (size_t i = 0; i < cap->valid_frequent.size(); ++i) {
+      EXPECT_EQ(cap->valid_frequent[i].items, base->valid_frequent[i].items);
+      EXPECT_EQ(cap->valid_frequent[i].support,
+                base->valid_frequent[i].support);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneVarStressTest, ::testing::Range(0, 12));
+
+// Full CFQ stress: random 1-var + 2-var conjunctions across all four
+// strategies vs the brute-force oracle.
+class CfqStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CfqStressTest, RandomQueriesAgreeEverywhere) {
+  std::mt19937 rng(GetParam() * 2750159 + 7);
+  for (int round = 0; round < 4; ++round) {
+    Instance inst = MakeInstance(rng);
+    CfqQuery query;
+    for (ItemId i : inst.domain) {
+      ((i % 2 == 0) ? query.s_domain : query.t_domain).push_back(i);
+    }
+    query.min_support_s = 3;
+    query.min_support_t = 3;
+    std::uniform_int_distribution<int> count(0, 2);
+    for (int i = count(rng); i > 0; --i) {
+      query.one_var.push_back(RandomOneVar(
+          rng, std::uniform_int_distribution<int>(0, 1)(rng) == 0 ? Var::kS
+                                                                  : Var::kT));
+    }
+    for (int i = count(rng); i > 0; --i) {
+      query.two_var.push_back(RandomTwoVar(rng));
+    }
+
+    auto oracle = ExecuteBruteForce(inst.db, inst.catalog, query);
+    ASSERT_TRUE(oracle.ok());
+    const auto expected = AnswerPairs(oracle.value());
+    const std::string label = ToString(query);
+
+    auto optimized = ExecuteOptimized(&inst.db, inst.catalog, query);
+    ASSERT_TRUE(optimized.ok()) << label;
+    EXPECT_EQ(AnswerPairs(optimized.value()), expected) << label;
+
+    auto naive = ExecuteAprioriPlus(&inst.db, inst.catalog, query);
+    ASSERT_TRUE(naive.ok()) << label;
+    EXPECT_EQ(AnswerPairs(naive.value()), expected) << label;
+
+    auto fm = ExecuteFullMaterialization(&inst.db, inst.catalog, query);
+    ASSERT_TRUE(fm.ok()) << label;
+    EXPECT_EQ(AnswerPairs(fm.value()), expected) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfqStressTest, ::testing::Range(0, 10));
+
+// Constraint injection mid-run must agree with constraints-from-birth,
+// at every injection level.
+class InjectionStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InjectionStressTest, LateInjectionEqualsEarly) {
+  std::mt19937 rng(GetParam() * 7919 + 3);
+  for (int round = 0; round < 5; ++round) {
+    Instance inst = MakeInstance(rng);
+    std::vector<OneVarConstraint> constraints{RandomOneVar(rng, Var::kS),
+                                              RandomOneVar(rng, Var::kS)};
+    auto reference =
+        RunCap(&inst.db, inst.catalog, inst.domain, Var::kS, constraints, 3);
+    ASSERT_TRUE(reference.ok());
+
+    for (size_t inject_after = 1; inject_after <= 3; ++inject_after) {
+      auto lattice = ConstrainedLattice::Create(&inst.db, inst.catalog,
+                                                inst.domain, Var::kS,
+                                                {constraints[0]}, 3);
+      ASSERT_TRUE(lattice.ok());
+      ConstrainedLattice& l = **lattice;
+      for (size_t step = 0; step < inject_after && !l.done(); ++step) {
+        l.Step();
+      }
+      ASSERT_TRUE(l.AddConstraints({constraints[1]}).ok());
+      while (l.Step()) {
+      }
+      // Compare as sets: level-internal ordering may differ.
+      std::map<Itemset, uint64_t> got, want;
+      for (const FrequentSet& f : l.valid_frequent()) {
+        got[f.items] = f.support;
+      }
+      for (const FrequentSet& f : reference->valid_frequent) {
+        want[f.items] = f.support;
+      }
+      EXPECT_EQ(got, want)
+          << ToString(constraints[0]) << " + " << ToString(constraints[1])
+          << " injected after level " << inject_after;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InjectionStressTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace cfq

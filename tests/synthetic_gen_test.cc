@@ -1,0 +1,154 @@
+#include "data/synthetic_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+QuestParams SmallParams() {
+  QuestParams p;
+  p.num_transactions = 500;
+  p.avg_transaction_size = 8;
+  p.avg_pattern_size = 3;
+  p.num_patterns = 50;
+  p.num_items = 60;
+  p.seed = 7;
+  return p;
+}
+
+TEST(SyntheticGenTest, ProducesRequestedTransactionCount) {
+  auto db = GenerateQuestDb(SmallParams());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_transactions(), 500u);
+  EXPECT_EQ(db->num_items(), 60u);
+}
+
+TEST(SyntheticGenTest, NoEmptyTransactions) {
+  auto db = GenerateQuestDb(SmallParams());
+  ASSERT_TRUE(db.ok());
+  for (const Itemset& t : db->transactions()) {
+    EXPECT_FALSE(t.empty());
+  }
+}
+
+TEST(SyntheticGenTest, DeterministicForSameSeed) {
+  auto a = GenerateQuestDb(SmallParams());
+  auto b = GenerateQuestDb(SmallParams());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->transactions(), b->transactions());
+}
+
+TEST(SyntheticGenTest, DifferentSeedsDiffer) {
+  QuestParams p = SmallParams();
+  auto a = GenerateQuestDb(p);
+  p.seed = 8;
+  auto b = GenerateQuestDb(p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->transactions(), b->transactions());
+}
+
+TEST(SyntheticGenTest, MeanTransactionSizeIsClose) {
+  QuestParams p = SmallParams();
+  p.num_transactions = 2000;
+  auto db = GenerateQuestDb(p);
+  ASSERT_TRUE(db.ok());
+  double total = 0;
+  for (const Itemset& t : db->transactions()) total += t.size();
+  const double mean = total / db->num_transactions();
+  // Corruption + dedup pull the mean below |T|; it must be in a sane band.
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 16.0);
+}
+
+TEST(SyntheticGenTest, PatternsAreReturnedAndNormalized) {
+  QuestPatterns patterns;
+  auto db = GenerateQuestDbWithPatterns(SmallParams(), &patterns);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(patterns.patterns.size(), 50u);
+  double total_weight = 0;
+  for (double w : patterns.weights) {
+    EXPECT_GT(w, 0);
+    total_weight += w;
+  }
+  EXPECT_NEAR(total_weight, 1.0, 1e-9);
+  for (double c : patterns.corruption) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 1);
+  }
+  for (const Itemset& pat : patterns.patterns) {
+    EXPECT_FALSE(pat.empty());
+    EXPECT_TRUE(IsCanonical(pat));
+  }
+}
+
+TEST(SyntheticGenTest, FrequentPatternsEmerge) {
+  // The heaviest pattern's items should co-occur far more often than
+  // random pairs would.
+  QuestParams p = SmallParams();
+  p.num_transactions = 3000;
+  p.corruption_mean = 0.25;
+  QuestPatterns patterns;
+  auto db = GenerateQuestDbWithPatterns(p, &patterns);
+  ASSERT_TRUE(db.ok());
+  size_t heaviest = 0;
+  for (size_t i = 1; i < patterns.weights.size(); ++i) {
+    if (patterns.weights[i] > patterns.weights[heaviest]) heaviest = i;
+  }
+  const Itemset& pat = patterns.patterns[heaviest];
+  if (pat.size() >= 2) {
+    const Itemset pair{pat[0], pat[1]};
+    const double expected_random =
+        db->num_transactions() * 0.02;  // Generous random-co-occurrence bar.
+    EXPECT_GT(db->CountSupport(pair), expected_random);
+  }
+}
+
+TEST(SyntheticGenTest, RejectsZeroItems) {
+  QuestParams p = SmallParams();
+  p.num_items = 0;
+  EXPECT_EQ(GenerateQuestDb(p).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SyntheticGenTest, RejectsZeroPatterns) {
+  QuestParams p = SmallParams();
+  p.num_patterns = 0;
+  EXPECT_EQ(GenerateQuestDb(p).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SyntheticGenTest, RejectsNonPositiveSizes) {
+  QuestParams p = SmallParams();
+  p.avg_transaction_size = 0;
+  EXPECT_FALSE(GenerateQuestDb(p).ok());
+  p = SmallParams();
+  p.avg_pattern_size = -1;
+  EXPECT_FALSE(GenerateQuestDb(p).ok());
+}
+
+TEST(SyntheticGenTest, RejectsPatternLargerThanUniverse) {
+  QuestParams p = SmallParams();
+  p.avg_pattern_size = 1000;
+  EXPECT_FALSE(GenerateQuestDb(p).ok());
+}
+
+TEST(SyntheticGenTest, RejectsBadCorrelationAndCorruption) {
+  QuestParams p = SmallParams();
+  p.correlation = 1.5;
+  EXPECT_FALSE(GenerateQuestDb(p).ok());
+  p = SmallParams();
+  p.corruption_mean = -0.1;
+  EXPECT_FALSE(GenerateQuestDb(p).ok());
+}
+
+TEST(SyntheticGenTest, HighCorruptionStillTerminates) {
+  QuestParams p = SmallParams();
+  p.corruption_mean = 1.0;
+  p.corruption_sigma = 0.0;
+  auto db = GenerateQuestDb(p);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_transactions(), 500u);
+}
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,102 @@
+#include "data/transaction_db.h"
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+TransactionDb MakeDb() {
+  TransactionDb db(5);
+  db.Add({0, 1, 2});
+  db.Add({1, 2});
+  db.Add({0, 2, 3});
+  db.Add({4});
+  db.Add({0, 1, 2, 3, 4});
+  return db;
+}
+
+TEST(TransactionDbTest, BasicCounts) {
+  const TransactionDb db = MakeDb();
+  EXPECT_EQ(db.num_items(), 5u);
+  EXPECT_EQ(db.num_transactions(), 5u);
+}
+
+TEST(TransactionDbTest, AddCanonicalizes) {
+  TransactionDb db(10);
+  db.Add({3, 1, 3, 2});
+  EXPECT_EQ(db.transaction(0), (Itemset{1, 2, 3}));
+}
+
+TEST(TransactionDbTest, AddDropsOutOfRangeItems) {
+  TransactionDb db(3);
+  db.Add({0, 5, 2, 99});
+  EXPECT_EQ(db.transaction(0), (Itemset{0, 2}));
+}
+
+TEST(TransactionDbTest, CountSupport) {
+  const TransactionDb db = MakeDb();
+  EXPECT_EQ(db.CountSupport({0}), 3u);
+  EXPECT_EQ(db.CountSupport({1, 2}), 3u);
+  EXPECT_EQ(db.CountSupport({0, 1, 2}), 2u);
+  EXPECT_EQ(db.CountSupport({0, 4}), 1u);
+  EXPECT_EQ(db.CountSupport({}), 5u);  // Empty set is in every txn.
+}
+
+TEST(TransactionDbTest, VerticalIndexMatchesSupports) {
+  TransactionDb db = MakeDb();
+  db.BuildVerticalIndex();
+  ASSERT_TRUE(db.has_vertical_index());
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    EXPECT_EQ(db.vertical(item).Count(), db.CountSupport({item}))
+        << "item " << item;
+  }
+  // Pairwise intersection equals 2-set support.
+  EXPECT_EQ(Bitset64::AndCount(db.vertical(1), db.vertical(2)),
+            db.CountSupport({1, 2}));
+}
+
+TEST(TransactionDbTest, AddInvalidatesVerticalIndex) {
+  TransactionDb db = MakeDb();
+  db.BuildVerticalIndex();
+  db.Add({0});
+  EXPECT_FALSE(db.has_vertical_index());
+  db.BuildVerticalIndex();
+  EXPECT_EQ(db.vertical(0).Count(), 4u);
+}
+
+TEST(TransactionDbTest, PagesPerScanSmallDbIsOnePage) {
+  const TransactionDb db = MakeDb();
+  EXPECT_EQ(db.PagesPerScan(), 1u);
+}
+
+TEST(TransactionDbTest, PagesPerScanGrowsWithData) {
+  TransactionDb db(100);
+  // Each record: 8 + 4*50 = 208 bytes; 19 fit a 4096-byte page.
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < 50; ++i) items.push_back(i);
+  for (int t = 0; t < 100; ++t) db.Add(items);
+  const uint64_t pages = db.PagesPerScan();
+  EXPECT_EQ(pages, (100 + 18) / 19);
+}
+
+TEST(TransactionDbTest, PagesPerScanCustomModel) {
+  TransactionDb db(4);
+  db.Add({0, 1});
+  IoModel model;
+  model.page_size_bytes = 16;  // One record (8 + 8 = 16 bytes) per page.
+  EXPECT_EQ(db.PagesPerScan(model), 1u);
+  db.Add({0, 1});
+  EXPECT_EQ(db.PagesPerScan(model), 2u);
+}
+
+TEST(TransactionDbTest, EmptyDb) {
+  TransactionDb db(3);
+  EXPECT_EQ(db.num_transactions(), 0u);
+  EXPECT_EQ(db.CountSupport({0}), 0u);
+  EXPECT_EQ(db.PagesPerScan(), 0u);
+  db.BuildVerticalIndex();
+  EXPECT_EQ(db.vertical(0).Count(), 0u);
+}
+
+}  // namespace
+}  // namespace cfq

@@ -1,0 +1,55 @@
+// cfq_gen: generate a Quest-style synthetic dataset and write it in the
+// formats cfq_mine consumes.
+//
+//   cfq_gen --db=baskets.txt --catalog=items.txt \
+//           [--num_transactions=10000 --num_items=1000 --num_patterns=500] \
+//           [--avg_transaction_size=10 --avg_pattern_size=4 --seed=42] \
+//           [--price_lo=1 --price_hi=1000 --num_types=8]
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "data/serialize.h"
+
+int main(int argc, char** argv) {
+  using namespace cfq;
+  bench::Args args(argc, argv);
+  const std::string db_path = args.GetString("db", "");
+  const std::string catalog_path = args.GetString("catalog", "");
+  if (db_path.empty() || catalog_path.empty()) {
+    std::cerr << "usage: cfq_gen --db=<out> --catalog=<out> [flags]\n";
+    return 1;
+  }
+  const bench::DbConfig config = bench::DbConfig::FromArgs(args);
+  TransactionDb db = bench::MustGenerate(config);
+
+  ItemCatalog catalog(config.num_items);
+  if (auto s = AssignUniformPrices(
+          &catalog, "Price", args.GetInt("price_lo", 1),
+          args.GetInt("price_hi", 1000), config.seed + 1);
+      !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  const int32_t num_types =
+      static_cast<int32_t>(args.GetInt("num_types", 8));
+  std::vector<int32_t> types(config.num_items);
+  for (ItemId i = 0; i < config.num_items; ++i) {
+    types[i] = static_cast<int32_t>(i) % num_types;
+  }
+  (void)catalog.AddCategoricalAttr("Type", types);
+
+  if (auto s = SaveTransactions(db, db_path); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  if (auto s = SaveCatalog(catalog, {"Price"}, {"Type"}, catalog_path);
+      !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << db.num_transactions() << " transactions over "
+            << db.num_items() << " items to " << db_path << " / "
+            << catalog_path << "\n";
+  return 0;
+}

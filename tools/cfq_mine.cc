@@ -1,0 +1,184 @@
+// cfq_mine: command-line CFQ mining over serialized datasets.
+//
+//   cfq_mine --db=baskets.txt --catalog=items.txt \
+//            --query='freq(S, 40) & freq(T, 40) & max(S.Price) <= min(T.Price)' \
+//            [--strategy=optimized|cap|apriori] [--explain] \
+//            [--rules] [--min_confidence=0.5] [--top_k=20] \
+//            [--output=pairs.csv]
+//
+// Input files use the formats of src/data/serialize.h. When --db is
+// omitted a Quest-generated demo database is used (--num_transactions,
+// --num_items, --seed control it) with uniform prices and 8 types.
+//
+// Output: one CSV row per answer pair —
+//   s_items;t_items;s_support;t_support
+// plus, with --rules, one row per rule —
+//   s_items;t_items;support;confidence;lift
+
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/executor.h"
+#include "data/serialize.h"
+#include "parser/parser.h"
+#include "rules/rule_gen.h"
+
+namespace {
+
+using namespace cfq;
+
+std::string JoinItems(const Itemset& items) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(items[i]);
+  }
+  return out;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const std::string query_text = args.GetString("query", "");
+  if (query_text.empty()) {
+    std::cerr << "usage: cfq_mine --query='<cfq>' [--db=... --catalog=...]\n"
+                 "see the header of tools/cfq_mine.cc for all flags\n";
+    return 1;
+  }
+
+  // --- Data. ---------------------------------------------------------------
+  TransactionDb db(0);
+  ItemCatalog catalog(0);
+  const std::string db_path = args.GetString("db", "");
+  if (!db_path.empty()) {
+    auto loaded = LoadTransactions(db_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    db = std::move(loaded).value();
+    const std::string catalog_path = args.GetString("catalog", "");
+    if (catalog_path.empty()) {
+      std::cerr << "error: --db requires --catalog\n";
+      return 1;
+    }
+    auto cat = LoadCatalog(catalog_path);
+    if (!cat.ok()) return Fail(cat.status());
+    catalog = std::move(cat).value();
+    if (catalog.num_items() != db.num_items()) {
+      std::cerr << "error: catalog has " << catalog.num_items()
+                << " items but the database declares " << db.num_items()
+                << "\n";
+      return 1;
+    }
+  } else {
+    bench::DbConfig config = bench::DbConfig::FromArgs(args);
+    if (args.GetInt("num_transactions", -1) < 0) {
+      config.num_transactions = 5000;
+    }
+    if (args.GetInt("num_items", -1) < 0) config.num_items = 200;
+    if (args.GetInt("num_patterns", -1) < 0) config.num_patterns = 100;
+    db = bench::MustGenerate(config);
+    catalog = ItemCatalog(config.num_items);
+    if (auto s = AssignUniformPrices(&catalog, "Price", 1, 1000,
+                                     config.seed + 1);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::vector<int32_t> types(config.num_items);
+    for (ItemId i = 0; i < config.num_items; ++i) {
+      types[i] = static_cast<int32_t>(i % 8);
+    }
+    (void)catalog.AddCategoricalAttr("Type", types);
+    std::cerr << "note: no --db given; using a generated demo database ("
+              << config.num_transactions << " baskets, " << config.num_items
+              << " items, attributes Price and Type)\n";
+  }
+
+  // --- Query. ----------------------------------------------------------
+  auto parsed = ParseCfq(query_text);
+  if (!parsed.ok()) return Fail(parsed.status());
+  CfqQuery query = std::move(parsed).value();
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    query.s_domain.push_back(i);
+    query.t_domain.push_back(i);
+  }
+
+  PlanOptions options;
+  options.counter = bench::CounterFromArgs(args);
+  auto plan = BuildPlan(query, options);
+  if (!plan.ok()) return Fail(plan.status());
+  if (args.GetBool("explain", false)) {
+    std::cout << ExplainPlan(plan.value());
+  }
+
+  // --- Execute. --------------------------------------------------------
+  const std::string strategy = args.GetString("strategy", "optimized");
+  Result<CfqResult> result = Status::Internal("unreachable");
+  if (strategy == "optimized") {
+    result = ExecutePlan(&db, catalog, plan.value());
+  } else if (strategy == "cap") {
+    result = ExecuteCapOneVar(&db, catalog, query, options);
+  } else if (strategy == "apriori") {
+    result = ExecuteAprioriPlus(&db, catalog, query, options);
+  } else {
+    std::cerr << "error: unknown --strategy '" << strategy
+              << "' (want optimized|cap|apriori)\n";
+    return 1;
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  std::cerr << result->s_sets.size() << " valid frequent S-sets, "
+            << result->t_sets.size() << " T-sets, "
+            << AnswerPairs(result.value()).size() << " answer pairs in "
+            << result->stats.elapsed_seconds << "s ("
+            << result->stats.s.sets_counted + result->stats.t.sets_counted
+            << " candidates counted)\n";
+
+  // --- Output. ---------------------------------------------------------
+  std::ofstream file;
+  const std::string output = args.GetString("output", "");
+  if (!output.empty()) {
+    file.open(output);
+    if (!file) {
+      std::cerr << "error: cannot open '" << output << "'\n";
+      return 1;
+    }
+  }
+  std::ostream& out = output.empty() ? std::cout : file;
+
+  if (args.GetBool("rules", false)) {
+    RuleOptions rule_options;
+    rule_options.min_confidence = args.GetDouble("min_confidence", 0.0);
+    rule_options.min_lift = args.GetDouble("min_lift", 0.0);
+    rule_options.top_k = static_cast<size_t>(args.GetInt("top_k", 0));
+    auto rules = FormRules(&db, result.value(), rule_options);
+    if (!rules.ok()) return Fail(rules.status());
+    out << "antecedent;consequent;support;confidence;lift\n";
+    for (const AssociationRule& rule : *rules) {
+      out << JoinItems(rule.antecedent) << ';' << JoinItems(rule.consequent)
+          << ';' << rule.support << ';' << rule.confidence << ';'
+          << rule.lift << '\n';
+    }
+  } else {
+    out << "s_items;t_items;s_support;t_support\n";
+    auto emit = [&](const FrequentSet& s, const FrequentSet& t) {
+      out << JoinItems(s.items) << ';' << JoinItems(t.items) << ';'
+          << s.support << ';' << t.support << '\n';
+    };
+    if (result->cross_product) {
+      for (const FrequentSet& s : result->s_sets) {
+        for (const FrequentSet& t : result->t_sets) emit(s, t);
+      }
+    } else {
+      for (const auto& [i, j] : result->pairs) {
+        emit(result->s_sets[i], result->t_sets[j]);
+      }
+    }
+  }
+  return 0;
+}
