@@ -21,7 +21,44 @@
 
 namespace cfq::bench {
 
-// Parses --key=value command-line flags.
+// The flags any harness binary may accept. Kept as one table so Args
+// can reject typos (--num_transaction silently falling back to the
+// default cost us a benchmark run once) and print --help.
+struct KnownFlag {
+  const char* name;
+  const char* help;
+};
+inline constexpr KnownFlag kKnownFlags[] = {
+    {"num_transactions", "Quest generator: basket count"},
+    {"num_items", "Quest generator: item universe size"},
+    {"avg_transaction_size", "Quest generator: mean basket size"},
+    {"avg_pattern_size", "Quest generator: mean pattern size"},
+    {"num_patterns", "Quest generator: number of seed patterns"},
+    {"seed", "Quest generator: RNG seed"},
+    {"price_lo", "catalog: lowest uniform price"},
+    {"price_hi", "catalog: highest uniform price"},
+    {"num_types", "catalog: number of Type categories"},
+    {"counter", "support counter: bitmap|hash|hashtree"},
+    {"query", "the CFQ to run, in the paper's syntax"},
+    {"db", "path to a serialized transaction database"},
+    {"catalog", "path to a serialized item catalog"},
+    {"strategy", "execution strategy: optimized|cap|apriori"},
+    {"explain", "print the optimizer's plan (and, when traced, the"
+                " per-level EXPLAIN ANALYZE tables)"},
+    {"trace", "write a Chrome trace_event JSON file here"},
+    {"metrics", "write counters/gauges as JSONL here"},
+    {"rules", "emit association rules instead of raw pairs"},
+    {"min_confidence", "rule filter: minimum confidence"},
+    {"min_lift", "rule filter: minimum lift"},
+    {"top_k", "rule filter: keep the k best"},
+    {"output", "write CSV output here instead of stdout"},
+    {"help", "print the flag listing and exit"},
+};
+
+// Parses --key=value command-line flags. Unknown --flags are an error
+// (exit 2); --help prints the table above (exit 0). Arguments without
+// a "--" prefix and google-benchmark's --benchmark_* flags pass
+// through untouched.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -29,10 +66,22 @@ class Args {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) continue;
       const size_t eq = arg.find('=');
+      const std::string name =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      if (name.rfind("benchmark_", 0) == 0) continue;
+      if (!IsKnownFlag(name)) {
+        std::cerr << "error: unknown flag --" << name
+                  << " (try --help for the list)\n";
+        std::exit(2);
+      }
+      if (name == "help") {
+        PrintHelp(argv[0]);
+        std::exit(0);
+      }
       if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "1";
+        values_[name] = "1";
       } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        values_[name] = arg.substr(eq + 1);
       }
     }
   }
@@ -57,6 +106,25 @@ class Args {
   }
 
  private:
+  static bool IsKnownFlag(const std::string& name) {
+    for (const KnownFlag& flag : kKnownFlags) {
+      if (name == flag.name) return true;
+    }
+    return false;
+  }
+
+  static void PrintHelp(const char* binary) {
+    std::cout << "usage: " << binary << " [--flag=value ...]\n"
+              << "flags (not every binary reads every flag):\n";
+    for (const KnownFlag& flag : kKnownFlags) {
+      std::cout << "  --" << flag.name;
+      for (size_t pad = std::string(flag.name).size(); pad < 22; ++pad) {
+        std::cout << ' ';
+      }
+      std::cout << flag.help << "\n";
+    }
+  }
+
   std::unordered_map<std::string, std::string> values_;
 };
 

@@ -12,7 +12,9 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "core/analyze.h"
 #include "core/executor.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "rules/rule_gen.h"
 
@@ -21,6 +23,7 @@ namespace {
 constexpr char kHelp[] = R"(commands:
   <query>            run a CFQ, e.g.  freq(S, 20) & max(S.Price) <= min(T.Price)
   explain <query>    show the optimizer's strategy without running it
+  analyze <query>    run with tracing and show per-level pruning tables
   help               this text
   quit               exit
 
@@ -69,9 +72,13 @@ int main(int argc, char** argv) {
       continue;
     }
     bool explain_only = false;
+    bool analyze = false;
     std::string text = line;
     if (text.rfind("explain ", 0) == 0) {
       explain_only = true;
+      text = text.substr(8);
+    } else if (text.rfind("analyze ", 0) == 0) {
+      analyze = true;
       text = text.substr(8);
     }
     auto parsed = ParseCfq(text);
@@ -90,7 +97,10 @@ int main(int argc, char** argv) {
       query.min_support_t = config.num_transactions / 100;
     }
 
-    auto plan = BuildPlan(query);
+    obs::Tracer tracer;
+    PlanOptions plan_options;
+    if (analyze) plan_options.tracer = &tracer;
+    auto plan = BuildPlan(query, plan_options);
     if (!plan.ok()) {
       std::cout << "plan error: " << plan.status().message() << "\n";
       continue;
@@ -102,6 +112,9 @@ int main(int argc, char** argv) {
     if (!result.ok()) {
       std::cout << "execution error: " << result.status().message() << "\n";
       continue;
+    }
+    if (analyze) {
+      std::cout << "\n" << RenderExplainAnalyze(result->stats, tracer.Events());
     }
     const auto answers = AnswerPairs(result.value());
     std::cout << result->s_sets.size() << " valid frequent S-sets, "

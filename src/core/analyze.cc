@@ -1,0 +1,107 @@
+#include "core/analyze.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace cfq {
+
+namespace {
+
+// V^k points per (source variable, level), taken from the trace.
+std::map<std::pair<char, uint32_t>, double> VkByLevel(
+    const std::vector<obs::TraceEvent>& events) {
+  std::map<std::pair<char, uint32_t>, double> out;
+  for (const obs::TraceEvent& e : events) {
+    if (const auto* j = std::get_if<obs::JmaxEvent>(&e.payload)) {
+      out[{j->source_var, j->level}] = j->v_k;
+    }
+  }
+  return out;
+}
+
+void RenderSide(char var, const CccStats& stats,
+                const std::map<std::pair<char, uint32_t>, double>& vk,
+                std::ostringstream* os) {
+  *os << "lattice " << var << " (sets counted " << stats.sets_counted
+      << ", constraint checks " << stats.constraint_checks << ", scans "
+      << stats.io.scans << ", pages " << stats.io.pages_read << ")\n";
+  std::vector<std::string> header = {"level", "generated"};
+  for (size_t m = 0; m < obs::kNumMechanisms; ++m) {
+    header.push_back(obs::MechanismName(static_cast<obs::Mechanism>(m)));
+  }
+  header.push_back("counted");
+  header.push_back("frequent");
+  header.push_back("V^k");
+  TablePrinter table(std::move(header));
+  const size_t levels = stats.generated_per_level.size();
+  for (size_t i = 0; i < levels; ++i) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(i + 1));
+    row.push_back(TablePrinter::Fmt(stats.generated_per_level[i]));
+    for (size_t m = 0; m < obs::kNumMechanisms; ++m) {
+      row.push_back(TablePrinter::Fmt(
+          stats.pruned_per_level[i].Get(static_cast<obs::Mechanism>(m))));
+    }
+    row.push_back(TablePrinter::Fmt(stats.candidates_per_level[i]));
+    row.push_back(TablePrinter::Fmt(stats.frequent_per_level[i]));
+    auto it = vk.find({var, static_cast<uint32_t>(i + 1)});
+    row.push_back(it == vk.end() ? "-" : TablePrinter::Fmt(it->second));
+    table.AddRow(std::move(row));
+  }
+  table.Print(*os);
+}
+
+void ExportSide(const std::string& prefix, const CccStats& stats,
+                obs::MetricsRegistry* registry) {
+  registry->Add(prefix + ".sets_counted", stats.sets_counted);
+  registry->Add(prefix + ".constraint_checks", stats.constraint_checks);
+  registry->Add(prefix + ".io.scans", stats.io.scans);
+  registry->Add(prefix + ".io.pages", stats.io.pages_read);
+  for (size_t i = 0; i < stats.generated_per_level.size(); ++i) {
+    const std::string level = prefix + ".level." + std::to_string(i + 1);
+    registry->Add(level + ".generated", stats.generated_per_level[i]);
+    registry->Add(level + ".counted", stats.candidates_per_level[i]);
+    registry->Add(level + ".frequent", stats.frequent_per_level[i]);
+    for (size_t m = 0; m < obs::kNumMechanisms; ++m) {
+      const auto mech = static_cast<obs::Mechanism>(m);
+      const uint64_t n = stats.pruned_per_level[i].Get(mech);
+      if (n > 0) {
+        registry->Add(level + ".pruned." + obs::MechanismName(mech), n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderExplainAnalyze(const StrategyStats& stats,
+                                 const std::vector<obs::TraceEvent>& events) {
+  const auto vk = VkByLevel(events);
+  std::ostringstream os;
+  RenderSide('S', stats.s, vk, &os);
+  os << "\n";
+  RenderSide('T', stats.t, vk, &os);
+  os << "\npair phase: " << stats.pair_checks << " checks";
+  for (const obs::TraceEvent& e : events) {
+    if (const auto* p = std::get_if<obs::PairPhaseEvent>(&e.payload)) {
+      os << ", " << p->kept << " kept";
+    }
+  }
+  os << "\ntiming: mining " << TablePrinter::Fmt(stats.mining_seconds, 4)
+     << "s, pairs " << TablePrinter::Fmt(stats.pair_seconds, 4) << "s, total "
+     << TablePrinter::Fmt(stats.elapsed_seconds, 4) << "s\n";
+  return os.str();
+}
+
+void ExportMetrics(const StrategyStats& stats, obs::MetricsRegistry* registry) {
+  ExportSide("s", stats.s, registry);
+  ExportSide("t", stats.t, registry);
+  registry->Add("pair_checks", stats.pair_checks);
+  registry->SetGauge("elapsed_seconds", stats.elapsed_seconds);
+  registry->SetGauge("mining_seconds", stats.mining_seconds);
+  registry->SetGauge("pair_seconds", stats.pair_seconds);
+}
+
+}  // namespace cfq

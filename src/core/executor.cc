@@ -14,6 +14,7 @@
 #include <unordered_set>
 
 #include "mining/lattice.h"
+#include "obs/trace.h"
 
 namespace cfq {
 
@@ -39,8 +40,13 @@ Itemset LevelOneItems(const std::vector<FrequentSet>& level1) {
 class VkSeries {
  public:
   VkSeries(std::string attr, const ItemCatalog* catalog,
-           const JmaxOptions& options)
-      : attr_(std::move(attr)), catalog_(catalog), options_(options) {}
+           const JmaxOptions& options, obs::Tracer* tracer = nullptr,
+           char source_var = '?')
+      : attr_(std::move(attr)),
+        catalog_(catalog),
+        options_(options),
+        tracer_(tracer),
+        source_var_(source_var) {}
 
   // Feeds the frequent sets of a completed source-lattice level.
   // Returns the updated bound (only meaningful once level >= 1).
@@ -59,9 +65,14 @@ class VkSeries {
       return bound_;
     }
     if (level >= 2) {
-      auto vk = ComputeVk(sets, level, attr_, *catalog_, options_);
+      auto vk = ComputeVkDetail(sets, level, attr_, *catalog_, options_);
       if (!vk.ok()) return vk.status();
-      bound_ = std::min(bound_, std::max(known_max_, vk.value()));
+      bound_ = std::min(bound_, std::max(known_max_, vk.value().v_k));
+      if (tracer_ != nullptr) {
+        tracer_->RecordJmax(obs::JmaxEvent{source_var_,
+                                           static_cast<uint32_t>(level),
+                                           vk.value().jmax, vk.value().v_k});
+      }
     }
     return bound_;
   }
@@ -72,17 +83,22 @@ class VkSeries {
   std::string attr_;
   const ItemCatalog* catalog_;
   JmaxOptions options_;
+  obs::Tracer* tracer_;
+  char source_var_;
   double known_max_ = 0;
   double bound_ = std::numeric_limits<double>::infinity();
 };
 
 // Pair formation: verify every 2-var constraint on each candidate pair.
 Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
-                 CfqResult* result) {
+                 CfqResult* result, obs::Tracer* tracer = nullptr) {
   if (query.two_var.empty()) {
     result->cross_product = true;
     return Status::Ok();
   }
+  obs::TraceSpan span(tracer, "form_pairs");
+  Stopwatch timer;
+  const uint64_t checks_before = result->stats.pair_checks;
   for (uint32_t i = 0; i < result->s_sets.size(); ++i) {
     for (uint32_t j = 0; j < result->t_sets.size(); ++j) {
       ++result->stats.pair_checks;
@@ -92,6 +108,11 @@ Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
       if (ok.value()) result->pairs.emplace_back(i, j);
     }
   }
+  if (tracer != nullptr) {
+    tracer->RecordPairPhase(
+        obs::PairPhaseEvent{result->stats.pair_checks - checks_before,
+                            result->pairs.size(), timer.ElapsedSeconds()});
+  }
   return Status::Ok();
 }
 
@@ -100,6 +121,7 @@ CapOptions ToCapOptions(const PlanOptions& options) {
   cap.counter = options.counter;
   cap.max_level = options.max_level;
   cap.nonnegative = options.nonnegative;
+  cap.tracer = options.tracer;
   return cap;
 }
 
@@ -132,24 +154,28 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
   const Itemset l1_s = LevelOneItems(s.last_level_frequent());
   const Itemset l1_t = LevelOneItems(t.last_level_frequent());
 
-  std::vector<OneVarConstraint> decoupled;
-  auto add_reduction = [&](const TwoVarConstraint& c) -> Status {
-    auto reduction =
-        ReduceTwoVar(c, l1_s, l1_t, catalog, options.nonnegative);
+  // Reduced constraints are kept apart by the mechanism that produced
+  // them (Section 4 vs Section 5.1) so pruning can be attributed.
+  std::vector<OneVarConstraint> decoupled_qs;
+  std::vector<OneVarConstraint> decoupled_induced;
+  auto add_reduction = [&](const TwoVarConstraint& c,
+                           std::vector<OneVarConstraint>* out) -> Status {
+    auto reduction = ReduceTwoVar(c, l1_s, l1_t, catalog, options.nonnegative,
+                                  options.tracer);
     if (!reduction.ok()) return reduction.status();
     const Reduction& r = reduction.value();
     if (!r.s.satisfiable) {
-      decoupled.push_back(Impossible(Var::kS));
+      out->push_back(Impossible(Var::kS));
     } else {
       for (const OneVarConstraint& rc : r.s.constraints) {
-        decoupled.push_back(rc);
+        out->push_back(rc);
       }
     }
     if (!r.t.satisfiable) {
-      decoupled.push_back(Impossible(Var::kT));
+      out->push_back(Impossible(Var::kT));
     } else {
       for (const OneVarConstraint& rc : r.t.constraints) {
-        decoupled.push_back(rc);
+        out->push_back(rc);
       }
     }
     return Status::Ok();
@@ -168,33 +194,39 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
 
   for (const TwoVarRoute& route : plan.routes) {
     if (route.quasi_succinct) {
-      CFQ_RETURN_IF_ERROR(add_reduction(route.constraint));
+      CFQ_RETURN_IF_ERROR(add_reduction(route.constraint, &decoupled_qs));
       continue;
     }
     for (const TwoVarConstraint& induced : route.induced) {
-      CFQ_RETURN_IF_ERROR(add_reduction(induced));
+      CFQ_RETURN_IF_ERROR(add_reduction(induced, &decoupled_induced));
     }
     if (route.loose_reduction) {
-      CFQ_RETURN_IF_ERROR(add_reduction(route.constraint));
+      CFQ_RETURN_IF_ERROR(add_reduction(route.constraint, &decoupled_induced));
     }
     if (route.jmax_prunes_s || route.jmax_prunes_t) {
       const auto& a = std::get<AggConstraint2>(route.constraint);
       if (route.jmax_prunes_s) {
-        jmax_hooks.push_back(
-            JmaxHook{VkSeries(a.attr_t, &catalog, options.jmax), a.agg_s,
-                     a.attr_s, route.jmax_s_bound_anti_monotone,
-                     /*source_is_t=*/true});
+        jmax_hooks.push_back(JmaxHook{
+            VkSeries(a.attr_t, &catalog, options.jmax, options.tracer, 'T'),
+            a.agg_s, a.attr_s, route.jmax_s_bound_anti_monotone,
+            /*source_is_t=*/true});
       }
       if (route.jmax_prunes_t) {
-        jmax_hooks.push_back(
-            JmaxHook{VkSeries(a.attr_s, &catalog, options.jmax), a.agg_t,
-                     a.attr_t, route.jmax_t_bound_anti_monotone,
-                     /*source_is_t=*/false});
+        jmax_hooks.push_back(JmaxHook{
+            VkSeries(a.attr_s, &catalog, options.jmax, options.tracer, 'S'),
+            a.agg_t, a.attr_t, route.jmax_t_bound_anti_monotone,
+            /*source_is_t=*/false});
       }
     }
   }
-  CFQ_RETURN_IF_ERROR(s.AddConstraints(decoupled));
-  CFQ_RETURN_IF_ERROR(t.AddConstraints(decoupled));
+  CFQ_RETURN_IF_ERROR(
+      s.AddConstraints(decoupled_qs, obs::Mechanism::kQuasiSuccinct));
+  CFQ_RETURN_IF_ERROR(
+      t.AddConstraints(decoupled_qs, obs::Mechanism::kQuasiSuccinct));
+  CFQ_RETURN_IF_ERROR(
+      s.AddConstraints(decoupled_induced, obs::Mechanism::kInduced));
+  CFQ_RETURN_IF_ERROR(
+      t.AddConstraints(decoupled_induced, obs::Mechanism::kInduced));
 
   // Feed level-1 information into the Jmax series too (it tracks the
   // exact max over mined sets).
@@ -233,6 +265,7 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
         const std::vector<Itemset>& s_batch = s.PrepareLevel();
         if (!t_batch.empty() && !s_batch.empty()) {
           CccStats scan_stats;
+          scan_stats.tracer = options.tracer;
           const auto supports =
               CountBatchesSharedScan(*db, {&t_batch, &s_batch}, &scan_stats);
           // One physical scan for the whole query; attribute it to T.
@@ -275,7 +308,7 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
   result.stats.s = s.stats();
   result.stats.t = t.stats();
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result));
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
@@ -299,11 +332,14 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
   AprioriOptions apriori_options;
   apriori_options.counter = options.counter;
   apriori_options.max_level = options.max_level;
+  apriori_options.tracer = options.tracer;
 
   CfqResult result;
+  apriori_options.var_label = 'S';
   auto s = RunAprioriPlus(db, catalog, query.s_domain, Var::kS, query.one_var,
                           query.min_support_s, apriori_options);
   if (!s.ok()) return s.status();
+  apriori_options.var_label = 'T';
   auto t = RunAprioriPlus(db, catalog, query.t_domain, Var::kT, query.one_var,
                           query.min_support_t, apriori_options);
   if (!t.ok()) return t.status();
@@ -312,7 +348,7 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
   result.stats.s = std::move(s.value().stats);
   result.stats.t = std::move(t.value().stats);
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result));
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
@@ -336,7 +372,7 @@ Result<CfqResult> ExecuteCapOneVar(TransactionDb* db,
   result.stats.s = std::move(s.value().stats);
   result.stats.t = std::move(t.value().stats);
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result));
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;

@@ -40,6 +40,17 @@ struct StrategyStats {
   // report both.
   double mining_seconds = 0;
   double pair_seconds = 0;
+
+  // Accumulates another run's stats (e.g. repeated harness iterations):
+  // per-side CccStats merge levelwise, counts add, timings add.
+  void MergeFrom(const StrategyStats& other) {
+    s.MergeFrom(other.s);
+    t.MergeFrom(other.t);
+    pair_checks += other.pair_checks;
+    elapsed_seconds += other.elapsed_seconds;
+    mining_seconds += other.mining_seconds;
+    pair_seconds += other.pair_seconds;
+  }
 };
 
 struct CfqResult {

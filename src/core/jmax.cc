@@ -35,10 +35,19 @@ JmaxBound ComputeJmax(const std::vector<FrequentSet>& frequent_k, size_t k,
 Result<double> ComputeVk(const std::vector<FrequentSet>& frequent_k, size_t k,
                          const std::string& attr, const ItemCatalog& catalog,
                          const JmaxOptions& options) {
+  auto detail = ComputeVkDetail(frequent_k, k, attr, catalog, options);
+  if (!detail.ok()) return detail.status();
+  return detail.value().v_k;
+}
+
+Result<VkDetail> ComputeVkDetail(const std::vector<FrequentSet>& frequent_k,
+                                 size_t k, const std::string& attr,
+                                 const ItemCatalog& catalog,
+                                 const JmaxOptions& options) {
   if (!catalog.HasAttr(attr)) {
     return Status::NotFound("unknown attribute '" + attr + "'");
   }
-  if (frequent_k.empty()) return 0.0;
+  if (frequent_k.empty()) return VkDetail{};
 
   const JmaxBound bound = ComputeJmax(frequent_k, k, options);
 
@@ -95,7 +104,7 @@ Result<double> ComputeVk(const std::vector<FrequentSet>& frequent_k, size_t k,
     }
     v_k = std::max(v_k, max_sum);
   }
-  return v_k;
+  return VkDetail{v_k, bound.jmax};
 }
 
 }  // namespace cfq

@@ -54,6 +54,17 @@ Result<double> ComputeVk(const std::vector<FrequentSet>& frequent_k, size_t k,
                          const std::string& attr, const ItemCatalog& catalog,
                          const JmaxOptions& options = {});
 
+// V^k together with the Figure-5 Jmax bound behind it, for tracing
+// (obs::JmaxEvent) and the EXPLAIN ANALYZE V^k column.
+struct VkDetail {
+  double v_k = 0;
+  int64_t jmax = -1;  // -1 when frequent_k is empty.
+};
+Result<VkDetail> ComputeVkDetail(const std::vector<FrequentSet>& frequent_k,
+                                 size_t k, const std::string& attr,
+                                 const ItemCatalog& catalog,
+                                 const JmaxOptions& options = {});
+
 }  // namespace cfq
 
 #endif  // CFQ_CORE_JMAX_H_

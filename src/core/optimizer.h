@@ -38,6 +38,8 @@ struct PlanOptions {
   // Optional ccc-audit evidence streams (see CccStats::counted_log).
   std::vector<Itemset>* counted_log_s = nullptr;
   std::vector<Itemset>* counted_log_t = nullptr;
+  // Optional tracing sink; threaded into every strategy (not owned).
+  obs::Tracer* tracer = nullptr;
 };
 
 // How one 2-var constraint will be processed.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "constraints/eval.h"
+#include "obs/trace.h"
 
 namespace cfq {
 
@@ -197,9 +198,11 @@ Result<AchievableInterval> AchievableAgg(AggFn agg, const std::string& attr,
   return out;
 }
 
-Result<Reduction> ReduceTwoVar(const TwoVarConstraint& c, const Itemset& l1_s,
-                               const Itemset& l1_t,
-                               const ItemCatalog& catalog, bool nonnegative) {
+static Result<Reduction> ReduceTwoVarImpl(const TwoVarConstraint& c,
+                                          const Itemset& l1_s,
+                                          const Itemset& l1_t,
+                                          const ItemCatalog& catalog,
+                                          bool nonnegative) {
   Reduction out;
   // No frequent set on one side means no valid set on the other
   // (Definition 3 requires a frequent witness).
@@ -252,6 +255,18 @@ Result<Reduction> ReduceTwoVar(const TwoVarConstraint& c, const Itemset& l1_s,
     if (!other.ok()) return other.status();
     ReduceAggSide(Var::kT, a.agg_t, a.attr_t, MirrorCmp(a.cmp), other.value(),
                   &out.t);
+  }
+  return out;
+}
+
+Result<Reduction> ReduceTwoVar(const TwoVarConstraint& c, const Itemset& l1_s,
+                               const Itemset& l1_t, const ItemCatalog& catalog,
+                               bool nonnegative, obs::Tracer* tracer) {
+  obs::TraceSpan span(tracer, "reduce_two_var");
+  auto out = ReduceTwoVarImpl(c, l1_s, l1_t, catalog, nonnegative);
+  if (tracer != nullptr && out.ok()) {
+    if (!out.value().s.satisfiable) tracer->Instant("reduction/unsatisfiable_S");
+    if (!out.value().t.satisfiable) tracer->Instant("reduction/unsatisfiable_T");
   }
   return out;
 }

@@ -38,6 +38,10 @@
 
 namespace cfq {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 // The reduced pruning condition for one side.
 struct ReducedSide {
   // False when no set on this side can be valid (e.g. the other side
@@ -60,10 +64,13 @@ struct Reduction {
 // constraints get sound (+tight where provable) conditions; sum/avg
 // constraints get the sound Section-5.1 relaxations. Fails only on
 // unknown attributes.
+// When `tracer` is given, the reduction is wrapped in a span and an
+// instant event marks each side it proves unsatisfiable.
 Result<Reduction> ReduceTwoVar(const TwoVarConstraint& c, const Itemset& l1_s,
                                const Itemset& l1_t,
                                const ItemCatalog& catalog,
-                               bool nonnegative = true);
+                               bool nonnegative = true,
+                               obs::Tracer* tracer = nullptr);
 
 // Induced weaker constraints (Figure 4): rewrites sum/avg aggregates to
 // the min/max aggregate that the original constraint implies, where such

@@ -34,6 +34,13 @@ struct IoStats {
     ++scans;
     pages_read += pages_per_scan;
   }
+
+  // Field-complete merge; CccStats::MergeFrom delegates here so a field
+  // added to IoStats cannot be silently dropped on merge.
+  void MergeFrom(const IoStats& other) {
+    scans += other.scans;
+    pages_read += other.pages_read;
+  }
 };
 
 }  // namespace cfq

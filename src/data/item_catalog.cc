@@ -1,5 +1,6 @@
 #include "data/item_catalog.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace cfq {
@@ -114,6 +115,17 @@ std::string ItemCatalog::ValueName(const std::string& attr,
     return std::to_string(static_cast<int64_t>(value));
   }
   return std::to_string(value);
+}
+
+std::vector<std::string> ItemCatalog::AttrNames() const {
+  std::vector<std::string> out;
+  out.reserve(numeric_.size() + categorical_.size() + 1);
+  out.push_back(kItemAttr);
+  for (const auto& [name, column] : numeric_) out.push_back(name);
+  for (const auto& [name, column] : categorical_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace cfq

@@ -70,6 +70,10 @@ class ItemCatalog {
   // Human-readable name of a categorical code, or the number itself.
   std::string ValueName(const std::string& attr, AttrValue value) const;
 
+  // All attribute names the catalog resolves (sorted; "Item" included).
+  // Used for error hints when a query references an unknown attribute.
+  std::vector<std::string> AttrNames() const;
+
  private:
   struct CategoricalColumn {
     std::vector<int32_t> codes;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mining/candidate_gen.h"
+#include "obs/trace.h"
 
 namespace cfq {
 
@@ -10,6 +11,7 @@ AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
                            uint64_t min_support, const AprioriOptions& options) {
   AprioriResult result;
   result.stats.counted_log = options.counted_log;
+  result.stats.tracer = options.tracer;
   auto counter = MakeCounter(options.counter, db);
 
   // Level 1: all domain singletons.
@@ -18,6 +20,9 @@ AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
   for (ItemId item : domain) candidates.push_back(Itemset{item});
 
   size_t level = 1;
+  // Candidates discarded by the subset-frequency prune while generating
+  // the level being counted (zero at level 1).
+  uint64_t pruned_subset = 0;
   while (!candidates.empty()) {
     const std::vector<uint64_t> supports =
         counter->Count(candidates, &result.stats);
@@ -28,9 +33,23 @@ AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
         result.frequent.push_back(FrequentSet{candidates[i], supports[i]});
       }
     }
-    result.stats.RecordLevel(candidates.size(), frequent_level.size());
+    obs::PruneCounts pruned;
+    pruned.Add(obs::Mechanism::kInfrequentSubset, pruned_subset);
+    result.stats.RecordLevel(candidates.size() + pruned_subset, pruned,
+                             candidates.size(), frequent_level.size());
+    if (options.tracer != nullptr) {
+      obs::LevelEvent event;
+      event.var = options.var_label;
+      event.level = static_cast<uint32_t>(level);
+      event.candidates = candidates.size() + pruned_subset;
+      event.counted = candidates.size();
+      event.frequent = frequent_level.size();
+      event.pruned_by = pruned;
+      options.tracer->RecordLevel(event);
+    }
     if (options.max_level != 0 && level >= options.max_level) break;
-    candidates = GenerateCandidatesJoinPrune(frequent_level);
+    pruned_subset = 0;
+    candidates = GenerateCandidatesJoinPrune(frequent_level, &pruned_subset);
     ++level;
   }
   return result;

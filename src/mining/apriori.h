@@ -28,6 +28,10 @@ struct AprioriOptions {
   size_t max_level = 0;
   // Optional evidence stream for the ccc auditor (see CccStats).
   std::vector<Itemset>* counted_log = nullptr;
+  // Optional tracing sink; `var_label` tags this run's LevelEvents
+  // ('S'/'T' when mining one side of a CFQ). Not owned; may be null.
+  obs::Tracer* tracer = nullptr;
+  char var_label = '?';
 };
 
 struct AprioriResult {

@@ -1,6 +1,7 @@
 #include "mining/apriori_plus.h"
 
 #include "constraints/eval.h"
+#include "obs/trace.h"
 
 namespace cfq {
 
@@ -20,6 +21,9 @@ Result<AprioriPlusResult> RunAprioriPlus(
   for (const OneVarConstraint& c : constraints) {
     if (c.var == var) any = true;
   }
+  // Apriori+ checks constraints only after mining: a generate-and-test
+  // phase the optimized strategies avoid (visible as this span).
+  obs::TraceSpan span(options.tracer, "apriori_plus/validate");
   for (const FrequentSet& f : result.all_frequent) {
     if (any) ++result.stats.constraint_checks;
     auto ok = EvalAll(constraints, var, f.items, catalog);

@@ -2,16 +2,23 @@
 
 #include "mining/hash_counter.h"
 #include "mining/hash_tree_counter.h"
+#include "obs/trace.h"
 
 namespace cfq {
 
 std::vector<uint64_t> BitmapCounter::Count(
     const std::vector<Itemset>& candidates, CccStats* stats) {
+  obs::TraceSpan span(stats != nullptr ? stats->tracer : nullptr,
+                      "count/bitmap");
   std::vector<uint64_t> supports(candidates.size(), 0);
   if (!db_->has_vertical_index()) db_->BuildVerticalIndex();
   if (stats != nullptr && !index_scan_accounted_) {
     stats->io.AddScan(db_->PagesPerScan());
     index_scan_accounted_ = true;
+    if (stats->tracer != nullptr) {
+      // The one scan that builds the vertical index.
+      stats->tracer->RecordScan(obs::ScanEvent{1, db_->PagesPerScan()});
+    }
   }
   if (candidates.empty()) return supports;
 

@@ -6,7 +6,7 @@
 namespace cfq {
 
 std::vector<Itemset> GenerateCandidatesJoinPrune(
-    const std::vector<Itemset>& frequent_k) {
+    const std::vector<Itemset>& frequent_k, uint64_t* pruned_subset) {
   std::vector<Itemset> candidates;
   if (frequent_k.empty()) return candidates;
   const size_t k = frequent_k[0].size();
@@ -30,7 +30,11 @@ std::vector<Itemset> GenerateCandidatesJoinPrune(
         }
       }
       // k == 1: no additional subsets to check.
-      if (k >= 1 && all_frequent) candidates.push_back(std::move(joined));
+      if (k >= 1 && all_frequent) {
+        candidates.push_back(std::move(joined));
+      } else if (pruned_subset != nullptr) {
+        ++*pruned_subset;
+      }
     }
   }
   return candidates;

@@ -3,6 +3,7 @@
 #ifndef CFQ_MINING_CANDIDATE_GEN_H_
 #define CFQ_MINING_CANDIDATE_GEN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/itemset.h"
@@ -11,9 +12,13 @@ namespace cfq {
 
 // Classic Apriori-gen: joins lexicographically sorted frequent k-sets
 // sharing a k-1 prefix, then prunes candidates having any infrequent
-// k-subset. `frequent_k` must be sorted and of uniform size.
+// k-subset. `frequent_k` must be sorted and of uniform size. When
+// `pruned_subset` is non-null it is incremented by the number of joined
+// sets discarded by the subset-frequency prune (the infrequent-subset
+// share of the pruning-attribution tables).
 std::vector<Itemset> GenerateCandidatesJoinPrune(
-    const std::vector<Itemset>& frequent_k);
+    const std::vector<Itemset>& frequent_k,
+    uint64_t* pruned_subset = nullptr);
 
 // Extension-based generation used by CAP when mandatory-group succinct
 // constraints reshape the lattice (a valid set's lexicographic-prefix

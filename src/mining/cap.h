@@ -39,6 +39,9 @@ struct CapOptions {
   // Optional evidence stream for the ccc auditor: every support-counted
   // candidate is appended. Not owned; may be null.
   std::vector<Itemset>* counted_log = nullptr;
+  // Optional tracing sink (obs/trace.h): per-level pruning attribution,
+  // count spans and scan events. Not owned; null disables tracing.
+  obs::Tracer* tracer = nullptr;
 };
 
 // Per-level extension points used by the dovetailed CFQ executor.

@@ -4,6 +4,13 @@
 // support is counted and (ii) the number of invocations of the
 // constraint-checking operation. Every miner in this library reports
 // both, making ccc-optimality (Definition 6) an observable property.
+//
+// Pruning attribution: in addition to the counted/frequent series, the
+// per-level `generated_per_level` / `pruned_per_level` vectors record
+// how many candidates each level generated and which mechanism
+// discarded everyone who never reached the counter, so that
+//   generated - pruned.Total() == candidates (counted)
+// holds per level (the EXPLAIN ANALYZE identity).
 
 #ifndef CFQ_MINING_CCC_STATS_H_
 #define CFQ_MINING_CCC_STATS_H_
@@ -13,14 +20,22 @@
 
 #include "common/itemset.h"
 #include "data/io_model.h"
+#include "obs/mechanism.h"
 
 namespace cfq {
+
+namespace obs {
+class Tracer;
+}  // namespace obs
 
 struct CccStats {
   // When non-null, counters append every support-counted candidate here
   // (the evidence stream for the ccc-optimality auditor). Not owned; not
   // merged by MergeFrom.
   std::vector<Itemset>* counted_log = nullptr;
+  // When non-null, counters emit count spans and ScanEvents here. Not
+  // owned; not merged by MergeFrom.
+  obs::Tracer* tracer = nullptr;
   // Candidate sets for which support counting was performed.
   uint64_t sets_counted = 0;
   // Invocations of the constraint-checking operation. Evaluating the
@@ -31,12 +46,25 @@ struct CccStats {
   // Per level (index 0 = level 1): candidates counted and survivors.
   std::vector<uint64_t> candidates_per_level;
   std::vector<uint64_t> frequent_per_level;
+  // Per level: candidates generated (before any pruning) and the
+  // per-mechanism attribution of those discarded before counting.
+  std::vector<uint64_t> generated_per_level;
+  std::vector<obs::PruneCounts> pruned_per_level;
   // Symbolic I/O (one scan per level for horizontal counting; the
   // vertical backend pays one scan to build its index).
   IoStats io;
 
+  // Miners without candidate-side pruning: every generated candidate
+  // gets counted.
   void RecordLevel(uint64_t candidates, uint64_t frequent) {
-    candidates_per_level.push_back(candidates);
+    RecordLevel(candidates, obs::PruneCounts{}, candidates, frequent);
+  }
+
+  void RecordLevel(uint64_t generated, const obs::PruneCounts& pruned,
+                   uint64_t counted, uint64_t frequent) {
+    generated_per_level.push_back(generated);
+    pruned_per_level.push_back(pruned);
+    candidates_per_level.push_back(counted);
     frequent_per_level.push_back(frequent);
   }
 
@@ -45,15 +73,18 @@ struct CccStats {
   void MergeFrom(const CccStats& other) {
     sets_counted += other.sets_counted;
     constraint_checks += other.constraint_checks;
-    io.scans += other.io.scans;
-    io.pages_read += other.io.pages_read;
+    io.MergeFrom(other.io);
     for (size_t i = 0; i < other.candidates_per_level.size(); ++i) {
       if (i >= candidates_per_level.size()) {
         candidates_per_level.push_back(other.candidates_per_level[i]);
         frequent_per_level.push_back(other.frequent_per_level[i]);
+        generated_per_level.push_back(other.generated_per_level[i]);
+        pruned_per_level.push_back(other.pruned_per_level[i]);
       } else {
         candidates_per_level[i] += other.candidates_per_level[i];
         frequent_per_level[i] += other.frequent_per_level[i];
+        generated_per_level[i] += other.generated_per_level[i];
+        pruned_per_level[i].MergeFrom(other.pruned_per_level[i]);
       }
     }
   }

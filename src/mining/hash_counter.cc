@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/combinatorics.h"
+#include "obs/trace.h"
 
 namespace cfq {
 
@@ -31,6 +32,8 @@ std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
     const TransactionDb& db,
     const std::vector<const std::vector<Itemset>*>& batches,
     CccStats* stats) {
+  obs::TraceSpan span(stats != nullptr ? stats->tracer : nullptr,
+                      "count/shared_scan");
   struct BatchState {
     size_t k = 0;
     std::unordered_map<Itemset, size_t, ItemsetHash> index;
@@ -67,7 +70,12 @@ std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
     }
   }
 
-  if (stats != nullptr) stats->io.AddScan(db.PagesPerScan());
+  if (stats != nullptr) {
+    stats->io.AddScan(db.PagesPerScan());
+    if (stats->tracer != nullptr) {
+      stats->tracer->RecordScan(obs::ScanEvent{1, db.PagesPerScan()});
+    }
+  }
   std::vector<std::vector<uint64_t>> out;
   out.reserve(states.size());
   for (BatchState& state : states) out.push_back(std::move(state.supports));
@@ -76,6 +84,8 @@ std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
 
 std::vector<uint64_t> HashCounter::Count(const std::vector<Itemset>& candidates,
                                          CccStats* stats) {
+  obs::TraceSpan span(stats != nullptr ? stats->tracer : nullptr,
+                      "count/hash");
   std::vector<uint64_t> supports(candidates.size(), 0);
   if (candidates.empty()) return supports;
   const size_t k = candidates[0].size();
@@ -103,6 +113,9 @@ std::vector<uint64_t> HashCounter::Count(const std::vector<Itemset>& candidates,
   if (stats != nullptr) {
     stats->sets_counted += candidates.size();
     stats->io.AddScan(db_->PagesPerScan());
+    if (stats->tracer != nullptr) {
+      stats->tracer->RecordScan(obs::ScanEvent{1, db_->PagesPerScan()});
+    }
     if (stats->counted_log != nullptr) {
       stats->counted_log->insert(stats->counted_log->end(),
                                  candidates.begin(), candidates.end());

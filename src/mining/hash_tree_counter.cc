@@ -1,5 +1,7 @@
 #include "mining/hash_tree_counter.h"
 
+#include "obs/trace.h"
+
 namespace cfq {
 
 void HashTreeCounter::Insert(Node* node, size_t depth, size_t candidate,
@@ -66,6 +68,8 @@ void HashTreeCounter::Visit(const Node& node, size_t depth, const Itemset& txn,
 
 std::vector<uint64_t> HashTreeCounter::Count(
     const std::vector<Itemset>& candidates, CccStats* stats) {
+  obs::TraceSpan span(stats != nullptr ? stats->tracer : nullptr,
+                      "count/hashtree");
   std::vector<uint64_t> supports(candidates.size(), 0);
   if (candidates.empty()) return supports;
   k_ = candidates[0].size();
@@ -85,6 +89,9 @@ std::vector<uint64_t> HashTreeCounter::Count(
   if (stats != nullptr) {
     stats->sets_counted += candidates.size();
     stats->io.AddScan(db_->PagesPerScan());
+    if (stats->tracer != nullptr) {
+      stats->tracer->RecordScan(obs::ScanEvent{1, db_->PagesPerScan()});
+    }
     if (stats->counted_log != nullptr) {
       stats->counted_log->insert(stats->counted_log->end(),
                                  candidates.begin(), candidates.end());

@@ -6,6 +6,7 @@
 #include "constraints/classify.h"
 #include "constraints/eval.h"
 #include "mining/candidate_gen.h"
+#include "obs/trace.h"
 
 namespace cfq {
 
@@ -32,6 +33,9 @@ ConstrainedLattice::ConstrainedLattice(TransactionDb* db,
       counter_(MakeCounter(options.counter, db)) {
   form_.allowed = domain_;
   stats_.counted_log = options.counted_log;
+  stats_.tracer = options.tracer;
+  allowed_killer_.assign(catalog.num_items(),
+                         static_cast<uint8_t>(obs::Mechanism::kOneVar));
 }
 
 Result<std::unique_ptr<ConstrainedLattice>> ConstrainedLattice::Create(
@@ -52,28 +56,43 @@ Status ConstrainedLattice::Init(std::vector<OneVarConstraint> constraints) {
   for (OneVarConstraint& c : constraints) {
     if (c.var != var_) continue;
     any = true;
-    CFQ_RETURN_IF_ERROR(DispatchConstraint(c));
+    CFQ_RETURN_IF_ERROR(DispatchConstraint(c, obs::Mechanism::kOneVar));
   }
   // MGF set-up touches each domain singleton once (ccc condition 2).
   if (any) stats_.constraint_checks += domain_.size();
   RebuildMasks();
 
+  // Level 1 generates every domain singleton; those outside the
+  // succinct form's allowed universe were pruned by the constraint
+  // that disallowed them.
+  cur_generated_ = domain_.size();
+  cur_prunes_ = obs::PruneCounts{};
   if (form_.Unsatisfiable()) {
+    cur_prunes_.Add(obs::Mechanism::kOneVar, domain_.size());
     done_ = true;
     return Status::Ok();
+  }
+  for (ItemId item : domain_) {
+    if (!allowed_mask_[item]) {
+      cur_prunes_.Add(static_cast<obs::Mechanism>(allowed_killer_[item]));
+    }
   }
   pending_candidates_.clear();
   for (ItemId item : form_.allowed) {
     Itemset singleton{item};
-    if (PassesCandidateFilters(singleton)) {
+    obs::Mechanism killer = obs::Mechanism::kOneVar;
+    if (PassesCandidateFilters(singleton, &killer)) {
       pending_candidates_.push_back(std::move(singleton));
+    } else {
+      cur_prunes_.Add(killer);
     }
   }
   done_ = pending_candidates_.empty();
   return Status::Ok();
 }
 
-Status ConstrainedLattice::DispatchConstraint(const OneVarConstraint& c) {
+Status ConstrainedLattice::DispatchConstraint(const OneVarConstraint& c,
+                                              obs::Mechanism mechanism) {
   if (!catalog_.HasAttr(AttrOf(c))) {
     return Status::NotFound("constraint references unknown attribute '" +
                             AttrOf(c) + "'");
@@ -87,7 +106,15 @@ Status ConstrainedLattice::DispatchConstraint(const OneVarConstraint& c) {
         ComputeSuccinctForm(*stored, domain_, catalog_, options_.nonnegative);
     if (!one.ok()) return one.status();
     captured = one.value().exact;
+    const Itemset before = form_.allowed;
     form_ = CombineForms(form_, one.value());
+    // Items this constraint just disallowed carry its mechanism.
+    Itemset removed;
+    std::set_difference(before.begin(), before.end(), form_.allowed.begin(),
+                        form_.allowed.end(), std::back_inserter(removed));
+    for (ItemId item : removed) {
+      allowed_killer_[item] = static_cast<uint8_t>(mechanism);
+    }
     if (structural_group_ == -1 && !form_.groups.empty()) {
       structural_group_ = 0;
     }
@@ -95,7 +122,7 @@ Status ConstrainedLattice::DispatchConstraint(const OneVarConstraint& c) {
   if (captured) return Status::Ok();
   const OneVarProperties props = Classify(*stored, options_.nonnegative);
   if (props.anti_monotone && options_.push_anti_monotone) {
-    candidate_filters_.push_back(stored);
+    candidate_filters_.emplace_back(stored, mechanism);
   } else {
     output_filters_.push_back(stored);
   }
@@ -103,18 +130,18 @@ Status ConstrainedLattice::DispatchConstraint(const OneVarConstraint& c) {
 }
 
 Status ConstrainedLattice::AddConstraints(
-    const std::vector<OneVarConstraint>& more) {
+    const std::vector<OneVarConstraint>& more, obs::Mechanism mechanism) {
   bool any = false;
   for (const OneVarConstraint& c : more) {
     if (c.var != var_) continue;
     any = true;
-    CFQ_RETURN_IF_ERROR(DispatchConstraint(c));
+    CFQ_RETURN_IF_ERROR(DispatchConstraint(c, mechanism));
   }
   if (!any) return Status::Ok();
   // Setting up the injected constraints re-examines the (current)
   // allowed singletons once.
   stats_.constraint_checks += form_.allowed.size();
-  RefilterState();
+  RefilterState(mechanism);
   return Status::Ok();
 }
 
@@ -148,6 +175,15 @@ bool ConstrainedLattice::WithinAllowed(const Itemset& x) const {
   return true;
 }
 
+obs::Mechanism ConstrainedLattice::AllowedKillerOf(const Itemset& x) const {
+  for (ItemId item : x) {
+    if (!allowed_mask_[item]) {
+      return static_cast<obs::Mechanism>(allowed_killer_[item]);
+    }
+  }
+  return obs::Mechanism::kOneVar;
+}
+
 bool ConstrainedLattice::SatisfiesFormFast(const Itemset& x) const {
   if (!WithinAllowed(x)) return false;
   for (const std::vector<char>& mask : group_masks_) {
@@ -163,8 +199,9 @@ bool ConstrainedLattice::SatisfiesFormFast(const Itemset& x) const {
   return true;
 }
 
-void ConstrainedLattice::RefilterState() {
+void ConstrainedLattice::RefilterState(obs::Mechanism mechanism) {
   if (form_.Unsatisfiable()) {
+    cur_prunes_.Add(mechanism, pending_candidates_.size());
     pending_candidates_.clear();
     generation_basis_.clear();
     valid_frequent_.clear();
@@ -173,9 +210,20 @@ void ConstrainedLattice::RefilterState() {
   }
   RebuildMasks();
   // Sets containing a now-disallowed item can never be subsets of a
-  // valid set: drop them from everything.
+  // valid set: drop them from everything. Pending candidates were
+  // generated but will no longer be counted, so each drop is
+  // attributed to the mechanism that killed it.
   std::erase_if(pending_candidates_, [&](const Itemset& x) {
-    return !WithinAllowed(x) || !PassesCandidateFilters(x);
+    if (!WithinAllowed(x)) {
+      cur_prunes_.Add(AllowedKillerOf(x));
+      return true;
+    }
+    obs::Mechanism killer = obs::Mechanism::kOneVar;
+    if (!PassesCandidateFilters(x, &killer)) {
+      cur_prunes_.Add(killer);
+      return true;
+    }
+    return false;
   });
   std::erase_if(generation_basis_, [&](const Itemset& x) {
     if (!WithinAllowed(x)) return true;
@@ -200,11 +248,15 @@ void ConstrainedLattice::RefilterState() {
   if (pending_candidates_.empty()) done_ = true;
 }
 
-bool ConstrainedLattice::PassesCandidateFilters(const Itemset& x) {
-  for (const OneVarConstraint* c : candidate_filters_) {
+bool ConstrainedLattice::PassesCandidateFilters(const Itemset& x,
+                                                obs::Mechanism* killer) {
+  for (const auto& [c, mechanism] : candidate_filters_) {
     ++stats_.constraint_checks;
     auto ok = Eval(*c, x, catalog_);
-    if (!ok.ok() || !ok.value()) return false;
+    if (!ok.ok() || !ok.value()) {
+      if (killer != nullptr) *killer = mechanism;
+      return false;
+    }
   }
   return true;
 }
@@ -235,7 +287,12 @@ bool ConstrainedLattice::IsValidOutput(const Itemset& x) {
 
 std::vector<Itemset> ConstrainedLattice::GenerateNext() {
   if (structural_group_ < 0) {
-    return GenerateCandidatesJoinPrune(generation_basis_);
+    uint64_t pruned_subset = 0;
+    std::vector<Itemset> out =
+        GenerateCandidatesJoinPrune(generation_basis_, &pruned_subset);
+    cur_generated_ = out.size() + pruned_subset;
+    cur_prunes_.Add(obs::Mechanism::kInfrequentSubset, pruned_subset);
+    return out;
   }
   const std::vector<char>& group_mask =
       group_masks_[static_cast<size_t>(structural_group_)];
@@ -249,6 +306,7 @@ std::vector<Itemset> ConstrainedLattice::GenerateNext() {
       generation_basis_.begin(), generation_basis_.end());
   std::vector<Itemset> extended =
       GenerateCandidatesExtend(generation_basis_, frequent_singletons_);
+  cur_generated_ = extended.size();
   std::vector<Itemset> out;
   for (Itemset& x : extended) {
     bool ok = true;
@@ -260,7 +318,11 @@ std::vector<Itemset> ConstrainedLattice::GenerateNext() {
         ok = false;
       }
     }
-    if (ok) out.push_back(std::move(x));
+    if (ok) {
+      out.push_back(std::move(x));
+    } else {
+      cur_prunes_.Add(obs::Mechanism::kInfrequentSubset);
+    }
   }
   return out;
 }
@@ -272,9 +334,13 @@ const std::vector<Itemset>& ConstrainedLattice::PrepareLevel() {
     done_ = true;
     return kEmpty;
   }
-  // Dynamic bounds may have tightened since generation.
-  std::erase_if(pending_candidates_,
-                [&](const Itemset& x) { return !PassesDynamicPrune(x); });
+  // Dynamic bounds may have tightened since generation; only the Jmax
+  // V^k series installs prunable bounds.
+  std::erase_if(pending_candidates_, [&](const Itemset& x) {
+    if (PassesDynamicPrune(x)) return false;
+    cur_prunes_.Add(obs::Mechanism::kJmax);
+    return true;
+  });
   if (pending_candidates_.empty()) {
     done_ = true;
     return kEmpty;
@@ -287,12 +353,12 @@ bool ConstrainedLattice::Step() {
   // The counter accounts sets_counted / io / counted-log itself.
   CccStats scratch;
   scratch.counted_log = stats_.counted_log;
+  scratch.tracer = stats_.tracer;
   const std::vector<uint64_t> supports =
       counter_->Count(pending_candidates_, &scratch);
   scratch.counted_log = nullptr;
   stats_.sets_counted += scratch.sets_counted;
-  stats_.io.scans += scratch.io.scans;
-  stats_.io.pages_read += scratch.io.pages_read;
+  stats_.io.MergeFrom(scratch.io);
   CompleteLevelInternal(supports, /*account_counted=*/false);
   return true;
 }
@@ -335,14 +401,33 @@ void ConstrainedLattice::CompleteLevelInternal(
       valid_frequent_.push_back(FrequentSet{items, supports[i]});
     }
   }
-  stats_.RecordLevel(pending_candidates_.size(), last_level_frequent_.size());
+  stats_.RecordLevel(cur_generated_, cur_prunes_, pending_candidates_.size(),
+                     last_level_frequent_.size());
+  if (stats_.tracer != nullptr) {
+    obs::LevelEvent event;
+    event.var = var_ == Var::kS ? 'S' : 'T';
+    event.level = static_cast<uint32_t>(level_);
+    event.candidates = cur_generated_;
+    event.counted = pending_candidates_.size();
+    event.frequent = last_level_frequent_.size();
+    event.pruned_by = cur_prunes_;
+    stats_.tracer->RecordLevel(event);
+  }
   generation_basis_ = std::move(next_basis);
 
-  // Generate the next level's candidates.
+  // Generate the next level's candidates; GenerateNext resets
+  // cur_generated_ and accounts the subset-frequency prunes.
+  cur_generated_ = 0;
+  cur_prunes_ = obs::PruneCounts{};
   std::vector<Itemset> generated = GenerateNext();
   pending_candidates_.clear();
   for (Itemset& x : generated) {
-    if (PassesCandidateFilters(x)) pending_candidates_.push_back(std::move(x));
+    obs::Mechanism killer = obs::Mechanism::kOneVar;
+    if (PassesCandidateFilters(x, &killer)) {
+      pending_candidates_.push_back(std::move(x));
+    } else {
+      cur_prunes_.Add(killer);
+    }
   }
   if (pending_candidates_.empty()) done_ = true;
 }

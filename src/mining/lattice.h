@@ -27,6 +27,7 @@
 #include "data/item_catalog.h"
 #include "mining/apriori.h"
 #include "mining/cap.h"
+#include "obs/mechanism.h"
 
 namespace cfq {
 
@@ -77,7 +78,11 @@ class ConstrainedLattice {
   // Injects additional 1-var constraints (bound to this lattice's
   // variable; others are ignored). Already-collected valid sets and the
   // generation basis are re-filtered, so this is sound at any point.
-  Status AddConstraints(const std::vector<OneVarConstraint>& more);
+  // `mechanism` attributes any candidates these constraints prune
+  // (kOneVar for the query's own constraints, kQuasiSuccinct / kInduced
+  // for reductions injected by the executor).
+  Status AddConstraints(const std::vector<OneVarConstraint>& more,
+                        obs::Mechanism mechanism = obs::Mechanism::kOneVar);
 
   // Installs or tightens a dynamic bound agg(X.attr) <= bound. When
   // `prunable` (sum on a nonnegative domain: anti-monotone), failing
@@ -93,14 +98,18 @@ class ConstrainedLattice {
                      const CapOptions& options);
 
   Status Init(std::vector<OneVarConstraint> constraints);
-  Status DispatchConstraint(const OneVarConstraint& c);
-  void RefilterState();
+  Status DispatchConstraint(const OneVarConstraint& c,
+                            obs::Mechanism mechanism);
+  void RefilterState(obs::Mechanism mechanism);
   void RebuildMasks();
   bool WithinAllowed(const Itemset& x) const;
+  // Mechanism that disallowed (the first disallowed item of) `x`.
+  obs::Mechanism AllowedKillerOf(const Itemset& x) const;
   bool SatisfiesFormFast(const Itemset& x) const;
   void CompleteLevelInternal(const std::vector<uint64_t>& supports,
                              bool account_counted);
-  bool PassesCandidateFilters(const Itemset& x);
+  bool PassesCandidateFilters(const Itemset& x,
+                              obs::Mechanism* killer = nullptr);
   bool PassesDynamicPrune(const Itemset& x);
   bool IsValidOutput(const Itemset& x);
   std::vector<Itemset> GenerateNext();
@@ -120,9 +129,12 @@ class ConstrainedLattice {
   CapOptions options_;
 
   std::unique_ptr<SupportCounter> counter_;
-  // Constraints stored stably so dispatch pointers remain valid.
+  // Constraints stored stably so dispatch pointers remain valid. Each
+  // candidate filter carries the mechanism that injected it so every
+  // pruned candidate can be attributed.
   std::vector<std::unique_ptr<OneVarConstraint>> owned_constraints_;
-  std::vector<const OneVarConstraint*> candidate_filters_;
+  std::vector<std::pair<const OneVarConstraint*, obs::Mechanism>>
+      candidate_filters_;
   std::vector<const OneVarConstraint*> output_filters_;
   SuccinctForm form_;
   // O(1) membership views of form_: one byte per catalog item. Rebuilt
@@ -133,7 +145,16 @@ class ConstrainedLattice {
   // Index into form_.groups of the group driving candidate generation,
   // or -1 when generation is the classic join+prune.
   int structural_group_ = -1;
+  // Per catalog item: mechanism of the succinct form that disallowed it
+  // (meaningful only where allowed_mask_ is 0).
+  std::vector<uint8_t> allowed_killer_;
   std::vector<DynamicBound> dynamic_bounds_;
+  // Attribution for the level whose candidates are currently pending:
+  // how many were generated for it and who killed the ones discarded
+  // before counting. Folded into stats_/LevelEvent when the level
+  // completes.
+  uint64_t cur_generated_ = 0;
+  obs::PruneCounts cur_prunes_;
 
   std::vector<Itemset> pending_candidates_;
   std::vector<Itemset> generation_basis_;

@@ -1,0 +1,142 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace cfq::obs {
+
+namespace {
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Renders the typed payload's fields as JSON members (no braces),
+// e.g. `"var":"S","level":2,...`. Empty for plain spans/instants.
+std::string PayloadFields(const EventPayload& payload) {
+  std::string out;
+  if (const auto* level = std::get_if<LevelEvent>(&payload)) {
+    out += "\"var\":\"";
+    out += level->var;
+    out += "\",\"level\":" + std::to_string(level->level);
+    out += ",\"candidates\":" + std::to_string(level->candidates);
+    out += ",\"counted\":" + std::to_string(level->counted);
+    out += ",\"frequent\":" + std::to_string(level->frequent);
+    out += ",\"pruned\":{";
+    for (size_t m = 0; m < kNumMechanisms; ++m) {
+      if (m > 0) out += ',';
+      out += '"';
+      out += MechanismName(static_cast<Mechanism>(m));
+      out += "\":" + std::to_string(level->pruned_by.by[m]);
+    }
+    out += '}';
+  } else if (const auto* jmax = std::get_if<JmaxEvent>(&payload)) {
+    out += "\"source_var\":\"";
+    out += jmax->source_var;
+    out += "\",\"level\":" + std::to_string(jmax->level);
+    out += ",\"jmax_k\":" + std::to_string(jmax->jmax_k);
+    out += ",\"v_k\":" + JsonNumber(jmax->v_k);
+  } else if (const auto* scan = std::get_if<ScanEvent>(&payload)) {
+    out += "\"scans\":" + std::to_string(scan->scans);
+    out += ",\"pages\":" + std::to_string(scan->pages);
+  } else if (const auto* pair = std::get_if<PairPhaseEvent>(&payload)) {
+    out += "\"checks\":" + std::to_string(pair->checks);
+    out += ",\"kept\":" + std::to_string(pair->kept);
+    out += ",\"seconds\":" + JsonNumber(pair->seconds);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{" << body << '}';
+  };
+  const char* common = "\"pid\":1,\"tid\":1";
+  for (const TraceEvent& e : events) {
+    std::string body = "\"name\":\"" + JsonEscape(e.name) + "\",";
+    switch (e.phase) {
+      case EventPhase::kSpanBegin:
+        body += "\"ph\":\"B\",";
+        break;
+      case EventPhase::kSpanEnd:
+        body += "\"ph\":\"E\",";
+        break;
+      case EventPhase::kInstant:
+        body += "\"ph\":\"i\",\"s\":\"t\",";
+        break;
+    }
+    body += std::string(common) + ",\"ts\":" + std::to_string(e.ts_us);
+    const std::string fields = PayloadFields(e.payload);
+    if (!fields.empty()) body += ",\"args\":{" + fields + '}';
+    emit(body);
+    // Counter tracks make the level series visible as graphs in
+    // Perfetto without digging into instant args.
+    if (const auto* level = std::get_if<LevelEvent>(&e.payload)) {
+      std::string track = "\"name\":\"lattice ";
+      track += level->var;
+      track += "\",\"ph\":\"C\",";
+      track += std::string(common) + ",\"ts\":" + std::to_string(e.ts_us);
+      track += ",\"args\":{\"candidates\":" +
+               std::to_string(level->candidates) +
+               ",\"frequent\":" + std::to_string(level->frequent) + '}';
+      emit(track);
+    }
+  }
+  os << "\n]}\n";
+}
+
+void WriteTraceJsonl(const std::vector<TraceEvent>& events, std::ostream& os) {
+  for (const TraceEvent& e : events) {
+    const char* type = "instant";
+    switch (e.phase) {
+      case EventPhase::kSpanBegin:
+        type = "span_begin";
+        break;
+      case EventPhase::kSpanEnd:
+        type = "span_end";
+        break;
+      case EventPhase::kInstant:
+        break;
+    }
+    if (e.phase == EventPhase::kInstant &&
+        !std::holds_alternative<std::monostate>(e.payload)) {
+      type = e.name;  // Typed events use their kind as the type tag.
+    }
+    os << "{\"type\":\"" << JsonEscape(type) << "\",\"name\":\""
+       << JsonEscape(e.name) << "\",\"ts_us\":" << e.ts_us;
+    const std::string fields = PayloadFields(e.payload);
+    if (!fields.empty()) os << ',' << fields;
+    os << "}\n";
+  }
+}
+
+}  // namespace cfq::obs

@@ -1,0 +1,33 @@
+// Trace exporters.
+//
+// WriteChromeTrace emits the Chrome trace_event JSON object format
+// (loadable in chrome://tracing and https://ui.perfetto.dev): spans as
+// B/E duration events, typed events as instants with their fields in
+// "args", and per-variable candidates/frequent counter tracks.
+//
+// WriteTraceJsonl emits one flat JSON object per event per line, the
+// format the bench harnesses and CI consume.
+
+#ifndef CFQ_OBS_EXPORT_H_
+#define CFQ_OBS_EXPORT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cfq::obs {
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os);
+void WriteTraceJsonl(const std::vector<TraceEvent>& events, std::ostream& os);
+
+inline void WriteChromeTrace(const Tracer& tracer, std::ostream& os) {
+  WriteChromeTrace(tracer.Events(), os);
+}
+inline void WriteTraceJsonl(const Tracer& tracer, std::ostream& os) {
+  WriteTraceJsonl(tracer.Events(), os);
+}
+
+}  // namespace cfq::obs
+
+#endif  // CFQ_OBS_EXPORT_H_

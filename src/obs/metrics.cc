@@ -1,0 +1,79 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cfq::obs {
+
+namespace {
+
+// Shortest-roundtrip-ish double formatting that is always valid JSON
+// (no inf/nan; those become 0).
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  while (c != counters_.end() || g != gauges_.end()) {
+    const bool take_counter =
+        g == gauges_.end() || (c != counters_.end() && c->first <= g->first);
+    Sample s;
+    if (take_counter) {
+      s.name = c->first;
+      s.is_counter = true;
+      s.count = c->second;
+      ++c;
+    } else {
+      s.name = g->first;
+      s.is_counter = false;
+      s.value = g->second;
+      ++g;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& os) const {
+  // Names are dotted identifiers (no quotes/backslashes), so plain
+  // interpolation is safe; values are numbers.
+  for (const Sample& s : Snapshot()) {
+    os << "{\"name\":\"" << s.name << "\",\"type\":\""
+       << (s.is_counter ? "counter" : "gauge") << "\",\"value\":";
+    if (s.is_counter) {
+      os << s.count;
+    } else {
+      os << JsonNumber(s.value);
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace cfq::obs

@@ -1,0 +1,53 @@
+// MetricsRegistry: named monotonic counters and gauges.
+//
+// The machine-readable sibling of the paper-facing CccStats /
+// StrategyStats structs: miners account their work in those structs as
+// before, and the registry holds the same numbers (plus anything else a
+// harness adds) under stable dotted names so they can be exported as
+// JSONL and diffed across runs in CI.
+
+#ifndef CFQ_OBS_METRICS_H_
+#define CFQ_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cfq::obs {
+
+class MetricsRegistry {
+ public:
+  // Bumps monotonic counter `name` by `delta`.
+  void Add(const std::string& name, uint64_t delta = 1);
+  // Sets gauge `name` (last write wins).
+  void SetGauge(const std::string& name, double value);
+
+  // 0 / 0.0 for names never written.
+  uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  struct Sample {
+    std::string name;
+    bool is_counter = true;
+    uint64_t count = 0;  // Valid when is_counter.
+    double value = 0;    // Valid when !is_counter.
+  };
+
+  // All samples, sorted by name (counters and gauges interleaved).
+  std::vector<Sample> Snapshot() const;
+
+  // One JSON object per line:
+  //   {"name":"s.sets_counted","type":"counter","value":123}
+  //   {"name":"elapsed_seconds","type":"gauge","value":0.42}
+  void WriteJsonl(std::ostream& os) const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace cfq::obs
+
+#endif  // CFQ_OBS_METRICS_H_

@@ -1,0 +1,46 @@
+#include "obs/trace.h"
+
+namespace cfq::obs {
+
+Tracer::Tracer(size_t capacity)
+    : start_(std::chrono::steady_clock::now()),
+      ring_(capacity == 0 ? 1 : capacity) {}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void Tracer::Push(const char* name, EventPhase phase, EventPayload payload) {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& slot = ring_[seq % ring_.size()];
+  slot.name = name;
+  slot.phase = phase;
+  slot.ts_us = NowMicros();
+  slot.payload = std::move(payload);
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  const uint64_t n = ring_.size();
+  std::vector<TraceEvent> out;
+  if (total <= n) {
+    out.assign(ring_.begin(), ring_.begin() + static_cast<size_t>(total));
+    return out;
+  }
+  out.reserve(n);
+  const uint64_t head = total % n;  // Oldest surviving slot.
+  out.insert(out.end(), ring_.begin() + static_cast<size_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<size_t>(head));
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+}  // namespace cfq::obs

@@ -1,0 +1,293 @@
+#include "obs/trace.h"
+
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analyze.h"
+#include "core/executor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace cfq {
+namespace {
+
+struct Instance {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  CfqQuery query;
+};
+
+// Small random instance with a sum-vs-sum 2-var constraint, the query
+// shape that exercises every pruning mechanism (1-var pushdown,
+// induced/loose reductions, Jmax dovetailing).
+Instance MakeInstance(int seed) {
+  Instance inst;
+  const size_t n = 12;
+  inst.db = TransactionDb(n);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 6);
+  std::uniform_int_distribution<ItemId> item(0, n - 1);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    inst.db.Add(std::move(txn));
+  }
+  inst.catalog = ItemCatalog(n);
+  std::vector<AttrValue> price(n);
+  std::uniform_int_distribution<int> price_dist(1, 9);
+  for (size_t i = 0; i < n; ++i) price[i] = price_dist(rng);
+  EXPECT_TRUE(inst.catalog.AddNumericAttr("Price", price).ok());
+  for (ItemId i = 0; i < n; ++i) {
+    inst.query.s_domain.push_back(i);
+    inst.query.t_domain.push_back(i);
+  }
+  inst.query.min_support_s = 4;
+  inst.query.min_support_t = 4;
+  inst.query.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+  return inst;
+}
+
+std::vector<obs::TraceEvent> TracedRun(Instance* inst, obs::Tracer* tracer,
+                                       StrategyStats* stats = nullptr) {
+  PlanOptions options;
+  options.tracer = tracer;
+  auto result = ExecuteOptimized(&inst->db, inst->catalog, inst->query, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (stats != nullptr && result.ok()) *stats = result->stats;
+  return tracer->Events();
+}
+
+// (a) Per-level attribution identity: everything generated was either
+// attributed to a pruning mechanism or counted.
+TEST(TraceTest, LevelPruningSumsToGeneratedMinusCounted) {
+  for (int seed = 0; seed < 5; ++seed) {
+    Instance inst = MakeInstance(seed);
+    obs::Tracer tracer;
+    size_t level_events = 0;
+    for (const obs::TraceEvent& e : TracedRun(&inst, &tracer)) {
+      const auto* level = std::get_if<obs::LevelEvent>(&e.payload);
+      if (level == nullptr) continue;
+      ++level_events;
+      EXPECT_EQ(level->candidates - level->pruned_by.Total(), level->counted)
+          << "var " << level->var << " level " << level->level;
+      EXPECT_LE(level->frequent, level->counted);
+    }
+    EXPECT_GT(level_events, 0u) << "seed " << seed;
+  }
+}
+
+// Same identity on the merged per-level stats (what --metrics exports).
+TEST(TraceTest, StatsPruningIdentity) {
+  Instance inst = MakeInstance(1);
+  obs::Tracer tracer;
+  StrategyStats stats;
+  TracedRun(&inst, &tracer, &stats);
+  for (const CccStats* side : {&stats.s, &stats.t}) {
+    ASSERT_EQ(side->generated_per_level.size(),
+              side->candidates_per_level.size());
+    for (size_t i = 0; i < side->generated_per_level.size(); ++i) {
+      EXPECT_EQ(side->generated_per_level[i] -
+                    side->pruned_per_level[i].Total(),
+                side->candidates_per_level[i]);
+    }
+  }
+}
+
+// (b) Theorem 5: each source variable's V^k series is non-increasing.
+TEST(TraceTest, VkSeriesNonIncreasing) {
+  for (int seed = 0; seed < 5; ++seed) {
+    Instance inst = MakeInstance(seed);
+    obs::Tracer tracer;
+    double last_s = std::numeric_limits<double>::infinity();
+    double last_t = std::numeric_limits<double>::infinity();
+    for (const obs::TraceEvent& e : TracedRun(&inst, &tracer)) {
+      const auto* jmax = std::get_if<obs::JmaxEvent>(&e.payload);
+      if (jmax == nullptr) continue;
+      double& last = jmax->source_var == 'S' ? last_s : last_t;
+      EXPECT_LE(jmax->v_k, last)
+          << "source " << jmax->source_var << " level " << jmax->level;
+      last = jmax->v_k;
+    }
+  }
+}
+
+// Minimal JSON well-formedness checker: brackets/braces balance outside
+// strings, strings terminate, no trailing garbage.
+bool ValidJson(const std::string& text, std::string* error) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        *error = "control character inside string at offset " +
+                 std::to_string(i);
+        return false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+      case ']': {
+        const char open = c == '}' ? '{' : '[';
+        if (stack.empty() || stack.back() != open) {
+          *error = "unbalanced bracket at offset " + std::to_string(i);
+          return false;
+        }
+        stack.pop_back();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (in_string) {
+    *error = "unterminated string";
+    return false;
+  }
+  if (!stack.empty()) {
+    *error = "unclosed brackets";
+    return false;
+  }
+  return true;
+}
+
+// (c) The Chrome trace export is well-formed and every span that begins
+// also ends.
+TEST(TraceTest, ChromeTraceValidJsonWithBalancedSpans) {
+  Instance inst = MakeInstance(2);
+  obs::Tracer tracer;
+  const std::vector<obs::TraceEvent> events = TracedRun(&inst, &tracer);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  int64_t depth = 0;
+  uint64_t begins = 0;
+  uint64_t ends = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.phase == obs::EventPhase::kSpanBegin) {
+      ++begins;
+      ++depth;
+    } else if (e.phase == obs::EventPhase::kSpanEnd) {
+      ++ends;
+      --depth;
+    }
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+
+  std::ostringstream chrome;
+  obs::WriteChromeTrace(events, chrome);
+  std::string error;
+  EXPECT_TRUE(ValidJson(chrome.str(), &error)) << error;
+  // The B/E pairs survive the export too.
+  size_t exported_begins = 0;
+  size_t exported_ends = 0;
+  const std::string text = chrome.str();
+  for (size_t pos = 0; (pos = text.find("\"ph\":\"", pos)) != std::string::npos;
+       pos += 6) {
+    const char phase = text[pos + 6];
+    if (phase == 'B') ++exported_begins;
+    if (phase == 'E') ++exported_ends;
+  }
+  EXPECT_EQ(exported_begins, begins);
+  EXPECT_EQ(exported_ends, ends);
+
+  std::ostringstream jsonl;
+  obs::WriteTraceJsonl(events, jsonl);
+  std::string line;
+  std::istringstream lines(jsonl.str());
+  size_t line_count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++line_count;
+    EXPECT_TRUE(ValidJson(line, &error)) << error << ": " << line;
+  }
+  EXPECT_EQ(line_count, events.size());
+}
+
+// The EXPLAIN ANALYZE renderer shows every mechanism column and the
+// metrics export round-trips the headline counters.
+TEST(TraceTest, AnalyzeRenderAndMetricsExport) {
+  Instance inst = MakeInstance(3);
+  obs::Tracer tracer;
+  StrategyStats stats;
+  const std::vector<obs::TraceEvent> events = TracedRun(&inst, &tracer, &stats);
+
+  const std::string table = RenderExplainAnalyze(stats, events);
+  for (size_t m = 0; m < obs::kNumMechanisms; ++m) {
+    EXPECT_NE(table.find(obs::MechanismName(static_cast<obs::Mechanism>(m))),
+              std::string::npos);
+  }
+  EXPECT_NE(table.find("V^k"), std::string::npos);
+
+  obs::MetricsRegistry registry;
+  ExportMetrics(stats, &registry);
+  EXPECT_EQ(registry.counter("s.sets_counted"), stats.s.sets_counted);
+  EXPECT_EQ(registry.counter("t.sets_counted"), stats.t.sets_counted);
+  EXPECT_EQ(registry.counter("pair_checks"), stats.pair_checks);
+  std::ostringstream jsonl;
+  registry.WriteJsonl(jsonl);
+  std::string line;
+  std::istringstream lines(jsonl.str());
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    EXPECT_TRUE(ValidJson(line, &error)) << error << ": " << line;
+  }
+}
+
+// The ring buffer wraps instead of growing; dropped() reports the loss.
+TEST(TraceTest, RingBufferWrapCountsDropped) {
+  obs::Tracer tracer(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) tracer.Instant("tick");
+  EXPECT_EQ(tracer.Events().size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+}
+
+// StrategyStats::MergeFrom doubles every additive field.
+TEST(TraceTest, StrategyStatsMergeFrom) {
+  Instance inst = MakeInstance(4);
+  obs::Tracer tracer;
+  StrategyStats stats;
+  TracedRun(&inst, &tracer, &stats);
+  StrategyStats merged = stats;
+  merged.MergeFrom(stats);
+  EXPECT_EQ(merged.s.sets_counted, 2 * stats.s.sets_counted);
+  EXPECT_EQ(merged.t.constraint_checks, 2 * stats.t.constraint_checks);
+  EXPECT_EQ(merged.s.io.scans, 2 * stats.s.io.scans);
+  EXPECT_EQ(merged.s.io.pages_read, 2 * stats.s.io.pages_read);
+  EXPECT_EQ(merged.pair_checks, 2 * stats.pair_checks);
+  EXPECT_DOUBLE_EQ(merged.elapsed_seconds, 2 * stats.elapsed_seconds);
+  ASSERT_EQ(merged.s.generated_per_level.size(),
+            stats.s.generated_per_level.size());
+  for (size_t i = 0; i < merged.s.generated_per_level.size(); ++i) {
+    EXPECT_EQ(merged.s.generated_per_level[i],
+              2 * stats.s.generated_per_level[i]);
+    EXPECT_EQ(merged.s.pruned_per_level[i].Total(),
+              2 * stats.s.pruned_per_level[i].Total());
+  }
+}
+
+}  // namespace
+}  // namespace cfq

@@ -3,8 +3,17 @@
 //   cfq_mine --db=baskets.txt --catalog=items.txt \
 //            --query='freq(S, 40) & freq(T, 40) & max(S.Price) <= min(T.Price)' \
 //            [--strategy=optimized|cap|apriori] [--explain] \
+//            [--trace=run.json] [--metrics=run.jsonl] \
 //            [--rules] [--min_confidence=0.5] [--top_k=20] \
 //            [--output=pairs.csv]
+//
+// --trace writes a Chrome trace_event JSON file (load in Perfetto);
+// --metrics writes one JSON object per counter/gauge per line. With
+// --explain, a run that traced also prints the EXPLAIN ANALYZE
+// per-level pruning-attribution tables.
+//
+// Exit codes: 0 ok, 1 generic error, 3 the query references an
+// attribute the catalog does not define.
 //
 // Input files use the formats of src/data/serialize.h. When --db is
 // omitted a Quest-generated demo database is used (--num_transactions,
@@ -17,10 +26,15 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "bench/bench_util.h"
+#include "core/analyze.h"
 #include "core/executor.h"
 #include "data/serialize.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "rules/rule_gen.h"
 
@@ -40,6 +54,25 @@ std::string JoinItems(const Itemset& items) {
 int Fail(const Status& status) {
   std::cerr << "error: " << status << "\n";
   return 1;
+}
+
+// Exit code when the query names an attribute the catalog lacks.
+constexpr int kUnknownAttrExit = 3;
+
+// Like Fail, but recognizes unknown-attribute errors and lists what the
+// catalog actually defines.
+int FailQuery(const Status& status, const ItemCatalog& catalog) {
+  std::cerr << "error: " << status << "\n";
+  if (status.code() != StatusCode::kNotFound ||
+      status.message().find("unknown attribute") == std::string::npos) {
+    return 1;
+  }
+  std::cerr << "hint: the catalog defines these attributes:";
+  for (const std::string& name : catalog.AttrNames()) {
+    std::cerr << ' ' << name;
+  }
+  std::cerr << "\n";
+  return kUnknownAttrExit;
 }
 
 }  // namespace
@@ -110,9 +143,19 @@ int main(int argc, char** argv) {
 
   PlanOptions options;
   options.counter = bench::CounterFromArgs(args);
+
+  const std::string trace_path = args.GetString("trace", "");
+  const std::string metrics_path = args.GetString("metrics", "");
+  const bool explain = args.GetBool("explain", false);
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_path.empty() || explain) {
+    tracer = std::make_unique<obs::Tracer>();
+    options.tracer = tracer.get();
+  }
+
   auto plan = BuildPlan(query, options);
-  if (!plan.ok()) return Fail(plan.status());
-  if (args.GetBool("explain", false)) {
+  if (!plan.ok()) return FailQuery(plan.status(), catalog);
+  if (explain) {
     std::cout << ExplainPlan(plan.value());
   }
 
@@ -130,7 +173,36 @@ int main(int argc, char** argv) {
               << "' (want optimized|cap|apriori)\n";
     return 1;
   }
-  if (!result.ok()) return Fail(result.status());
+  if (!result.ok()) return FailQuery(result.status(), catalog);
+
+  // --- Observability output. -------------------------------------------
+  const std::vector<obs::TraceEvent> events =
+      tracer != nullptr ? tracer->Events() : std::vector<obs::TraceEvent>{};
+  if (explain) {
+    std::cout << "\n" << RenderExplainAnalyze(result->stats, events);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::cerr << "error: cannot open '" << trace_path << "'\n";
+      return 1;
+    }
+    obs::WriteChromeTrace(events, trace_file);
+    if (tracer->dropped() > 0) {
+      std::cerr << "note: trace ring wrapped; " << tracer->dropped()
+                << " oldest events dropped\n";
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_file(metrics_path);
+    if (!metrics_file) {
+      std::cerr << "error: cannot open '" << metrics_path << "'\n";
+      return 1;
+    }
+    obs::MetricsRegistry registry;
+    ExportMetrics(result->stats, &registry);
+    registry.WriteJsonl(metrics_file);
+  }
 
   std::cerr << result->s_sets.size() << " valid frequent S-sets, "
             << result->t_sets.size() << " T-sets, "
