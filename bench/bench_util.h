@@ -39,6 +39,8 @@ inline constexpr KnownFlag kKnownFlags[] = {
     {"price_hi", "catalog: highest uniform price"},
     {"num_types", "catalog: number of Type categories"},
     {"counter", "support counter: bitmap|hash|hashtree"},
+    {"threads", "parallelism degree (0 = hardware concurrency)"},
+    {"max_threads", "thread sweep: highest thread count to measure"},
     {"query", "the CFQ to run, in the paper's syntax"},
     {"db", "path to a serialized transaction database"},
     {"catalog", "path to a serialized item catalog"},
@@ -172,6 +174,17 @@ inline TransactionDb MustGenerate(const DbConfig& config) {
     std::exit(1);
   }
   return std::move(db).value();
+}
+
+// Parses --threads=N (default 0 = hardware concurrency; benches opt
+// into parallelism by default, unlike the library whose default is 1).
+inline size_t ThreadsFromArgs(const Args& args) {
+  const int64_t threads = args.GetInt("threads", 0);
+  if (threads < 0) {
+    std::cerr << "error: --threads must be >= 0\n";
+    std::exit(2);
+  }
+  return static_cast<size_t>(threads);
 }
 
 // Parses --counter=bitmap|hash|hashtree (default bitmap).

@@ -13,7 +13,10 @@ namespace cfq::bench {
 namespace {
 
 void PrintCounters(const std::string& title, TransactionDb* db,
-                   const ItemCatalog& catalog, const CfqQuery& query) {
+                   const ItemCatalog& catalog, const CfqQuery& query,
+                   size_t threads) {
+  PlanOptions options;
+  options.threads = threads;
   Banner(title);
   TablePrinter table({"strategy", "sets counted", "constraint checks",
                       "pair checks", "modeled pages read"});
@@ -31,9 +34,9 @@ void PrintCounters(const std::string& title, TransactionDb* db,
                   TablePrinter::Fmt(r->stats.s.io.pages_read +
                                     r->stats.t.io.pages_read)});
   };
-  add("Apriori+", ExecuteAprioriPlus(db, catalog, query));
-  add("CAP (1-var only)", ExecuteCapOneVar(db, catalog, query));
-  add("optimizer (full)", ExecuteOptimized(db, catalog, query));
+  add("Apriori+", ExecuteAprioriPlus(db, catalog, query, options));
+  add("CAP (1-var only)", ExecuteCapOneVar(db, catalog, query, options));
+  add("optimizer (full)", ExecuteOptimized(db, catalog, query, options));
   table.Print(std::cout);
 }
 
@@ -48,6 +51,7 @@ void Main(const Args& args) {
       static_cast<uint64_t>(args.GetInt("num_patterns", 150));
   const uint64_t min_support = static_cast<uint64_t>(args.GetInt(
       "min_support", static_cast<int64_t>(config.num_transactions / 250)));
+  const size_t threads = ThreadsFromArgs(args);
 
   std::cout << "ccc cost model: counting and checking invocations\n"
             << "database: " << config.num_transactions << " txns, "
@@ -77,7 +81,7 @@ void Main(const Args& args) {
     query.one_var.push_back(
         MakeAgg1(Var::kT, AggFn::kMin, "Price", CmpOp::kGe, 100));
     PrintCounters("1-var succinct constraints (Theorem 4)", &db, catalog,
-                  query);
+                  query, threads);
     std::cout << "  singleton check budget (|S dom| + |T dom|): "
               << domains.s_domain.size() + domains.t_domain.size() << "\n";
   }
@@ -90,7 +94,7 @@ void Main(const Args& args) {
     query.two_var.push_back(
         MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
     PrintCounters("quasi-succinct 2-var constraint (Corollary 2)", &db,
-                  catalog, query);
+                  catalog, query, threads);
   }
   {
     // Non-quasi-succinct: ccc-optimality is provably out of reach
@@ -103,7 +107,7 @@ void Main(const Args& args) {
     query.two_var.push_back(
         MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
     PrintCounters("non-quasi-succinct sum constraint (open problem)", &db,
-                  catalog, query);
+                  catalog, query, threads);
   }
 }
 

@@ -26,7 +26,8 @@ struct RunOutcome {
 };
 
 RunOutcome RunBoth(const DbConfig& config, int64_t s_lo, int64_t v,
-                   uint64_t min_support, CounterKind counter) {
+                   uint64_t min_support, CounterKind counter,
+                   size_t threads) {
   TransactionDb db = MustGenerate(config);
   ItemCatalog catalog(config.num_items);
   ExperimentDomains domains;
@@ -46,6 +47,7 @@ RunOutcome RunBoth(const DbConfig& config, int64_t s_lo, int64_t v,
 
   PlanOptions options;
   options.counter = counter;
+  options.threads = threads;
   RunOutcome out;
   {
     auto r = ExecuteAprioriPlus(&db, catalog, query, options);
@@ -93,6 +95,7 @@ void Main(const Args& args) {
       "min_support",
       static_cast<int64_t>(config.num_transactions / 250)));  // 0.4%.
   const CounterKind counter = CounterFromArgs(args);
+  const size_t threads = ThreadsFromArgs(args);
 
   std::cout << "Figure 8(a): quasi-succinctness, 2-var constraint only\n"
             << "constraint: max(S.Price) <= min(T.Price); S.Price in "
@@ -106,7 +109,7 @@ void Main(const Args& args) {
   TablePrinter sweep({"v", "% overlap", "speedup", "sets counted (opt)",
                       "sets counted (apriori+)", "pairs"});
   for (int64_t v : {500, 600, 700, 800, 900}) {
-    const RunOutcome out = RunBoth(config, 400, v, min_support, counter);
+    const RunOutcome out = RunBoth(config, 400, v, min_support, counter, threads);
     const double overlap = 100.0 * static_cast<double>(v - 400) / 600.0;
     sweep.AddRow(
         {TablePrinter::Fmt(static_cast<int64_t>(v)),
@@ -123,7 +126,7 @@ void Main(const Args& args) {
   // --- E4: the per-level a/b table at 16.6% overlap. ----------------------
   Banner("per-level frequent sets a/b at 16.6% overlap (Sec. 7.1 table)");
   {
-    const RunOutcome out = RunBoth(config, 400, 500, min_support, counter);
+    const RunOutcome out = RunBoth(config, 400, 500, min_support, counter, threads);
     const size_t levels =
         std::max(out.naive.stats.s.frequent_per_level.size(),
                  out.naive.stats.t.frequent_per_level.size());
@@ -152,7 +155,7 @@ void Main(const Args& args) {
   for (int64_t s_lo : {300, 400, 500}) {
     // v placed so the T range covers half of the S range.
     const int64_t v = s_lo + (1000 - s_lo) / 2;
-    const RunOutcome out = RunBoth(config, s_lo, v, min_support, counter);
+    const RunOutcome out = RunBoth(config, s_lo, v, min_support, counter, threads);
     ranges.AddRow(
         {"[" + std::to_string(s_lo) + ",1000]",
          TablePrinter::Fmt(static_cast<int64_t>(v)),

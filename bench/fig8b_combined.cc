@@ -77,11 +77,12 @@ struct Timings {
   double optimized = 0;
 };
 
-Timings RunAll(Setup& setup, CounterKind counter) {
+Timings RunAll(Setup& setup, CounterKind counter, size_t threads) {
   // Speedups compare the mining phase (the paper's step 1); pair
   // formation is identical across strategies.
   PlanOptions options;
   options.counter = counter;
+  options.threads = threads;
   Timings t;
   auto naive =
       ExecuteAprioriPlus(&setup.db, setup.catalog, setup.query, options);
@@ -112,6 +113,7 @@ void Main(const Args& args) {
   const uint64_t min_support = static_cast<uint64_t>(args.GetInt(
       "min_support", static_cast<int64_t>(config.num_transactions / 250)));
   const CounterKind counter = CounterFromArgs(args);
+  const size_t threads = ThreadsFromArgs(args);
 
   std::cout << "Figure 8(b): 2-var constraint on top of 1-var constraints\n"
             << "constraints: S.Price in [400,1000] & T.Price in [0,600] & "
@@ -127,7 +129,7 @@ void Main(const Args& args) {
   for (double overlap : {20.0, 40.0, 60.0, 80.0}) {
     Setup setup =
         Build(config, 400, 1000, 0, 600, overlap, min_support);
-    const Timings t = RunAll(setup, counter);
+    const Timings t = RunAll(setup, counter, threads);
     sweep.AddRow({TablePrinter::Fmt(overlap, 0), "1.00",
                   TablePrinter::Fmt(t.naive / t.cap, 2),
                   TablePrinter::Fmt(t.naive / t.optimized, 2),
@@ -143,7 +145,7 @@ void Main(const Args& args) {
       {100, 1000, 0, 900}, {400, 1000, 0, 600}, {800, 1000, 0, 200}};
   for (const auto& c : cases) {
     Setup setup = Build(config, c[0], c[1], c[2], c[3], 40.0, min_support);
-    const Timings t = RunAll(setup, counter);
+    const Timings t = RunAll(setup, counter, threads);
     const double one_var = t.naive / t.cap;
     const double both = t.naive / t.optimized;
     ranges.AddRow({"[" + std::to_string(c[0]) + "," + std::to_string(c[1]) +

@@ -80,6 +80,7 @@ void Main(const Args& args) {
 
   const CounterKind counter = CounterFromArgs(args);
   (void)counter;
+  const size_t threads = ThreadsFromArgs(args);
   std::cout << "Section 7.3: sum(S.Price) <= sum(T.Price) with Jmax "
                "iterative pruning\n"
             << "S prices ~ N(1000, 100); T prices ~ N(mean, 100); S support "
@@ -93,15 +94,20 @@ void Main(const Args& args) {
     Setup setup = Build(config, t_mean, s_support, t_support);
 
     PlanOptions with_jmax;
+    with_jmax.threads = threads;
     PlanOptions without;
     without.use_jmax = false;
     without.use_induced = false;
+    without.threads = threads;
 
     uint64_t counted_with = 0, counted_without = 0;
     const double seconds_with = TimeRun(setup, with_jmax, &counted_with);
     const double seconds_without = TimeRun(setup, without, &counted_without);
 
-    auto naive = ExecuteAprioriPlus(&setup.db, setup.catalog, setup.query);
+    PlanOptions naive_options;
+    naive_options.threads = threads;
+    auto naive = ExecuteAprioriPlus(&setup.db, setup.catalog, setup.query,
+                                    naive_options);
     if (!naive.ok()) {
       std::cerr << naive.status() << "\n";
       std::exit(1);
@@ -123,15 +129,20 @@ void Main(const Args& args) {
   {
     Setup setup = Build(config, 400, s_support, t_support);
     TablePrinter ablation({"variant", "seconds", "sets counted"});
-    const std::vector<std::pair<std::string, PlanOptions>> variants = [] {
+    const std::vector<std::pair<std::string, PlanOptions>> variants =
+        [threads] {
       PlanOptions paper;
+      paper.threads = threads;
       PlanOptions per_element;
       per_element.jmax.per_element_j = true;
+      per_element.threads = threads;
       PlanOptions sequential;
       sequential.dovetail = false;
+      sequential.threads = threads;
       PlanOptions none;
       none.use_jmax = false;
       none.use_induced = false;
+      none.threads = threads;
       return std::vector<std::pair<std::string, PlanOptions>>{
           {"paper (global Jmax, dovetailed)", paper},
           {"per-element J_i^k", per_element},

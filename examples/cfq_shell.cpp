@@ -2,7 +2,7 @@
 // Quest-generated market-basket database, get EXPLAIN output, answer
 // pairs and the top association rules.
 //
-//   ./examples/cfq_shell [--num_transactions=3000]
+//   ./examples/cfq_shell [--num_transactions=3000] [--threads=N]
 //   cfq> {(S, T) | freq(S, 20) & freq(T, 20) & max(S.Price) <= min(T.Price)}
 //   cfq> sum(S.Price) <= 100 & S.Type = T.Type
 //   cfq> explain max(S.Price) <= min(T.Price)
@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
 
     obs::Tracer tracer;
     PlanOptions plan_options;
+    plan_options.threads = bench::ThreadsFromArgs(args);
     if (analyze) plan_options.tracer = &tracer;
     auto plan = BuildPlan(query, plan_options);
     if (!plan.ok()) {

@@ -1,0 +1,96 @@
+// ThreadPool: a fixed-size worker pool driving chunked parallel loops.
+//
+// The mining stack's parallelism is deliberately simple — no work
+// stealing, no futures. Every parallel site is a loop over a range
+// (transactions to scan, candidates to intersect, S-rows of the pair
+// matrix), so the pool exposes exactly that: ParallelChunks splits
+// [0, n) into contiguous chunks handed out through a shared atomic
+// cursor; the calling thread participates, which both bounds latency
+// and guarantees progress when every worker is busy with another
+// caller's loop (the concurrent S/T lattices share one pool).
+//
+// Determinism contract: chunk boundaries depend only on (n, chunks),
+// never on scheduling, so per-chunk accumulators merged in chunk order
+// produce bit-identical results at every thread count. A pool built
+// with one thread runs every chunk inline on the caller with no
+// synchronization at all.
+//
+// Loop bodies must not throw (the library reports errors via Status)
+// and must not submit nested loops to the same pool from inside a
+// chunk — concurrent top-level submissions from different threads are
+// fine.
+
+#ifndef CFQ_COMMON_THREAD_POOL_H_
+#define CFQ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cfq {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers (the caller is the remaining
+  // thread). 0 means HardwareThreads().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  // std::thread::hardware_concurrency(), never less than 1.
+  static size_t HardwareThreads();
+
+  // Splits [0, n) into `chunks` contiguous near-equal ranges and runs
+  // fn(chunk_index, begin, end) for each, blocking until all complete.
+  // Chunk indices are dense in [0, chunks'), chunks' = min(chunks, n),
+  // so fn may index a per-chunk accumulator array of that size.
+  void ParallelChunks(size_t n, size_t chunks,
+                      const std::function<void(size_t, size_t, size_t)>& fn);
+
+  // Load-balanced loop without per-chunk identity: fn(begin, end) over
+  // a finer-grained partition of [0, n). Use when fn writes only to
+  // disjoint per-index state.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  // The chunk range ParallelChunks hands to chunk `c` of `chunks` over
+  // [0, n). Exposed so callers can pre-size per-chunk state.
+  static std::pair<size_t, size_t> ChunkRange(size_t n, size_t chunks,
+                                              size_t c);
+
+ private:
+  // One ParallelChunks call in flight. Workers and the submitter pull
+  // chunk indices from `next`; the last finisher signals `cv`.
+  struct Task {
+    std::function<void(size_t)> run_chunk;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void WorkerLoop();
+  static void RunChunks(Task* task);
+
+  size_t num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Task>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cfq
+
+#endif  // CFQ_COMMON_THREAD_POOL_H_

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "constraints/eval.h"
 #include "core/reduction.h"
 #include "mining/apriori_plus.h"
@@ -89,9 +93,86 @@ class VkSeries {
   double bound_ = std::numeric_limits<double>::infinity();
 };
 
+// A dynamic bound crossing from one lattice thread to the other.
+struct ChannelBound {
+  AggFn agg;
+  std::string attr;
+  double value;
+  bool prunable;
+  size_t source_level;  // Producer level that computed this bound.
+};
+
+// Hands Jmax V^k bounds between the two concurrently mined lattices.
+// The producer publishes after completing each level; the consumer
+// blocks until the producer has published the level the sequential
+// dovetail schedule would require, so the exact same bounds are in
+// force before every PrepareLevel regardless of thread interleaving
+// (this is what makes concurrent mining bit-identical to serial).
+// `expects_bounds == false` means no Jmax hook feeds this direction,
+// so the consumer never waits and the sides run fully decoupled.
+class BoundsChannel {
+ public:
+  explicit BoundsChannel(bool expects_bounds)
+      : expects_bounds_(expects_bounds) {}
+
+  // Called by the producer after completing `level`. `bounds` may be
+  // empty; the level watermark still advances so the consumer can make
+  // progress. `closed` marks the producer's final level.
+  void Publish(size_t level, std::vector<ChannelBound> bounds, bool closed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    published_level_ = std::max(published_level_, level);
+    for (ChannelBound& b : bounds) pending_.push_back(std::move(b));
+    closed_ = closed_ || closed;
+    cv_.notify_all();
+  }
+
+  // Unblocks the consumer unconditionally (producer finished or erred).
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  // Blocks until the producer has published `level` (or closed), then
+  // drains the pending bounds computed at producer levels <= `level`.
+  // Later bounds stay queued: if the producer ran ahead (possible when
+  // the reverse direction has no hooks), applying its deeper-level
+  // bounds early would prune more than the sequential schedule and
+  // break bit-identity. Immediate when no bounds flow this way.
+  std::vector<ChannelBound> TakeForLevel(size_t level) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (expects_bounds_) {
+      cv_.wait(lock, [&] { return closed_ || published_level_ >= level; });
+    }
+    // Publishes arrive in level order, so eligible bounds are a prefix.
+    size_t take = 0;
+    while (take < pending_.size() && pending_[take].source_level <= level) {
+      ++take;
+    }
+    std::vector<ChannelBound> out(
+        std::make_move_iterator(pending_.begin()),
+        std::make_move_iterator(pending_.begin() + take));
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    return out;
+  }
+
+ private:
+  const bool expects_bounds_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Level 1 is mined on the caller thread before the sides split, so
+  // both channels start with level 1 already published.
+  size_t published_level_ = 1;
+  std::vector<ChannelBound> pending_;
+  bool closed_ = false;
+};
+
 // Pair formation: verify every 2-var constraint on each candidate pair.
+// With a pool, S-rows are sharded across threads; per-shard matches are
+// concatenated in shard order, reproducing the serial row-major order.
 Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
-                 CfqResult* result, obs::Tracer* tracer = nullptr) {
+                 CfqResult* result, obs::Tracer* tracer = nullptr,
+                 ThreadPool* pool = nullptr) {
   if (query.two_var.empty()) {
     result->cross_product = true;
     return Status::Ok();
@@ -99,13 +180,44 @@ Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
   obs::TraceSpan span(tracer, "form_pairs");
   Stopwatch timer;
   const uint64_t checks_before = result->stats.pair_checks;
-  for (uint32_t i = 0; i < result->s_sets.size(); ++i) {
-    for (uint32_t j = 0; j < result->t_sets.size(); ++j) {
-      ++result->stats.pair_checks;
-      auto ok = EvalAllPairs(query.two_var, result->s_sets[i].items,
-                             result->t_sets[j].items, catalog);
-      if (!ok.ok()) return ok.status();
-      if (ok.value()) result->pairs.emplace_back(i, j);
+  const size_t rows = result->s_sets.size();
+  const size_t cols = result->t_sets.size();
+  if (pool != nullptr && pool->num_threads() > 1 && rows >= 2 && cols > 0 &&
+      rows * cols >= 2048) {
+    const size_t shards = std::min(pool->num_threads() * 4, rows);
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> partial(shards);
+    std::vector<Status> statuses(shards, Status::Ok());
+    pool->ParallelChunks(
+        rows, shards, [&](size_t shard, size_t begin, size_t end) {
+          std::vector<std::pair<uint32_t, uint32_t>>& local = partial[shard];
+          for (uint32_t i = static_cast<uint32_t>(begin);
+               i < static_cast<uint32_t>(end); ++i) {
+            for (uint32_t j = 0; j < static_cast<uint32_t>(cols); ++j) {
+              auto ok = EvalAllPairs(query.two_var, result->s_sets[i].items,
+                                     result->t_sets[j].items, catalog);
+              if (!ok.ok()) {
+                statuses[shard] = ok.status();
+                return;
+              }
+              if (ok.value()) local.emplace_back(i, j);
+            }
+          }
+        });
+    for (const Status& st : statuses) CFQ_RETURN_IF_ERROR(st);
+    result->stats.pair_checks +=
+        static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols);
+    for (std::vector<std::pair<uint32_t, uint32_t>>& local : partial) {
+      result->pairs.insert(result->pairs.end(), local.begin(), local.end());
+    }
+  } else {
+    for (uint32_t i = 0; i < rows; ++i) {
+      for (uint32_t j = 0; j < cols; ++j) {
+        ++result->stats.pair_checks;
+        auto ok = EvalAllPairs(query.two_var, result->s_sets[i].items,
+                               result->t_sets[j].items, catalog);
+        if (!ok.ok()) return ok.status();
+        if (ok.value()) result->pairs.emplace_back(i, j);
+      }
     }
   }
   if (tracer != nullptr) {
@@ -116,12 +228,14 @@ Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
   return Status::Ok();
 }
 
-CapOptions ToCapOptions(const PlanOptions& options) {
+CapOptions ToCapOptions(const PlanOptions& options,
+                        ThreadPool* pool = nullptr) {
   CapOptions cap;
   cap.counter = options.counter;
   cap.max_level = options.max_level;
   cap.nonnegative = options.nonnegative;
   cap.tracer = options.tracer;
+  cap.pool = pool;
   return cap;
 }
 
@@ -132,10 +246,11 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
   Stopwatch timer;
   const CfqQuery& query = plan.query;
   const PlanOptions& options = plan.options;
+  ThreadPool pool(options.threads);  // 0 resolves to hardware concurrency.
 
-  CapOptions s_options = ToCapOptions(options);
+  CapOptions s_options = ToCapOptions(options, &pool);
   s_options.counted_log = options.counted_log_s;
-  CapOptions t_options = ToCapOptions(options);
+  CapOptions t_options = ToCapOptions(options, &pool);
   t_options.counted_log = options.counted_log_t;
   auto s_lattice = ConstrainedLattice::Create(
       db, catalog, query.s_domain, Var::kS, query.one_var,
@@ -251,7 +366,63 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
       feed_jmax(false, s.level(), s.last_level_frequent(), s.done()));
 
   // --- Remaining levels. -------------------------------------------------
-  if (options.dovetail) {
+  const bool concurrent_dovetail = options.dovetail &&
+                                   pool.num_threads() > 1 &&
+                                   options.counter != CounterKind::kHash;
+  if (concurrent_dovetail) {
+    // Mine the two lattices on separate threads (T on a spawned thread,
+    // S on the caller), exchanging Jmax V^k bounds through monotonic
+    // channels. The wait discipline reproduces the sequential dovetail
+    // schedule exactly: before S counts level k it has T's bounds
+    // through level k, and before T counts level k it has S's bounds
+    // through level k-1 — so pruning, counted totals and mined sets are
+    // bit-identical to threads=1. Each side's support counting still
+    // shards transactions over the shared pool.
+    bool t_feeds_s = false, s_feeds_t = false;
+    for (const JmaxHook& hook : jmax_hooks) {
+      (hook.source_is_t ? t_feeds_s : s_feeds_t) = true;
+    }
+    BoundsChannel t_to_s(t_feeds_s);
+    BoundsChannel s_to_t(s_feeds_t);
+    auto run_side = [&](ConstrainedLattice& self, bool is_t,
+                        BoundsChannel& incoming,
+                        BoundsChannel& outgoing) -> Status {
+      while (!self.done()) {
+        // About to count level self.level()+1: T needs S through the
+        // previous level, S needs T through the level being counted.
+        const size_t need = is_t ? self.level() : self.level() + 1;
+        for (const ChannelBound& b : incoming.TakeForLevel(need)) {
+          self.SetDynamicBound(b.agg, b.attr, b.value, b.prunable);
+        }
+        if (!self.Step()) break;
+        std::vector<ChannelBound> out;
+        for (JmaxHook& hook : jmax_hooks) {
+          if (hook.source_is_t != is_t) continue;
+          auto bound = hook.series.OnLevel(
+              self.level(), self.last_level_frequent(), self.done());
+          if (!bound.ok()) {
+            outgoing.Close();
+            return bound.status();
+          }
+          if (std::isfinite(bound.value())) {
+            out.push_back(ChannelBound{hook.target_agg, hook.target_attr,
+                                       bound.value(), hook.prunable,
+                                       self.level()});
+          }
+        }
+        outgoing.Publish(self.level(), std::move(out), self.done());
+      }
+      outgoing.Close();
+      return Status::Ok();
+    };
+    Status t_status, s_status;
+    std::thread t_thread(
+        [&] { t_status = run_side(t, /*is_t=*/true, s_to_t, t_to_s); });
+    s_status = run_side(s, /*is_t=*/false, t_to_s, s_to_t);
+    t_thread.join();
+    CFQ_RETURN_IF_ERROR(t_status);
+    CFQ_RETURN_IF_ERROR(s_status);
+  } else if (options.dovetail) {
     while (!s.done() || !t.done()) {
       // With a horizontal backend, dovetailing lets one pass over the
       // transaction file count both lattices' levels (Section 5.2's
@@ -260,14 +431,16 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
         // Note: counting both sides in one scan means S's level-k
         // candidates see the V^k bound from T's level k-1 rather than
         // level k (a one-level lag vs. sequential stepping) — still
-        // sound, slightly less pruning, half the scans.
+        // sound, slightly less pruning, half the scans. The scan itself
+        // is sharded over the pool, so this path stays the same at
+        // every thread count and keeps its one-scan-per-level I/O.
         const std::vector<Itemset>& t_batch = t.PrepareLevel();
         const std::vector<Itemset>& s_batch = s.PrepareLevel();
         if (!t_batch.empty() && !s_batch.empty()) {
           CccStats scan_stats;
           scan_stats.tracer = options.tracer;
-          const auto supports =
-              CountBatchesSharedScan(*db, {&t_batch, &s_batch}, &scan_stats);
+          const auto supports = CountBatchesSharedScan(
+              *db, {&t_batch, &s_batch}, &scan_stats, &pool);
           // One physical scan for the whole query; attribute it to T.
           t.AccountIo(scan_stats.io.scans, scan_stats.io.pages_read);
           t.CompleteLevel(supports[0]);
@@ -308,7 +481,8 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
   result.stats.s = s.stats();
   result.stats.t = t.stats();
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer));
+  CFQ_RETURN_IF_ERROR(
+      FormPairs(catalog, query, &result, options.tracer, &pool));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
@@ -329,10 +503,12 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
                                      const CfqQuery& query,
                                      const PlanOptions& options) {
   Stopwatch timer;
+  ThreadPool pool(options.threads);
   AprioriOptions apriori_options;
   apriori_options.counter = options.counter;
   apriori_options.max_level = options.max_level;
   apriori_options.tracer = options.tracer;
+  apriori_options.pool = &pool;
 
   CfqResult result;
   apriori_options.var_label = 'S';
@@ -348,7 +524,8 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
   result.stats.s = std::move(s.value().stats);
   result.stats.t = std::move(t.value().stats);
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer));
+  CFQ_RETURN_IF_ERROR(
+      FormPairs(catalog, query, &result, options.tracer, &pool));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
@@ -360,19 +537,21 @@ Result<CfqResult> ExecuteCapOneVar(TransactionDb* db,
                                    const CfqQuery& query,
                                    const PlanOptions& options) {
   Stopwatch timer;
+  ThreadPool pool(options.threads);
   CfqResult result;
   auto s = RunCap(db, catalog, query.s_domain, Var::kS, query.one_var,
-                  query.min_support_s, ToCapOptions(options));
+                  query.min_support_s, ToCapOptions(options, &pool));
   if (!s.ok()) return s.status();
   auto t = RunCap(db, catalog, query.t_domain, Var::kT, query.one_var,
-                  query.min_support_t, ToCapOptions(options));
+                  query.min_support_t, ToCapOptions(options, &pool));
   if (!t.ok()) return t.status();
   result.s_sets = std::move(s.value().valid_frequent);
   result.t_sets = std::move(t.value().valid_frequent);
   result.stats.s = std::move(s.value().stats);
   result.stats.t = std::move(t.value().stats);
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer));
+  CFQ_RETURN_IF_ERROR(
+      FormPairs(catalog, query, &result, options.tracer, &pool));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/thread_pool.h"
 #include "constraints/classify.h"
 #include "core/reduction.h"
 
@@ -71,7 +72,14 @@ std::string ExplainPlan(const CfqPlan& plan) {
   os << "  counting backend: "
      << (plan.options.counter == CounterKind::kBitmap ? "vertical bitmaps"
                                                       : "horizontal hash")
-     << ", dovetailed: " << (plan.options.dovetail ? "yes" : "no") << "\n";
+     << ", dovetailed: " << (plan.options.dovetail ? "yes" : "no")
+     << ", threads: ";
+  if (plan.options.threads == 0) {
+    os << "auto (" << ThreadPool::HardwareThreads() << ")";
+  } else {
+    os << plan.options.threads;
+  }
+  os << "\n";
 
   size_t n_s = 0, n_t = 0;
   for (const OneVarConstraint& c : plan.query.one_var) {

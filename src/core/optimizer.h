@@ -29,6 +29,11 @@ struct PlanOptions {
   CounterKind counter = CounterKind::kBitmap;
   bool nonnegative = true;
   size_t max_level = 0;
+  // Parallelism degree for the execution engine: sharded support
+  // counting, concurrent S/T dovetailing and parallel pair formation.
+  // 1 = fully serial (the default — callers opt in), 0 = hardware
+  // concurrency. Mining results are bit-identical at every setting.
+  size_t threads = 1;
   // Optimization toggles (for ablations and the paper's comparisons).
   bool use_quasi_succinct = true;  // Section 4 reduction.
   bool use_induced = true;         // Section 5.1 induced + loose bounds.

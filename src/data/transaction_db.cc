@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace cfq {
 
 TransactionDb::TransactionDb(size_t num_items) : num_items_(num_items) {}
@@ -22,13 +24,30 @@ uint64_t TransactionDb::CountSupport(const Itemset& s) const {
   return count;
 }
 
-void TransactionDb::BuildVerticalIndex() {
+void TransactionDb::BuildVerticalIndex(ThreadPool* pool) {
   vertical_.assign(num_items_, Bitset64(transactions_.size()));
-  for (size_t tid = 0; tid < transactions_.size(); ++tid) {
-    for (ItemId item : transactions_[tid]) {
-      vertical_[item].Set(tid);
+  if (pool == nullptr || pool->num_threads() <= 1 || num_items_ < 64 ||
+      transactions_.size() < 1024) {
+    for (size_t tid = 0; tid < transactions_.size(); ++tid) {
+      for (ItemId item : transactions_[tid]) {
+        vertical_[item].Set(tid);
+      }
     }
+    return;
   }
+  // Shard by item range: every shard reads all transactions but only
+  // sets bits in its own bitmaps, so writes never overlap.
+  pool->ParallelChunks(
+      num_items_, pool->num_threads(),
+      [this](size_t, size_t item_begin, size_t item_end) {
+        for (size_t tid = 0; tid < transactions_.size(); ++tid) {
+          for (ItemId item : transactions_[tid]) {
+            if (item >= item_begin && item < item_end) {
+              vertical_[item].Set(tid);
+            }
+          }
+        }
+      });
 }
 
 uint64_t TransactionDb::PagesPerScan(const IoModel& model) const {

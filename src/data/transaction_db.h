@@ -4,6 +4,13 @@
 // can materialize a vertical index (one TID-bitmap per item) for the
 // bitmap counting backend. Also computes the page footprint used by the
 // symbolic I/O model.
+//
+// Thread model: loading (Add) and index building are single-threaded
+// setup; once mining starts the database is read-only and every
+// accessor is safe to call from concurrent counting shards. Index
+// construction must therefore happen eagerly, before threads fan out —
+// EnsureVerticalIndex() is the explicit setup point (BitmapCounter
+// calls it from its constructor).
 
 #ifndef CFQ_DATA_TRANSACTION_DB_H_
 #define CFQ_DATA_TRANSACTION_DB_H_
@@ -16,6 +23,8 @@
 #include "data/io_model.h"
 
 namespace cfq {
+
+class ThreadPool;
 
 class TransactionDb {
  public:
@@ -37,8 +46,15 @@ class TransactionDb {
   uint64_t CountSupport(const Itemset& s) const;
 
   // Builds (or rebuilds) the vertical index. Must be called after the
-  // last Add() before vertical(item) is used.
-  void BuildVerticalIndex();
+  // last Add() before vertical(item) is used, and never concurrently
+  // with readers. With a pool the item range is sharded (each shard
+  // scans the transactions for its own items, writing disjoint bitmaps).
+  void BuildVerticalIndex(ThreadPool* pool = nullptr);
+  // Builds the vertical index only if missing — the idempotent form
+  // setup code calls once before counting threads start.
+  void EnsureVerticalIndex(ThreadPool* pool = nullptr) {
+    if (!has_vertical_index()) BuildVerticalIndex(pool);
+  }
   bool has_vertical_index() const { return !vertical_.empty(); }
   // TID-bitmap of `item`; BuildVerticalIndex() must have been called.
   const Bitset64& vertical(ItemId item) const { return vertical_[item]; }

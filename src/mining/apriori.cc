@@ -12,7 +12,7 @@ AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
   AprioriResult result;
   result.stats.counted_log = options.counted_log;
   result.stats.tracer = options.tracer;
-  auto counter = MakeCounter(options.counter, db);
+  auto counter = MakeCounter(options.counter, db, options.pool);
 
   // Level 1: all domain singletons.
   std::vector<Itemset> candidates;

@@ -26,6 +26,9 @@ struct AprioriOptions {
   CounterKind counter = CounterKind::kBitmap;
   // 0 = unlimited. Otherwise stop after this lattice level.
   size_t max_level = 0;
+  // Shard-parallel counting pool (thread_pool.h). Not owned; null
+  // counts serially. Supports are identical either way.
+  ThreadPool* pool = nullptr;
   // Optional evidence stream for the ccc auditor (see CccStats).
   std::vector<Itemset>* counted_log = nullptr;
   // Optional tracing sink; `var_label` tags this run's LevelEvents

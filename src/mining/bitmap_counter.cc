@@ -1,36 +1,30 @@
 #include "mining/bitmap_counter.h"
 
+#include "common/thread_pool.h"
 #include "mining/hash_counter.h"
 #include "mining/hash_tree_counter.h"
 #include "obs/trace.h"
 
 namespace cfq {
 
-std::vector<uint64_t> BitmapCounter::Count(
-    const std::vector<Itemset>& candidates, CccStats* stats) {
-  obs::TraceSpan span(stats != nullptr ? stats->tracer : nullptr,
-                      "count/bitmap");
-  std::vector<uint64_t> supports(candidates.size(), 0);
-  if (!db_->has_vertical_index()) db_->BuildVerticalIndex();
-  if (stats != nullptr && !index_scan_accounted_) {
-    stats->io.AddScan(db_->PagesPerScan());
-    index_scan_accounted_ = true;
-    if (stats->tracer != nullptr) {
-      // The one scan that builds the vertical index.
-      stats->tracer->RecordScan(obs::ScanEvent{1, db_->PagesPerScan()});
-    }
-  }
-  if (candidates.empty()) return supports;
+BitmapCounter::BitmapCounter(TransactionDb* db, ThreadPool* pool)
+    : db_(db), pool_(pool) {
+  db_->EnsureVerticalIndex(pool_);
+}
 
+void BitmapCounter::CountRange(const std::vector<Itemset>& candidates,
+                               size_t begin, size_t end,
+                               std::vector<uint64_t>* supports) const {
   // Candidates arriving from the Apriori join are lexicographically
   // sorted, so consecutive candidates usually share their k-1 prefix;
-  // cache the prefix intersection across iterations.
+  // cache the prefix intersection across iterations. Each chunk starts
+  // its own cache, so supports are chunk-independent.
   Itemset cached_prefix;
   Bitset64 prefix_bits;
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  for (size_t i = begin; i < end; ++i) {
     const Itemset& c = candidates[i];
     if (c.size() == 1) {
-      supports[i] = db_->vertical(c[0]).Count();
+      (*supports)[i] = db_->vertical(c[0]).Count();
       continue;
     }
     Itemset prefix(c.begin(), c.end() - 1);
@@ -41,7 +35,37 @@ std::vector<uint64_t> BitmapCounter::Count(
       }
       cached_prefix = std::move(prefix);
     }
-    supports[i] = Bitset64::AndCount(prefix_bits, db_->vertical(c.back()));
+    (*supports)[i] = Bitset64::AndCount(prefix_bits, db_->vertical(c.back()));
+  }
+}
+
+std::vector<uint64_t> BitmapCounter::Count(
+    const std::vector<Itemset>& candidates, CccStats* stats) {
+  obs::TraceSpan span(stats != nullptr ? stats->tracer : nullptr,
+                      "count/bitmap");
+  std::vector<uint64_t> supports(candidates.size(), 0);
+  // A caller may have invalidated the index by adding transactions
+  // after construction; that only happens in single-threaded setup
+  // code, so rebuilding here is safe.
+  db_->EnsureVerticalIndex(pool_);
+  if (stats != nullptr && !index_scan_accounted_) {
+    stats->io.AddScan(db_->PagesPerScan());
+    index_scan_accounted_ = true;
+    if (stats->tracer != nullptr) {
+      // The one scan that builds the vertical index.
+      stats->tracer->RecordScan(obs::ScanEvent{1, db_->PagesPerScan()});
+    }
+  }
+  if (candidates.empty()) return supports;
+
+  if (pool_ == nullptr || pool_->num_threads() <= 1 ||
+      candidates.size() < 64) {
+    CountRange(candidates, 0, candidates.size(), &supports);
+  } else {
+    pool_->ParallelFor(candidates.size(),
+                       [&](size_t begin, size_t end) {
+                         CountRange(candidates, begin, end, &supports);
+                       });
   }
   if (stats != nullptr) {
     stats->sets_counted += candidates.size();
@@ -54,16 +78,18 @@ std::vector<uint64_t> BitmapCounter::Count(
 }
 
 std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
-                                            TransactionDb* db) {
+                                            TransactionDb* db,
+                                            ThreadPool* pool) {
   switch (kind) {
     case CounterKind::kHash:
-      return std::make_unique<HashCounter>(db);
+      return std::make_unique<HashCounter>(db, pool);
     case CounterKind::kHashTree:
-      return std::make_unique<HashTreeCounter>(db);
+      return std::make_unique<HashTreeCounter>(db, /*branch=*/16,
+                                               /*leaf_capacity=*/32, pool);
     case CounterKind::kBitmap:
       break;
   }
-  return std::make_unique<BitmapCounter>(db);
+  return std::make_unique<BitmapCounter>(db, pool);
 }
 
 }  // namespace cfq

@@ -12,15 +12,26 @@ namespace cfq {
 
 class BitmapCounter : public SupportCounter {
  public:
-  // Builds the vertical index if missing (accounted as one scan on the
-  // first Count call). `db` must outlive the counter.
-  explicit BitmapCounter(TransactionDb* db) : db_(db) {}
+  // Eagerly builds the vertical index if the database lacks one (the
+  // constructor is the single-threaded setup point; building lazily on
+  // first Count was a data race once two threads counted). The build
+  // scan is accounted on the first Count call that carries stats.
+  // `db` and `pool` must outlive the counter.
+  explicit BitmapCounter(TransactionDb* db, ThreadPool* pool = nullptr);
 
+  // With a pool, parallel across candidates: each chunk of the sorted
+  // candidate list keeps its own running prefix intersection, and
+  // chunks write disjoint ranges of the result.
   std::vector<uint64_t> Count(const std::vector<Itemset>& candidates,
                               CccStats* stats) override;
 
  private:
+  // Counts candidates[begin, end) into (*supports)[begin, end).
+  void CountRange(const std::vector<Itemset>& candidates, size_t begin,
+                  size_t end, std::vector<uint64_t>* supports) const;
+
   TransactionDb* db_;
+  ThreadPool* pool_;
   bool index_scan_accounted_ = false;
 };
 

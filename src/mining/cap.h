@@ -32,6 +32,9 @@ struct CapOptions {
   CounterKind counter = CounterKind::kBitmap;
   size_t max_level = 0;     // 0 = unlimited.
   bool nonnegative = true;  // Enables the sum <= c pushdowns.
+  // Shard-parallel counting pool (thread_pool.h). Not owned; null
+  // counts serially. Supports are identical either way.
+  ThreadPool* pool = nullptr;
   // Ablation toggles: disable individual pushdowns to measure their
   // contribution. With both off CAP degenerates to Apriori+.
   bool push_succinct = true;

@@ -1,14 +1,22 @@
 // Support-counting backends.
 //
 // Counting dominates the cost of frequent-set mining; the library ships
-// two interchangeable exact backends:
+// three interchangeable exact backends:
 //   * HashCounter  — horizontal: one pass over the transactions per
 //     level, enumerating candidate-sized subsets (the classic layout the
 //     paper's SPARC-10 experiments used, with per-level I/O scans).
+//   * HashTreeCounter — horizontal, classic Apriori hash tree.
 //   * BitmapCounter — vertical: per-item TID bitmaps; a candidate's
 //     support is a word-parallel AND + popcount (pays one scan up front
 //     to build the index).
-// Both produce identical supports; tests cross-check them.
+// All produce identical supports; tests cross-check them.
+//
+// Every backend counts shard-parallel when handed a ThreadPool: the
+// horizontal counters split the transaction range into per-thread
+// shards with thread-local support arrays merged in shard order, the
+// vertical counter splits the candidate range. Shard boundaries depend
+// only on the input sizes, so supports are bit-identical at every
+// thread count. A null pool (or a one-thread pool) counts serially.
 
 #ifndef CFQ_MINING_COUNTER_H_
 #define CFQ_MINING_COUNTER_H_
@@ -21,6 +29,8 @@
 #include "mining/ccc_stats.h"
 
 namespace cfq {
+
+class ThreadPool;
 
 enum class CounterKind {
   kHash,      // Horizontal, per-transaction subset enumeration.
@@ -39,10 +49,13 @@ class SupportCounter {
                                       CccStats* stats) = 0;
 };
 
-// Factory. The BitmapCounter builds the vertical index on first use if
-// the database does not have one yet.
+// Factory. `pool` (not owned, may be null) enables sharded counting.
+// Constructing a BitmapCounter eagerly builds the database's vertical
+// index if it is missing — construction is the single-threaded setup
+// point, so concurrent Count calls never race on the index.
 std::unique_ptr<SupportCounter> MakeCounter(CounterKind kind,
-                                            TransactionDb* db);
+                                            TransactionDb* db,
+                                            ThreadPool* pool = nullptr);
 
 }  // namespace cfq
 

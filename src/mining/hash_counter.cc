@@ -1,13 +1,20 @@
 #include "mining/hash_counter.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/combinatorics.h"
+#include "common/thread_pool.h"
 #include "obs/trace.h"
 
 namespace cfq {
 
 namespace {
+
+// Below this many transactions a sharded scan costs more in fork/join
+// than it saves; counting stays serial (results are identical either
+// way — sharding only splits the transaction range).
+constexpr size_t kMinTransactionsPerShard = 256;
 
 // Recursively enumerates the size-k subsets of `txn` that are present in
 // `index`, bumping their supports. Prunes on remaining length.
@@ -26,46 +33,90 @@ void CountSubsets(const Itemset& txn, size_t start, size_t k, Itemset* prefix,
   }
 }
 
+// Counts one transaction against one uniform-size candidate batch,
+// choosing per transaction between direct candidate probing and subset
+// enumeration. The workhorse of both the serial and the sharded scans;
+// `index` is read-only and shared across shards.
+void CountTransaction(
+    const Itemset& txn, size_t k, const std::vector<Itemset>& candidates,
+    const std::unordered_map<Itemset, size_t, ItemsetHash>& index,
+    std::vector<uint64_t>* supports) {
+  if (txn.size() < k) return;
+  // When a transaction has far more k-subsets than there are
+  // candidates, testing candidates directly is cheaper.
+  const uint64_t subsets = BinomialSaturating(txn.size(), k);
+  if (subsets > 4 * candidates.size()) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (IsSubset(candidates[i], txn)) ++(*supports)[i];
+    }
+  } else {
+    Itemset prefix;
+    prefix.reserve(k);
+    CountSubsets(txn, 0, k, &prefix, index, supports);
+  }
+}
+
+size_t ShardCount(ThreadPool* pool, size_t num_transactions) {
+  if (pool == nullptr || pool->num_threads() <= 1) return 1;
+  if (num_transactions < 2 * kMinTransactionsPerShard) return 1;
+  return std::min(pool->num_threads(),
+                  num_transactions / kMinTransactionsPerShard);
+}
+
 }  // namespace
 
 std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
     const TransactionDb& db,
-    const std::vector<const std::vector<Itemset>*>& batches,
-    CccStats* stats) {
+    const std::vector<const std::vector<Itemset>*>& batches, CccStats* stats,
+    ThreadPool* pool) {
   obs::TraceSpan span(stats != nullptr ? stats->tracer : nullptr,
                       "count/shared_scan");
-  struct BatchState {
+  struct BatchIndex {
     size_t k = 0;
     std::unordered_map<Itemset, size_t, ItemsetHash> index;
-    std::vector<uint64_t> supports;
   };
-  std::vector<BatchState> states(batches.size());
+  std::vector<BatchIndex> indexes(batches.size());
   for (size_t b = 0; b < batches.size(); ++b) {
     const std::vector<Itemset>& candidates = *batches[b];
-    states[b].supports.assign(candidates.size(), 0);
     if (candidates.empty()) continue;
-    states[b].k = candidates[0].size();
-    states[b].index.reserve(candidates.size() * 2);
+    indexes[b].k = candidates[0].size();
+    indexes[b].index.reserve(candidates.size() * 2);
     for (size_t i = 0; i < candidates.size(); ++i) {
-      states[b].index.emplace(candidates[i], i);
+      indexes[b].index.emplace(candidates[i], i);
     }
   }
 
-  for (const Itemset& txn : db.transactions()) {
+  const std::vector<Itemset>& transactions = db.transactions();
+  const size_t shards = ShardCount(pool, transactions.size());
+  // partial[shard][batch] — per-shard accumulators, merged shard-major
+  // so the result is independent of scheduling.
+  std::vector<std::vector<std::vector<uint64_t>>> partial(shards);
+  auto scan_shard = [&](size_t shard, size_t begin, size_t end) {
+    std::vector<std::vector<uint64_t>>& local = partial[shard];
+    local.resize(batches.size());
     for (size_t b = 0; b < batches.size(); ++b) {
-      BatchState& state = states[b];
-      const std::vector<Itemset>& candidates = *batches[b];
-      if (candidates.empty() || txn.size() < state.k) continue;
-      const uint64_t subsets = BinomialSaturating(txn.size(), state.k);
-      if (subsets > 4 * candidates.size()) {
-        for (size_t i = 0; i < candidates.size(); ++i) {
-          if (IsSubset(candidates[i], txn)) ++state.supports[i];
-        }
-      } else {
-        Itemset prefix;
-        prefix.reserve(state.k);
-        CountSubsets(txn, 0, state.k, &prefix, state.index,
-                     &state.supports);
+      local[b].assign(batches[b]->size(), 0);
+    }
+    for (size_t t = begin; t < end; ++t) {
+      for (size_t b = 0; b < batches.size(); ++b) {
+        if (batches[b]->empty()) continue;
+        CountTransaction(transactions[t], indexes[b].k, *batches[b],
+                         indexes[b].index, &local[b]);
+      }
+    }
+  };
+  if (shards <= 1) {
+    scan_shard(0, 0, transactions.size());
+  } else {
+    pool->ParallelChunks(transactions.size(), shards, scan_shard);
+  }
+
+  std::vector<std::vector<uint64_t>> out(batches.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    out[b].assign(batches[b]->size(), 0);
+    for (size_t shard = 0; shard < shards; ++shard) {
+      for (size_t i = 0; i < out[b].size(); ++i) {
+        out[b][i] += partial[shard][b][i];
       }
     }
   }
@@ -76,9 +127,6 @@ std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
       stats->tracer->RecordScan(obs::ScanEvent{1, db.PagesPerScan()});
     }
   }
-  std::vector<std::vector<uint64_t>> out;
-  out.reserve(states.size());
-  for (BatchState& state : states) out.push_back(std::move(state.supports));
   return out;
 }
 
@@ -94,19 +142,27 @@ std::vector<uint64_t> HashCounter::Count(const std::vector<Itemset>& candidates,
   index.reserve(candidates.size() * 2);
   for (size_t i = 0; i < candidates.size(); ++i) index.emplace(candidates[i], i);
 
-  for (const Itemset& txn : db_->transactions()) {
-    if (txn.size() < k) continue;
-    // When a transaction has far more k-subsets than there are
-    // candidates, testing candidates directly is cheaper.
-    const uint64_t subsets = BinomialSaturating(txn.size(), k);
-    if (subsets > 4 * candidates.size()) {
-      for (size_t i = 0; i < candidates.size(); ++i) {
-        if (IsSubset(candidates[i], txn)) ++supports[i];
+  const std::vector<Itemset>& transactions = db_->transactions();
+  const size_t shards = ShardCount(pool_, transactions.size());
+  if (shards <= 1) {
+    for (const Itemset& txn : transactions) {
+      CountTransaction(txn, k, candidates, index, &supports);
+    }
+  } else {
+    std::vector<std::vector<uint64_t>> partial(
+        shards, std::vector<uint64_t>(candidates.size(), 0));
+    pool_->ParallelChunks(
+        transactions.size(), shards,
+        [&](size_t shard, size_t begin, size_t end) {
+          for (size_t t = begin; t < end; ++t) {
+            CountTransaction(transactions[t], k, candidates, index,
+                             &partial[shard]);
+          }
+        });
+    for (size_t shard = 0; shard < shards; ++shard) {
+      for (size_t i = 0; i < supports.size(); ++i) {
+        supports[i] += partial[shard][i];
       }
-    } else {
-      Itemset prefix;
-      prefix.reserve(k);
-      CountSubsets(txn, 0, k, &prefix, index, &supports);
     }
   }
 

@@ -15,20 +15,25 @@ namespace cfq {
 // support vector per batch, aligned with `batches`. Accounts exactly
 // one scan in `stats` (sets_counted and counted-log accounting is the
 // caller's business, since the batches belong to different lattices).
+// With a pool the single scan is sharded across threads; supports are
+// identical at every thread count.
 std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
     const TransactionDb& db,
-    const std::vector<const std::vector<Itemset>*>& batches, CccStats* stats);
+    const std::vector<const std::vector<Itemset>*>& batches, CccStats* stats,
+    ThreadPool* pool = nullptr);
 
 class HashCounter : public SupportCounter {
  public:
-  // Does not take ownership; `db` must outlive the counter.
-  explicit HashCounter(const TransactionDb* db) : db_(db) {}
+  // Does not take ownership; `db` and `pool` must outlive the counter.
+  explicit HashCounter(const TransactionDb* db, ThreadPool* pool = nullptr)
+      : db_(db), pool_(pool) {}
 
   std::vector<uint64_t> Count(const std::vector<Itemset>& candidates,
                               CccStats* stats) override;
 
  private:
   const TransactionDb* db_;
+  ThreadPool* pool_;
 };
 
 }  // namespace cfq

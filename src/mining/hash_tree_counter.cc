@@ -1,5 +1,6 @@
 #include "mining/hash_tree_counter.h"
 
+#include "common/thread_pool.h"
 #include "obs/trace.h"
 
 namespace cfq {
@@ -79,11 +80,39 @@ std::vector<uint64_t> HashTreeCounter::Count(
     Insert(&root, 0, c, candidates);
   }
   const size_t leaf_count = AssignLeafIds(&root, 0);
-  std::vector<size_t> stamps(leaf_count, static_cast<size_t>(-1));
   const auto& transactions = db_->transactions();
-  for (size_t t = 0; t < transactions.size(); ++t) {
-    if (transactions[t].size() < k_) continue;
-    Visit(root, 0, transactions[t], 0, t, candidates, &stamps, &supports);
+  const size_t shards =
+      (pool_ == nullptr || pool_->num_threads() <= 1 ||
+       transactions.size() < 512)
+          ? 1
+          : pool_->num_threads();
+  if (shards <= 1) {
+    std::vector<size_t> stamps(leaf_count, static_cast<size_t>(-1));
+    for (size_t t = 0; t < transactions.size(); ++t) {
+      if (transactions[t].size() < k_) continue;
+      Visit(root, 0, transactions[t], 0, t, candidates, &stamps, &supports);
+    }
+  } else {
+    // The tree is read-only during the walk; each shard gets its own
+    // stamp array (txn ids are globally unique, so stamps never need
+    // resetting) and support accumulator, merged in shard order.
+    std::vector<std::vector<uint64_t>> partial(
+        shards, std::vector<uint64_t>(candidates.size(), 0));
+    pool_->ParallelChunks(
+        transactions.size(), shards,
+        [&](size_t shard, size_t begin, size_t end) {
+          std::vector<size_t> stamps(leaf_count, static_cast<size_t>(-1));
+          for (size_t t = begin; t < end; ++t) {
+            if (transactions[t].size() < k_) continue;
+            Visit(root, 0, transactions[t], 0, t, candidates, &stamps,
+                  &partial[shard]);
+          }
+        });
+    for (size_t shard = 0; shard < shards; ++shard) {
+      for (size_t i = 0; i < supports.size(); ++i) {
+        supports[i] += partial[shard][i];
+      }
+    }
   }
 
   if (stats != nullptr) {

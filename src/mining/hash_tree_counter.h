@@ -19,10 +19,14 @@ namespace cfq {
 class HashTreeCounter : public SupportCounter {
  public:
   // `branch`: fan-out of interior nodes; `leaf_capacity`: bucket size
-  // above which a leaf splits (when items remain to hash on).
+  // above which a leaf splits (when items remain to hash on). The tree
+  // is built serially per Count call; with a pool the transaction walk
+  // is sharded (per-shard stamps and supports, merged in shard order).
   explicit HashTreeCounter(const TransactionDb* db, size_t branch = 16,
-                           size_t leaf_capacity = 32)
-      : db_(db), branch_(branch), leaf_capacity_(leaf_capacity) {}
+                           size_t leaf_capacity = 32,
+                           ThreadPool* pool = nullptr)
+      : db_(db), branch_(branch), leaf_capacity_(leaf_capacity),
+        pool_(pool) {}
 
   std::vector<uint64_t> Count(const std::vector<Itemset>& candidates,
                               CccStats* stats) override;
@@ -50,7 +54,8 @@ class HashTreeCounter : public SupportCounter {
   const TransactionDb* db_;
   size_t branch_;
   size_t leaf_capacity_;
-  size_t k_ = 0;  // Candidate size of the current Count call.
+  ThreadPool* pool_;  // Not owned; null counts serially.
+  size_t k_ = 0;      // Candidate size of the current Count call.
 };
 
 }  // namespace cfq

@@ -30,7 +30,7 @@ ConstrainedLattice::ConstrainedLattice(TransactionDb* db,
       var_(var),
       min_support_(min_support),
       options_(options),
-      counter_(MakeCounter(options.counter, db)) {
+      counter_(MakeCounter(options.counter, db, options.pool)) {
   form_.allowed = domain_;
   stats_.counted_log = options.counted_log;
   stats_.tracer = options.tracer;

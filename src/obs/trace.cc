@@ -13,16 +13,23 @@ int64_t Tracer::NowMicros() const {
 }
 
 void Tracer::Push(const char* name, EventPhase phase, EventPayload payload) {
-  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
-  TraceEvent& slot = ring_[seq % ring_.size()];
+  // Timestamp outside the lock so contention does not skew ts ordering
+  // more than it has to; slot claim + fill inside so a wrapped slot is
+  // never written by two threads at once and snapshots see whole
+  // events.
+  const int64_t ts = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& slot = ring_[next_ % ring_.size()];
+  ++next_;
   slot.name = name;
   slot.phase = phase;
-  slot.ts_us = NowMicros();
+  slot.ts_us = ts;
   slot.payload = std::move(payload);
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
-  const uint64_t total = next_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t total = next_;
   const uint64_t n = ring_.size();
   std::vector<TraceEvent> out;
   if (total <= n) {
@@ -39,8 +46,8 @@ std::vector<TraceEvent> Tracer::Events() const {
 }
 
 uint64_t Tracer::dropped() const {
-  const uint64_t total = next_.load(std::memory_order_relaxed);
-  return total > ring_.size() ? total - ring_.size() : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ > ring_.size() ? next_ - ring_.size() : 0;
 }
 
 }  // namespace cfq::obs

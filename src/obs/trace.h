@@ -3,10 +3,13 @@
 // A Tracer collects typed events (per-level pruning attribution, Jmax
 // V^k series points, database scans, pair-formation summaries) plus
 // RAII begin/end spans into a fixed-capacity ring buffer. Recording is
-// wait-free for concurrent writers (a fetch_add picks the slot); when
-// the ring wraps, the oldest events are overwritten and counted in
-// dropped(). A null Tracer* everywhere means tracing is off and costs
-// one pointer test per site, so instrumentation stays compiled in.
+// thread-safe: a short mutex-guarded critical section claims the slot
+// and fills it, so concurrent lattice threads and sharded counters can
+// share one tracer and a snapshot never observes a torn event (the
+// memory model the attribution identity tests rely on). When the ring
+// wraps, the oldest events are overwritten and counted in dropped().
+// A null Tracer* everywhere means tracing is off and costs one pointer
+// test per site, so instrumentation stays compiled in.
 //
 // Exporters (export.h) turn a snapshot into Chrome trace_event JSON
 // (chrome://tracing, Perfetto) or JSONL for harnesses and CI.
@@ -14,9 +17,9 @@
 #ifndef CFQ_OBS_TRACE_H_
 #define CFQ_OBS_TRACE_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <variant>
 #include <vector>
 
@@ -103,8 +106,9 @@ class Tracer {
     Push("pair_phase", EventPhase::kInstant, e);
   }
 
-  // Snapshot in record order, oldest surviving event first. Not safe
-  // against concurrent writers; take it after the traced run.
+  // Snapshot in record order, oldest surviving event first. Safe
+  // against concurrent writers (events recorded while snapshotting are
+  // either fully included or fully absent, never torn).
   std::vector<TraceEvent> Events() const;
 
   // Events overwritten because the ring wrapped.
@@ -115,8 +119,9 @@ class Tracer {
   int64_t NowMicros() const;
 
   std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
-  std::atomic<uint64_t> next_{0};  // Total events ever recorded.
+  uint64_t next_ = 0;  // Total events ever recorded; guarded by mu_.
 };
 
 // RAII span; a null tracer makes both ends no-ops.

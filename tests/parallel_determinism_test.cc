@@ -1,0 +1,232 @@
+// Determinism contract of the parallel engine: for every counter
+// backend and every thread count, a query produces bit-identical
+// results — same supports, same valid frequent sets, same answer
+// pairs, same per-level counted totals. Sharded counting merges
+// per-shard accumulators in shard order and the concurrent dovetail
+// reproduces the sequential bound schedule, so nothing may drift.
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/executor.h"
+#include "mining/bitmap_counter.h"
+#include "mining/counter.h"
+
+namespace cfq {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+constexpr CounterKind kBackends[] = {CounterKind::kBitmap,
+                                     CounterKind::kHash,
+                                     CounterKind::kHashTree};
+
+const char* BackendName(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kBitmap:
+      return "bitmap";
+    case CounterKind::kHash:
+      return "hash";
+    case CounterKind::kHashTree:
+      return "hashtree";
+  }
+  return "?";
+}
+
+struct Instance {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  CfqQuery query;
+};
+
+// Stress-style corpus: enough transactions that the counters actually
+// shard (the parallel paths engage above ~512 transactions), with a
+// sum-vs-sum constraint so the Jmax bounds channel carries traffic.
+Instance MakeInstance(int seed, size_t num_txns = 1500) {
+  Instance inst;
+  const size_t n = 14;
+  inst.db = TransactionDb(n);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 7);
+  std::uniform_int_distribution<ItemId> item(0, static_cast<ItemId>(n - 1));
+  for (size_t t = 0; t < num_txns; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    inst.db.Add(std::move(txn));
+  }
+  inst.catalog = ItemCatalog(n);
+  std::vector<AttrValue> price(n);
+  std::uniform_int_distribution<int> price_dist(1, 9);
+  for (size_t i = 0; i < n; ++i) price[i] = price_dist(rng);
+  EXPECT_TRUE(inst.catalog.AddNumericAttr("Price", price).ok());
+  for (ItemId i = 0; i < n; ++i) {
+    inst.query.s_domain.push_back(i);
+    inst.query.t_domain.push_back(i);
+  }
+  inst.query.min_support_s = num_txns / 25;
+  inst.query.min_support_t = num_txns / 12;
+  inst.query.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+  return inst;
+}
+
+std::vector<Itemset> AllCandidates(size_t n, size_t k) {
+  std::vector<Itemset> out;
+  std::vector<ItemId> items(n);
+  for (size_t i = 0; i < n; ++i) items[i] = static_cast<ItemId>(i);
+  ForEachSubsetOfSize(MakeItemset(std::move(items)), k,
+                      [&](const Itemset& subset) { out.push_back(subset); });
+  return out;
+}
+
+// Raw counting: every backend, every thread count, same supports.
+TEST(ParallelDeterminismTest, CountersAgreeAcrossThreadsAndBackends) {
+  Instance inst = MakeInstance(7);
+  for (size_t k : {1u, 2u, 3u}) {
+    const std::vector<Itemset> candidates = AllCandidates(14, k);
+    std::vector<uint64_t> baseline;
+    for (CounterKind kind : kBackends) {
+      for (size_t threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        auto counter = MakeCounter(kind, &inst.db, &pool);
+        CccStats stats;
+        const auto supports = counter->Count(candidates, &stats);
+        if (baseline.empty()) baseline = supports;
+        EXPECT_EQ(supports, baseline)
+            << BackendName(kind) << " threads=" << threads << " k=" << k;
+        EXPECT_EQ(stats.sets_counted, candidates.size());
+      }
+    }
+  }
+}
+
+// Full query: answers and side-sets identical across thread counts for
+// every backend; per-level counted totals identical within a backend
+// (the kHash shared-scan path has its own coarser bound schedule, so
+// counted totals are compared per backend, answers globally).
+TEST(ParallelDeterminismTest, MiningIsBitIdenticalAcrossThreadCounts) {
+  for (int seed = 0; seed < 3; ++seed) {
+    Instance first = MakeInstance(seed);
+    std::vector<std::pair<Itemset, Itemset>> global_answers;
+    for (CounterKind kind : kBackends) {
+      std::vector<FrequentSet> base_s, base_t;
+      std::vector<uint64_t> base_counted_s, base_counted_t;
+      for (size_t threads : kThreadCounts) {
+        Instance inst = MakeInstance(seed);
+        PlanOptions options;
+        options.counter = kind;
+        options.threads = threads;
+        auto result =
+            ExecuteOptimized(&inst.db, inst.catalog, inst.query, options);
+        ASSERT_TRUE(result.ok())
+            << BackendName(kind) << " threads=" << threads << ": "
+            << result.status();
+        const auto answers = AnswerPairs(result.value());
+        if (global_answers.empty()) global_answers = answers;
+        EXPECT_EQ(answers, global_answers)
+            << BackendName(kind) << " threads=" << threads;
+        if (threads == kThreadCounts[0]) {
+          base_s = result->s_sets;
+          base_t = result->t_sets;
+          base_counted_s = result->stats.s.candidates_per_level;
+          base_counted_t = result->stats.t.candidates_per_level;
+          continue;
+        }
+        ASSERT_EQ(result->s_sets.size(), base_s.size())
+            << BackendName(kind) << " threads=" << threads;
+        for (size_t i = 0; i < base_s.size(); ++i) {
+          EXPECT_EQ(result->s_sets[i].items, base_s[i].items);
+          EXPECT_EQ(result->s_sets[i].support, base_s[i].support);
+        }
+        ASSERT_EQ(result->t_sets.size(), base_t.size());
+        for (size_t i = 0; i < base_t.size(); ++i) {
+          EXPECT_EQ(result->t_sets[i].items, base_t[i].items);
+          EXPECT_EQ(result->t_sets[i].support, base_t[i].support);
+        }
+        EXPECT_EQ(result->stats.s.candidates_per_level, base_counted_s)
+            << BackendName(kind) << " threads=" << threads;
+        EXPECT_EQ(result->stats.t.candidates_per_level, base_counted_t)
+            << BackendName(kind) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// threads=0 (auto) is also on the deterministic contract.
+TEST(ParallelDeterminismTest, AutoThreadsMatchesSerial) {
+  Instance serial_inst = MakeInstance(11);
+  PlanOptions serial;
+  serial.threads = 1;
+  auto serial_result = ExecuteOptimized(&serial_inst.db, serial_inst.catalog,
+                                        serial_inst.query, serial);
+  ASSERT_TRUE(serial_result.ok());
+
+  Instance auto_inst = MakeInstance(11);
+  PlanOptions auto_options;
+  auto_options.threads = 0;
+  auto auto_result = ExecuteOptimized(&auto_inst.db, auto_inst.catalog,
+                                      auto_inst.query, auto_options);
+  ASSERT_TRUE(auto_result.ok());
+  EXPECT_EQ(AnswerPairs(serial_result.value()),
+            AnswerPairs(auto_result.value()));
+  EXPECT_EQ(serial_result->stats.s.candidates_per_level,
+            auto_result->stats.s.candidates_per_level);
+}
+
+// The non-dovetailed and Apriori+ strategies honor the knob too.
+TEST(ParallelDeterminismTest, OtherStrategiesAndModesStayDeterministic) {
+  Instance inst = MakeInstance(5);
+  for (bool dovetail : {true, false}) {
+    std::vector<std::pair<Itemset, Itemset>> baseline;
+    for (size_t threads : kThreadCounts) {
+      PlanOptions options;
+      options.dovetail = dovetail;
+      options.threads = threads;
+      Instance fresh = MakeInstance(5);
+      auto result =
+          ExecuteOptimized(&fresh.db, fresh.catalog, fresh.query, options);
+      ASSERT_TRUE(result.ok());
+      const auto answers = AnswerPairs(result.value());
+      if (baseline.empty()) baseline = answers;
+      EXPECT_EQ(answers, baseline)
+          << "dovetail=" << dovetail << " threads=" << threads;
+    }
+  }
+  std::vector<std::pair<Itemset, Itemset>> apriori_baseline;
+  for (size_t threads : kThreadCounts) {
+    PlanOptions options;
+    options.threads = threads;
+    Instance fresh = MakeInstance(5);
+    auto result =
+        ExecuteAprioriPlus(&fresh.db, fresh.catalog, fresh.query, options);
+    ASSERT_TRUE(result.ok());
+    const auto answers = AnswerPairs(result.value());
+    if (apriori_baseline.empty()) apriori_baseline = answers;
+    EXPECT_EQ(answers, apriori_baseline) << "threads=" << threads;
+  }
+}
+
+// Eagerly built vertical index: counting through a pool right after
+// construction works (the old lazy build raced on first Count).
+TEST(ParallelDeterminismTest, VerticalIndexBuildIsExplicit) {
+  Instance inst = MakeInstance(3, /*num_txns=*/2000);
+  EXPECT_FALSE(inst.db.has_vertical_index());
+  ThreadPool pool(4);
+  BitmapCounter counter(&inst.db, &pool);
+  EXPECT_TRUE(inst.db.has_vertical_index());
+
+  // Parallel index build gives the same index as the serial one.
+  Instance other = MakeInstance(3, /*num_txns=*/2000);
+  other.db.BuildVerticalIndex(nullptr);
+  auto serial_counter = MakeCounter(CounterKind::kBitmap, &other.db, nullptr);
+  const std::vector<Itemset> candidates = AllCandidates(14, 2);
+  CccStats stats;
+  EXPECT_EQ(counter.Count(candidates, &stats),
+            serial_counter->Count(candidates, &stats));
+}
+
+}  // namespace
+}  // namespace cfq

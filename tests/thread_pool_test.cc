@@ -1,0 +1,136 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+TEST(ThreadPoolTest, ChunkRangePartitionsExactly) {
+  for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    for (size_t chunks : {1u, 2u, 3u, 7u, 64u}) {
+      if (chunks > n && n > 0) continue;
+      size_t covered = 0;
+      size_t prev_end = 0;
+      for (size_t c = 0; c < chunks; ++c) {
+        auto [begin, end] = ThreadPool::ChunkRange(n, chunks, c);
+        EXPECT_EQ(begin, prev_end);
+        EXPECT_LE(end - begin, n / chunks + 1);
+        covered += end - begin;
+        prev_end = end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (size_t num_threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(num_threads);
+    EXPECT_EQ(pool.num_threads(), num_threads);
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelChunksDenseChunkIndices) {
+  ThreadPool pool(4);
+  const size_t n = 103;
+  const size_t chunks = 7;
+  std::vector<std::atomic<int>> seen(chunks);
+  std::vector<std::atomic<size_t>> sizes(chunks);
+  pool.ParallelChunks(n, chunks, [&](size_t c, size_t begin, size_t end) {
+    seen[c].fetch_add(1);
+    sizes[c].store(end - begin);
+  });
+  size_t total = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    EXPECT_EQ(seen[c].load(), 1);
+    total += sizes[c].load();
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(ThreadPoolTest, ClampsChunksToItems) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelChunks(3, 100, [&](size_t, size_t begin, size_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(end - begin, 1u);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.ParallelFor(100, [&](size_t, size_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+// The concurrent dovetail submits from two non-pool threads at once;
+// both submissions must complete (the caller participates, so progress
+// does not depend on free workers).
+TEST(ThreadPoolTest, ConcurrentSubmittersBothComplete) {
+  ThreadPool pool(4);
+  const size_t n = 5000;
+  std::atomic<uint64_t> sum_a{0}, sum_b{0};
+  auto work = [&](std::atomic<uint64_t>* sum) {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(n, [&](size_t begin, size_t end) {
+        uint64_t local = 0;
+        for (size_t i = begin; i < end; ++i) local += i;
+        sum->fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+  };
+  std::thread other([&] { work(&sum_b); });
+  work(&sum_a);
+  other.join();
+  const uint64_t expected = 20ull * (n * (n - 1) / 2);
+  EXPECT_EQ(sum_a.load(), expected);
+  EXPECT_EQ(sum_b.load(), expected);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+  ThreadPool pool(0);  // 0 = hardware concurrency.
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, ManySmallSubmissionsDrainCleanly) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelChunks(4, 4, [&](size_t, size_t, size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 800);
+}
+
+}  // namespace
+}  // namespace cfq

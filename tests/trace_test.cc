@@ -1,9 +1,12 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <limits>
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -54,9 +57,11 @@ Instance MakeInstance(int seed) {
 }
 
 std::vector<obs::TraceEvent> TracedRun(Instance* inst, obs::Tracer* tracer,
-                                       StrategyStats* stats = nullptr) {
+                                       StrategyStats* stats = nullptr,
+                                       size_t threads = 1) {
   PlanOptions options;
   options.tracer = tracer;
+  options.threads = threads;
   auto result = ExecuteOptimized(&inst->db, inst->catalog, inst->query, options);
   EXPECT_TRUE(result.ok()) << result.status();
   if (stats != nullptr && result.ok()) *stats = result->stats;
@@ -263,6 +268,83 @@ TEST(TraceTest, RingBufferWrapCountsDropped) {
   for (int i = 0; i < 20; ++i) tracer.Instant("tick");
   EXPECT_EQ(tracer.Events().size(), 8u);
   EXPECT_EQ(tracer.dropped(), 12u);
+}
+
+// Concurrent writers never lose or duplicate a slot: with capacity for
+// everything, every event survives; past capacity, kept + dropped adds
+// up exactly.
+TEST(TraceTest, ConcurrentWritersAccountForEveryEvent) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  {
+    obs::Tracer tracer(/*capacity=*/kThreads * kPerThread);
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kThreads; ++w) {
+      writers.emplace_back([&tracer] {
+        for (int i = 0; i < kPerThread; ++i) tracer.Instant("tick");
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    EXPECT_EQ(tracer.Events().size(),
+              static_cast<size_t>(kThreads * kPerThread));
+    EXPECT_EQ(tracer.dropped(), 0u);
+  }
+  {
+    obs::Tracer tracer(/*capacity=*/64);
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kThreads; ++w) {
+      writers.emplace_back([&tracer] {
+        for (int i = 0; i < kPerThread; ++i) tracer.Instant("tick");
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    EXPECT_EQ(tracer.Events().size(), 64u);
+    EXPECT_EQ(tracer.dropped(),
+              static_cast<uint64_t>(kThreads * kPerThread - 64));
+  }
+}
+
+// The attribution identity generated - pruned = counted must hold at
+// every level no matter how many threads mined, and the level events
+// themselves must be identical to the serial run's.
+TEST(TraceTest, LevelIdentityHoldsUnderConcurrentMining) {
+  auto level_events = [](const std::vector<obs::TraceEvent>& events) {
+    std::vector<obs::LevelEvent> out;
+    for (const obs::TraceEvent& e : events) {
+      if (const auto* level = std::get_if<obs::LevelEvent>(&e.payload)) {
+        out.push_back(*level);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const obs::LevelEvent& a, const obs::LevelEvent& b) {
+                return std::tie(a.var, a.level) < std::tie(b.var, b.level);
+              });
+    return out;
+  };
+  for (int seed = 0; seed < 3; ++seed) {
+    Instance serial_inst = MakeInstance(seed);
+    obs::Tracer serial_tracer;
+    const auto serial = level_events(TracedRun(&serial_inst, &serial_tracer));
+    for (size_t threads : {2u, 8u}) {
+      Instance inst = MakeInstance(seed);
+      obs::Tracer tracer;
+      const auto parallel =
+          level_events(TracedRun(&inst, &tracer, nullptr, threads));
+      ASSERT_EQ(parallel.size(), serial.size()) << "threads " << threads;
+      for (size_t i = 0; i < parallel.size(); ++i) {
+        const obs::LevelEvent& p = parallel[i];
+        const obs::LevelEvent& q = serial[i];
+        EXPECT_EQ(p.candidates - p.pruned_by.Total(), p.counted)
+            << "var " << p.var << " level " << p.level;
+        EXPECT_EQ(p.var, q.var);
+        EXPECT_EQ(p.level, q.level);
+        EXPECT_EQ(p.candidates, q.candidates);
+        EXPECT_EQ(p.counted, q.counted);
+        EXPECT_EQ(p.frequent, q.frequent);
+        EXPECT_EQ(p.pruned_by.Total(), q.pruned_by.Total());
+      }
+    }
+  }
 }
 
 // StrategyStats::MergeFrom doubles every additive field.

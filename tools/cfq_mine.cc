@@ -3,7 +3,7 @@
 //   cfq_mine --db=baskets.txt --catalog=items.txt \
 //            --query='freq(S, 40) & freq(T, 40) & max(S.Price) <= min(T.Price)' \
 //            [--strategy=optimized|cap|apriori] [--explain] \
-//            [--trace=run.json] [--metrics=run.jsonl] \
+//            [--threads=N] [--trace=run.json] [--metrics=run.jsonl] \
 //            [--rules] [--min_confidence=0.5] [--top_k=20] \
 //            [--output=pairs.csv]
 //
@@ -143,6 +143,7 @@ int main(int argc, char** argv) {
 
   PlanOptions options;
   options.counter = bench::CounterFromArgs(args);
+  options.threads = bench::ThreadsFromArgs(args);
 
   const std::string trace_path = args.GetString("trace", "");
   const std::string metrics_path = args.GetString("metrics", "");
