@@ -8,16 +8,25 @@
 #ifndef CFQ_BENCH_BENCH_UTIL_H_
 #define CFQ_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "data/attribute_gen.h"
 #include "mining/counter.h"
 #include "data/synthetic_gen.h"
 #include "data/transaction_db.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace cfq::bench {
 
@@ -38,6 +47,9 @@ inline constexpr KnownFlag kKnownFlags[] = {
     {"price_lo", "catalog: lowest uniform price"},
     {"price_hi", "catalog: highest uniform price"},
     {"num_types", "catalog: number of Type categories"},
+    {"min_support", "support threshold for both variables"},
+    {"min_support_s", "support threshold for S (jmax harness)"},
+    {"min_support_t", "support threshold for T (jmax harness)"},
     {"counter", "support counter: bitmap|hash|hashtree"},
     {"threads", "parallelism degree (0 = hardware concurrency)"},
     {"max_threads", "thread sweep: highest thread count to measure"},
@@ -48,7 +60,11 @@ inline constexpr KnownFlag kKnownFlags[] = {
     {"explain", "print the optimizer's plan (and, when traced, the"
                 " per-level EXPLAIN ANALYZE tables)"},
     {"trace", "write a Chrome trace_event JSON file here"},
-    {"metrics", "write counters/gauges as JSONL here"},
+    {"metrics", "alias for --metrics-out (JSONL by default)"},
+    {"metrics-out", "write the metrics registry to this file"},
+    {"metrics-format", "metrics encoding: jsonl (default) or prom"},
+    {"bench_json", "write BENCH_*.json perf samples to this file"},
+    {"quick", "CI smoke mode: smaller database, fewer iterations"},
     {"rules", "emit association rules instead of raw pairs"},
     {"min_confidence", "rule filter: minimum confidence"},
     {"min_lift", "rule filter: minimum lift"},
@@ -201,6 +217,183 @@ inline CounterKind CounterFromArgs(const Args& args) {
 
 inline void Banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
+}
+
+// --- BENCH_*.json perf reporting -------------------------------------
+//
+// Every harness emits its timing samples through this one reporter so
+// tools/bench_diff can compare any two runs. Schema (one file per run):
+//
+//   {
+//     "bench": "scaling",
+//     "commit": "<GITHUB_SHA | CFQ_COMMIT | unknown>",
+//     "timestamp": "2026-08-07T12:34:56Z",
+//     "config": {"num_transactions": "10000", ...},
+//     "samples": [
+//       {"name": "optimized/threads=4", "count": 5,
+//        "mean": 0.0123, "p99": 0.0140, "min": 0.0119, "max": 0.0141}
+//     ]
+//   }
+
+// The commit the run measures: CI exports GITHUB_SHA; local runs may
+// set CFQ_COMMIT; otherwise "unknown".
+inline std::string BenchCommit() {
+  if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
+  if (const char* sha = std::getenv("CFQ_COMMIT")) return sha;
+  return "unknown";
+}
+
+inline std::string BenchTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+class Reporter {
+ public:
+  explicit Reporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  // Records one run configuration entry (shown in bench_diff output and
+  // compared to warn about config drift between runs).
+  void SetConfig(const std::string& key, const std::string& value) {
+    config_[key] = value;
+  }
+  void SetConfig(const std::string& key, int64_t value) {
+    config_[key] = std::to_string(value);
+  }
+
+  // Appends one timed iteration (seconds) to the named sample series.
+  void Add(const std::string& name, double seconds) {
+    samples_[name].push_back(seconds);
+  }
+
+  bool empty() const { return samples_.empty(); }
+
+  // Writes the BENCH schema above. Returns false (with a message on
+  // stderr) when the file cannot be opened.
+  bool WriteJson(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "error: cannot open '" << path << "' for writing\n";
+      return false;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"" << JsonEscape(bench_name_) << "\",\n";
+    os << "  \"commit\": \"" << JsonEscape(BenchCommit()) << "\",\n";
+    os << "  \"timestamp\": \"" << BenchTimestampUtc() << "\",\n";
+    os << "  \"config\": {";
+    bool first = true;
+    for (const auto& [key, value] : config_) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << JsonEscape(key) << "\": \"" << JsonEscape(value) << "\"";
+    }
+    os << "},\n";
+    os << "  \"samples\": [\n";
+    first = true;
+    for (const auto& [name, values] : samples_) {
+      if (!first) os << ",\n";
+      first = false;
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      const size_t n = sorted.size();
+      double sum = 0;
+      for (double v : sorted) sum += v;
+      // Nearest-rank p99 (the max for small n, like most bench runs).
+      const size_t p99_rank =
+          std::max<size_t>(1, static_cast<size_t>(
+                                  std::ceil(0.99 * static_cast<double>(n))));
+      os << "    {\"name\": \"" << JsonEscape(name) << "\", \"count\": " << n
+         << ", \"mean\": " << sum / static_cast<double>(n)
+         << ", \"p99\": " << sorted[p99_rank - 1]
+         << ", \"min\": " << sorted.front() << ", \"max\": " << sorted.back()
+         << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.good();
+  }
+
+  // Honors --bench_json=FILE; exits 1 on an unwritable path so CI fails
+  // loudly rather than silently comparing stale snapshots.
+  void WriteJsonFromArgs(const Args& args) const {
+    const std::string path = args.GetString("bench_json", "");
+    if (path.empty()) return;
+    if (!WriteJson(path)) std::exit(1);
+    std::cout << "wrote " << path << "\n";
+  }
+
+ private:
+  std::string bench_name_;
+  std::map<std::string, std::string> config_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+// --- --metrics-out / --metrics-format --------------------------------
+
+// Validates --metrics-format (jsonl|prom); exits 2 on anything else.
+inline std::string MetricsFormatFromArgs(const Args& args) {
+  const std::string format = args.GetString("metrics-format", "");
+  if (!format.empty() && format != "jsonl" && format != "prom") {
+    std::cerr << "error: unknown --metrics-format '" << format
+              << "' (want jsonl|prom)\n";
+    std::exit(2);
+  }
+  return format;
+}
+
+// True when the binary should populate a MetricsRegistry. Call early:
+// validates the format flag before any work runs.
+inline bool MetricsRequested(const Args& args) {
+  const std::string format = MetricsFormatFromArgs(args);
+  return !args.GetString("metrics-out", "").empty() ||
+         !args.GetString("metrics", "").empty() || !format.empty();
+}
+
+// Writes `registry` per --metrics-out (--metrics as alias) and
+// --metrics-format; stdout when only a format is given. Exits 1 on an
+// unwritable path. No-op when neither flag is present.
+inline void WriteMetricsFromArgs(const Args& args,
+                                 const obs::MetricsRegistry& registry) {
+  std::string path = args.GetString("metrics-out", "");
+  if (path.empty()) path = args.GetString("metrics", "");
+  const std::string format = MetricsFormatFromArgs(args);
+  if (path.empty() && format.empty()) return;
+  std::ofstream file;
+  if (!path.empty()) {
+    file.open(path);
+    if (!file) {
+      std::cerr << "error: cannot open '" << path << "' for writing\n";
+      std::exit(1);
+    }
+  }
+  std::ostream& sink = path.empty() ? std::cout : file;
+  if (format == "prom") {
+    obs::WritePrometheus(registry, sink);
+  } else {
+    registry.WriteJsonl(sink);
+  }
 }
 
 }  // namespace cfq::bench

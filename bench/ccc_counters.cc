@@ -3,28 +3,37 @@
 // 1-var succinct workload (Theorem 4's setting) and on the Figure 8(a)
 // quasi-succinct workload (Corollary 2's setting).
 
+// --bench_json=FILE writes per-strategy mining times in the
+// BENCH_*.json schema tools/bench_diff compares; --metrics-out /
+// --metrics-format dump the accumulated metrics registry.
+
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "core/executor.h"
+#include "obs/metrics.h"
 
 namespace cfq::bench {
 namespace {
 
-void PrintCounters(const std::string& title, TransactionDb* db,
-                   const ItemCatalog& catalog, const CfqQuery& query,
-                   size_t threads) {
+void PrintCounters(const std::string& title, const std::string& prefix,
+                   TransactionDb* db, const ItemCatalog& catalog,
+                   const CfqQuery& query, size_t threads, Reporter* reporter,
+                   obs::MetricsRegistry* metrics) {
   PlanOptions options;
   options.threads = threads;
+  options.metrics = metrics;
   Banner(title);
   TablePrinter table({"strategy", "sets counted", "constraint checks",
                       "pair checks", "modeled pages read"});
-  auto add = [&](const std::string& name, const Result<CfqResult>& r) {
+  auto add = [&](const std::string& name, const std::string& slug,
+                 const Result<CfqResult>& r) {
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
       std::exit(1);
     }
+    reporter->Add(prefix + "/" + slug, r->stats.mining_seconds);
     table.AddRow({name,
                   TablePrinter::Fmt(r->stats.s.sets_counted +
                                     r->stats.t.sets_counted),
@@ -34,9 +43,10 @@ void PrintCounters(const std::string& title, TransactionDb* db,
                   TablePrinter::Fmt(r->stats.s.io.pages_read +
                                     r->stats.t.io.pages_read)});
   };
-  add("Apriori+", ExecuteAprioriPlus(db, catalog, query, options));
-  add("CAP (1-var only)", ExecuteCapOneVar(db, catalog, query, options));
-  add("optimizer (full)", ExecuteOptimized(db, catalog, query, options));
+  add("Apriori+", "apriori", ExecuteAprioriPlus(db, catalog, query, options));
+  add("CAP (1-var only)", "cap", ExecuteCapOneVar(db, catalog, query, options));
+  add("optimizer (full)", "optimized",
+      ExecuteOptimized(db, catalog, query, options));
   table.Print(std::cout);
 }
 
@@ -52,6 +62,15 @@ void Main(const Args& args) {
   const uint64_t min_support = static_cast<uint64_t>(args.GetInt(
       "min_support", static_cast<int64_t>(config.num_transactions / 250)));
   const size_t threads = ThreadsFromArgs(args);
+
+  Reporter reporter("ccc_counters");
+  reporter.SetConfig("num_transactions",
+                     static_cast<int64_t>(config.num_transactions));
+  reporter.SetConfig("num_items", static_cast<int64_t>(config.num_items));
+  reporter.SetConfig("min_support", static_cast<int64_t>(min_support));
+  reporter.SetConfig("threads", static_cast<int64_t>(threads));
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = MetricsRequested(args) ? &registry : nullptr;
 
   std::cout << "ccc cost model: counting and checking invocations\n"
             << "database: " << config.num_transactions << " txns, "
@@ -80,8 +99,8 @@ void Main(const Args& args) {
         MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 700));
     query.one_var.push_back(
         MakeAgg1(Var::kT, AggFn::kMin, "Price", CmpOp::kGe, 100));
-    PrintCounters("1-var succinct constraints (Theorem 4)", &db, catalog,
-                  query, threads);
+    PrintCounters("1-var succinct constraints (Theorem 4)", "succinct", &db,
+                  catalog, query, threads, &reporter, metrics);
     std::cout << "  singleton check budget (|S dom| + |T dom|): "
               << domains.s_domain.size() + domains.t_domain.size() << "\n";
   }
@@ -93,8 +112,9 @@ void Main(const Args& args) {
     query.min_support_s = query.min_support_t = min_support;
     query.two_var.push_back(
         MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
-    PrintCounters("quasi-succinct 2-var constraint (Corollary 2)", &db,
-                  catalog, query, threads);
+    PrintCounters("quasi-succinct 2-var constraint (Corollary 2)",
+                  "quasi_succinct", &db, catalog, query, threads, &reporter,
+                  metrics);
   }
   {
     // Non-quasi-succinct: ccc-optimality is provably out of reach
@@ -106,9 +126,12 @@ void Main(const Args& args) {
     query.min_support_s = query.min_support_t = min_support;
     query.two_var.push_back(
         MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
-    PrintCounters("non-quasi-succinct sum constraint (open problem)", &db,
-                  catalog, query, threads);
+    PrintCounters("non-quasi-succinct sum constraint (open problem)", "sum",
+                  &db, catalog, query, threads, &reporter, metrics);
   }
+
+  if (metrics != nullptr) WriteMetricsFromArgs(args, registry);
+  reporter.WriteJsonFromArgs(args);
 }
 
 }  // namespace cfq::bench

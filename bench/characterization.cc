@@ -8,13 +8,19 @@
 //   * an EXPLAIN of the optimizer's strategy for the three Section-7
 //     experiment queries.
 
+// --bench_json=FILE writes per-section wall times in the BENCH_*.json
+// schema tools/bench_diff compares (this harness is classifier/reduction
+// work only — no database is mined).
+
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "constraints/classify.h"
 #include "core/executor.h"
 #include "core/reduction.h"
+#include "obs/metrics.h"
 
 namespace cfq::bench {
 namespace {
@@ -133,15 +139,29 @@ void PrintPlans() {
 
 }  // namespace
 
-void Main() {
-  PrintFigure1();
-  PrintReductions();
-  PrintPlans();
+void Main(const Args& args) {
+  Reporter reporter("characterization");
+  auto timed = [&reporter](const std::string& name, auto fn) {
+    Stopwatch watch;
+    fn();
+    reporter.Add(name, watch.ElapsedSeconds());
+  };
+  timed("figure1", PrintFigure1);
+  timed("reductions", PrintReductions);
+  timed("plans", PrintPlans);
+
+  // Nothing mines here, so the registry stays empty — but the flags
+  // behave like every other harness.
+  if (MetricsRequested(args)) {
+    obs::MetricsRegistry registry;
+    WriteMetricsFromArgs(args, registry);
+  }
+  reporter.WriteJsonFromArgs(args);
 }
 
 }  // namespace cfq::bench
 
-int main() {
-  cfq::bench::Main();
+int main(int argc, char** argv) {
+  cfq::bench::Main(cfq::bench::Args(argc, argv));
   return 0;
 }

@@ -3,9 +3,13 @@
 // Figure-8(a) workload, plus the two-pass miners (partition, sampling)
 // as scan-frugal baselines for the unconstrained mining substrate, and
 // a thread sweep of the parallel support-counting engine (1..N threads
-// on a fixed workload; writes BENCH_threads.json).
+// on a fixed workload).
+//
+// Perf samples go through bench::Reporter to --bench_json (default
+// BENCH_scaling.json) in the schema tools/bench_diff compares. --quick
+// shrinks the sweep for CI smoke runs; --metrics-out/--metrics-format
+// dump the engine's metrics registry (latency histograms, scan bytes).
 
-#include <fstream>
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -14,16 +18,21 @@
 #include "common/thread_pool.h"
 #include "core/executor.h"
 #include "mining/partition.h"
+#include "obs/metrics.h"
 
 namespace cfq::bench {
 namespace {
 
-void ScalingSweep(const Args& args) {
+void ScalingSweep(const Args& args, bool quick, Reporter* reporter,
+                  obs::MetricsRegistry* metrics) {
   Banner("optimizer vs Apriori+ across database sizes (Fig 8(a) workload, "
          "16.6% overlap)");
   TablePrinter table({"transactions", "Apriori+ secs", "optimizer secs",
                       "speedup", "scans (opt)", "pages (opt)"});
-  for (int64_t txns : {2000, 5000, 10000, 20000}) {
+  std::vector<int64_t> sizes = quick ? std::vector<int64_t>{2000, 5000}
+                                     : std::vector<int64_t>{2000, 5000, 10000,
+                                                            20000};
+  for (int64_t txns : sizes) {
     DbConfig config = DbConfig::FromArgs(args);
     config.num_transactions = static_cast<uint64_t>(txns);
     TransactionDb db = MustGenerate(config);
@@ -45,12 +54,17 @@ void ScalingSweep(const Args& args) {
 
     PlanOptions options;
     options.threads = ThreadsFromArgs(args);
+    options.metrics = metrics;
     auto naive = ExecuteAprioriPlus(&db, catalog, query, options);
     auto optimized = ExecuteOptimized(&db, catalog, query, options);
     if (!naive.ok() || !optimized.ok()) {
       std::cerr << "execution failed\n";
       std::exit(1);
     }
+    const std::string suffix = "/txns=" + std::to_string(txns);
+    reporter->Add("scaling/apriori" + suffix, naive->stats.mining_seconds);
+    reporter->Add("scaling/optimized" + suffix,
+                  optimized->stats.mining_seconds);
     table.AddRow(
         {TablePrinter::Fmt(txns),
          TablePrinter::Fmt(naive->stats.mining_seconds, 3),
@@ -66,9 +80,11 @@ void ScalingSweep(const Args& args) {
   table.Print(std::cout);
 }
 
-void TwoPassMiners(const Args& args) {
+void TwoPassMiners(const Args& args, bool quick, Reporter* reporter) {
   Banner("two-pass substrate miners vs levelwise Apriori (unconstrained)");
   DbConfig config = DbConfig::FromArgs(args);
+  if (quick) config.num_transactions = std::min<uint64_t>(
+      config.num_transactions, 4000);
   TransactionDb db = MustGenerate(config);
   Itemset domain;
   for (ItemId i = 0; i < config.num_items; ++i) domain.push_back(i);
@@ -81,6 +97,7 @@ void TwoPassMiners(const Args& args) {
     AprioriOptions options;
     options.counter = CounterKind::kHash;  // Scans are the story here.
     auto result = MineFrequent(&db, domain, min_support, options);
+    reporter->Add("twopass/apriori", timer.ElapsedSeconds());
     table.AddRow({"Apriori (levelwise)",
                   TablePrinter::Fmt(timer.ElapsedSeconds(), 3),
                   TablePrinter::Fmt(result.stats.sets_counted),
@@ -100,6 +117,7 @@ void TwoPassMiners(const Args& args) {
     // Pass 1 scans partitions (together one full scan) + pass 2 one
     // verification scan per candidate size batch; report the modeled
     // counter-level scans as-is.
+    reporter->Add("twopass/partition", timer.ElapsedSeconds());
     table.AddRow({"Partition (Savasere et al.)",
                   TablePrinter::Fmt(timer.ElapsedSeconds(), 3),
                   TablePrinter::Fmt(result->stats.sets_counted),
@@ -120,6 +138,7 @@ void TwoPassMiners(const Args& args) {
       std::cerr << result.status() << "\n";
       std::exit(1);
     }
+    reporter->Add("twopass/sampling", timer.ElapsedSeconds());
     table.AddRow(
         {"Sampling (Toivonen)" +
              std::string(result->misses > 0 ? " [fallback]" : ""),
@@ -135,17 +154,21 @@ void TwoPassMiners(const Args& args) {
 // counting is timed per backend on a fixed level-2 candidate batch;
 // every run's supports, answer pairs and per-level counted totals must
 // be identical to the single-thread baseline (the engine's determinism
-// contract). Results go to stdout and BENCH_threads.json.
-void ThreadSweep(const Args& args) {
+// contract).
+void ThreadSweep(const Args& args, bool quick, Reporter* reporter,
+                 obs::MetricsRegistry* metrics) {
   const size_t hardware = ThreadPool::HardwareThreads();
   size_t max_threads =
       static_cast<size_t>(args.GetInt("max_threads", 0));
-  if (max_threads == 0) max_threads = hardware;
+  if (max_threads == 0) max_threads = quick ? std::min<size_t>(hardware, 2)
+                                            : hardware;
   Banner("thread sweep: parallel support counting (1.." +
          std::to_string(max_threads) + " threads, " +
          std::to_string(hardware) + " hardware)");
 
   DbConfig config = DbConfig::FromArgs(args);
+  if (quick) config.num_transactions = std::min<uint64_t>(
+      config.num_transactions, 4000);
   TransactionDb db = MustGenerate(config);
   ItemCatalog catalog(config.num_items);
   ExperimentDomains domains;
@@ -188,21 +211,13 @@ void ThreadSweep(const Args& args) {
   std::cout << "workload: " << config.num_transactions << " txns, "
             << candidates.size() << " level-2 candidates\n";
 
-  struct Row {
-    std::string backend;
-    size_t threads;
-    double count_seconds;
-    double speedup;
-    double mine_seconds;
-  };
-  std::vector<Row> rows;
-
   std::vector<std::pair<std::string, CounterKind>> backends{
       {"bitmap", CounterKind::kBitmap},
       {"hash", CounterKind::kHash},
       {"hashtree", CounterKind::kHashTree}};
   TablePrinter table({"backend", "threads", "count secs", "speedup",
                       "full-run secs", "identical"});
+  const int reps = quick ? 2 : 3;
   std::vector<uint64_t> baseline_supports;
   std::vector<std::pair<Itemset, Itemset>> baseline_answers;
   std::vector<uint64_t> baseline_counted;
@@ -210,16 +225,20 @@ void ThreadSweep(const Args& args) {
     double base_seconds = 0;
     for (size_t threads = 1; threads <= max_threads;
          threads = threads < 4 ? threads + 1 : threads * 2) {
+      const std::string sample =
+          name + "/threads=" + std::to_string(threads);
       ThreadPool pool(threads);
       auto counter = MakeCounter(kind, &db, &pool);
-      // Best of three: thread start-up noise matters at bench scale.
+      // Best of `reps`: thread start-up noise matters at bench scale;
+      // every rep still lands in the reporter series.
       double count_seconds = 0;
       std::vector<uint64_t> supports;
-      for (int rep = 0; rep < 3; ++rep) {
+      for (int rep = 0; rep < reps; ++rep) {
         CccStats stats;
         Stopwatch timer;
         supports = counter->Count(candidates, &stats);
         const double elapsed = timer.ElapsedSeconds();
+        reporter->Add("count/" + sample, elapsed);
         if (rep == 0 || elapsed < count_seconds) count_seconds = elapsed;
       }
       if (threads == 1) base_seconds = count_seconds;
@@ -229,6 +248,7 @@ void ThreadSweep(const Args& args) {
       PlanOptions options;
       options.counter = kind;
       options.threads = threads;
+      options.metrics = metrics;
       auto result = ExecuteOptimized(&db, catalog, query, options);
       if (!result.ok()) {
         std::cerr << result.status() << "\n";
@@ -252,9 +272,7 @@ void ThreadSweep(const Args& args) {
         std::exit(1);
       }
       const double speedup = base_seconds / count_seconds;
-      rows.push_back(
-          Row{name, threads, count_seconds, speedup,
-              result->stats.mining_seconds});
+      reporter->Add("mine/" + sample, result->stats.mining_seconds);
       table.AddRow({name, TablePrinter::Fmt(static_cast<int64_t>(threads)),
                     TablePrinter::Fmt(count_seconds, 4),
                     TablePrinter::Fmt(speedup, 2),
@@ -268,37 +286,37 @@ void ThreadSweep(const Args& args) {
               << " hardware thread(s); speedups are not meaningful on "
                  "this machine\n";
   }
-
-  const std::string json_path =
-      args.GetString("output", "BENCH_threads.json");
-  std::ofstream json(json_path);
-  if (!json) {
-    std::cerr << "cannot open " << json_path << "\n";
-    std::exit(1);
-  }
-  json << "{\n  \"hardware_concurrency\": " << hardware
-       << ",\n  \"num_transactions\": " << config.num_transactions
-       << ",\n  \"candidates\": " << candidates.size()
-       << ",\n  \"results\": [\n";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    json << "    {\"backend\": \"" << rows[i].backend
-         << "\", \"threads\": " << rows[i].threads
-         << ", \"count_seconds\": " << rows[i].count_seconds
-         << ", \"speedup\": " << rows[i].speedup
-         << ", \"mine_seconds\": " << rows[i].mine_seconds << "}"
-         << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
-  std::cout << "wrote " << json_path << "\n";
 }
 
 }  // namespace
 
 void Main(const Args& args) {
   std::cout << "Scaling and substrate ablations (extension experiments)\n";
-  ScalingSweep(args);
-  TwoPassMiners(args);
-  ThreadSweep(args);
+  const bool quick = args.GetBool("quick", false);
+  if (quick) std::cout << "(--quick: reduced sweep for smoke runs)\n";
+  const bool want_metrics = MetricsRequested(args);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
+
+  Reporter reporter("scaling");
+  const DbConfig config = DbConfig::FromArgs(args);
+  reporter.SetConfig("num_transactions",
+                     static_cast<int64_t>(config.num_transactions));
+  reporter.SetConfig("num_items", static_cast<int64_t>(config.num_items));
+  reporter.SetConfig("seed", static_cast<int64_t>(config.seed));
+  reporter.SetConfig("quick", quick ? "1" : "0");
+  reporter.SetConfig("hardware_concurrency",
+                     static_cast<int64_t>(ThreadPool::HardwareThreads()));
+
+  ScalingSweep(args, quick, &reporter, metrics);
+  TwoPassMiners(args, quick, &reporter);
+  ThreadSweep(args, quick, &reporter, metrics);
+
+  if (want_metrics) WriteMetricsFromArgs(args, registry);
+  const std::string json_path =
+      args.GetString("bench_json", "BENCH_scaling.json");
+  if (!reporter.WriteJson(json_path)) std::exit(1);
+  std::cout << "wrote " << json_path << "\n";
 }
 
 }  // namespace cfq::bench

@@ -3,17 +3,20 @@
 // pairs and the top association rules.
 //
 //   ./examples/cfq_shell [--num_transactions=3000] [--threads=N]
+//                        [--metrics-out=FILE] [--metrics-format=jsonl|prom]
 //   cfq> {(S, T) | freq(S, 20) & freq(T, 20) & max(S.Price) <= min(T.Price)}
 //   cfq> sum(S.Price) <= 100 & S.Type = T.Type
 //   cfq> explain max(S.Price) <= min(T.Price)
 //   cfq> quit
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "core/analyze.h"
 #include "core/executor.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
 #include "rules/rule_gen.h"
@@ -23,7 +26,8 @@ namespace {
 constexpr char kHelp[] = R"(commands:
   <query>            run a CFQ, e.g.  freq(S, 20) & max(S.Price) <= min(T.Price)
   explain <query>    show the optimizer's strategy without running it
-  analyze <query>    run with tracing and show per-level pruning tables
+  analyze <query>    run with tracing; per-level pruning tables, latency
+                     percentiles and resource usage (CPU, peak RSS)
   help               this text
   quit               exit
 
@@ -59,6 +63,22 @@ int main(int argc, char** argv) {
   }
   Itemset universe;
   for (ItemId i = 0; i < config.num_items; ++i) universe.push_back(i);
+
+  // Each `analyze` overwrites the metrics file with that query's
+  // registry; an unwritable path fails at startup, not mid-session.
+  const bool want_metrics_file = bench::MetricsRequested(args);
+  {
+    std::string probe_path = args.GetString("metrics-out", "");
+    if (probe_path.empty()) probe_path = args.GetString("metrics", "");
+    if (!probe_path.empty()) {
+      std::ofstream probe(probe_path, std::ios::app);
+      if (!probe) {
+        std::cerr << "error: cannot open '" << probe_path
+                  << "' for writing\n";
+        return 1;
+      }
+    }
+  }
 
   std::cout << "CFQ shell over " << config.num_transactions << " baskets, "
             << config.num_items << " items. 'help' for syntax.\n";
@@ -98,9 +118,13 @@ int main(int argc, char** argv) {
     }
 
     obs::Tracer tracer;
+    obs::MetricsRegistry registry;
     PlanOptions plan_options;
     plan_options.threads = bench::ThreadsFromArgs(args);
-    if (analyze) plan_options.tracer = &tracer;
+    if (analyze || want_metrics_file) {
+      plan_options.tracer = &tracer;
+      plan_options.metrics = &registry;
+    }
     auto plan = BuildPlan(query, plan_options);
     if (!plan.ok()) {
       std::cout << "plan error: " << plan.status().message() << "\n";
@@ -115,7 +139,13 @@ int main(int argc, char** argv) {
       continue;
     }
     if (analyze) {
-      std::cout << "\n" << RenderExplainAnalyze(result->stats, tracer.Events());
+      std::cout << "\n"
+                << RenderExplainAnalyze(result->stats, tracer.Events(),
+                                        &registry);
+    }
+    if (want_metrics_file) {
+      ExportMetrics(result->stats, &registry);
+      bench::WriteMetricsFromArgs(args, registry);
     }
     const auto answers = AnswerPairs(result.value());
     std::cout << result->s_sets.size() << " valid frequent S-sets, "

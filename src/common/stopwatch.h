@@ -1,9 +1,11 @@
-// Wall-clock stopwatch for the benchmark harnesses.
+// Wall-clock and thread-CPU stopwatches for the benchmark harnesses
+// and the per-phase resource accounting.
 
 #ifndef CFQ_COMMON_STOPWATCH_H_
 #define CFQ_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace cfq {
 
@@ -23,6 +25,32 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// CPU time consumed by the calling thread. Paired with a wall-clock
+// Stopwatch this makes wall-vs-CPU skew visible per phase: a sharded
+// count whose wall time stays flat while its thread CPU time shrinks
+// is offloading work to the pool; one whose CPU time stays put is
+// blocked, not computing. Both stopwatches must be read on the thread
+// that constructed them.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  // Thread CPU seconds since construction or the last Restart().
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
 };
 
 }  // namespace cfq

@@ -1,14 +1,27 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace cfq {
 
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads)
-    : num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {
+    : num_threads_(num_threads == 0 ? HardwareThreads() : num_threads),
+      slots_(num_threads_) {
   workers_.reserve(num_threads_ - 1);
   for (size_t i = 0; i + 1 < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(&slots_[i]); });
   }
 }
 
@@ -35,11 +48,40 @@ std::pair<size_t, size_t> ThreadPool::ChunkRange(size_t n, size_t chunks,
   return {begin, begin + base + (c < rem ? 1 : 0)};
 }
 
-void ThreadPool::RunChunks(Task* task) {
+std::vector<ThreadPoolWorkerStats> ThreadPool::worker_stats() const {
+  std::vector<ThreadPoolWorkerStats> out(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    out[i].chunks = slots_[i].chunks.load(std::memory_order_relaxed);
+    out[i].busy_seconds =
+        static_cast<double>(slots_[i].busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    out[i].idle_seconds =
+        static_cast<double>(slots_[i].idle_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+  }
+  return out;
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats out;
+  out.workers = slots_.size();
+  out.tasks = tasks_submitted_.load(std::memory_order_relaxed);
+  for (const ThreadPoolWorkerStats& w : worker_stats()) {
+    out.chunks += w.chunks;
+    out.busy_seconds += w.busy_seconds;
+    out.idle_seconds += w.idle_seconds;
+  }
+  return out;
+}
+
+void ThreadPool::RunChunks(Task* task, Slot* slot) {
   size_t c;
   while ((c = task->next.fetch_add(1, std::memory_order_relaxed)) <
          task->num_chunks) {
+    const uint64_t start = NowNs();
     task->run_chunk(c);
+    slot->busy_ns.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    slot->chunks.fetch_add(1, std::memory_order_relaxed);
     if (task->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         task->num_chunks) {
       // Briefly take the task lock so the notify cannot slip between a
@@ -50,12 +92,15 @@ void ThreadPool::RunChunks(Task* task) {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(Slot* slot) {
   for (;;) {
     std::shared_ptr<Task> task;
     {
+      const uint64_t wait_start = NowNs();
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      slot->idle_ns.fetch_add(NowNs() - wait_start,
+                              std::memory_order_relaxed);
       if (stop_) return;
       task = tasks_.front();
       if (task->next.load(std::memory_order_relaxed) >= task->num_chunks) {
@@ -64,7 +109,7 @@ void ThreadPool::WorkerLoop() {
         continue;
       }
     }
-    RunChunks(task.get());
+    RunChunks(task.get(), slot);
   }
 }
 
@@ -73,11 +118,16 @@ void ThreadPool::ParallelChunks(
     const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
   chunks = std::min(std::max<size_t>(chunks, 1), n);
+  Slot* caller_slot = &slots_.back();
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads_ <= 1 || chunks == 1) {
+    const uint64_t start = NowNs();
     for (size_t c = 0; c < chunks; ++c) {
       const auto [begin, end] = ChunkRange(n, chunks, c);
       fn(c, begin, end);
     }
+    caller_slot->busy_ns.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    caller_slot->chunks.fetch_add(chunks, std::memory_order_relaxed);
     return;
   }
   auto task = std::make_shared<Task>();
@@ -91,7 +141,7 @@ void ThreadPool::ParallelChunks(
     tasks_.push_back(task);
   }
   cv_.notify_all();
-  RunChunks(task.get());  // The caller is one of the pool's threads.
+  RunChunks(task.get(), caller_slot);  // The caller is one of the pool's threads.
   std::unique_lock<std::mutex> lock(task->mu);
   task->cv.wait(lock, [&task] {
     return task->done.load(std::memory_order_acquire) >= task->num_chunks;

@@ -23,9 +23,11 @@
 #ifndef CFQ_COMMON_THREAD_POOL_H_
 #define CFQ_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -35,6 +37,34 @@
 #include <vector>
 
 namespace cfq {
+
+// Lifetime counters for one pool thread (a spawned worker or the
+// caller slot). Busy time is wall time spent inside chunk bodies; idle
+// time is wall time a spawned worker spent parked waiting for work
+// (always 0 for the caller slot — between submissions the caller is
+// off doing its own work, not idling in the pool).
+struct ThreadPoolWorkerStats {
+  uint64_t chunks = 0;
+  double busy_seconds = 0;
+  double idle_seconds = 0;
+};
+
+// Pool-wide aggregate of the per-worker counters.
+struct ThreadPoolStats {
+  size_t workers = 0;      // Spawned workers + the caller slot.
+  uint64_t tasks = 0;      // ParallelChunks/ParallelFor submissions.
+  uint64_t chunks = 0;
+  double busy_seconds = 0;
+  double idle_seconds = 0;
+
+  void MergeFrom(const ThreadPoolStats& other) {
+    workers = std::max(workers, other.workers);
+    tasks += other.tasks;
+    chunks += other.chunks;
+    busy_seconds += other.busy_seconds;
+    idle_seconds += other.idle_seconds;
+  }
+};
 
 class ThreadPool {
  public:
@@ -68,6 +98,14 @@ class ThreadPool {
   static std::pair<size_t, size_t> ChunkRange(size_t n, size_t chunks,
                                               size_t c);
 
+  // Lifetime busy/idle/chunk counters, per pool thread: spawned workers
+  // first, the caller slot last. Counters are atomics, so reading while
+  // loops run elsewhere is safe (values are a consistent-enough
+  // snapshot for accounting, not a barrier).
+  std::vector<ThreadPoolWorkerStats> worker_stats() const;
+  // The per-worker counters aggregated, plus the submission count.
+  ThreadPoolStats stats() const;
+
  private:
   // One ParallelChunks call in flight. Workers and the submitter pull
   // chunk indices from `next`; the last finisher signals `cv`.
@@ -80,14 +118,28 @@ class ThreadPool {
     std::condition_variable cv;
   };
 
-  void WorkerLoop();
-  static void RunChunks(Task* task);
+  // One pool thread's counters. Nanosecond integers instead of atomic
+  // doubles so relaxed adds work on every platform; the caller slot is
+  // shared by concurrent submitters, hence atomics even though spawned
+  // workers are each their slot's only writer.
+  struct Slot {
+    std::atomic<uint64_t> chunks{0};
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> idle_ns{0};
+  };
+
+  void WorkerLoop(Slot* slot);
+  static void RunChunks(Task* task, Slot* slot);
 
   size_t num_threads_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Task>> tasks_;
   bool stop_ = false;
+  // Spawned workers first, caller slot last; sized before workers
+  // start and never resized.
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> tasks_submitted_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,9 +1,11 @@
 #include "core/analyze.h"
 
+#include <cstdio>
 #include <map>
 #include <sstream>
 
 #include "common/table_printer.h"
+#include "obs/resource.h"
 
 namespace cfq {
 
@@ -74,10 +76,36 @@ void ExportSide(const std::string& prefix, const CccStats& stats,
   }
 }
 
+// Short general-precision format for histogram cells, whose values
+// range from sub-microsecond latencies to multi-megabyte scan sizes.
+std::string FmtG(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+void RenderLatencies(const obs::MetricsRegistry& metrics,
+                     std::ostringstream* os) {
+  TablePrinter table({"histogram", "count", "p50", "p90", "p99", "max"});
+  bool any = false;
+  for (const obs::MetricsRegistry::Sample& s : metrics.Snapshot()) {
+    if (s.kind != obs::MetricsRegistry::SampleKind::kHistogram) continue;
+    any = true;
+    table.AddRow({s.name, TablePrinter::Fmt(s.histogram.count()),
+                  FmtG(s.histogram.Quantile(0.5)),
+                  FmtG(s.histogram.Quantile(0.9)),
+                  FmtG(s.histogram.Quantile(0.99)), FmtG(s.histogram.max())});
+  }
+  if (!any) return;
+  *os << "\nlatency histograms (seconds unless named .bytes)\n";
+  table.Print(*os);
+}
+
 }  // namespace
 
 std::string RenderExplainAnalyze(const StrategyStats& stats,
-                                 const std::vector<obs::TraceEvent>& events) {
+                                 const std::vector<obs::TraceEvent>& events,
+                                 const obs::MetricsRegistry* metrics) {
   const auto vk = VkByLevel(events);
   std::ostringstream os;
   RenderSide('S', stats.s, vk, &os);
@@ -92,6 +120,10 @@ std::string RenderExplainAnalyze(const StrategyStats& stats,
   os << "\ntiming: mining " << TablePrinter::Fmt(stats.mining_seconds, 4)
      << "s, pairs " << TablePrinter::Fmt(stats.pair_seconds, 4) << "s, total "
      << TablePrinter::Fmt(stats.elapsed_seconds, 4) << "s\n";
+  if (metrics != nullptr) RenderLatencies(*metrics, &os);
+  if (stats.resources.wall_seconds > 0) {
+    os << "\n" << obs::RenderResourceUsage(stats.resources, stats.pool);
+  }
   return os.str();
 }
 
@@ -102,6 +134,8 @@ void ExportMetrics(const StrategyStats& stats, obs::MetricsRegistry* registry) {
   registry->SetGauge("elapsed_seconds", stats.elapsed_seconds);
   registry->SetGauge("mining_seconds", stats.mining_seconds);
   registry->SetGauge("pair_seconds", stats.pair_seconds);
+  ExportResource(stats.resources, registry);
+  ExportPoolStats(stats.pool, registry);
 }
 
 }  // namespace cfq

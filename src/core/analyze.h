@@ -25,15 +25,20 @@ namespace cfq {
 
 // Per-level tables for both variables. `events` supplies the V^k column
 // (JmaxEvents keyed by source variable and level); pass {} when no
-// tracer ran and the column renders as "-".
+// tracer ran and the column renders as "-". When `metrics` is non-null
+// its histograms (per-level gen/count latencies, pair formation, scan
+// bytes) are rendered as a count/p50/p90/p99/max table, and the
+// resource/pool summary from `stats` is appended.
 std::string RenderExplainAnalyze(const StrategyStats& stats,
-                                 const std::vector<obs::TraceEvent>& events);
+                                 const std::vector<obs::TraceEvent>& events,
+                                 const obs::MetricsRegistry* metrics = nullptr);
 
 // Flattens StrategyStats into `registry` under dotted names:
 //   {s,t}.sets_counted / .constraint_checks / .io.scans / .io.pages
 //   {s,t}.level.<k>.generated / .counted / .frequent
 //   {s,t}.level.<k>.pruned.<mechanism>
-//   pair_checks (counter); elapsed/mining/pair_seconds (gauges).
+//   pair_checks (counter); elapsed/mining/pair_seconds (gauges);
+//   resource.* and pool.* via obs::ExportResource / ExportPoolStats.
 void ExportMetrics(const StrategyStats& stats, obs::MetricsRegistry* registry);
 
 }  // namespace cfq

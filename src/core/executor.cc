@@ -18,6 +18,8 @@
 #include <unordered_set>
 
 #include "mining/lattice.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace cfq {
@@ -172,7 +174,8 @@ class BoundsChannel {
 // concatenated in shard order, reproducing the serial row-major order.
 Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
                  CfqResult* result, obs::Tracer* tracer = nullptr,
-                 ThreadPool* pool = nullptr) {
+                 ThreadPool* pool = nullptr,
+                 obs::MetricsRegistry* metrics = nullptr) {
   if (query.two_var.empty()) {
     result->cross_product = true;
     return Status::Ok();
@@ -225,6 +228,9 @@ Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
         obs::PairPhaseEvent{result->stats.pair_checks - checks_before,
                             result->pairs.size(), timer.ElapsedSeconds()});
   }
+  if (metrics != nullptr) {
+    metrics->Observe("pair.form_seconds", timer.ElapsedSeconds());
+  }
   return Status::Ok();
 }
 
@@ -235,6 +241,7 @@ CapOptions ToCapOptions(const PlanOptions& options,
   cap.max_level = options.max_level;
   cap.nonnegative = options.nonnegative;
   cap.tracer = options.tracer;
+  cap.metrics = options.metrics;
   cap.pool = pool;
   return cap;
 }
@@ -244,14 +251,21 @@ CapOptions ToCapOptions(const PlanOptions& options,
 Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
                               const CfqPlan& plan) {
   Stopwatch timer;
+  obs::ResourceTracker resource_tracker;
   const CfqQuery& query = plan.query;
   const PlanOptions& options = plan.options;
   ThreadPool pool(options.threads);  // 0 resolves to hardware concurrency.
 
+  // Each side records into its own registry (the concurrent dovetail
+  // mines the lattices on separate threads); merging S then T below
+  // keeps the caller's registry deterministic at every thread count.
+  obs::MetricsRegistry s_metrics, t_metrics;
   CapOptions s_options = ToCapOptions(options, &pool);
   s_options.counted_log = options.counted_log_s;
+  s_options.metrics = options.metrics != nullptr ? &s_metrics : nullptr;
   CapOptions t_options = ToCapOptions(options, &pool);
   t_options.counted_log = options.counted_log_t;
+  t_options.metrics = options.metrics != nullptr ? &t_metrics : nullptr;
   auto s_lattice = ConstrainedLattice::Create(
       db, catalog, query.s_domain, Var::kS, query.one_var,
       query.min_support_s, s_options);
@@ -439,6 +453,7 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
         if (!t_batch.empty() && !s_batch.empty()) {
           CccStats scan_stats;
           scan_stats.tracer = options.tracer;
+          scan_stats.metrics = t_options.metrics;  // One scan; T's books.
           const auto supports = CountBatchesSharedScan(
               *db, {&t_batch, &s_batch}, &scan_stats, &pool);
           // One physical scan for the whole query; attribute it to T.
@@ -475,17 +490,27 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
     }
   }
 
+  if (options.metrics != nullptr) {
+    options.metrics->MergeFrom(s_metrics);
+    options.metrics->MergeFrom(t_metrics);
+  }
+
   CfqResult result;
   result.s_sets = s.valid_frequent();
   result.t_sets = t.valid_frequent();
   result.stats.s = s.stats();
   result.stats.t = t.stats();
+  // The per-side registries are locals; don't let their pointers escape.
+  result.stats.s.metrics = nullptr;
+  result.stats.t.metrics = nullptr;
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(
-      FormPairs(catalog, query, &result, options.tracer, &pool));
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer,
+                                &pool, options.metrics));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
+  result.stats.pool = pool.stats();
+  result.stats.resources = resource_tracker.Finish();
   return result;
 }
 
@@ -503,11 +528,13 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
                                      const CfqQuery& query,
                                      const PlanOptions& options) {
   Stopwatch timer;
+  obs::ResourceTracker resource_tracker;
   ThreadPool pool(options.threads);
   AprioriOptions apriori_options;
   apriori_options.counter = options.counter;
   apriori_options.max_level = options.max_level;
   apriori_options.tracer = options.tracer;
+  apriori_options.metrics = options.metrics;
   apriori_options.pool = &pool;
 
   CfqResult result;
@@ -524,11 +551,13 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
   result.stats.s = std::move(s.value().stats);
   result.stats.t = std::move(t.value().stats);
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(
-      FormPairs(catalog, query, &result, options.tracer, &pool));
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer,
+                                &pool, options.metrics));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
+  result.stats.pool = pool.stats();
+  result.stats.resources = resource_tracker.Finish();
   return result;
 }
 
@@ -537,6 +566,7 @@ Result<CfqResult> ExecuteCapOneVar(TransactionDb* db,
                                    const CfqQuery& query,
                                    const PlanOptions& options) {
   Stopwatch timer;
+  obs::ResourceTracker resource_tracker;
   ThreadPool pool(options.threads);
   CfqResult result;
   auto s = RunCap(db, catalog, query.s_domain, Var::kS, query.one_var,
@@ -550,11 +580,13 @@ Result<CfqResult> ExecuteCapOneVar(TransactionDb* db,
   result.stats.s = std::move(s.value().stats);
   result.stats.t = std::move(t.value().stats);
   result.stats.mining_seconds = timer.ElapsedSeconds();
-  CFQ_RETURN_IF_ERROR(
-      FormPairs(catalog, query, &result, options.tracer, &pool));
+  CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer,
+                                &pool, options.metrics));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
+  result.stats.pool = pool.stats();
+  result.stats.resources = resource_tracker.Finish();
   return result;
 }
 
@@ -636,6 +668,7 @@ Result<CfqResult> ExecuteFullMaterialization(TransactionDb* db,
         std::to_string(kFmMaxDomain) + " items");
   }
   Stopwatch timer;
+  obs::ResourceTracker resource_tracker;
   CfqResult result;
   auto s = FmSide(db, catalog, query, Var::kS, query.min_support_s,
                   &result.stats.s);
@@ -650,6 +683,7 @@ Result<CfqResult> ExecuteFullMaterialization(TransactionDb* db,
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
+  result.stats.resources = resource_tracker.Finish();
   return result;
 }
 

@@ -19,11 +19,13 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/cfq.h"
 #include "core/optimizer.h"
 #include "data/transaction_db.h"
 #include "mining/apriori.h"
 #include "mining/ccc_stats.h"
+#include "obs/resource.h"
 
 namespace cfq {
 
@@ -40,6 +42,11 @@ struct StrategyStats {
   // report both.
   double mining_seconds = 0;
   double pair_seconds = 0;
+  // Per-query process resource deltas (CPU, peak RSS, faults) and the
+  // counting pool's busy/idle accounting; see obs/resource.h. The
+  // brute-force oracle leaves both zeroed.
+  obs::ResourceUsage resources;
+  ThreadPoolStats pool;
 
   // Accumulates another run's stats (e.g. repeated harness iterations):
   // per-side CccStats merge levelwise, counts add, timings add.
@@ -50,6 +57,8 @@ struct StrategyStats {
     elapsed_seconds += other.elapsed_seconds;
     mining_seconds += other.mining_seconds;
     pair_seconds += other.pair_seconds;
+    resources.MergeFrom(other.resources);
+    pool.MergeFrom(other.pool);
   }
 };
 

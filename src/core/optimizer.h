@@ -45,6 +45,12 @@ struct PlanOptions {
   std::vector<Itemset>* counted_log_t = nullptr;
   // Optional tracing sink; threaded into every strategy (not owned).
   obs::Tracer* tracer = nullptr;
+  // Optional metrics sink (obs/metrics.h): per-level latency histograms,
+  // scan bytes, pair-formation latency. Under the concurrent dovetail
+  // each lattice thread records into its own local registry; the
+  // executor merges S then T so the merged contents are deterministic
+  // at every thread count. Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // How one 2-var constraint will be processed.

@@ -1,8 +1,11 @@
 #include "mining/apriori.h"
 
 #include <algorithm>
+#include <string>
 
+#include "common/stopwatch.h"
 #include "mining/candidate_gen.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cfq {
@@ -12,6 +15,12 @@ AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
   AprioriResult result;
   result.stats.counted_log = options.counted_log;
   result.stats.tracer = options.tracer;
+  result.stats.metrics = options.metrics;
+  // Histogram prefix: 's'/'t' when mining one side of a CFQ, else "u".
+  const std::string metric_prefix =
+      options.var_label == 'S' || options.var_label == 's'
+          ? "s"
+          : (options.var_label == 'T' || options.var_label == 't' ? "t" : "u");
   auto counter = MakeCounter(options.counter, db, options.pool);
 
   // Level 1: all domain singletons.
@@ -24,8 +33,16 @@ AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
   // the level being counted (zero at level 1).
   uint64_t pruned_subset = 0;
   while (!candidates.empty()) {
+    Stopwatch count_wall;
+    CpuStopwatch count_cpu;
     const std::vector<uint64_t> supports =
         counter->Count(candidates, &result.stats);
+    if (options.metrics != nullptr) {
+      options.metrics->Observe(metric_prefix + ".level.count_seconds",
+                               count_wall.ElapsedSeconds());
+      options.metrics->Observe(metric_prefix + ".level.count_cpu_seconds",
+                               count_cpu.ElapsedSeconds());
+    }
     std::vector<Itemset> frequent_level;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (supports[i] >= min_support) {
@@ -49,7 +66,12 @@ AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
     }
     if (options.max_level != 0 && level >= options.max_level) break;
     pruned_subset = 0;
+    Stopwatch gen_wall;
     candidates = GenerateCandidatesJoinPrune(frequent_level, &pruned_subset);
+    if (options.metrics != nullptr) {
+      options.metrics->Observe(metric_prefix + ".level.gen_seconds",
+                               gen_wall.ElapsedSeconds());
+    }
     ++level;
   }
   return result;

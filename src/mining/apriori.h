@@ -34,6 +34,9 @@ struct AprioriOptions {
   // Optional tracing sink; `var_label` tags this run's LevelEvents
   // ('S'/'T' when mining one side of a CFQ). Not owned; may be null.
   obs::Tracer* tracer = nullptr;
+  // Optional metrics sink (obs/metrics.h): per-level gen/count latency
+  // histograms and per-scan bytes. Not owned; null disables recording.
+  obs::MetricsRegistry* metrics = nullptr;
   char var_label = '?';
 };
 

@@ -3,6 +3,7 @@
 #include "common/thread_pool.h"
 #include "mining/hash_counter.h"
 #include "mining/hash_tree_counter.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cfq {
@@ -54,6 +55,11 @@ std::vector<uint64_t> BitmapCounter::Count(
     if (stats->tracer != nullptr) {
       // The one scan that builds the vertical index.
       stats->tracer->RecordScan(obs::ScanEvent{1, db_->PagesPerScan()});
+    }
+    if (stats->metrics != nullptr) {
+      stats->metrics->Observe(
+          "scan.bytes", static_cast<double>(db_->PagesPerScan() *
+                                            IoModel().page_size_bytes));
     }
   }
   if (candidates.empty()) return supports;

@@ -45,6 +45,9 @@ struct CapOptions {
   // Optional tracing sink (obs/trace.h): per-level pruning attribution,
   // count spans and scan events. Not owned; null disables tracing.
   obs::Tracer* tracer = nullptr;
+  // Optional metrics sink (obs/metrics.h): per-level gen/count latency
+  // histograms and per-scan bytes. Not owned; null disables recording.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Per-level extension points used by the dovetailed CFQ executor.

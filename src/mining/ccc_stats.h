@@ -26,6 +26,7 @@ namespace cfq {
 
 namespace obs {
 class Tracer;
+class MetricsRegistry;
 }  // namespace obs
 
 struct CccStats {
@@ -36,6 +37,10 @@ struct CccStats {
   // When non-null, counters emit count spans and ScanEvents here. Not
   // owned; not merged by MergeFrom.
   obs::Tracer* tracer = nullptr;
+  // When non-null, counters observe per-scan bytes scanned (histogram
+  // `scan.bytes`) here and miners record their per-level latencies.
+  // Not owned; not merged by MergeFrom.
+  obs::MetricsRegistry* metrics = nullptr;
   // Candidate sets for which support counting was performed.
   uint64_t sets_counted = 0;
   // Invocations of the constraint-checking operation. Evaluating the

@@ -5,6 +5,7 @@
 
 #include "common/combinatorics.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cfq {
@@ -126,6 +127,11 @@ std::vector<std::vector<uint64_t>> CountBatchesSharedScan(
     if (stats->tracer != nullptr) {
       stats->tracer->RecordScan(obs::ScanEvent{1, db.PagesPerScan()});
     }
+    if (stats->metrics != nullptr) {
+      stats->metrics->Observe(
+          "scan.bytes", static_cast<double>(db.PagesPerScan() *
+                                            IoModel().page_size_bytes));
+    }
   }
   return out;
 }
@@ -171,6 +177,11 @@ std::vector<uint64_t> HashCounter::Count(const std::vector<Itemset>& candidates,
     stats->io.AddScan(db_->PagesPerScan());
     if (stats->tracer != nullptr) {
       stats->tracer->RecordScan(obs::ScanEvent{1, db_->PagesPerScan()});
+    }
+    if (stats->metrics != nullptr) {
+      stats->metrics->Observe(
+          "scan.bytes", static_cast<double>(db_->PagesPerScan() *
+                                            IoModel().page_size_bytes));
     }
     if (stats->counted_log != nullptr) {
       stats->counted_log->insert(stats->counted_log->end(),

@@ -1,6 +1,7 @@
 #include "mining/hash_tree_counter.h"
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cfq {
@@ -120,6 +121,11 @@ std::vector<uint64_t> HashTreeCounter::Count(
     stats->io.AddScan(db_->PagesPerScan());
     if (stats->tracer != nullptr) {
       stats->tracer->RecordScan(obs::ScanEvent{1, db_->PagesPerScan()});
+    }
+    if (stats->metrics != nullptr) {
+      stats->metrics->Observe(
+          "scan.bytes", static_cast<double>(db_->PagesPerScan() *
+                                            IoModel().page_size_bytes));
     }
     if (stats->counted_log != nullptr) {
       stats->counted_log->insert(stats->counted_log->end(),

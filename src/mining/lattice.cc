@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/stopwatch.h"
 #include "constraints/classify.h"
 #include "constraints/eval.h"
 #include "mining/candidate_gen.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cfq {
@@ -34,6 +36,7 @@ ConstrainedLattice::ConstrainedLattice(TransactionDb* db,
   form_.allowed = domain_;
   stats_.counted_log = options.counted_log;
   stats_.tracer = options.tracer;
+  stats_.metrics = options.metrics;
   allowed_killer_.assign(catalog.num_items(),
                          static_cast<uint8_t>(obs::Mechanism::kOneVar));
 }
@@ -354,8 +357,18 @@ bool ConstrainedLattice::Step() {
   CccStats scratch;
   scratch.counted_log = stats_.counted_log;
   scratch.tracer = stats_.tracer;
+  scratch.metrics = stats_.metrics;
+  Stopwatch count_wall;
+  CpuStopwatch count_cpu;
   const std::vector<uint64_t> supports =
       counter_->Count(pending_candidates_, &scratch);
+  if (stats_.metrics != nullptr) {
+    const char* prefix = var_ == Var::kS ? "s" : "t";
+    stats_.metrics->Observe(std::string(prefix) + ".level.count_seconds",
+                            count_wall.ElapsedSeconds());
+    stats_.metrics->Observe(std::string(prefix) + ".level.count_cpu_seconds",
+                            count_cpu.ElapsedSeconds());
+  }
   scratch.counted_log = nullptr;
   stats_.sets_counted += scratch.sets_counted;
   stats_.io.MergeFrom(scratch.io);
@@ -419,6 +432,7 @@ void ConstrainedLattice::CompleteLevelInternal(
   // cur_generated_ and accounts the subset-frequency prunes.
   cur_generated_ = 0;
   cur_prunes_ = obs::PruneCounts{};
+  Stopwatch gen_wall;
   std::vector<Itemset> generated = GenerateNext();
   pending_candidates_.clear();
   for (Itemset& x : generated) {
@@ -428,6 +442,11 @@ void ConstrainedLattice::CompleteLevelInternal(
     } else {
       cur_prunes_.Add(killer);
     }
+  }
+  if (stats_.metrics != nullptr) {
+    stats_.metrics->Observe(
+        std::string(var_ == Var::kS ? "s" : "t") + ".level.gen_seconds",
+        gen_wall.ElapsedSeconds());
   }
   if (pending_candidates_.empty()) done_ = true;
 }

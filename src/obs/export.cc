@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -112,6 +113,73 @@ void WriteChromeTrace(const std::vector<TraceEvent>& events,
     }
   }
   os << "\n]}\n";
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+// names map onto that by replacing every other character with '_' and
+// prefixing the exporter namespace.
+std::string PromName(const std::string& dotted) {
+  std::string out = "cfq_";
+  for (char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Prometheus floats: the text format accepts C-style doubles; inf/nan
+// are legal there, but the registry never produces them.
+std::string PromNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& os) {
+  using Kind = MetricsRegistry::SampleKind;
+  for (const MetricsRegistry::Sample& s : registry.Snapshot()) {
+    const std::string name = PromName(s.name);
+    switch (s.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << s.count << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << PromNumber(s.value) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = s.histogram;
+        os << "# TYPE " << name << " histogram\n";
+        // Emit the populated sub-range of the power-of-two ladder:
+        // buckets are cumulative, and the mandatory +Inf bucket equals
+        // _count. An empty histogram still gets +Inf/_sum/_count.
+        size_t first = Histogram::kNumBuckets, last = 0;
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (h.bucket_counts()[i] == 0) continue;
+          first = std::min(first, i);
+          last = i;
+        }
+        uint64_t cumulative = 0;
+        for (size_t i = first; i < Histogram::kNumBuckets && i <= last; ++i) {
+          cumulative += h.bucket_counts()[i];
+          os << name << "_bucket{le=\""
+             << PromNumber(Histogram::BucketUpperBound(i)) << "\"} "
+             << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
+           << name << "_sum " << PromNumber(h.sum()) << "\n"
+           << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
 }
 
 void WriteTraceJsonl(const std::vector<TraceEvent>& events, std::ostream& os) {

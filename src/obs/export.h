@@ -1,4 +1,4 @@
-// Trace exporters.
+// Trace and metrics exporters.
 //
 // WriteChromeTrace emits the Chrome trace_event JSON object format
 // (loadable in chrome://tracing and https://ui.perfetto.dev): spans as
@@ -7,6 +7,11 @@
 //
 // WriteTraceJsonl emits one flat JSON object per event per line, the
 // format the bench harnesses and CI consume.
+//
+// WritePrometheus emits a MetricsRegistry snapshot in the Prometheus
+// text exposition format (version 0.0.4): dotted names become
+// underscored with a `cfq_` prefix, histograms get cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`.
 
 #ifndef CFQ_OBS_EXPORT_H_
 #define CFQ_OBS_EXPORT_H_
@@ -14,12 +19,15 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cfq::obs {
 
 void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os);
 void WriteTraceJsonl(const std::vector<TraceEvent>& events, std::ostream& os);
+
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& os);
 
 inline void WriteChromeTrace(const Tracer& tracer, std::ostream& os) {
   WriteChromeTrace(tracer.Events(), os);

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -16,48 +17,147 @@ std::string JsonNumber(double value) {
   return buf;
 }
 
+// Index of the first bucket whose upper bound 2^e satisfies value <=
+// 2^e, clamped to the histogram's range. Non-positive values land in
+// bucket 0 (they are legal observations — an empty level can complete
+// in under the clock's resolution).
+size_t BucketIndex(double value) {
+  if (!(value > 0)) return 0;
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);
+  // frexp: value = mantissa * 2^exp with mantissa in [0.5, 1). A value
+  // exactly equal to 2^(exp-1) belongs in that bucket (le semantics).
+  if (mantissa == 0.5) --exp;
+  const int clamped =
+      std::clamp(exp, Histogram::kMinExp, Histogram::kMaxExp);
+  return static_cast<size_t>(clamped - Histogram::kMinExp);
+}
+
 }  // namespace
 
+double Histogram::BucketUpperBound(size_t i) {
+  return std::ldexp(1.0, kMinExp + static_cast<int>(i));
+}
+
+void Histogram::Observe(double value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based, ceil(q * count) >= 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets_[i];
+    if (cumulative < rank) continue;
+    // Interpolate inside the bucket between its bounds; the edge
+    // buckets' nominal bounds can be far from the data, so clamp to
+    // the exact observed range.
+    const double lo = i == 0 ? 0 : BucketUpperBound(i - 1);
+    const double hi = BucketUpperBound(i);
+    const double frac = static_cast<double>(rank - before) /
+                        static_cast<double>(buckets_[i]);
+    return std::clamp(lo + frac * (hi - lo), min_, max_);
+  }
+  return max_;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
 }
 
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Observe(value);
+}
+
 uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second;
 }
 
+Histogram MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Lock ordering: `other` is snapshotted first so the two mutexes are
+  // never held together (self-merge is a no-op by contract).
+  if (&other == this) return;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : counters) counters_[name] += value;
+  for (const auto& [name, value] : gauges) gauges_[name] = value;
+  for (const auto& [name, h] : histograms) histograms_[name].MergeFrom(h);
+}
+
 std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Sample> out;
-  out.reserve(counters_.size() + gauges_.size());
-  auto c = counters_.begin();
-  auto g = gauges_.begin();
-  while (c != counters_.end() || g != gauges_.end()) {
-    const bool take_counter =
-        g == gauges_.end() || (c != counters_.end() && c->first <= g->first);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, value] : counters_) {
     Sample s;
-    if (take_counter) {
-      s.name = c->first;
-      s.is_counter = true;
-      s.count = c->second;
-      ++c;
-    } else {
-      s.name = g->first;
-      s.is_counter = false;
-      s.value = g->second;
-      ++g;
-    }
+    s.name = name;
+    s.kind = SampleKind::kCounter;
+    s.count = value;
     out.push_back(std::move(s));
   }
+  for (const auto& [name, value] : gauges_) {
+    Sample s;
+    s.name = name;
+    s.kind = SampleKind::kGauge;
+    s.value = value;
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Sample s;
+    s.name = name;
+    s.kind = SampleKind::kHistogram;
+    s.histogram = h;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
   return out;
 }
 
@@ -65,14 +165,27 @@ void MetricsRegistry::WriteJsonl(std::ostream& os) const {
   // Names are dotted identifiers (no quotes/backslashes), so plain
   // interpolation is safe; values are numbers.
   for (const Sample& s : Snapshot()) {
-    os << "{\"name\":\"" << s.name << "\",\"type\":\""
-       << (s.is_counter ? "counter" : "gauge") << "\",\"value\":";
-    if (s.is_counter) {
-      os << s.count;
-    } else {
-      os << JsonNumber(s.value);
+    switch (s.kind) {
+      case SampleKind::kCounter:
+        os << "{\"name\":\"" << s.name << "\",\"type\":\"counter\",\"value\":"
+           << s.count << "}\n";
+        break;
+      case SampleKind::kGauge:
+        os << "{\"name\":\"" << s.name << "\",\"type\":\"gauge\",\"value\":"
+           << JsonNumber(s.value) << "}\n";
+        break;
+      case SampleKind::kHistogram: {
+        const Histogram& h = s.histogram;
+        os << "{\"name\":\"" << s.name << "\",\"type\":\"histogram\""
+           << ",\"count\":" << h.count() << ",\"sum\":" << JsonNumber(h.sum())
+           << ",\"min\":" << JsonNumber(h.min())
+           << ",\"max\":" << JsonNumber(h.max())
+           << ",\"p50\":" << JsonNumber(h.Quantile(0.50))
+           << ",\"p90\":" << JsonNumber(h.Quantile(0.90))
+           << ",\"p99\":" << JsonNumber(h.Quantile(0.99)) << "}\n";
+        break;
+      }
     }
-    os << "}\n";
   }
 }
 

@@ -1,51 +1,125 @@
-// MetricsRegistry: named monotonic counters and gauges.
+// MetricsRegistry: named monotonic counters, gauges and log-bucketed
+// latency/size histograms.
 //
 // The machine-readable sibling of the paper-facing CccStats /
 // StrategyStats structs: miners account their work in those structs as
 // before, and the registry holds the same numbers (plus anything else a
 // harness adds) under stable dotted names so they can be exported as
-// JSONL and diffed across runs in CI.
+// JSONL or Prometheus text and diffed across runs in CI.
+//
+// Thread safety: every public method takes an internal mutex, so the
+// sharded counters and the concurrent S/T lattice threads may share one
+// registry. For deterministic output the executor instead gives each
+// lattice thread its own registry and folds them together with
+// MergeFrom once the threads have joined.
 
 #ifndef CFQ_OBS_METRICS_H_
 #define CFQ_OBS_METRICS_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace cfq::obs {
 
+// Log-bucketed histogram: power-of-two buckets spanning ~1 microsecond
+// (2^-20) to ~1 terabyte (2^40), which covers both phase latencies in
+// seconds and per-scan byte volumes. Observation `v` lands in the first
+// bucket whose upper bound 2^e satisfies v <= 2^e; values outside the
+// range clamp to the edge buckets. Alongside the buckets the histogram
+// keeps exact count/sum/min/max, and quantiles are estimated by linear
+// interpolation inside the selected bucket (clamped to [min, max]).
+class Histogram {
+ public:
+  // Power-of-two exponents of the smallest and largest finite bucket
+  // upper bounds.
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 40;
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kMaxExp - kMinExp + 1);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  // 0 when empty.
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+
+  // Estimated q-quantile (q in [0, 1]); 0 when empty.
+  double Quantile(double q) const;
+
+  // Upper bound of bucket `i`: 2^(kMinExp + i).
+  static double BucketUpperBound(size_t i);
+  // Per-bucket (non-cumulative) counts, index 0 = smallest bound.
+  const uint64_t* bucket_counts() const { return buckets_; }
+
+  void MergeFrom(const Histogram& other);
+
+ private:
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   // Bumps monotonic counter `name` by `delta`.
   void Add(const std::string& name, uint64_t delta = 1);
   // Sets gauge `name` (last write wins).
   void SetGauge(const std::string& name, double value);
+  // Records one observation into histogram `name`.
+  void Observe(const std::string& name, double value);
 
-  // 0 / 0.0 for names never written.
+  // 0 / 0.0 / empty for names never written.
   uint64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
+  Histogram histogram(const std::string& name) const;
+
+  // Folds `other` into this registry: counters add, histograms merge,
+  // gauges take `other`'s value (last write wins). The merge order is
+  // the caller's to fix, which is what makes per-thread registries
+  // deterministic where a shared one would interleave gauge writes.
+  void MergeFrom(const MetricsRegistry& other);
+
+  enum class SampleKind : uint8_t { kCounter, kGauge, kHistogram };
 
   struct Sample {
     std::string name;
-    bool is_counter = true;
-    uint64_t count = 0;  // Valid when is_counter.
-    double value = 0;    // Valid when !is_counter.
+    SampleKind kind = SampleKind::kCounter;
+    uint64_t count = 0;    // kCounter value.
+    double value = 0;      // kGauge value.
+    Histogram histogram;   // kHistogram payload.
   };
 
-  // All samples, sorted by name (counters and gauges interleaved).
+  // All samples, sorted by name (kinds interleaved).
   std::vector<Sample> Snapshot() const;
 
   // One JSON object per line:
   //   {"name":"s.sets_counted","type":"counter","value":123}
   //   {"name":"elapsed_seconds","type":"gauge","value":0.42}
+  //   {"name":"s.level.count_seconds","type":"histogram","count":4,
+  //    "sum":0.2,"min":...,"max":...,"p50":...,"p90":...,"p99":...}
   void WriteJsonl(std::ostream& os) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace cfq::obs

@@ -1,0 +1,124 @@
+#include "obs/resource.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace cfq::obs {
+
+namespace {
+
+double TvSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+double WallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+rusage SelfUsage() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru;
+}
+
+std::string Fmt(double value, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace
+
+void ResourceUsage::MergeFrom(const ResourceUsage& other) {
+  wall_seconds += other.wall_seconds;
+  user_cpu_seconds += other.user_cpu_seconds;
+  sys_cpu_seconds += other.sys_cpu_seconds;
+  max_rss_kb = std::max(max_rss_kb, other.max_rss_kb);
+  minor_faults += other.minor_faults;
+  major_faults += other.major_faults;
+  voluntary_ctx_switches += other.voluntary_ctx_switches;
+  involuntary_ctx_switches += other.involuntary_ctx_switches;
+}
+
+ResourceTracker::ResourceTracker() {
+  const rusage ru = SelfUsage();
+  wall_start_ = WallNow();
+  user_start_ = TvSeconds(ru.ru_utime);
+  sys_start_ = TvSeconds(ru.ru_stime);
+  minflt_start_ = static_cast<uint64_t>(ru.ru_minflt);
+  majflt_start_ = static_cast<uint64_t>(ru.ru_majflt);
+  nvcsw_start_ = static_cast<uint64_t>(ru.ru_nvcsw);
+  nivcsw_start_ = static_cast<uint64_t>(ru.ru_nivcsw);
+}
+
+ResourceUsage ResourceTracker::Finish() const {
+  const rusage ru = SelfUsage();
+  ResourceUsage out;
+  out.wall_seconds = WallNow() - wall_start_;
+  out.user_cpu_seconds = TvSeconds(ru.ru_utime) - user_start_;
+  out.sys_cpu_seconds = TvSeconds(ru.ru_stime) - sys_start_;
+  // ru_maxrss is kilobytes on Linux (bytes on macOS, where this would
+  // need dividing; the toolchain here is Linux-only).
+  out.max_rss_kb = static_cast<uint64_t>(ru.ru_maxrss);
+  out.minor_faults = static_cast<uint64_t>(ru.ru_minflt) - minflt_start_;
+  out.major_faults = static_cast<uint64_t>(ru.ru_majflt) - majflt_start_;
+  out.voluntary_ctx_switches =
+      static_cast<uint64_t>(ru.ru_nvcsw) - nvcsw_start_;
+  out.involuntary_ctx_switches =
+      static_cast<uint64_t>(ru.ru_nivcsw) - nivcsw_start_;
+  return out;
+}
+
+void ExportResource(const ResourceUsage& usage, MetricsRegistry* registry) {
+  registry->SetGauge("resource.wall_seconds", usage.wall_seconds);
+  registry->SetGauge("resource.user_cpu_seconds", usage.user_cpu_seconds);
+  registry->SetGauge("resource.sys_cpu_seconds", usage.sys_cpu_seconds);
+  registry->SetGauge("resource.max_rss_kb",
+                     static_cast<double>(usage.max_rss_kb));
+  registry->Add("resource.minor_faults", usage.minor_faults);
+  registry->Add("resource.major_faults", usage.major_faults);
+  registry->Add("resource.ctx_switches.voluntary",
+                usage.voluntary_ctx_switches);
+  registry->Add("resource.ctx_switches.involuntary",
+                usage.involuntary_ctx_switches);
+}
+
+void ExportPoolStats(const ThreadPoolStats& stats, MetricsRegistry* registry) {
+  registry->SetGauge("pool.workers", static_cast<double>(stats.workers));
+  registry->Add("pool.tasks", stats.tasks);
+  registry->Add("pool.chunks", stats.chunks);
+  registry->SetGauge("pool.busy_seconds", stats.busy_seconds);
+  registry->SetGauge("pool.idle_seconds", stats.idle_seconds);
+}
+
+std::string RenderResourceUsage(const ResourceUsage& usage,
+                                const ThreadPoolStats& pool) {
+  std::string out = "resources: wall " + Fmt(usage.wall_seconds, 4) +
+                    "s, user " + Fmt(usage.user_cpu_seconds, 4) + "s, sys " +
+                    Fmt(usage.sys_cpu_seconds, 4) + "s, peak RSS " +
+                    Fmt(static_cast<double>(usage.max_rss_kb) / 1024.0, 1) +
+                    " MB, faults " + std::to_string(usage.minor_faults) +
+                    " minor / " + std::to_string(usage.major_faults) +
+                    " major, ctx " +
+                    std::to_string(usage.voluntary_ctx_switches) +
+                    " voluntary / " +
+                    std::to_string(usage.involuntary_ctx_switches) +
+                    " involuntary\n";
+  if (pool.workers > 0) {
+    out += "pool: " + std::to_string(pool.workers) + " threads, " +
+           std::to_string(pool.tasks) + " tasks, " +
+           std::to_string(pool.chunks) + " chunks, busy " +
+           Fmt(pool.busy_seconds, 4) + "s, idle " +
+           Fmt(pool.idle_seconds, 4) + "s\n";
+  }
+  return out;
+}
+
+}  // namespace cfq::obs

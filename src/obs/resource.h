@@ -1,0 +1,82 @@
+// Per-query resource accounting.
+//
+// ResourceTracker snapshots getrusage(RUSAGE_SELF) plus a wall clock at
+// construction; Finish() returns the deltas as a ResourceUsage —
+// user/sys CPU seconds, minor/major page faults, context switches —
+// along with the process's peak RSS (an absolute high-water mark, not a
+// delta: the kernel only reports the lifetime peak). The executor runs
+// one tracker per query and stores the result in StrategyStats, which
+// is how `EXPLAIN ANALYZE` and the shell's `analyze` command surface
+// where a query's time actually went.
+//
+// ExportResource flattens a ResourceUsage (and the ThreadPool's
+// busy/idle/task counters) into a MetricsRegistry under stable dotted
+// names (resource.user_cpu_seconds, pool.busy_seconds, ...).
+
+#ifndef CFQ_OBS_RESOURCE_H_
+#define CFQ_OBS_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace cfq::obs {
+
+struct ResourceUsage {
+  double wall_seconds = 0;
+  double user_cpu_seconds = 0;
+  double sys_cpu_seconds = 0;
+  // Process peak RSS in kilobytes (lifetime high-water mark at the time
+  // the tracker finished, not a delta).
+  uint64_t max_rss_kb = 0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+  uint64_t voluntary_ctx_switches = 0;
+  uint64_t involuntary_ctx_switches = 0;
+
+  // Accumulates another run's usage (repeated harness iterations):
+  // times and fault counts add, peak RSS takes the max.
+  void MergeFrom(const ResourceUsage& other);
+};
+
+class ResourceTracker {
+ public:
+  // Takes the starting snapshot.
+  ResourceTracker();
+
+  // Usage since construction. May be called repeatedly; each call
+  // reports the delta from construction, so take the last.
+  ResourceUsage Finish() const;
+
+ private:
+  double wall_start_;
+  double user_start_;
+  double sys_start_;
+  uint64_t minflt_start_;
+  uint64_t majflt_start_;
+  uint64_t nvcsw_start_;
+  uint64_t nivcsw_start_;
+};
+
+// Exports `usage` into `registry`: gauges resource.wall_seconds,
+// resource.user_cpu_seconds, resource.sys_cpu_seconds,
+// resource.max_rss_kb; counters resource.minor_faults,
+// resource.major_faults, resource.ctx_switches.{voluntary,involuntary}.
+void ExportResource(const ResourceUsage& usage, MetricsRegistry* registry);
+
+// Exports a pool's counters: gauge pool.workers; counters pool.tasks,
+// pool.chunks; gauges pool.busy_seconds, pool.idle_seconds.
+void ExportPoolStats(const ThreadPoolStats& stats, MetricsRegistry* registry);
+
+// Two-line human-readable summary used by EXPLAIN ANALYZE:
+//   resources: wall 0.12s, user 0.40s, sys 0.01s, peak RSS 34.2 MB, ...
+//   pool: 8 threads, 12 tasks, 96 chunks, busy 0.80s, idle 0.15s
+// The pool line is omitted when `pool.workers` is 0.
+std::string RenderResourceUsage(const ResourceUsage& usage,
+                                const ThreadPoolStats& pool);
+
+}  // namespace cfq::obs
+
+#endif  // CFQ_OBS_RESOURCE_H_

@@ -1,0 +1,198 @@
+// MetricsRegistry / Histogram unit tests: bucket geometry, quantile
+// math, merge semantics, thread safety under the pool, and a golden
+// Prometheus exposition.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/export.h"
+
+namespace cfq::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), std::ldexp(1.0, -20));
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(20), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+                   std::ldexp(1.0, 40));
+
+  // An observation lands in the first bucket whose upper bound covers
+  // it: exactly 2^e goes to the 2^e bucket, a hair more to the next.
+  Histogram h;
+  h.Observe(1.0);
+  EXPECT_EQ(h.bucket_counts()[20], 1u);
+  h.Observe(1.0000001);
+  EXPECT_EQ(h.bucket_counts()[21], 1u);
+  h.Observe(0.75);  // (0.5, 1] — shares the 2^0 bucket.
+  EXPECT_EQ(h.bucket_counts()[20], 2u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBuckets) {
+  Histogram h;
+  h.Observe(1e-10);  // Below 2^-20.
+  h.Observe(1e15);   // Above 2^40.
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[Histogram::kNumBuckets - 1], 1u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-10);
+  EXPECT_DOUBLE_EQ(h.max(), 1e15);
+}
+
+TEST(HistogramTest, ExactStatsAreExact) {
+  Histogram h;
+  for (double v : {0.25, 0.5, 2.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.75);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  EXPECT_NEAR(h.mean(), 2.75 / 3, 1e-12);
+}
+
+TEST(HistogramTest, QuantileEmptyAndSingle) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  // One observation: every quantile clamps to [min, max] = the value.
+  Histogram one;
+  one.Observe(0.125);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.99), 0.125);
+}
+
+TEST(HistogramTest, QuantilesMonotoneAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 1e-3);
+  const double p50 = h.Quantile(0.50);
+  const double p90 = h.Quantile(0.90);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(h.min(), p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // Log buckets are coarse, but the median of a uniform [0, 1] sample
+  // must land in its half-to-one bucket neighbourhood.
+  EXPECT_GT(p50, 0.2);
+  EXPECT_LT(p50, 1.0);
+}
+
+TEST(HistogramTest, MergeFromAddsBucketsAndCombinesExtremes) {
+  Histogram a, b;
+  a.Observe(0.25);
+  b.Observe(4.0);
+  b.Observe(0.25);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 4.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_EQ(a.bucket_counts()[18], 2u);  // 2^-2 bucket.
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.Add("counted", 2);
+  registry.Add("counted");
+  registry.SetGauge("wall", 0.5);
+  registry.SetGauge("wall", 0.75);  // Last write wins.
+  registry.Observe("lat", 0.25);
+  EXPECT_EQ(registry.counter("counted"), 3u);
+  EXPECT_DOUBLE_EQ(registry.gauge("wall"), 0.75);
+  EXPECT_EQ(registry.histogram("lat").count(), 1u);
+  // Never-written names read as zero values, and don't materialize.
+  EXPECT_EQ(registry.counter("nope"), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("nope"), 0.0);
+  EXPECT_EQ(registry.histogram("nope").count(), 0u);
+  EXPECT_EQ(registry.Snapshot().size(), 3u);
+}
+
+TEST(MetricsRegistryTest, MergeFromIsDeterministic) {
+  MetricsRegistry a, b;
+  a.Add("c", 1);
+  b.Add("c", 2);
+  a.SetGauge("g", 1.0);
+  b.SetGauge("g", 2.0);
+  a.Observe("h", 0.25);
+  b.Observe("h", 0.5);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counter("c"), 3u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 2.0);  // Merged-from side wins.
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritesUnderThePool) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  pool.ParallelFor(kN, [&registry](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      registry.Add("hits");
+      registry.Observe("lat", 0.5);
+    }
+  });
+  EXPECT_EQ(registry.counter("hits"), kN);
+  EXPECT_EQ(registry.histogram("lat").count(), kN);
+  EXPECT_DOUBLE_EQ(registry.histogram("lat").sum(), kN * 0.5);
+}
+
+// Golden exposition: power-of-two observations print exactly under
+// %.17g, so the full text is stable.
+TEST(PrometheusExportTest, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.Add("s.sets_counted", 3);
+  registry.SetGauge("resource.wall_seconds", 0.5);
+  registry.Observe("s.level.count_seconds", 0.25);
+  registry.Observe("s.level.count_seconds", 0.5);
+  registry.Observe("s.level.count_seconds", 2.0);
+  std::ostringstream os;
+  WritePrometheus(registry, os);
+  EXPECT_EQ(os.str(),
+            "# TYPE cfq_resource_wall_seconds gauge\n"
+            "cfq_resource_wall_seconds 0.5\n"
+            "# TYPE cfq_s_level_count_seconds histogram\n"
+            "cfq_s_level_count_seconds_bucket{le=\"0.25\"} 1\n"
+            "cfq_s_level_count_seconds_bucket{le=\"0.5\"} 2\n"
+            "cfq_s_level_count_seconds_bucket{le=\"1\"} 2\n"
+            "cfq_s_level_count_seconds_bucket{le=\"2\"} 3\n"
+            "cfq_s_level_count_seconds_bucket{le=\"+Inf\"} 3\n"
+            "cfq_s_level_count_seconds_sum 2.75\n"
+            "cfq_s_level_count_seconds_count 3\n"
+            "# TYPE cfq_s_sets_counted counter\n"
+            "cfq_s_sets_counted 3\n");
+}
+
+TEST(PrometheusExportTest, EmptyHistogramStillWellFormed) {
+  MetricsRegistry registry;
+  registry.Observe("h", 1.0);
+  MetricsRegistry empty;
+  empty.MergeFrom(registry);  // Histogram exists in both; now zero one.
+  MetricsRegistry zero;
+  (void)zero.histogram("h");  // Reading does not create a series.
+  std::ostringstream os;
+  WritePrometheus(zero, os);
+  EXPECT_EQ(os.str(), "");
+}
+
+TEST(MetricsRegistryTest, WriteJsonlOneObjectPerLine) {
+  MetricsRegistry registry;
+  registry.Add("c", 7);
+  registry.SetGauge("g", 0.25);
+  registry.Observe("h", 0.5);
+  std::ostringstream os;
+  registry.WriteJsonl(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("{\"name\":\"c\",\"type\":\"counter\",\"value\":7}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace cfq::obs

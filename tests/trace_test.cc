@@ -58,10 +58,12 @@ Instance MakeInstance(int seed) {
 
 std::vector<obs::TraceEvent> TracedRun(Instance* inst, obs::Tracer* tracer,
                                        StrategyStats* stats = nullptr,
-                                       size_t threads = 1) {
+                                       size_t threads = 1,
+                                       obs::MetricsRegistry* metrics = nullptr) {
   PlanOptions options;
   options.tracer = tracer;
   options.threads = threads;
+  options.metrics = metrics;
   auto result = ExecuteOptimized(&inst->db, inst->catalog, inst->query, options);
   EXPECT_TRUE(result.ok()) << result.status();
   if (stats != nullptr && result.ok()) *stats = result->stats;
@@ -344,6 +346,41 @@ TEST(TraceTest, LevelIdentityHoldsUnderConcurrentMining) {
         EXPECT_EQ(p.pruned_by.Total(), q.pruned_by.Total());
       }
     }
+  }
+}
+
+// Recording latency histograms must not disturb the attribution
+// identity, and the histograms themselves must be structurally
+// deterministic: every level that counted candidates observed exactly
+// one latency sample per side, serial or concurrent alike.
+TEST(TraceTest, PruningIdentityHoldsWithMetricsEnabled) {
+  for (size_t threads : {1u, 4u}) {
+    Instance inst = MakeInstance(1);
+    obs::Tracer tracer;
+    obs::MetricsRegistry registry;
+    StrategyStats stats;
+    TracedRun(&inst, &tracer, &stats, threads, &registry);
+    for (const CccStats* side : {&stats.s, &stats.t}) {
+      for (size_t i = 0; i < side->generated_per_level.size(); ++i) {
+        EXPECT_EQ(side->generated_per_level[i] -
+                      side->pruned_per_level[i].Total(),
+                  side->candidates_per_level[i])
+            << "threads " << threads;
+      }
+    }
+    // One count-latency observation per mined level, per side.
+    EXPECT_EQ(registry.histogram("s.level.count_seconds").count(),
+              stats.s.candidates_per_level.size())
+        << "threads " << threads;
+    EXPECT_EQ(registry.histogram("t.level.count_seconds").count(),
+              stats.t.candidates_per_level.size())
+        << "threads " << threads;
+    // Every database scan observed its byte volume.
+    EXPECT_EQ(registry.histogram("scan.bytes").count(),
+              stats.s.io.scans + stats.t.io.scans)
+        << "threads " << threads;
+    EXPECT_EQ(registry.histogram("pair.form_seconds").count(), 1u)
+        << "threads " << threads;
   }
 }
 

@@ -1,0 +1,365 @@
+// bench_diff: compare two BENCH_*.json snapshots (bench/bench_util.h
+// Reporter schema) and flag per-sample regressions.
+//
+//   bench_diff --baseline=BENCH_old.json --current=BENCH_new.json \
+//              [--threshold=0.15] [--warn-only] [--metric=mean|p99]
+//   bench_diff BENCH_old.json BENCH_new.json     # positional form
+//
+// A sample regresses when current/baseline - 1 exceeds --threshold for
+// the chosen metric (default: mean). Samples present in only one file
+// are reported but never fail the run — benches gain and lose series as
+// they evolve, and a rename should not page anyone.
+//
+// Exit codes: 0 no regression (or --warn-only), 1 usage/parse error,
+// 3 at least one sample regressed past the threshold.
+//
+// The parser below handles exactly the subset of JSON the Reporter
+// emits (string/number values, one level of config nesting, a flat
+// samples array). It is deliberately not a general JSON parser; keeping
+// the tool dependency-free matters more than grammar coverage.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Sample {
+  double count = 0;
+  double mean = 0;
+  double p99 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+struct BenchFile {
+  std::string bench;
+  std::string commit;
+  std::string timestamp;
+  std::map<std::string, std::string> config;
+  std::map<std::string, Sample> samples;
+};
+
+// Minimal recursive-descent scanner over the Reporter's output.
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  bool Parse(BenchFile* out) {
+    SkipWs();
+    if (!Consume('{')) return false;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) return true;
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (key == "bench") {
+        if (!ParseString(&out->bench)) return false;
+      } else if (key == "commit") {
+        if (!ParseString(&out->commit)) return false;
+      } else if (key == "timestamp") {
+        if (!ParseString(&out->timestamp)) return false;
+      } else if (key == "config") {
+        if (!ParseConfig(&out->config)) return false;
+      } else if (key == "samples") {
+        if (!ParseSamples(&out->samples)) return false;
+      } else if (!SkipValue()) {
+        return false;
+      }
+      SkipWs();
+      Consume(',');
+    }
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: out->push_back(esc); break;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber(double* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      *out = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  // String, number, or flat object — enough for unknown top-level keys.
+  bool SkipValue() {
+    if (pos_ >= text_.size()) return false;
+    if (text_[pos_] == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (text_[pos_] == '{') {
+      std::map<std::string, std::string> ignored;
+      return ParseConfig(&ignored);
+    }
+    double ignored = 0;
+    return ParseNumber(&ignored);
+  }
+
+  bool ParseConfig(std::map<std::string, std::string>* out) {
+    if (!Consume('{')) return false;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) return true;
+      std::string key, value;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (!ParseString(&value)) return false;
+      (*out)[key] = value;
+      SkipWs();
+      Consume(',');
+    }
+  }
+
+  bool ParseSamples(std::map<std::string, Sample>* out) {
+    if (!Consume('[')) return false;
+    while (true) {
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume('{')) return false;
+      std::string name;
+      Sample sample;
+      while (true) {
+        SkipWs();
+        if (Consume('}')) break;
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (!Consume(':')) return false;
+        SkipWs();
+        if (key == "name") {
+          if (!ParseString(&name)) return false;
+        } else {
+          double value = 0;
+          if (!ParseNumber(&value)) return false;
+          if (key == "count") sample.count = value;
+          else if (key == "mean") sample.mean = value;
+          else if (key == "p99") sample.p99 = value;
+          else if (key == "min") sample.min = value;
+          else if (key == "max") sample.max = value;
+        }
+        SkipWs();
+        Consume(',');
+      }
+      if (name.empty()) return false;
+      (*out)[name] = sample;
+      SkipWs();
+      Consume(',');
+    }
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+};
+
+bool LoadBenchFile(const std::string& path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Parser parser(buf.str());
+  if (!parser.Parse(out)) {
+    std::cerr << "error: '" << path << "' is not a BENCH_*.json file\n";
+    return false;
+  }
+  if (out->samples.empty()) {
+    std::cerr << "error: '" << path << "' has no samples\n";
+    return false;
+  }
+  return true;
+}
+
+std::string FmtSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", s);
+  return buf;
+}
+
+std::string FmtPercent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * ratio);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path, metric = "mean";
+  double threshold = 0.15;
+  bool warn_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size())
+                                       : std::string();
+    };
+    if (!value("--baseline").empty()) {
+      baseline_path = value("--baseline");
+    } else if (!value("--current").empty()) {
+      current_path = value("--current");
+    } else if (!value("--threshold").empty()) {
+      try {
+        threshold = std::stod(value("--threshold"));
+      } catch (...) {
+        std::cerr << "error: bad --threshold\n";
+        return 1;
+      }
+    } else if (!value("--metric").empty()) {
+      metric = value("--metric");
+      if (metric != "mean" && metric != "p99") {
+        std::cerr << "error: --metric wants mean|p99\n";
+        return 1;
+      }
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg.rfind("--", 0) != 0 && baseline_path.empty()) {
+      baseline_path = arg;  // Positional: bench_diff OLD.json NEW.json.
+    } else if (arg.rfind("--", 0) != 0 && current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return 1;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "usage: bench_diff --baseline=OLD.json --current=NEW.json "
+                 "[--threshold=0.15] [--metric=mean|p99] [--warn-only]\n";
+    return 1;
+  }
+
+  BenchFile baseline, current;
+  if (!LoadBenchFile(baseline_path, &baseline)) return 1;
+  if (!LoadBenchFile(current_path, &current)) return 1;
+  if (!baseline.bench.empty() && baseline.bench != current.bench) {
+    std::cerr << "warning: comparing bench '" << baseline.bench << "' ("
+              << baseline_path << ") against '" << current.bench << "' ("
+              << current_path << ")\n";
+  }
+
+  std::cout << "baseline: " << baseline_path << " (commit " << baseline.commit
+            << ", " << baseline.timestamp << ")\n"
+            << "current:  " << current_path << " (commit " << current.commit
+            << ", " << current.timestamp << ")\n"
+            << "metric: " << metric << ", threshold: " << FmtPercent(threshold)
+            << "\n\n";
+
+  std::vector<std::string> regressions, improvements, only_baseline,
+      only_current;
+  for (const auto& [name, base] : baseline.samples) {
+    auto it = current.samples.find(name);
+    if (it == current.samples.end()) {
+      only_baseline.push_back(name);
+      continue;
+    }
+    const double base_value = metric == "p99" ? base.p99 : base.mean;
+    const double cur_value = metric == "p99" ? it->second.p99
+                                             : it->second.mean;
+    if (base_value <= 0 || !std::isfinite(base_value) ||
+        !std::isfinite(cur_value)) {
+      continue;  // Degenerate baseline; a ratio would be meaningless.
+    }
+    const double delta = cur_value / base_value - 1.0;
+    const std::string line = name + ": " + FmtSeconds(base_value) + "s -> " +
+                             FmtSeconds(cur_value) + "s (" +
+                             FmtPercent(delta) + ")";
+    if (delta > threshold) {
+      regressions.push_back(line);
+    } else if (delta < -threshold) {
+      improvements.push_back(line);
+    }
+  }
+  for (const auto& [name, sample] : current.samples) {
+    (void)sample;
+    if (baseline.samples.find(name) == baseline.samples.end()) {
+      only_current.push_back(name);
+    }
+  }
+
+  if (!regressions.empty()) {
+    std::cout << "REGRESSIONS (" << regressions.size() << "):\n";
+    for (const auto& line : regressions) std::cout << "  " << line << "\n";
+  }
+  if (!improvements.empty()) {
+    std::cout << "improvements (" << improvements.size() << "):\n";
+    for (const auto& line : improvements) std::cout << "  " << line << "\n";
+  }
+  if (!only_baseline.empty()) {
+    std::cout << "only in baseline (" << only_baseline.size() << "):";
+    for (const auto& name : only_baseline) std::cout << " " << name;
+    std::cout << "\n";
+  }
+  if (!only_current.empty()) {
+    std::cout << "only in current (" << only_current.size() << "):";
+    for (const auto& name : only_current) std::cout << " " << name;
+    std::cout << "\n";
+  }
+  if (regressions.empty()) {
+    std::cout << "no regressions past threshold ("
+              << baseline.samples.size() - only_baseline.size()
+              << " samples compared)\n";
+    return 0;
+  }
+  if (warn_only) {
+    std::cout << "--warn-only: not failing the run\n";
+    return 0;
+  }
+  return 3;
+}

@@ -3,14 +3,19 @@
 //   cfq_mine --db=baskets.txt --catalog=items.txt \
 //            --query='freq(S, 40) & freq(T, 40) & max(S.Price) <= min(T.Price)' \
 //            [--strategy=optimized|cap|apriori] [--explain] \
-//            [--threads=N] [--trace=run.json] [--metrics=run.jsonl] \
+//            [--threads=N] [--trace=run.json] [--metrics-out=run.jsonl] \
+//            [--metrics-format=jsonl|prom] \
 //            [--rules] [--min_confidence=0.5] [--top_k=20] \
 //            [--output=pairs.csv]
 //
 // --trace writes a Chrome trace_event JSON file (load in Perfetto);
-// --metrics writes one JSON object per counter/gauge per line. With
-// --explain, a run that traced also prints the EXPLAIN ANALYZE
-// per-level pruning-attribution tables.
+// --metrics-out writes the metrics registry — counters, gauges, and the
+// per-level latency / scan-size histograms — as JSONL (one JSON object
+// per line, the default) or Prometheus text exposition
+// (--metrics-format=prom). --metrics is an alias for --metrics-out.
+// --metrics-format without --metrics-out prints to stdout. With
+// --explain, the EXPLAIN ANALYZE tables include latency percentiles and
+// the query's resource usage (CPU, peak RSS, pool busy/idle).
 //
 // Exit codes: 0 ok, 1 generic error, 3 the query references an
 // attribute the catalog does not define.
@@ -146,13 +151,35 @@ int main(int argc, char** argv) {
   options.threads = bench::ThreadsFromArgs(args);
 
   const std::string trace_path = args.GetString("trace", "");
-  const std::string metrics_path = args.GetString("metrics", "");
+  // --metrics-out with --metrics as a backward-compatible alias.
+  std::string metrics_path = args.GetString("metrics-out", "");
+  if (metrics_path.empty()) metrics_path = args.GetString("metrics", "");
+  const std::string metrics_format = args.GetString("metrics-format", "");
+  if (!metrics_format.empty() && metrics_format != "jsonl" &&
+      metrics_format != "prom") {
+    std::cerr << "error: unknown --metrics-format '" << metrics_format
+              << "' (want jsonl|prom)\n";
+    return 1;
+  }
+  // Probe writability up front so a bad path fails before mining.
+  if (!metrics_path.empty()) {
+    std::ofstream probe(metrics_path, std::ios::app);
+    if (!probe) {
+      std::cerr << "error: cannot open '" << metrics_path
+                << "' for writing\n";
+      return 1;
+    }
+  }
   const bool explain = args.GetBool("explain", false);
+  const bool want_metrics =
+      !metrics_path.empty() || !metrics_format.empty() || explain;
   std::unique_ptr<obs::Tracer> tracer;
   if (!trace_path.empty() || explain) {
     tracer = std::make_unique<obs::Tracer>();
     options.tracer = tracer.get();
   }
+  obs::MetricsRegistry registry;
+  if (want_metrics) options.metrics = &registry;
 
   auto plan = BuildPlan(query, options);
   if (!plan.ok()) return FailQuery(plan.status(), catalog);
@@ -179,8 +206,9 @@ int main(int argc, char** argv) {
   // --- Observability output. -------------------------------------------
   const std::vector<obs::TraceEvent> events =
       tracer != nullptr ? tracer->Events() : std::vector<obs::TraceEvent>{};
+  if (want_metrics) ExportMetrics(result->stats, &registry);
   if (explain) {
-    std::cout << "\n" << RenderExplainAnalyze(result->stats, events);
+    std::cout << "\n" << RenderExplainAnalyze(result->stats, events, &registry);
   }
   if (!trace_path.empty()) {
     std::ofstream trace_file(trace_path);
@@ -194,15 +222,21 @@ int main(int argc, char** argv) {
                 << " oldest events dropped\n";
     }
   }
-  if (!metrics_path.empty()) {
-    std::ofstream metrics_file(metrics_path);
-    if (!metrics_file) {
-      std::cerr << "error: cannot open '" << metrics_path << "'\n";
-      return 1;
+  if (!metrics_path.empty() || !metrics_format.empty()) {
+    std::ofstream metrics_file;
+    if (!metrics_path.empty()) {
+      metrics_file.open(metrics_path);
+      if (!metrics_file) {
+        std::cerr << "error: cannot open '" << metrics_path << "'\n";
+        return 1;
+      }
     }
-    obs::MetricsRegistry registry;
-    ExportMetrics(result->stats, &registry);
-    registry.WriteJsonl(metrics_file);
+    std::ostream& sink = metrics_path.empty() ? std::cout : metrics_file;
+    if (metrics_format == "prom") {
+      obs::WritePrometheus(registry, sink);
+    } else {
+      registry.WriteJsonl(sink);
+    }
   }
 
   std::cerr << result->s_sets.size() << " valid frequent S-sets, "
