@@ -70,6 +70,22 @@ inline constexpr KnownFlag kKnownFlags[] = {
     {"min_lift", "rule filter: minimum lift"},
     {"top_k", "rule filter: keep the k best"},
     {"output", "write CSV output here instead of stdout"},
+    {"host", "daemon: IPv4 address to listen on / connect to"},
+    {"port", "daemon: TCP port (0 = pick an ephemeral port)"},
+    {"max_concurrent", "daemon: queries executing at once"},
+    {"max_queued", "daemon: queries allowed to wait for a slot"},
+    {"cache_capacity", "daemon: result cache entries (0 = off)"},
+    {"deadline_ms", "daemon/client: per-query deadline in milliseconds"},
+    {"max_rows", "daemon/client: row cap per query response"},
+    {"cmd", "client: protocol command (ping|load|gen|save|drop|"
+            "datasets|query|stats|shutdown)"},
+    {"dataset", "client: dataset name the command refers to"},
+    {"json", "client: send this raw JSON request line as-is"},
+    {"expect", "client: fail unless the response status matches"
+               " (default OK; empty disables)"},
+    {"repeat", "client: send the request this many times"},
+    {"clients", "server bench: number of concurrent client threads"},
+    {"iters", "server bench: queries per client thread"},
     {"help", "print the flag listing and exit"},
 };
 

@@ -1,0 +1,175 @@
+// Serving-layer throughput: cold (mining) vs cache-hit QPS through the
+// real TCP stack.
+//
+//   server_throughput [--clients=4] [--iters=50] [--quick]
+//                     [--num_transactions=4000] [--num_items=120]
+//                     [--min_support=...] [--threads=N]
+//                     [--bench_json=BENCH_server.json]
+//
+// Starts an in-process cfq_served stack (QueryService + Server on an
+// ephemeral port), generates a dataset, then measures:
+//   * query/cold       — the full parse/plan/mine/pair path (the cache
+//                        is cleared between samples so each one misses);
+//   * query/cache_hit  — the same query answered from the ResultCache,
+//                        hammered by --clients concurrent connections.
+// Both series go through real sockets, so the cache-hit numbers are
+// honest round-trips, not map lookups.
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/server.h"
+#include "server/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+cfq::server::JsonValue MustCall(cfq::server::Client& client,
+                                const cfq::server::JsonValue& request) {
+  auto response = client.Call(request);
+  if (!response.ok()) {
+    std::cerr << "request failed: " << response.status() << "\n";
+    std::exit(1);
+  }
+  if (response->GetString("status", "") != "OK") {
+    std::cerr << "server error: " << response->Write() << "\n";
+    std::exit(1);
+  }
+  return std::move(response).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cfq;
+  bench::Args args(argc, argv);
+  const bool quick = args.GetBool("quick", false);
+
+  const uint64_t num_transactions = static_cast<uint64_t>(
+      args.GetInt("num_transactions", quick ? 2000 : 4000));
+  const uint64_t num_items =
+      static_cast<uint64_t>(args.GetInt("num_items", 120));
+  const uint64_t min_support = static_cast<uint64_t>(
+      args.GetInt("min_support",
+                  static_cast<int64_t>(num_transactions / 40)));
+  const size_t clients =
+      static_cast<size_t>(args.GetInt("clients", quick ? 2 : 4));
+  const size_t iters =
+      static_cast<size_t>(args.GetInt("iters", quick ? 20 : 50));
+  const size_t cold_iters = quick ? 2 : 3;
+
+  obs::MetricsRegistry metrics;
+  server::ServiceOptions service_options;
+  service_options.threads = bench::ThreadsFromArgs(args);
+  service_options.max_concurrent = clients;
+  service_options.max_queued = clients * 4;
+  server::QueryService service(service_options, &metrics);
+  server::Server server(server::ServerOptions{}, &service);
+  if (auto s = server.Start(); !s.ok()) {
+    std::cerr << "server start failed: " << s << "\n";
+    return 1;
+  }
+
+  auto connect = [&server] {
+    auto client = server::Client::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      std::cerr << "connect failed: " << client.status() << "\n";
+      std::exit(1);
+    }
+    return std::move(client).value();
+  };
+
+  server::Client setup = connect();
+  {
+    server::JsonValue::Object gen;
+    gen["cmd"] = "gen";
+    gen["dataset"] = "bench";
+    gen["num_transactions"] = static_cast<int64_t>(num_transactions);
+    gen["num_items"] = static_cast<int64_t>(num_items);
+    gen["num_patterns"] = args.GetInt("num_patterns", 60);
+    gen["seed"] = args.GetInt("seed", 42);
+    MustCall(setup, gen);
+  }
+
+  server::JsonValue::Object query_request;
+  query_request["cmd"] = "query";
+  query_request["dataset"] = "bench";
+  query_request["query"] = "freq(S, " + std::to_string(min_support) +
+                           ") & freq(T, " + std::to_string(min_support) +
+                           ") & max(S.Price) <= min(T.Price)";
+  query_request["max_rows"] = static_cast<int64_t>(100);
+  const server::JsonValue request(query_request);
+
+  bench::Reporter reporter("server_throughput");
+  reporter.SetConfig("num_transactions",
+                     static_cast<int64_t>(num_transactions));
+  reporter.SetConfig("num_items", static_cast<int64_t>(num_items));
+  reporter.SetConfig("min_support", static_cast<int64_t>(min_support));
+  reporter.SetConfig("clients", static_cast<int64_t>(clients));
+  reporter.SetConfig("iters", static_cast<int64_t>(iters));
+
+  bench::Banner("cold (cache cleared between samples)");
+  for (size_t i = 0; i < cold_iters; ++i) {
+    service.cache().Clear();
+    const auto begin = Clock::now();
+    auto response = MustCall(setup, request);
+    const double elapsed = Seconds(begin, Clock::now());
+    if (response.GetBool("cached", false)) {
+      std::cerr << "error: cold sample was served from cache\n";
+      return 1;
+    }
+    reporter.Add("query/cold", elapsed);
+    std::cout << "  cold " << i << ": " << elapsed << " s\n";
+  }
+
+  bench::Banner("cache-hit (" + std::to_string(clients) + " clients x " +
+                std::to_string(iters) + " queries)");
+  // Prime the entry the hit phase reads.
+  MustCall(setup, request);
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> workers;
+  const auto hit_begin = Clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      server::Client client = connect();
+      latencies[c].reserve(iters);
+      for (size_t i = 0; i < iters; ++i) {
+        const auto begin = Clock::now();
+        auto response = MustCall(client, request);
+        latencies[c].push_back(Seconds(begin, Clock::now()));
+        if (!response.GetBool("cached", false)) {
+          std::cerr << "error: hit sample missed the cache\n";
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double hit_wall = Seconds(hit_begin, Clock::now());
+  for (const auto& thread_latencies : latencies) {
+    for (double s : thread_latencies) reporter.Add("query/cache_hit", s);
+  }
+
+  const double total_hits = static_cast<double>(clients * iters);
+  std::cout << "  " << total_hits << " cache-hit queries in " << hit_wall
+            << " s = " << total_hits / hit_wall << " QPS\n";
+  std::cout << "  cache hits " << service.cache().hits() << ", misses "
+            << service.cache().misses() << "\n";
+
+  server.RequestShutdown();
+  server.Wait();
+  reporter.WriteJsonFromArgs(args);
+  return 0;
+}

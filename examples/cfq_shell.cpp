@@ -9,13 +9,16 @@
 //   cfq> explain max(S.Price) <= min(T.Price)
 //   cfq> quit
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "core/analyze.h"
 #include "core/executor.h"
+#include "data/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
@@ -28,13 +31,23 @@ constexpr char kHelp[] = R"(commands:
   explain <query>    show the optimizer's strategy without running it
   analyze <query>    run with tracing; per-level pruning tables, latency
                      percentiles and resource usage (CPU, peak RSS)
+  load <db> <cat>    replace the session dataset with serialized files
+                     (the cfqdb/cfqcat formats of cfq_gen and cfq_mine)
+  save <db> <cat>    write the session dataset to serialized files
   help               this text
   quit               exit
 
 query syntax: freq(S, N), freq(T, N), agg(S.Attr) <= c, S.Attr subset {..},
   agg(S.Attr) <= agg(T.Attr), S.Attr = T.Attr, S.Attr disjoint T.Attr, ...
-attributes: Price (uniform 1..1000), Type (8 categories 0..7)
+attributes (generated dataset): Price (uniform 1..1000), Type (8 categories)
 )";
+
+// Splits "cmd <a> <b>" arguments; returns false unless exactly two.
+bool TwoPaths(const std::string& rest, std::string* a, std::string* b) {
+  std::istringstream fields(rest);
+  std::string extra;
+  return static_cast<bool>(fields >> *a >> *b) && !(fields >> extra);
+}
 
 }  // namespace
 
@@ -63,6 +76,10 @@ int main(int argc, char** argv) {
   }
   Itemset universe;
   for (ItemId i = 0; i < config.num_items; ++i) universe.push_back(i);
+  auto rebuild_universe = [&] {
+    universe.clear();
+    for (ItemId i = 0; i < catalog.num_items(); ++i) universe.push_back(i);
+  };
 
   // Each `analyze` overwrites the metrics file with that query's
   // registry; an unwritable path fails at startup, not mid-session.
@@ -91,6 +108,42 @@ int main(int argc, char** argv) {
       std::cout << kHelp;
       continue;
     }
+    if (line.rfind("load ", 0) == 0) {
+      std::string db_path, cat_path;
+      if (!TwoPaths(line.substr(5), &db_path, &cat_path)) {
+        std::cout << "usage: load <db-path> <catalog-path>\n";
+        continue;
+      }
+      auto loaded = LoadDataset(db_path, cat_path);
+      if (!loaded.ok()) {
+        std::cout << "load error: " << loaded.status() << "\n";
+        continue;
+      }
+      db = std::move(loaded->db);
+      catalog = std::move(loaded->catalog);
+      rebuild_universe();
+      std::cout << "loaded " << db.num_transactions() << " baskets over "
+                << db.num_items() << " items; attributes:";
+      for (const std::string& name : catalog.AttrNames()) {
+        std::cout << ' ' << name;
+      }
+      std::cout << "\n";
+      continue;
+    }
+    if (line.rfind("save ", 0) == 0) {
+      std::string db_path, cat_path;
+      if (!TwoPaths(line.substr(5), &db_path, &cat_path)) {
+        std::cout << "usage: save <db-path> <catalog-path>\n";
+        continue;
+      }
+      if (auto s = SaveDataset(db, catalog, db_path, cat_path); !s.ok()) {
+        std::cout << "save error: " << s << "\n";
+        continue;
+      }
+      std::cout << "wrote " << db.num_transactions() << " baskets to "
+                << db_path << " and the catalog to " << cat_path << "\n";
+      continue;
+    }
     bool explain_only = false;
     bool analyze = false;
     std::string text = line;
@@ -111,10 +164,10 @@ int main(int argc, char** argv) {
     query.t_domain = universe;
     // Sensible default thresholds if the query gave none.
     if (query.min_support_s <= 1) {
-      query.min_support_s = config.num_transactions / 100;
+      query.min_support_s = std::max<uint64_t>(1, db.num_transactions() / 100);
     }
     if (query.min_support_t <= 1) {
-      query.min_support_t = config.num_transactions / 100;
+      query.min_support_t = std::max<uint64_t>(1, db.num_transactions() / 100);
     }
 
     obs::Tracer tracer;

@@ -1,0 +1,86 @@
+// CancelToken: cooperative cancellation with an optional deadline.
+//
+// The serving layer runs queries with per-query deadlines; the mining
+// engine has no preemption, so cancellation is cooperative: long-running
+// strategies poll a shared token at level boundaries (the natural unit
+// of progress — a level is one generate+count round) and between pair-
+// formation shards, and bail out with StatusCode::kDeadlineExceeded.
+//
+// A token is safe to poll from any thread (the concurrent dovetail mines
+// S and T on two threads against one token) and to cancel from a thread
+// that is not running the query (an admission controller or a signal
+// path). Expiry is sticky: once Expired() has returned true it returns
+// true forever, even if the deadline is later extended.
+
+#ifndef CFQ_COMMON_CANCELLATION_H_
+#define CFQ_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace cfq {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation explicitly (drain paths, client disconnect).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Arms a deadline `budget` from now. A non-positive budget expires
+  // immediately.
+  void SetDeadline(std::chrono::nanoseconds budget) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch() + budget)
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  // True once cancelled or past the deadline. Polled on level
+  // boundaries; one relaxed load plus a clock read, cheap enough for
+  // every check site.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == kNoDeadline) return false;
+    const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now().time_since_epoch())
+                            .count();
+    if (now < deadline) return false;
+    cancelled_.store(true, std::memory_order_relaxed);  // Sticky.
+    return true;
+  }
+
+  // The error every check site returns, so callers can map it to one
+  // protocol status (`context` names the boundary that noticed).
+  static Status ExpiredError(const std::string& context) {
+    return Status(StatusCode::kDeadlineExceeded,
+                  "query cancelled at " + context);
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+// Shared poll helper: OK when `token` is null or still live.
+inline Status CheckCancel(const CancelToken* token,
+                          const std::string& context) {
+  if (token != nullptr && token->Expired()) {
+    return CancelToken::ExpiredError(context);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cfq
+
+#endif  // CFQ_COMMON_CANCELLATION_H_

@@ -1,8 +1,92 @@
 #include "core/cfq.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace cfq {
+
+namespace {
+
+// Shortest decimal that round-trips to `v`: integers print bare
+// ("100", never "100.0"), everything else probes increasing precision.
+std::string FormatConstant(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+// Canonical operator spellings match the parser grammar (SetCmpName
+// renders kNotSubset as "not-subset", which does not re-parse).
+std::string CanonSetCmp(SetCmp cmp) {
+  switch (cmp) {
+    case SetCmp::kNotSubset:
+      return "not subset";
+    case SetCmp::kNotSuperset:
+      return "not superset";
+    default:
+      return SetCmpName(cmp);
+  }
+}
+
+std::string CanonConjunct(const OneVarConstraint& c) {
+  std::ostringstream os;
+  const char* var = VarName(c.var);
+  if (const auto* d = std::get_if<DomainConstraint1>(&c.body)) {
+    // Builders keep the constant sorted/deduped; re-normalize anyway so
+    // hand-built constraints canonicalize too.
+    std::vector<AttrValue> constant = d->constant;
+    std::sort(constant.begin(), constant.end());
+    constant.erase(std::unique(constant.begin(), constant.end()),
+                   constant.end());
+    os << var << '.' << d->attr << ' ' << CanonSetCmp(d->cmp) << " {";
+    for (size_t i = 0; i < constant.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << FormatConstant(constant[i]);
+    }
+    os << '}';
+  } else {
+    const auto& a = std::get<AggConstraint1>(c.body);
+    os << AggFnName(a.agg) << '(' << var << '.' << a.attr << ") "
+       << CmpOpName(a.cmp) << ' ' << FormatConstant(a.constant);
+  }
+  return os.str();
+}
+
+std::string CanonConjunct(const TwoVarConstraint& c) {
+  std::ostringstream os;
+  if (const auto* d = std::get_if<DomainConstraint2>(&c)) {
+    os << "S." << d->attr_s << ' ' << CanonSetCmp(d->cmp) << " T."
+       << d->attr_t;
+  } else {
+    const auto& a = std::get<AggConstraint2>(c);
+    os << AggFnName(a.agg_s) << "(S." << a.attr_s << ") " << CmpOpName(a.cmp)
+       << ' ' << AggFnName(a.agg_t) << "(T." << a.attr_t << ')';
+  }
+  return os.str();
+}
+
+// Sorts a rendered conjunct group and drops exact duplicates (sound
+// under conjunction: C & C = C).
+void AppendSortedUnique(std::vector<std::string> group,
+                        std::vector<std::string>* out) {
+  std::sort(group.begin(), group.end());
+  group.erase(std::unique(group.begin(), group.end()), group.end());
+  out->insert(out->end(), std::make_move_iterator(group.begin()),
+              std::make_move_iterator(group.end()));
+}
+
+}  // namespace
 
 std::string ToString(const CfqQuery& query) {
   std::ostringstream os;
@@ -16,6 +100,32 @@ std::string ToString(const CfqQuery& query) {
   }
   os << "}";
   return os.str();
+}
+
+std::string CanonicalizeQuery(const CfqQuery& query) {
+  std::vector<std::string> conjuncts;
+  conjuncts.push_back("freq(S, " + std::to_string(query.min_support_s) + ")");
+  conjuncts.push_back("freq(T, " + std::to_string(query.min_support_t) + ")");
+  std::vector<std::string> one_var;
+  one_var.reserve(query.one_var.size());
+  for (const OneVarConstraint& c : query.one_var) {
+    one_var.push_back(CanonConjunct(c));
+  }
+  AppendSortedUnique(std::move(one_var), &conjuncts);
+  std::vector<std::string> two_var;
+  two_var.reserve(query.two_var.size());
+  for (const TwoVarConstraint& c : query.two_var) {
+    two_var.push_back(CanonConjunct(c));
+  }
+  AppendSortedUnique(std::move(two_var), &conjuncts);
+
+  std::string out = "{(S, T) |";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    out += i == 0 ? " " : " & ";
+    out += conjuncts[i];
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace cfq

@@ -30,6 +30,18 @@ struct CfqQuery {
 // "{(S, T) | freq(S) & freq(T) & ...}" rendering for EXPLAIN output.
 std::string ToString(const CfqQuery& query);
 
+// Canonical text form: whitespace-normalized, constants formatted by the
+// shortest round-tripping decimal, and the commutative conjuncts sorted
+// (freq(S)/freq(T) first, then 1-var, then 2-var constraints, each group
+// lexicographically with exact duplicates removed). Two queries that
+// differ only in conjunct order, spacing or constant spelling ("100" vs
+// "100.0") canonicalize to the same string — the ResultCache key, and
+// also what makes trivially-reordered EXPLAINs identical. The item
+// domains are NOT part of the text (bind them separately; the serving
+// layer keys on the dataset generation instead). The output re-parses
+// with ParseCfq and canonicalizes to itself.
+std::string CanonicalizeQuery(const CfqQuery& query);
+
 }  // namespace cfq
 
 #endif  // CFQ_CORE_CFQ_H_

@@ -175,7 +175,8 @@ class BoundsChannel {
 Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
                  CfqResult* result, obs::Tracer* tracer = nullptr,
                  ThreadPool* pool = nullptr,
-                 obs::MetricsRegistry* metrics = nullptr) {
+                 obs::MetricsRegistry* metrics = nullptr,
+                 const CancelToken* cancel = nullptr) {
   if (query.two_var.empty()) {
     result->cross_product = true;
     return Status::Ok();
@@ -193,6 +194,10 @@ Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
     pool->ParallelChunks(
         rows, shards, [&](size_t shard, size_t begin, size_t end) {
           std::vector<std::pair<uint32_t, uint32_t>>& local = partial[shard];
+          if (cancel != nullptr && cancel->Expired()) {
+            statuses[shard] = CancelToken::ExpiredError("pair formation");
+            return;
+          }
           for (uint32_t i = static_cast<uint32_t>(begin);
                i < static_cast<uint32_t>(end); ++i) {
             for (uint32_t j = 0; j < static_cast<uint32_t>(cols); ++j) {
@@ -214,6 +219,7 @@ Status FormPairs(const ItemCatalog& catalog, const CfqQuery& query,
     }
   } else {
     for (uint32_t i = 0; i < rows; ++i) {
+      CFQ_RETURN_IF_ERROR(CheckCancel(cancel, "pair formation"));
       for (uint32_t j = 0; j < cols; ++j) {
         ++result->stats.pair_checks;
         auto ok = EvalAllPairs(query.two_var, result->s_sets[i].items,
@@ -243,6 +249,7 @@ CapOptions ToCapOptions(const PlanOptions& options,
   cap.tracer = options.tracer;
   cap.metrics = options.metrics;
   cap.pool = pool;
+  cap.cancel = options.cancel;
   return cap;
 }
 
@@ -402,6 +409,13 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
                         BoundsChannel& incoming,
                         BoundsChannel& outgoing) -> Status {
       while (!self.done()) {
+        if (Status st = CheckCancel(
+                options.cancel,
+                std::string("level boundary (") + (is_t ? 'T' : 'S') + ")");
+            !st.ok()) {
+          outgoing.Close();
+          return st;
+        }
         // About to count level self.level()+1: T needs S through the
         // previous level, S needs T through the level being counted.
         const size_t need = is_t ? self.level() : self.level() + 1;
@@ -438,6 +452,7 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
     CFQ_RETURN_IF_ERROR(s_status);
   } else if (options.dovetail) {
     while (!s.done() || !t.done()) {
+      CFQ_RETURN_IF_ERROR(CheckCancel(options.cancel, "level boundary"));
       // With a horizontal backend, dovetailing lets one pass over the
       // transaction file count both lattices' levels (Section 5.2's
       // I/O argument for dovetailing).
@@ -479,12 +494,16 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
     }
   } else {
     // Non-dovetailed: finish T first so S sees the exact global bound.
-    while (t.Step()) {
+    while (!t.done()) {
+      CFQ_RETURN_IF_ERROR(CheckCancel(options.cancel, "level boundary (T)"));
+      if (!t.Step()) break;
       CFQ_RETURN_IF_ERROR(
           feed_jmax(true, t.level(), t.last_level_frequent(), t.done()));
     }
     CFQ_RETURN_IF_ERROR(feed_jmax(true, t.level(), {}, /*source_done=*/true));
-    while (s.Step()) {
+    while (!s.done()) {
+      CFQ_RETURN_IF_ERROR(CheckCancel(options.cancel, "level boundary (S)"));
+      if (!s.Step()) break;
       CFQ_RETURN_IF_ERROR(
           feed_jmax(false, s.level(), s.last_level_frequent(), s.done()));
     }
@@ -505,7 +524,8 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
   result.stats.t.metrics = nullptr;
   result.stats.mining_seconds = timer.ElapsedSeconds();
   CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer,
-                                &pool, options.metrics));
+                                &pool, options.metrics,
+                                options.cancel));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
@@ -536,6 +556,7 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
   apriori_options.tracer = options.tracer;
   apriori_options.metrics = options.metrics;
   apriori_options.pool = &pool;
+  apriori_options.cancel = options.cancel;
 
   CfqResult result;
   apriori_options.var_label = 'S';
@@ -552,7 +573,8 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
   result.stats.t = std::move(t.value().stats);
   result.stats.mining_seconds = timer.ElapsedSeconds();
   CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer,
-                                &pool, options.metrics));
+                                &pool, options.metrics,
+                                options.cancel));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
@@ -581,7 +603,8 @@ Result<CfqResult> ExecuteCapOneVar(TransactionDb* db,
   result.stats.t = std::move(t.value().stats);
   result.stats.mining_seconds = timer.ElapsedSeconds();
   CFQ_RETURN_IF_ERROR(FormPairs(catalog, query, &result, options.tracer,
-                                &pool, options.metrics));
+                                &pool, options.metrics,
+                                options.cancel));
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "core/cfq.h"
 #include "core/jmax.h"
@@ -51,6 +52,10 @@ struct PlanOptions {
   // executor merges S then T so the merged contents are deterministic
   // at every thread count. Not owned.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional cooperative cancellation token (common/cancellation.h),
+  // polled at level boundaries and between pair-formation shards. An
+  // expired token aborts the strategy with kDeadlineExceeded. Not owned.
+  const CancelToken* cancel = nullptr;
 };
 
 // How one 2-var constraint will be processed.

@@ -128,4 +128,20 @@ std::vector<std::string> ItemCatalog::AttrNames() const {
   return out;
 }
 
+std::vector<std::string> ItemCatalog::NumericAttrNames() const {
+  std::vector<std::string> out;
+  out.reserve(numeric_.size());
+  for (const auto& [name, column] : numeric_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> ItemCatalog::CategoricalAttrNames() const {
+  std::vector<std::string> out;
+  out.reserve(categorical_.size());
+  for (const auto& [name, column] : categorical_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace cfq

@@ -74,6 +74,12 @@ class ItemCatalog {
   // Used for error hints when a query references an unknown attribute.
   std::vector<std::string> AttrNames() const;
 
+  // Registered column names by kind (sorted, "Item" excluded) — what
+  // serialization needs to persist a catalog without being told which
+  // attributes exist.
+  std::vector<std::string> NumericAttrNames() const;
+  std::vector<std::string> CategoricalAttrNames() const;
+
  private:
   struct CategoricalColumn {
     std::vector<int32_t> codes;

@@ -190,4 +190,33 @@ Result<ItemCatalog> LoadCatalog(const std::string& path) {
   return catalog;
 }
 
+Result<Dataset> LoadDataset(const std::string& db_path,
+                            const std::string& catalog_path) {
+  auto db = LoadTransactions(db_path);
+  if (!db.ok()) return db.status();
+  auto catalog = LoadCatalog(catalog_path);
+  if (!catalog.ok()) return catalog.status();
+  if (catalog->num_items() != db->num_items()) {
+    return Status::InvalidArgument(
+        "catalog '" + catalog_path + "' has " +
+        std::to_string(catalog->num_items()) + " items but database '" +
+        db_path + "' declares " + std::to_string(db->num_items()));
+  }
+  return Dataset{std::move(db).value(), std::move(catalog).value()};
+}
+
+Status SaveDataset(const TransactionDb& db, const ItemCatalog& catalog,
+                   const std::string& db_path,
+                   const std::string& catalog_path) {
+  if (catalog.num_items() != db.num_items()) {
+    return Status::InvalidArgument(
+        "catalog has " + std::to_string(catalog.num_items()) +
+        " items but the database declares " +
+        std::to_string(db.num_items()));
+  }
+  CFQ_RETURN_IF_ERROR(SaveTransactions(db, db_path));
+  return SaveCatalog(catalog, catalog.NumericAttrNames(),
+                     catalog.CategoricalAttrNames(), catalog_path);
+}
+
 }  // namespace cfq

@@ -36,6 +36,23 @@ Status SaveCatalog(const ItemCatalog& catalog,
                    const std::string& path);
 Result<ItemCatalog> LoadCatalog(const std::string& path);
 
+// A transaction database together with its item catalog — the unit
+// every consumer (cfq_mine, the shell, the query daemon) actually loads.
+struct Dataset {
+  TransactionDb db;
+  ItemCatalog catalog;
+};
+
+// Loads both halves and validates that they agree on the item universe.
+Result<Dataset> LoadDataset(const std::string& db_path,
+                            const std::string& catalog_path);
+
+// Saves both halves; every registered catalog column is persisted
+// (attribute lists come from the catalog itself).
+Status SaveDataset(const TransactionDb& db, const ItemCatalog& catalog,
+                   const std::string& db_path,
+                   const std::string& catalog_path);
+
 }  // namespace cfq
 
 #endif  // CFQ_DATA_SERIALIZE_H_

@@ -33,6 +33,10 @@ AprioriResult MineFrequent(TransactionDb* db, const Itemset& domain,
   // the level being counted (zero at level 1).
   uint64_t pruned_subset = 0;
   while (!candidates.empty()) {
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      result.cancelled = true;
+      return result;
+    }
     Stopwatch count_wall;
     CpuStopwatch count_cpu;
     const std::vector<uint64_t> supports =

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/itemset.h"
 #include "data/transaction_db.h"
 #include "mining/ccc_stats.h"
@@ -38,11 +39,17 @@ struct AprioriOptions {
   // histograms and per-scan bytes. Not owned; null disables recording.
   obs::MetricsRegistry* metrics = nullptr;
   char var_label = '?';
+  // Optional cooperative cancellation token, polled before each level.
+  // Not owned; null never cancels.
+  const CancelToken* cancel = nullptr;
 };
 
 struct AprioriResult {
   std::vector<FrequentSet> frequent;  // All levels, ascending size.
   CccStats stats;
+  // True when options.cancel expired mid-run; `frequent` holds only the
+  // levels completed before the boundary check fired.
+  bool cancelled = false;
 };
 
 // Mines all frequent itemsets drawn from `domain` with absolute support

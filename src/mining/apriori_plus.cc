@@ -14,6 +14,10 @@ Result<AprioriPlusResult> RunAprioriPlus(
   }
   AprioriPlusResult result;
   AprioriResult mined = MineFrequent(db, domain, min_support, options);
+  if (mined.cancelled) {
+    return CancelToken::ExpiredError(std::string("apriori level boundary (") +
+                                     options.var_label + ")");
+  }
   result.stats = std::move(mined.stats);
   result.all_frequent = std::move(mined.frequent);
 

@@ -1,5 +1,7 @@
 #include "mining/cap.h"
 
+#include <string>
+
 #include "mining/lattice.h"
 
 namespace cfq {
@@ -14,6 +16,9 @@ Result<CapResult> RunCap(TransactionDb* db, const ItemCatalog& catalog,
   if (!lattice.ok()) return lattice.status();
   ConstrainedLattice& l = **lattice;
   while (!l.done()) {
+    CFQ_RETURN_IF_ERROR(CheckCancel(
+        options.cancel, "cap level boundary (level " +
+                            std::to_string(l.level() + 1) + ")"));
     if (!l.Step()) break;
     if (hooks != nullptr) {
       hooks->OnLevelComplete(l.level(), l.last_level_frequent());

@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/itemset.h"
 #include "common/result.h"
 #include "constraints/one_var.h"
@@ -48,6 +49,9 @@ struct CapOptions {
   // Optional metrics sink (obs/metrics.h): per-level gen/count latency
   // histograms and per-scan bytes. Not owned; null disables recording.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional cooperative cancellation token, polled before each level.
+  // Not owned; null never cancels.
+  const CancelToken* cancel = nullptr;
 };
 
 // Per-level extension points used by the dovetailed CFQ executor.

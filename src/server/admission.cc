@@ -1,0 +1,88 @@
+#include "server/admission.h"
+
+#include <chrono>
+
+namespace cfq::server {
+
+Permit& Permit::operator=(Permit&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void Permit::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+Result<Permit> AdmissionController::Admit(const CancelToken* cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return Status::FailedPrecondition("server is shutting down");
+  if (active_ < max_concurrent_) {
+    ++active_;
+    return Permit(this);
+  }
+  if (queued_ >= max_queued_) {
+    ++rejected_;
+    return Status::FailedPrecondition(
+        "admission queue full (" + std::to_string(active_) + " active, " +
+        std::to_string(queued_) + " queued)");
+  }
+  ++queued_;
+  // Deadlines live in the CancelToken, not the cv, so wake periodically
+  // to poll it — the same cooperative cadence the executor uses.
+  while (true) {
+    cv_.wait_for(lock, std::chrono::milliseconds(10));
+    if (shutdown_) {
+      --queued_;
+      return Status::FailedPrecondition("server is shutting down");
+    }
+    if (cancel != nullptr && cancel->Expired()) {
+      --queued_;
+      return CancelToken::ExpiredError("admission queue");
+    }
+    if (active_ < max_concurrent_) {
+      --queued_;
+      ++active_;
+      return Permit(this);
+    }
+  }
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+  }
+  cv_.notify_one();
+}
+
+size_t AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+uint64_t AdmissionController::rejected_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace cfq::server

@@ -1,0 +1,85 @@
+// AdmissionController: bounded concurrency for query execution.
+//
+// At most `max_concurrent` queries execute at once; up to `max_queued`
+// more may wait for a slot. A query arriving with the queue full is
+// rejected immediately (kFailedPrecondition — the protocol's REJECTED
+// status) rather than piling latency onto everyone behind it. A waiter
+// whose CancelToken deadline expires before a slot frees leaves the
+// queue with kDeadlineExceeded (TIMEOUT), and waiters are released with
+// an error when the controller shuts down for drain.
+//
+// Admit() returns an RAII Permit; the slot is released when the Permit
+// is destroyed.
+
+#ifndef CFQ_SERVER_ADMISSION_H_
+#define CFQ_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+
+namespace cfq::server {
+
+class AdmissionController;
+
+// Movable slot holder; releases its slot on destruction.
+class Permit {
+ public:
+  Permit() = default;
+  explicit Permit(AdmissionController* controller) : controller_(controller) {}
+  Permit(Permit&& other) noexcept : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  Permit& operator=(Permit&& other) noexcept;
+  Permit(const Permit&) = delete;
+  Permit& operator=(const Permit&) = delete;
+  ~Permit() { Release(); }
+
+  void Release();
+
+ private:
+  AdmissionController* controller_ = nullptr;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(size_t max_concurrent, size_t max_queued)
+      : max_concurrent_(max_concurrent == 0 ? 1 : max_concurrent),
+        max_queued_(max_queued) {}
+
+  // Blocks until a slot is free. `cancel` (may be null) bounds the
+  // wait: an expired token returns kDeadlineExceeded. A full queue
+  // returns kFailedPrecondition without waiting; a shut-down
+  // controller returns kFailedPrecondition("shutting down").
+  Result<Permit> Admit(const CancelToken* cancel);
+
+  // Releases all waiters with an error and rejects future Admits.
+  // In-flight permits stay valid (drain finishes running queries).
+  void Shutdown();
+
+  size_t active() const;
+  size_t queued() const;
+  uint64_t rejected_total() const;
+  size_t max_concurrent() const { return max_concurrent_; }
+  size_t max_queued() const { return max_queued_; }
+
+ private:
+  friend class Permit;
+  void ReleaseSlot();
+
+  const size_t max_concurrent_;
+  const size_t max_queued_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t active_ = 0;
+  size_t queued_ = 0;
+  uint64_t rejected_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cfq::server
+
+#endif  // CFQ_SERVER_ADMISSION_H_

@@ -1,0 +1,84 @@
+#include "server/catalog.h"
+
+#include <utility>
+
+#include "data/attribute_gen.h"
+
+namespace cfq::server {
+
+uint64_t DatasetCatalog::Register(const std::string& name, Dataset dataset) {
+  // Index before publication: shared readers must never trigger a
+  // rebuild (TransactionDb is only thread-safe once read-only).
+  dataset.db.EnsureVerticalIndex();
+  auto shared = std::make_shared<const Dataset>(std::move(dataset));
+  std::lock_guard<std::mutex> lock(mu_);
+  CatalogEntry& entry = entries_[name];
+  entry.data = std::move(shared);
+  entry.generation = next_generation_++;
+  return entry.generation;
+}
+
+Result<uint64_t> DatasetCatalog::Load(const std::string& name,
+                                      const std::string& db_path,
+                                      const std::string& catalog_path) {
+  auto dataset = LoadDataset(db_path, catalog_path);
+  if (!dataset.ok()) return dataset.status();
+  return Register(name, std::move(dataset).value());
+}
+
+Result<uint64_t> DatasetCatalog::Generate(const std::string& name,
+                                          const QuestParams& params) {
+  auto db = GenerateQuestDb(params);
+  if (!db.ok()) return db.status();
+  Dataset dataset{std::move(db).value(),
+                  ItemCatalog(static_cast<size_t>(params.num_items))};
+  CFQ_RETURN_IF_ERROR(AssignUniformPrices(&dataset.catalog, "Price", 1, 1000,
+                                          params.seed + 1));
+  std::vector<int32_t> types(params.num_items);
+  for (size_t i = 0; i < types.size(); ++i) {
+    types[i] = static_cast<int32_t>(i % 8);
+  }
+  CFQ_RETURN_IF_ERROR(
+      dataset.catalog.AddCategoricalAttr("Type", std::move(types)));
+  return Register(name, std::move(dataset));
+}
+
+Result<CatalogEntry> DatasetCatalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no dataset named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status DatasetCatalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("no dataset named '" + name + "'");
+  }
+  return Status::Ok();
+}
+
+std::vector<DatasetInfo> DatasetCatalog::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DatasetInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    DatasetInfo info;
+    info.name = name;
+    info.generation = entry.generation;
+    info.num_transactions = entry.data->db.num_transactions();
+    info.num_items = entry.data->db.num_items();
+    info.attrs = entry.data->catalog.AttrNames();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+size_t DatasetCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace cfq::server

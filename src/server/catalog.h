@@ -1,0 +1,77 @@
+// DatasetCatalog: the daemon's named, shared, read-only datasets.
+//
+// Each entry pairs a TransactionDb with its ItemCatalog (data/serialize
+// Dataset) under a client-chosen name. Entries are immutable once
+// registered: the catalog eagerly builds the vertical index at
+// registration so the bitmap counting backend never mutates the shared
+// database mid-query, after which any number of concurrent queries may
+// read one entry through its shared_ptr.
+//
+// Rebinding a name (load/gen over an existing dataset) or dropping it
+// does not disturb in-flight queries — they keep their shared_ptr —
+// but it does bump the entry's generation id. The ResultCache keys on
+// (name, generation), so cached answers die with the data they were
+// computed from.
+
+#ifndef CFQ_SERVER_CATALOG_H_
+#define CFQ_SERVER_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/serialize.h"
+#include "data/synthetic_gen.h"
+
+namespace cfq::server {
+
+// One registered dataset plus its generation id.
+struct CatalogEntry {
+  std::shared_ptr<const Dataset> data;
+  uint64_t generation = 0;
+};
+
+// Summary row for the `datasets` protocol command.
+struct DatasetInfo {
+  std::string name;
+  uint64_t generation = 0;
+  uint64_t num_transactions = 0;
+  uint64_t num_items = 0;
+  std::vector<std::string> attrs;
+};
+
+class DatasetCatalog {
+ public:
+  // Registers `dataset` under `name`, replacing any existing binding.
+  // Builds the vertical index before publication. Returns the new
+  // generation id.
+  uint64_t Register(const std::string& name, Dataset dataset);
+
+  // Loads the serialized pair via data/serialize and registers it.
+  Result<uint64_t> Load(const std::string& name, const std::string& db_path,
+                        const std::string& catalog_path);
+
+  // Generates a Quest database with uniform [1, 1000] prices ("Price")
+  // and 8 round-robin categories ("Type") — the same demo schema as
+  // cfq_mine — and registers it.
+  Result<uint64_t> Generate(const std::string& name,
+                            const QuestParams& params);
+
+  Result<CatalogEntry> Get(const std::string& name) const;
+  Status Drop(const std::string& name);
+  std::vector<DatasetInfo> List() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, CatalogEntry> entries_;
+  uint64_t next_generation_ = 1;
+};
+
+}  // namespace cfq::server
+
+#endif  // CFQ_SERVER_CATALOG_H_

@@ -1,0 +1,50 @@
+// Client: a blocking connection to a cfq_served daemon.
+//
+// One request out, one response line back, in order — the transport
+// counterpart of QueryService::Handle. Used by tools/cfq_client, the
+// server tests and bench/server_throughput; it is intentionally
+// synchronous (no pipelining) so its call latency is the protocol's
+// round-trip time.
+
+#ifndef CFQ_SERVER_CLIENT_H_
+#define CFQ_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "server/json.h"
+
+namespace cfq::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects over IPv4; `host` is a dotted-quad address.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Sends one request object and blocks for its response object.
+  Result<JsonValue> Call(const JsonValue& request);
+
+  // Raw variant (no JSON encode of the request): sends `line` plus a
+  // newline, returns the raw response line. Lets tests exercise the
+  // daemon's handling of malformed input.
+  Result<std::string> CallRaw(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // Bytes received past the last response line.
+};
+
+}  // namespace cfq::server
+
+#endif  // CFQ_SERVER_CLIENT_H_

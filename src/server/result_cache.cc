@@ -1,0 +1,71 @@
+#include "server/result_cache.h"
+
+#include <utility>
+
+namespace cfq::server {
+
+std::shared_ptr<const CachedAnswer> ResultCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    if (metrics_ != nullptr) metrics_->Add("server.cache.misses");
+    return nullptr;
+  }
+  ++hits_;
+  if (metrics_ != nullptr) metrics_->Add("server.cache.hits");
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->answer;
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::shared_ptr<const CachedAnswer> answer) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->answer = std::move(answer);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(answer)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    if (metrics_ != nullptr) metrics_->Add("server.cache.evictions");
+  }
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("server.cache.size", static_cast<double>(lru_.size()));
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  if (metrics_ != nullptr) metrics_->SetGauge("server.cache.size", 0);
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace cfq::server

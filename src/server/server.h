@@ -1,0 +1,83 @@
+// Server: the daemon's TCP transport.
+//
+// One accept thread plus one thread per connection; each connection
+// speaks the newline-delimited JSON protocol (one request object per
+// line, one response object per line, in order). All protocol logic
+// lives in QueryService — this layer only frames lines, isolates
+// per-connection errors (a malformed line gets a BAD_REQUEST response;
+// a broken peer closes only its own connection), and implements the
+// drain sequence:
+//
+//   RequestShutdown():  stop accepting (close the listen fd), stop
+//                       admitting queries, half-close every connection
+//                       (shutdown SHUT_RD) so in-flight requests finish
+//                       and their responses are still written.
+//   Wait():             join the accept thread and every connection
+//                       thread; returns when the last response is out.
+//
+// Binding port 0 picks an ephemeral port (port() reports the real one),
+// which is how tests and benches avoid fixed-port collisions.
+
+#ifndef CFQ_SERVER_SERVER_H_
+#define CFQ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/service.h"
+
+namespace cfq::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral.
+  int backlog = 64;
+  // One protocol line (request or response) may not exceed this.
+  size_t max_line_bytes = 8 * 1024 * 1024;
+};
+
+class Server {
+ public:
+  // `service` not owned; must outlive the server.
+  Server(const ServerOptions& options, QueryService* service);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and starts the accept thread.
+  Status Start();
+
+  // The bound port (after Start); the requested one unless it was 0.
+  uint16_t port() const { return port_; }
+
+  // Begins the drain (idempotent; safe from any thread, including a
+  // connection thread serving the `shutdown` command).
+  void RequestShutdown();
+
+  // Blocks until the drain completes and every thread has joined.
+  void Wait();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const ServerOptions options_;
+  QueryService* const service_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+  std::map<int, bool> open_fds_;  // fd -> still open.
+};
+
+}  // namespace cfq::server
+
+#endif  // CFQ_SERVER_SERVER_H_

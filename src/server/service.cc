@@ -1,0 +1,405 @@
+#include "server/service.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/cancellation.h"
+#include "core/analyze.h"
+#include "core/cfq.h"
+#include "core/executor.h"
+#include "core/optimizer.h"
+#include "obs/export.h"
+#include "parser/parser.h"
+
+namespace cfq::server {
+
+namespace {
+
+JsonValue ErrorResponse(const std::string& status, const std::string& error) {
+  JsonValue::Object response;
+  response["status"] = status;
+  response["error"] = error;
+  return response;
+}
+
+std::string JoinItems(const Itemset& items) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(items[i]);
+  }
+  return out;
+}
+
+// One protocol row per answer pair, same shape as cfq_mine's CSV body.
+std::string PairRow(const FrequentSet& s, const FrequentSet& t) {
+  return JoinItems(s.items) + ';' + JoinItems(t.items) + ';' +
+         std::to_string(s.support) + ';' + std::to_string(t.support);
+}
+
+}  // namespace
+
+QueryService::QueryService(const ServiceOptions& options,
+                           obs::MetricsRegistry* metrics)
+    : options_(options),
+      metrics_(metrics),
+      cache_(options.cache_capacity, metrics),
+      admission_(options.max_concurrent, options.max_queued) {}
+
+JsonValue QueryService::Handle(const JsonValue& request) {
+  metrics_->Add("server.requests_total");
+  if (!request.is_object()) {
+    return ErrorResponse("BAD_REQUEST", "request must be a JSON object");
+  }
+  const std::string cmd = request.GetString("cmd", "");
+  JsonValue response = JsonValue::Object{};
+  if (cmd == "ping") {
+    JsonValue::Object pong;
+    pong["status"] = "OK";
+    pong["pong"] = true;
+    response = std::move(pong);
+  } else if (cmd == "load") {
+    response = HandleLoad(request);
+  } else if (cmd == "gen") {
+    response = HandleGen(request);
+  } else if (cmd == "save") {
+    response = HandleSave(request);
+  } else if (cmd == "drop") {
+    response = HandleDrop(request);
+  } else if (cmd == "datasets") {
+    response = HandleDatasets();
+  } else if (cmd == "query") {
+    response = HandleQuery(request);
+  } else if (cmd == "stats") {
+    response = HandleStats();
+  } else if (cmd == "shutdown") {
+    shutdown_requested_.store(true, std::memory_order_release);
+    JsonValue::Object ok;
+    ok["status"] = "OK";
+    ok["draining"] = true;
+    response = std::move(ok);
+  } else {
+    response = ErrorResponse(
+        "BAD_REQUEST", cmd.empty() ? "missing \"cmd\" field"
+                                   : "unknown cmd '" + cmd + "'");
+  }
+  metrics_->Add("server.responses." +
+                response.GetString("status", "INTERNAL"));
+  return response;
+}
+
+JsonValue QueryService::HandleLoad(const JsonValue& request) {
+  const std::string name = request.GetString("dataset", "");
+  const std::string db_path = request.GetString("db", "");
+  const std::string catalog_path = request.GetString("catalog", "");
+  if (name.empty() || db_path.empty() || catalog_path.empty()) {
+    return ErrorResponse("BAD_REQUEST",
+                         "load needs \"dataset\", \"db\" and \"catalog\"");
+  }
+  auto generation = catalog_.Load(name, db_path, catalog_path);
+  if (!generation.ok()) {
+    return ErrorResponse(
+        generation.status().code() == StatusCode::kNotFound ? "NOT_FOUND"
+                                                            : "BAD_REQUEST",
+        generation.status().ToString());
+  }
+  metrics_->Add("server.datasets.loaded");
+  auto entry = catalog_.Get(name);
+  JsonValue::Object response;
+  response["status"] = "OK";
+  response["dataset"] = name;
+  response["generation"] = static_cast<int64_t>(generation.value());
+  if (entry.ok()) {
+    response["num_transactions"] =
+        static_cast<int64_t>(entry->data->db.num_transactions());
+    response["num_items"] = static_cast<int64_t>(entry->data->db.num_items());
+  }
+  return response;
+}
+
+JsonValue QueryService::HandleGen(const JsonValue& request) {
+  const std::string name = request.GetString("dataset", "");
+  if (name.empty()) {
+    return ErrorResponse("BAD_REQUEST", "gen needs \"dataset\"");
+  }
+  QuestParams params;
+  params.num_transactions = static_cast<uint64_t>(
+      request.GetInt("num_transactions", 10000));
+  params.num_items =
+      static_cast<uint64_t>(request.GetInt("num_items", 1000));
+  params.avg_transaction_size =
+      request.GetNumber("avg_transaction_size", 10);
+  params.avg_pattern_size = request.GetNumber("avg_pattern_size", 4);
+  params.num_patterns =
+      static_cast<uint64_t>(request.GetInt("num_patterns", 500));
+  params.seed = static_cast<uint64_t>(request.GetInt("seed", 42));
+  auto generation = catalog_.Generate(name, params);
+  if (!generation.ok()) {
+    return ErrorResponse("BAD_REQUEST", generation.status().ToString());
+  }
+  metrics_->Add("server.datasets.generated");
+  JsonValue::Object response;
+  response["status"] = "OK";
+  response["dataset"] = name;
+  response["generation"] = static_cast<int64_t>(generation.value());
+  response["num_transactions"] =
+      static_cast<int64_t>(params.num_transactions);
+  response["num_items"] = static_cast<int64_t>(params.num_items);
+  return response;
+}
+
+JsonValue QueryService::HandleSave(const JsonValue& request) {
+  const std::string name = request.GetString("dataset", "");
+  const std::string db_path = request.GetString("db", "");
+  const std::string catalog_path = request.GetString("catalog", "");
+  if (name.empty() || db_path.empty() || catalog_path.empty()) {
+    return ErrorResponse("BAD_REQUEST",
+                         "save needs \"dataset\", \"db\" and \"catalog\"");
+  }
+  auto entry = catalog_.Get(name);
+  if (!entry.ok()) {
+    return ErrorResponse("NOT_FOUND", entry.status().ToString());
+  }
+  if (auto s = SaveDataset(entry->data->db, entry->data->catalog, db_path,
+                           catalog_path);
+      !s.ok()) {
+    return ErrorResponse("EXEC_ERROR", s.ToString());
+  }
+  JsonValue::Object response;
+  response["status"] = "OK";
+  response["dataset"] = name;
+  response["db"] = db_path;
+  response["catalog"] = catalog_path;
+  return response;
+}
+
+JsonValue QueryService::HandleDrop(const JsonValue& request) {
+  const std::string name = request.GetString("dataset", "");
+  if (name.empty()) {
+    return ErrorResponse("BAD_REQUEST", "drop needs \"dataset\"");
+  }
+  if (auto s = catalog_.Drop(name); !s.ok()) {
+    return ErrorResponse("NOT_FOUND", s.ToString());
+  }
+  JsonValue::Object response;
+  response["status"] = "OK";
+  response["dataset"] = name;
+  return response;
+}
+
+JsonValue QueryService::HandleDatasets() {
+  JsonValue::Array rows;
+  for (const DatasetInfo& info : catalog_.List()) {
+    JsonValue::Object row;
+    row["name"] = info.name;
+    row["generation"] = static_cast<int64_t>(info.generation);
+    row["num_transactions"] = static_cast<int64_t>(info.num_transactions);
+    row["num_items"] = static_cast<int64_t>(info.num_items);
+    JsonValue::Array attrs;
+    for (const std::string& attr : info.attrs) attrs.push_back(attr);
+    row["attrs"] = std::move(attrs);
+    rows.push_back(std::move(row));
+  }
+  JsonValue::Object response;
+  response["status"] = "OK";
+  response["datasets"] = std::move(rows);
+  return response;
+}
+
+JsonValue QueryService::HandleQuery(const JsonValue& request) {
+  const auto started = std::chrono::steady_clock::now();
+  const std::string name = request.GetString("dataset", "");
+  const std::string query_text = request.GetString("query", "");
+  if (name.empty() || query_text.empty()) {
+    return ErrorResponse("BAD_REQUEST",
+                         "query needs \"dataset\" and \"query\"");
+  }
+  const std::string strategy = request.GetString("strategy", "optimized");
+  if (strategy != "optimized" && strategy != "cap" && strategy != "apriori") {
+    return ErrorResponse("BAD_REQUEST", "unknown strategy '" + strategy +
+                                            "' (want optimized|cap|apriori)");
+  }
+
+  auto entry = catalog_.Get(name);
+  if (!entry.ok()) {
+    return ErrorResponse("NOT_FOUND", entry.status().ToString());
+  }
+
+  auto parsed = ParseCfq(query_text);
+  if (!parsed.ok()) {
+    return ErrorResponse("PARSE_ERROR", parsed.status().ToString());
+  }
+  CfqQuery query = std::move(parsed).value();
+  for (ItemId i = 0; i < entry->data->db.num_items(); ++i) {
+    query.s_domain.push_back(i);
+    query.t_domain.push_back(i);
+  }
+  const std::string canonical = CanonicalizeQuery(query);
+
+  uint64_t max_rows =
+      static_cast<uint64_t>(request.GetInt("max_rows",
+                                           static_cast<int64_t>(
+                                               options_.max_rows)));
+  if (max_rows > options_.max_rows) max_rows = options_.max_rows;
+
+  // The cache key covers exactly what determines the answer bytes; see
+  // result_cache.h.
+  const std::string cache_key =
+      name + '@' + std::to_string(entry->generation) + '|' + strategy +
+      "|rows=" + std::to_string(max_rows) + '|' + canonical;
+
+  auto answer = cache_.Get(cache_key);
+  bool cached = answer != nullptr;
+  if (!cached) {
+    // Miss: admit, run, populate.
+    uint64_t deadline_ms = static_cast<uint64_t>(
+        request.GetInt("deadline_ms",
+                       static_cast<int64_t>(options_.default_deadline_ms)));
+    if (deadline_ms == 0 || deadline_ms > options_.max_deadline_ms) {
+      deadline_ms = options_.max_deadline_ms;
+    }
+    CancelToken cancel;
+    cancel.SetDeadline(std::chrono::milliseconds(deadline_ms));
+
+    auto permit = admission_.Admit(&cancel);
+    if (!permit.ok()) {
+      if (permit.status().code() == StatusCode::kDeadlineExceeded) {
+        metrics_->Add("server.admission.timeouts");
+        return ErrorResponse("TIMEOUT", permit.status().ToString());
+      }
+      const bool draining =
+          permit.status().message().find("shutting down") !=
+          std::string::npos;
+      metrics_->Add(draining ? "server.admission.drained"
+                             : "server.admission.rejected");
+      return ErrorResponse(draining ? "SHUTTING_DOWN" : "REJECTED",
+                           permit.status().ToString());
+    }
+
+    PlanOptions plan_options;
+    plan_options.threads = options_.threads;
+    plan_options.cancel = &cancel;
+    obs::MetricsRegistry query_metrics;
+    plan_options.metrics = &query_metrics;
+
+    // The catalog pre-built the vertical index, so execution treats the
+    // shared database as read-only despite the non-const signature.
+    TransactionDb* db = const_cast<TransactionDb*>(&entry->data->db);
+    Result<CfqResult> result = Status::Internal("unreachable");
+    if (strategy == "optimized") {
+      auto plan = BuildPlan(query, plan_options);
+      if (!plan.ok()) {
+        return ErrorResponse("PLAN_ERROR", plan.status().ToString());
+      }
+      result = ExecutePlan(db, entry->data->catalog, plan.value());
+    } else if (strategy == "cap") {
+      result = ExecuteCapOneVar(db, entry->data->catalog, query,
+                                plan_options);
+    } else {
+      result = ExecuteAprioriPlus(db, entry->data->catalog, query,
+                                  plan_options);
+    }
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kDeadlineExceeded) {
+        metrics_->Add("server.query.timeouts");
+        return ErrorResponse("TIMEOUT", result.status().ToString());
+      }
+      return ErrorResponse(result.status().code() == StatusCode::kNotFound
+                               ? "PLAN_ERROR"
+                               : "EXEC_ERROR",
+                           result.status().ToString());
+    }
+
+    auto fresh = std::make_shared<CachedAnswer>();
+    fresh->canonical_query = canonical;
+    fresh->s_sets = result->s_sets.size();
+    fresh->t_sets = result->t_sets.size();
+    fresh->cross_product = result->cross_product;
+    if (result->cross_product) {
+      fresh->num_pairs = static_cast<uint64_t>(result->s_sets.size()) *
+                         static_cast<uint64_t>(result->t_sets.size());
+      for (const FrequentSet& s : result->s_sets) {
+        for (const FrequentSet& t : result->t_sets) {
+          if (fresh->rows.size() >= max_rows) break;
+          fresh->rows.push_back(PairRow(s, t));
+        }
+        if (fresh->rows.size() >= max_rows) break;
+      }
+    } else {
+      fresh->num_pairs = result->pairs.size();
+      for (const auto& [i, j] : result->pairs) {
+        if (fresh->rows.size() >= max_rows) break;
+        fresh->rows.push_back(
+            PairRow(result->s_sets[i], result->t_sets[j]));
+      }
+    }
+    fresh->truncated = fresh->rows.size() < fresh->num_pairs;
+
+    ExportMetrics(result->stats, &query_metrics);
+    metrics_->MergeFrom(query_metrics);
+    cache_.Put(cache_key, fresh);
+    answer = std::move(fresh);
+  }
+
+  const double elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  metrics_->Add("server.queries_total");
+  metrics_->Observe(cached ? "server.query_seconds.cache_hit"
+                           : "server.query_seconds.cold",
+                    elapsed_seconds);
+
+  JsonValue::Object response;
+  response["status"] = "OK";
+  response["dataset"] = name;
+  response["generation"] = static_cast<int64_t>(entry->generation);
+  response["strategy"] = strategy;
+  response["canonical_query"] = answer->canonical_query;
+  response["cached"] = cached;
+  response["s_sets"] = static_cast<int64_t>(answer->s_sets);
+  response["t_sets"] = static_cast<int64_t>(answer->t_sets);
+  response["num_pairs"] = static_cast<int64_t>(answer->num_pairs);
+  response["cross_product"] = answer->cross_product;
+  response["truncated"] = answer->truncated;
+  JsonValue::Array rows;
+  rows.reserve(answer->rows.size());
+  for (const std::string& row : answer->rows) rows.push_back(row);
+  response["rows"] = std::move(rows);
+  response["elapsed_seconds"] = elapsed_seconds;
+  return response;
+}
+
+JsonValue QueryService::HandleStats() {
+  JsonValue::Object cache;
+  cache["hits"] = static_cast<int64_t>(cache_.hits());
+  cache["misses"] = static_cast<int64_t>(cache_.misses());
+  cache["evictions"] = static_cast<int64_t>(cache_.evictions());
+  cache["size"] = static_cast<int64_t>(cache_.size());
+  cache["capacity"] = static_cast<int64_t>(cache_.capacity());
+
+  JsonValue::Object admission;
+  admission["active"] = static_cast<int64_t>(admission_.active());
+  admission["queued"] = static_cast<int64_t>(admission_.queued());
+  admission["rejected_total"] =
+      static_cast<int64_t>(admission_.rejected_total());
+  admission["max_concurrent"] =
+      static_cast<int64_t>(admission_.max_concurrent());
+  admission["max_queued"] = static_cast<int64_t>(admission_.max_queued());
+
+  // The same registry the daemon flushes at drain, in the same
+  // Prometheus text the rest of the toolchain exports.
+  std::ostringstream prometheus;
+  obs::WritePrometheus(*metrics_, prometheus);
+
+  JsonValue::Object response;
+  response["status"] = "OK";
+  response["cache"] = std::move(cache);
+  response["admission"] = std::move(admission);
+  response["datasets"] = static_cast<int64_t>(catalog_.size());
+  response["prometheus"] = prometheus.str();
+  return response;
+}
+
+}  // namespace cfq::server

@@ -1,0 +1,94 @@
+// QueryService: the daemon's protocol brain, independent of sockets.
+//
+// Handle() takes one decoded request object and returns one response
+// object; the TCP layer (server.h) only frames lines and moves bytes.
+// Keeping the service transport-free is what lets tests drive the full
+// parse -> canonicalize -> cache -> admit -> plan -> execute path
+// in-process, without ports.
+//
+// Commands (see docs/SERVING.md for the full grammar):
+//   ping | load | gen | save | drop | datasets | query | stats | shutdown
+//
+// Every response carries "status": OK, or one of PARSE_ERROR,
+// PLAN_ERROR, EXEC_ERROR, TIMEOUT, REJECTED, NOT_FOUND, BAD_REQUEST,
+// SHUTTING_DOWN, plus "error" text on failures.
+
+#ifndef CFQ_SERVER_SERVICE_H_
+#define CFQ_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "server/admission.h"
+#include "server/catalog.h"
+#include "server/json.h"
+#include "server/result_cache.h"
+
+namespace cfq::server {
+
+struct ServiceOptions {
+  // Per-query mining parallelism (PlanOptions::threads; 0 = hardware).
+  size_t threads = 1;
+  // Admission control: concurrent executing queries / waiting queries.
+  size_t max_concurrent = 4;
+  size_t max_queued = 16;
+  // Result cache entries (0 disables caching).
+  size_t cache_capacity = 64;
+  // Deadline applied when the request names none / upper bound on any
+  // requested deadline.
+  uint64_t default_deadline_ms = 60000;
+  uint64_t max_deadline_ms = 600000;
+  // Default/upper bound for rows returned by one `query` response.
+  uint64_t max_rows = 100000;
+};
+
+class QueryService {
+ public:
+  // `metrics` (not owned, required) is the daemon-lifetime registry:
+  // cache and admission counters, per-query mining stats merged in,
+  // and the source of the STATS command's Prometheus text.
+  QueryService(const ServiceOptions& options, obs::MetricsRegistry* metrics);
+
+  // Decodes and executes one request. Never throws; malformed requests
+  // get BAD_REQUEST responses.
+  JsonValue Handle(const JsonValue& request);
+
+  // True once a `shutdown` command was served; the transport layer
+  // polls this to start the drain.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  // Stops admitting new queries (drain phase 1); in-flight queries
+  // finish normally.
+  void BeginDrain() { admission_.Shutdown(); }
+
+  DatasetCatalog& catalog() { return catalog_; }
+  ResultCache& cache() { return cache_; }
+  AdmissionController& admission() { return admission_; }
+  obs::MetricsRegistry* metrics() { return metrics_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  JsonValue HandleLoad(const JsonValue& request);
+  JsonValue HandleGen(const JsonValue& request);
+  JsonValue HandleSave(const JsonValue& request);
+  JsonValue HandleDrop(const JsonValue& request);
+  JsonValue HandleDatasets();
+  JsonValue HandleQuery(const JsonValue& request);
+  JsonValue HandleStats();
+
+  const ServiceOptions options_;
+  obs::MetricsRegistry* const metrics_;
+  DatasetCatalog catalog_;
+  ResultCache cache_;
+  AdmissionController admission_;
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace cfq::server
+
+#endif  // CFQ_SERVER_SERVICE_H_

@@ -1,0 +1,107 @@
+// CanonicalizeQuery: the property that makes it a safe cache key is
+// idempotence through the parser — canonical text must re-parse and
+// canonicalize to itself, and every spelling of the same query must
+// collapse to one string.
+
+#include "core/cfq.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parser/parser.h"
+
+namespace cfq {
+namespace {
+
+// Canonical form of query text (must parse).
+std::string Canon(const std::string& text) {
+  auto parsed = ParseCfq(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status() << " for: " << text;
+  if (!parsed.ok()) return "<parse error>";
+  return CanonicalizeQuery(parsed.value());
+}
+
+TEST(CanonicalizeTest, NormalizesWhitespace) {
+  EXPECT_EQ(Canon("freq(S, 20) & freq(T, 20)"),
+            Canon("  freq( S ,   20 )&freq(T,20)  "));
+}
+
+TEST(CanonicalizeTest, FullQuerySyntaxAndBareConjunctionAgree) {
+  EXPECT_EQ(Canon("{(S, T) | freq(S, 20) & freq(T, 20)}"),
+            Canon("freq(S, 20) & freq(T, 20)"));
+}
+
+TEST(CanonicalizeTest, SortsCommutativeConjuncts) {
+  const std::string a =
+      Canon("freq(S, 20) & freq(T, 30) & max(S.Price) <= 100 & "
+            "min(T.Price) >= 5 & max(S.Price) <= min(T.Price)");
+  const std::string b =
+      Canon("min(T.Price) >= 5 & max(S.Price) <= min(T.Price) & "
+            "freq(T, 30) & max(S.Price) <= 100 & freq(S, 20)");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalizeTest, RemovesDuplicateConjuncts) {
+  EXPECT_EQ(Canon("freq(S, 20) & freq(T, 20) & max(S.Price) <= 100 & "
+                  "max(S.Price) <= 100"),
+            Canon("freq(S, 20) & freq(T, 20) & max(S.Price) <= 100"));
+}
+
+TEST(CanonicalizeTest, NormalizesConstantSpelling) {
+  EXPECT_EQ(Canon("freq(S, 20) & freq(T, 20) & max(S.Price) <= 100.0"),
+            Canon("freq(S, 20) & freq(T, 20) & max(S.Price) <= 100"));
+  // Non-integer constants keep their value exactly.
+  const std::string canonical =
+      Canon("freq(S, 20) & freq(T, 20) & avg(S.Price) <= 99.5");
+  EXPECT_NE(canonical.find("99.5"), std::string::npos) << canonical;
+}
+
+TEST(CanonicalizeTest, DistinctQueriesStayDistinct) {
+  EXPECT_NE(Canon("freq(S, 20) & freq(T, 20) & max(S.Price) <= 100"),
+            Canon("freq(S, 20) & freq(T, 20) & max(S.Price) <= 101"));
+  EXPECT_NE(Canon("freq(S, 20) & freq(T, 20)"),
+            Canon("freq(S, 21) & freq(T, 20)"));
+  EXPECT_NE(Canon("freq(S, 20) & freq(T, 20) & max(S.Price) <= min(T.Price)"),
+            Canon("freq(S, 20) & freq(T, 20) & min(S.Price) <= min(T.Price)"));
+}
+
+TEST(CanonicalizeTest, RoundTripsThroughParser) {
+  const char* queries[] = {
+      "freq(S, 20) & freq(T, 20)",
+      "freq(S, 20) & freq(T, 30) & max(S.Price) <= 100",
+      "freq(S, 20) & freq(T, 20) & max(S.Price) <= min(T.Price)",
+      "freq(S, 20) & freq(T, 20) & sum(S.Price) <= sum(T.Price)",
+      "freq(S, 20) & freq(T, 20) & S.Type = T.Type",
+      "freq(S, 20) & freq(T, 20) & S.Type disjoint T.Type",
+      "freq(S, 20) & freq(T, 20) & count(S.Price) <= 3 & "
+      "avg(T.Price) >= 10.25",
+  };
+  for (const char* text : queries) {
+    const std::string once = Canon(text);
+    // Canonical text is itself a fixed point.
+    EXPECT_EQ(Canon(once), once) << "not idempotent for: " << text;
+  }
+}
+
+TEST(CanonicalizeTest, NegatedSetComparatorsReparse) {
+  // SetCmpName spells these "not-subset"/"not-superset"; the canonical
+  // form must use the parser's two-word spelling instead.
+  const std::string canonical =
+      Canon("freq(S, 20) & freq(T, 20) & S.Type not subset T.Type");
+  EXPECT_NE(canonical.find("not subset"), std::string::npos) << canonical;
+  EXPECT_EQ(Canon(canonical), canonical);
+}
+
+TEST(CanonicalizeTest, DomainsAreNotPartOfTheText) {
+  auto parsed = ParseCfq("freq(S, 20) & freq(T, 20)");
+  ASSERT_TRUE(parsed.ok());
+  CfqQuery query = parsed.value();
+  const std::string without_domains = CanonicalizeQuery(query);
+  query.s_domain = {1, 2, 3};
+  query.t_domain = {4, 5};
+  EXPECT_EQ(CanonicalizeQuery(query), without_domains);
+}
+
+}  // namespace
+}  // namespace cfq

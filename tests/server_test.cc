@@ -1,0 +1,411 @@
+// Serving-layer tests: the transport-free QueryService path (parse ->
+// canonicalize -> cache -> admit -> execute), the LRU/admission pieces
+// in isolation, and the real TCP server + client over an ephemeral
+// port, including the drain sequence and deadline cancellation.
+
+#include "server/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/result_cache.h"
+#include "server/server.h"
+
+namespace cfq::server {
+namespace {
+
+// --- JSON codec ------------------------------------------------------
+
+TEST(JsonTest, RoundTripsValues) {
+  const std::string text =
+      R"({"a":[1,2.5,-3],"b":{"nested":true},"c":null,"d":"x\ny"})";
+  auto value = JsonValue::Parse(text);
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->Write(), text);
+}
+
+TEST(JsonTest, ParsesEscapesAndSurrogatePairs) {
+  auto value = JsonValue::Parse(R"({"s":"aé😀\t"})");
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->GetString("s", ""), "a\xC3\xA9\xF0\x9F\x98\x80\t");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nulll").ok());
+}
+
+TEST(JsonTest, TypedAccessorsFallBack) {
+  auto value = JsonValue::Parse(R"({"n":7,"s":"x","b":true})");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->GetInt("n", 0), 7);
+  EXPECT_EQ(value->GetInt("missing", -1), -1);
+  EXPECT_EQ(value->GetString("n", "fallback"), "fallback");  // Wrong type.
+  EXPECT_TRUE(value->GetBool("b", false));
+}
+
+// --- ResultCache -----------------------------------------------------
+
+std::shared_ptr<const CachedAnswer> Answer(const std::string& tag) {
+  auto answer = std::make_shared<CachedAnswer>();
+  answer->canonical_query = tag;
+  return answer;
+}
+
+TEST(ResultCacheTest, LruEvictionOrder) {
+  ResultCache cache(2);
+  cache.Put("a", Answer("a"));
+  cache.Put("b", Answer("b"));
+  ASSERT_NE(cache.Get("a"), nullptr);  // "a" is now most recent.
+  cache.Put("c", Answer("c"));         // Evicts "b".
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, CountsHitsAndMissesIntoRegistry) {
+  obs::MetricsRegistry metrics;
+  ResultCache cache(4, &metrics);
+  EXPECT_EQ(cache.Get("missing"), nullptr);
+  cache.Put("k", Answer("k"));
+  EXPECT_NE(cache.Get("k"), nullptr);
+  EXPECT_EQ(metrics.counter("server.cache.hits"), 1u);
+  EXPECT_EQ(metrics.counter("server.cache.misses"), 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.Put("k", Answer("k"));
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- AdmissionController ---------------------------------------------
+
+TEST(AdmissionTest, RejectsWhenQueueFull) {
+  AdmissionController admission(/*max_concurrent=*/1, /*max_queued=*/0);
+  auto first = admission.Admit(nullptr);
+  ASSERT_TRUE(first.ok());
+  auto second = admission.Admit(nullptr);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(admission.rejected_total(), 1u);
+  first->Release();
+  EXPECT_TRUE(admission.Admit(nullptr).ok());
+}
+
+TEST(AdmissionTest, WaiterTimesOutOnDeadline) {
+  AdmissionController admission(1, 4);
+  auto held = admission.Admit(nullptr);
+  ASSERT_TRUE(held.ok());
+  CancelToken cancel;
+  cancel.SetDeadline(std::chrono::milliseconds(50));
+  auto waited = admission.Admit(&cancel);
+  EXPECT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(AdmissionTest, ShutdownReleasesWaiters) {
+  AdmissionController admission(1, 4);
+  auto held = admission.Admit(nullptr);
+  ASSERT_TRUE(held.ok());
+  std::thread closer([&admission] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    admission.Shutdown();
+  });
+  auto waited = admission.Admit(nullptr);
+  closer.join();
+  EXPECT_FALSE(waited.ok());
+  EXPECT_EQ(admission.queued(), 0u);
+}
+
+// --- QueryService (transport-free) -----------------------------------
+
+constexpr char kQuery[] =
+    "freq(S, 30) & freq(T, 30) & max(S.Price) <= min(T.Price)";
+
+JsonValue GenRequest(const std::string& name) {
+  JsonValue::Object request;
+  request["cmd"] = "gen";
+  request["dataset"] = name;
+  request["num_transactions"] = static_cast<int64_t>(400);
+  request["num_items"] = static_cast<int64_t>(40);
+  request["num_patterns"] = static_cast<int64_t>(20);
+  return request;
+}
+
+JsonValue QueryRequest(const std::string& name, const std::string& query) {
+  JsonValue::Object request;
+  request["cmd"] = "query";
+  request["dataset"] = name;
+  request["query"] = query;
+  request["max_rows"] = static_cast<int64_t>(50);
+  return request;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : service_(Options(), &metrics_) {}
+
+  static ServiceOptions Options() {
+    ServiceOptions options;
+    options.cache_capacity = 8;
+    options.max_concurrent = 2;
+    options.max_queued = 2;
+    return options;
+  }
+
+  obs::MetricsRegistry metrics_;
+  QueryService service_;
+};
+
+TEST_F(ServiceTest, UnknownCommandAndDatasetErrors) {
+  JsonValue::Object bogus;
+  bogus["cmd"] = "frobnicate";
+  EXPECT_EQ(service_.Handle(std::move(bogus)).GetString("status", ""),
+            "BAD_REQUEST");
+  EXPECT_EQ(
+      service_.Handle(QueryRequest("nope", kQuery)).GetString("status", ""),
+      "NOT_FOUND");
+}
+
+TEST_F(ServiceTest, ParseErrorsAreIsolated) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  EXPECT_EQ(
+      service_.Handle(QueryRequest("d", "freq(S &")).GetString("status", ""),
+      "PARSE_ERROR");
+  // The connection-level state is fine: a good query still runs.
+  EXPECT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "OK");
+}
+
+TEST_F(ServiceTest, RepeatedQueryIsServedFromCacheWithIdenticalRows) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue cold = service_.Handle(QueryRequest("d", kQuery));
+  ASSERT_EQ(cold.GetString("status", ""), "OK");
+  EXPECT_FALSE(cold.GetBool("cached", true));
+
+  // Same query, different spelling: extra whitespace + reordered
+  // commutative conjuncts.
+  JsonValue hit = service_.Handle(QueryRequest(
+      "d", "max(S.Price)<=min(T.Price)   & freq(T, 30) & freq(S, 30)"));
+  ASSERT_EQ(hit.GetString("status", ""), "OK");
+  EXPECT_TRUE(hit.GetBool("cached", false));
+  EXPECT_EQ(hit.GetString("canonical_query", "h"),
+            cold.GetString("canonical_query", "c"));
+  ASSERT_NE(hit.Find("rows"), nullptr);
+  EXPECT_EQ(hit.Find("rows")->Write(), cold.Find("rows")->Write());
+  EXPECT_EQ(service_.cache().hits(), 1u);
+}
+
+TEST_F(ServiceTest, RebindingDatasetInvalidatesCache) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  ASSERT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "OK");
+  // Re-generate under the same name: new generation id, so the repeat
+  // must MISS even though name and query text are unchanged.
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue repeat = service_.Handle(QueryRequest("d", kQuery));
+  ASSERT_EQ(repeat.GetString("status", ""), "OK");
+  EXPECT_FALSE(repeat.GetBool("cached", true));
+  EXPECT_EQ(repeat.GetInt("generation", -1), 2);
+}
+
+TEST_F(ServiceTest, StrategiesShareNoCacheEntriesButAgreeOnAnswers) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue optimized = service_.Handle(QueryRequest("d", kQuery));
+  JsonValue request = QueryRequest("d", kQuery);
+  JsonValue::Object with_strategy = request.as_object();
+  with_strategy["strategy"] = "apriori";
+  JsonValue apriori = service_.Handle(std::move(with_strategy));
+  ASSERT_EQ(apriori.GetString("status", ""), "OK");
+  EXPECT_FALSE(apriori.GetBool("cached", true));  // Different cache key.
+  EXPECT_EQ(apriori.GetInt("num_pairs", -1),
+            optimized.GetInt("num_pairs", -2));
+}
+
+TEST_F(ServiceTest, DropThenQueryIsNotFound) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue::Object drop;
+  drop["cmd"] = "drop";
+  drop["dataset"] = "d";
+  EXPECT_EQ(service_.Handle(std::move(drop)).GetString("status", ""), "OK");
+  EXPECT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "NOT_FOUND");
+}
+
+TEST_F(ServiceTest, StatsExposesCacheCountersAndPrometheus) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  (void)service_.Handle(QueryRequest("d", kQuery));
+  (void)service_.Handle(QueryRequest("d", kQuery));
+  JsonValue::Object stats_request;
+  stats_request["cmd"] = "stats";
+  JsonValue stats = service_.Handle(std::move(stats_request));
+  ASSERT_EQ(stats.GetString("status", ""), "OK");
+  const JsonValue* cache = stats.Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->GetInt("hits", -1), 1);
+  EXPECT_EQ(cache->GetInt("misses", -1), 1);
+  const std::string prometheus = stats.GetString("prometheus", "");
+  EXPECT_NE(prometheus.find("cfq_server_cache_hits 1"), std::string::npos)
+      << prometheus;
+}
+
+// The ISSUE's cancellation case: a tiny deadline on a large synthetic
+// dataset must produce a clean TIMEOUT response, leak nothing, and
+// leave the service fully usable — the next (smaller) query runs
+// normally and its metrics/tracer identities are intact.
+TEST_F(ServiceTest, TimedOutQueryLeavesServiceHealthy) {
+  JsonValue::Object gen = GenRequest("big").as_object();
+  gen["num_transactions"] = static_cast<int64_t>(4000);
+  gen["num_items"] = static_cast<int64_t>(120);
+  gen["num_patterns"] = static_cast<int64_t>(60);
+  ASSERT_EQ(service_.Handle(std::move(gen)).GetString("status", ""), "OK");
+
+  JsonValue request = QueryRequest(
+      "big", "freq(S, 2) & freq(T, 2) & sum(S.Price) <= sum(T.Price)");
+  JsonValue::Object timed = request.as_object();
+  timed["deadline_ms"] = static_cast<int64_t>(1);
+  JsonValue timeout = service_.Handle(std::move(timed));
+  EXPECT_EQ(timeout.GetString("status", ""), "TIMEOUT");
+  EXPECT_NE(timeout.GetString("error", "").find("DEADLINE_EXCEEDED"),
+            std::string::npos);
+
+  // No permit leaked: both slots are free again, so two concurrent
+  // admissions succeed immediately.
+  EXPECT_EQ(service_.admission().active(), 0u);
+  EXPECT_EQ(service_.admission().queued(), 0u);
+
+  // Nothing was cached for the aborted query.
+  EXPECT_EQ(service_.cache().size(), 0u);
+
+  // The next query (tighter support: small lattice) runs to completion
+  // on the same dataset, and its stats merge under the same metric
+  // names the timed-out attempt would have used.
+  JsonValue ok = service_.Handle(
+      QueryRequest("big", "freq(S, 300) & freq(T, 300) & "
+                          "max(S.Price) <= min(T.Price)"));
+  ASSERT_EQ(ok.GetString("status", ""), "OK");
+  EXPECT_EQ(metrics_.counter("server.query.timeouts"), 1u);
+  EXPECT_EQ(metrics_.counter("server.queries_total"), 1u);
+  EXPECT_GT(metrics_.counter("s.sets_counted"), 0u);
+}
+
+// --- TCP server + client ---------------------------------------------
+
+class TcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServiceOptions service_options;
+    service_options.cache_capacity = 8;
+    service_ = std::make_unique<QueryService>(service_options, &metrics_);
+    ServerOptions server_options;  // port 0 = ephemeral.
+    server_ = std::make_unique<Server>(server_options, service_.get());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Client MustConnect() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(TcpTest, PingAndQueryOverTheWire) {
+  Client client = MustConnect();
+  JsonValue::Object ping;
+  ping["cmd"] = "ping";
+  auto pong = client.Call(std::move(ping));
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(pong->GetString("status", ""), "OK");
+
+  ASSERT_TRUE(client.Call(GenRequest("d")).ok());
+  auto cold = client.Call(QueryRequest("d", kQuery));
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->GetString("status", ""), "OK");
+  auto hit = client.Call(QueryRequest("d", kQuery));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->GetBool("cached", false));
+  EXPECT_EQ(hit->Find("rows")->Write(), cold->Find("rows")->Write());
+}
+
+TEST_F(TcpTest, MalformedLineGetsBadRequestAndConnectionSurvives) {
+  Client client = MustConnect();
+  auto garbage = client.CallRaw("this is not json");
+  ASSERT_TRUE(garbage.ok()) << garbage.status();
+  EXPECT_NE(garbage->find("BAD_REQUEST"), std::string::npos);
+  JsonValue::Object ping;
+  ping["cmd"] = "ping";
+  auto pong = client.Call(std::move(ping));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->GetString("status", ""), "OK");
+}
+
+TEST_F(TcpTest, ErrorsAreIsolatedPerConnection) {
+  Client bad = MustConnect();
+  Client good = MustConnect();
+  ASSERT_TRUE(bad.CallRaw("{{{{").ok());
+  bad.Close();  // Abrupt disconnect.
+  JsonValue::Object ping;
+  ping["cmd"] = "ping";
+  auto pong = good.Call(std::move(ping));
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(pong->GetString("status", ""), "OK");
+}
+
+TEST_F(TcpTest, ShutdownCommandDrains) {
+  Client client = MustConnect();
+  JsonValue::Object shutdown;
+  shutdown["cmd"] = "shutdown";
+  auto response = client.Call(std::move(shutdown));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->GetString("status", ""), "OK");
+  server_->Wait();  // Returns once every connection thread joined.
+  // New connections are refused (or reset) after the drain.
+  auto late = Client::Connect("127.0.0.1", server_->port());
+  if (late.ok()) {
+    JsonValue::Object ping;
+    ping["cmd"] = "ping";
+    EXPECT_FALSE(late->Call(std::move(ping)).ok());
+  }
+}
+
+TEST_F(TcpTest, RequestShutdownFinishesInFlightQueries) {
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Call(GenRequest("d")).ok());
+  // Start a query, then request the drain from another thread while it
+  // is (likely) still executing; the response must still arrive.
+  std::thread drainer([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    server_->RequestShutdown();
+  });
+  auto response = client.Call(QueryRequest("d", kQuery));
+  drainer.join();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->GetString("status", ""), "OK");
+  server_->Wait();
+}
+
+}  // namespace
+}  // namespace cfq::server

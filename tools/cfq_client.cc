@@ -1,0 +1,100 @@
+// cfq_client: blocking command-line client for cfq_served.
+//
+//   cfq_client --port=P [--host=127.0.0.1] --cmd=ping
+//   cfq_client --port=P --cmd=gen --dataset=demo --num_transactions=5000
+//   cfq_client --port=P --cmd=load --dataset=demo --db=b.txt --catalog=c.txt
+//   cfq_client --port=P --cmd=query --dataset=demo
+//              --query='freq(S, 40) & freq(T, 40) & max(S.Price) <= min(T.Price)'
+//              [--strategy=optimized|cap|apriori] [--deadline_ms=N]
+//              [--max_rows=N] [--repeat=K]
+//   cfq_client --port=P --cmd=stats | --cmd=datasets | --cmd=shutdown
+//   cfq_client --port=P --json='{"cmd":"ping"}'        # raw request line
+//
+// Prints each response JSON line to stdout. Exits 0 when every
+// response's "status" equals --expect (default OK); --expect= (empty)
+// disables the check. --repeat sends the same request K times on one
+// connection — the cache-hit path in CI and benches.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/json.h"
+
+int main(int argc, char** argv) {
+  using namespace cfq;
+  bench::Args args(argc, argv);
+
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const int64_t port = args.GetInt("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::cerr << "usage: cfq_client --port=P --cmd=... (see the header of"
+                 " tools/cfq_client.cc)\n";
+    return 2;
+  }
+
+  // Build the request: either the raw --json line, or assembled from
+  // the command flags.
+  std::string request_line = args.GetString("json", "");
+  const std::string cmd = args.GetString("cmd", "");
+  if (request_line.empty()) {
+    if (cmd.empty()) {
+      std::cerr << "error: give --cmd=... or --json='{...}'\n";
+      return 2;
+    }
+    server::JsonValue::Object request;
+    request["cmd"] = cmd;
+    const std::string dataset = args.GetString("dataset", "");
+    if (!dataset.empty()) request["dataset"] = dataset;
+    const std::string db = args.GetString("db", "");
+    if (!db.empty()) request["db"] = db;
+    const std::string catalog = args.GetString("catalog", "");
+    if (!catalog.empty()) request["catalog"] = catalog;
+    const std::string query = args.GetString("query", "");
+    if (!query.empty()) request["query"] = query;
+    const std::string strategy = args.GetString("strategy", "");
+    if (!strategy.empty()) request["strategy"] = strategy;
+    if (args.GetInt("deadline_ms", 0) > 0) {
+      request["deadline_ms"] = args.GetInt("deadline_ms", 0);
+    }
+    if (args.GetInt("max_rows", -1) >= 0) {
+      request["max_rows"] = args.GetInt("max_rows", 0);
+    }
+    if (cmd == "gen") {
+      request["num_transactions"] = args.GetInt("num_transactions", 10000);
+      request["num_items"] = args.GetInt("num_items", 1000);
+      request["num_patterns"] = args.GetInt("num_patterns", 500);
+      request["seed"] = args.GetInt("seed", 42);
+    }
+    request_line = server::JsonValue(std::move(request)).Write();
+  }
+
+  auto client = server::Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::cerr << "error: " << client.status() << "\n";
+    return 1;
+  }
+
+  const std::string expect = args.GetString("expect", "OK");
+  const int64_t repeat = args.GetInt("repeat", 1);
+  for (int64_t i = 0; i < repeat; ++i) {
+    auto response_line = client->CallRaw(request_line);
+    if (!response_line.ok()) {
+      std::cerr << "error: " << response_line.status() << "\n";
+      return 1;
+    }
+    std::cout << response_line.value() << "\n";
+    if (expect.empty()) continue;
+    auto response = server::JsonValue::Parse(response_line.value());
+    const std::string status =
+        response.ok() ? response->GetString("status", "") : "";
+    if (status != expect) {
+      std::cerr << "error: expected status " << expect << ", got "
+                << (status.empty() ? "<unparseable>" : status) << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -96,23 +96,15 @@ int main(int argc, char** argv) {
   ItemCatalog catalog(0);
   const std::string db_path = args.GetString("db", "");
   if (!db_path.empty()) {
-    auto loaded = LoadTransactions(db_path);
-    if (!loaded.ok()) return Fail(loaded.status());
-    db = std::move(loaded).value();
     const std::string catalog_path = args.GetString("catalog", "");
     if (catalog_path.empty()) {
       std::cerr << "error: --db requires --catalog\n";
       return 1;
     }
-    auto cat = LoadCatalog(catalog_path);
-    if (!cat.ok()) return Fail(cat.status());
-    catalog = std::move(cat).value();
-    if (catalog.num_items() != db.num_items()) {
-      std::cerr << "error: catalog has " << catalog.num_items()
-                << " items but the database declares " << db.num_items()
-                << "\n";
-      return 1;
-    }
+    auto loaded = LoadDataset(db_path, catalog_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    db = std::move(loaded->db);
+    catalog = std::move(loaded->catalog);
   } else {
     bench::DbConfig config = bench::DbConfig::FromArgs(args);
     if (args.GetInt("num_transactions", -1) < 0) {

@@ -1,0 +1,90 @@
+// cfq_served: the long-lived CFQ serving daemon.
+//
+//   cfq_served [--host=127.0.0.1] [--port=0] [--threads=N]
+//              [--max_concurrent=4] [--max_queued=16]
+//              [--cache_capacity=64] [--deadline_ms=60000]
+//              [--max_rows=100000] [--metrics-out=FILE]
+//              [--metrics-format=jsonl|prom]
+//
+// Speaks the newline-delimited JSON protocol of docs/SERVING.md: named
+// datasets (load / gen / save / drop), canonicalized-query result
+// caching, and admission control with per-query deadlines. Prints one
+// "listening on <host>:<port>" line to stdout once ready (--port=0
+// reports the ephemeral port picked).
+//
+// Shutdown: SIGTERM / SIGINT — or a client `shutdown` command — start
+// a graceful drain: no new connections or queries are admitted,
+// in-flight queries run to completion and their responses are written,
+// then the metrics registry is flushed per --metrics-out /
+// --metrics-format and the daemon exits 0.
+
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "server/service.h"
+
+int main(int argc, char** argv) {
+  using namespace cfq;
+  bench::Args args(argc, argv);
+
+  server::ServiceOptions service_options;
+  service_options.threads = bench::ThreadsFromArgs(args);
+  service_options.max_concurrent =
+      static_cast<size_t>(args.GetInt("max_concurrent", 4));
+  service_options.max_queued =
+      static_cast<size_t>(args.GetInt("max_queued", 16));
+  service_options.cache_capacity =
+      static_cast<size_t>(args.GetInt("cache_capacity", 64));
+  service_options.default_deadline_ms =
+      static_cast<uint64_t>(args.GetInt("deadline_ms", 60000));
+  service_options.max_rows =
+      static_cast<uint64_t>(args.GetInt("max_rows", 100000));
+
+  server::ServerOptions server_options;
+  server_options.host = args.GetString("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(args.GetInt("port", 0));
+
+  // Validate the metrics flags before binding, so a bad path fails at
+  // startup rather than at drain.
+  const bool want_metrics = bench::MetricsRequested(args);
+
+  obs::MetricsRegistry metrics;
+  server::QueryService service(service_options, &metrics);
+  server::Server server(server_options, &service);
+
+  // All signal delivery goes through one sigwait thread: block
+  // SIGTERM/SIGINT before any other thread exists so every thread
+  // inherits the mask, then turn the first signal into the same drain
+  // the `shutdown` command uses.
+  sigset_t drain_signals;
+  sigemptyset(&drain_signals);
+  sigaddset(&drain_signals, SIGTERM);
+  sigaddset(&drain_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &drain_signals, nullptr);
+
+  if (auto s = server.Start(); !s.ok()) {
+    std::cerr << "error: " << s << "\n";
+    return 1;
+  }
+  std::cout << "listening on " << server_options.host << ":" << server.port()
+            << std::endl;
+
+  std::thread([&server, drain_signals] {
+    int signal_number = 0;
+    sigwait(&drain_signals, &signal_number);
+    std::cerr << "received signal " << signal_number << "; draining\n";
+    server.RequestShutdown();
+  }).detach();
+
+  server.Wait();
+
+  if (want_metrics) bench::WriteMetricsFromArgs(args, metrics);
+  std::cerr << "drained: " << metrics.counter("server.queries_total")
+            << " queries served, " << service.cache().hits()
+            << " cache hits\n";
+  return 0;
+}
