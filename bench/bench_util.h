@@ -76,10 +76,13 @@ inline constexpr KnownFlag kKnownFlags[] = {
     {"max_queued", "daemon: queries allowed to wait for a slot"},
     {"cache_capacity", "daemon: result cache entries (0 = off)"},
     {"deadline_ms", "daemon/client: per-query deadline in milliseconds"},
+    {"timeout-ms", "client: per-request deadline in milliseconds"
+                   " (alias of --deadline_ms)"},
     {"max_rows", "daemon/client: row cap per query response"},
     {"cmd", "client: protocol command (ping|load|gen|save|drop|"
-            "datasets|query|stats|shutdown)"},
+            "datasets|append|query|stats|shutdown)"},
     {"dataset", "client: dataset name the command refers to"},
+    {"transactions", "client append: JSON array of item-id arrays"},
     {"json", "client: send this raw JSON request line as-is"},
     {"expect", "client: fail unless the response status matches"
                " (default OK; empty disables)"},

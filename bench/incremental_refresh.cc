@@ -1,0 +1,222 @@
+// Incremental-maintenance experiment: FUP-style refresh vs mining the
+// grown database from scratch, across a sequence of appended deltas,
+// plus the derivation-reuse effect on answering (shared
+// StateAnswerContext vs none). Identity is enforced, not sampled: a
+// refresh that diverges from the scratch state aborts the run.
+//
+// Perf samples go through bench::Reporter to --bench_json (default
+// BENCH_incremental.json) in the schema tools/bench_diff compares.
+// --quick shrinks the database for CI smoke runs.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "core/executor.h"
+#include "incremental/answer.h"
+#include "incremental/mining_state.h"
+#include "incremental/refresh.h"
+#include "incremental/reuse.h"
+
+namespace cfq::bench {
+namespace {
+
+constexpr size_t kDeltas = 3;
+
+struct Workload {
+  TransactionDb full{0};   // base + kDeltas deltas.
+  ItemCatalog catalog{0};
+  size_t base_txns = 0;
+  size_t delta_txns = 0;
+  uint64_t min_support = 0;
+  Itemset domain;
+};
+
+Workload MakeWorkload(const Args& args, bool quick) {
+  DbConfig config = DbConfig::FromArgs(args);
+  if (quick) {
+    config.num_transactions =
+        std::min<uint64_t>(config.num_transactions, 4000);
+  }
+  Workload w;
+  w.base_txns = config.num_transactions;
+  // Each delta is 5% of the base — the regime incremental maintenance
+  // is for (small tail on a large history).
+  w.delta_txns = std::max<size_t>(w.base_txns / 20, 1);
+  const uint64_t total = w.base_txns + kDeltas * w.delta_txns;
+
+  DbConfig full_config = config;
+  full_config.num_transactions = total;
+  w.full = MustGenerate(full_config);
+  w.catalog = ItemCatalog(config.num_items);
+  auto priced = AssignUniformPrices(&w.catalog, "Price", 1, 1000,
+                                    config.seed + 1);
+  if (!priced.ok()) {
+    std::cerr << priced << "\n";
+    std::exit(1);
+  }
+  w.min_support = std::max<uint64_t>(w.base_txns / 250, 2);
+  for (ItemId i = 0; i < config.num_items; ++i) w.domain.push_back(i);
+  return w;
+}
+
+TransactionDb Prefix(const TransactionDb& full, size_t n) {
+  TransactionDb db(full.num_items());
+  for (size_t tid = 0; tid < n; ++tid) db.Add(full.transaction(tid));
+  return db;
+}
+
+void RefreshVsScratch(const Workload& w, const Args& args,
+                      Reporter* reporter) {
+  Banner("FUP refresh vs from-scratch mining (" +
+         std::to_string(w.delta_txns) + "-transaction deltas on a " +
+         std::to_string(w.base_txns) + "-transaction base)");
+  ThreadPool pool(ThreadsFromArgs(args));
+  incremental::IncrOptions options;
+  options.counter = CounterFromArgs(args);
+  options.pool = &pool;
+
+  TransactionDb db = Prefix(w.full, w.base_txns);
+  Stopwatch base_timer;
+  auto state = incremental::BuildMiningState(&db, w.domain, w.min_support, 0,
+                                             options);
+  if (!state.ok()) {
+    std::cerr << state.status() << "\n";
+    std::exit(1);
+  }
+  const double base_seconds = base_timer.ElapsedSeconds();
+  reporter->Add("build/base", base_seconds);
+  std::cout << "base " << incremental::Summarize(state.value()) << " in "
+            << base_seconds << "s\n";
+
+  TablePrinter table({"generation", "refresh secs", "scratch secs", "speedup",
+                      "recounted", "fresh", "promoted", "identical"});
+  for (size_t generation = 1; generation <= kDeltas; ++generation) {
+    const size_t from = w.base_txns + (generation - 1) * w.delta_txns;
+    const size_t to = from + w.delta_txns;
+    std::vector<std::vector<ItemId>> batch;
+    batch.reserve(w.delta_txns);
+    for (size_t tid = from; tid < to; ++tid) {
+      const Itemset& txn = w.full.transaction(tid);
+      batch.emplace_back(txn.begin(), txn.end());
+    }
+    db.Append(batch);
+
+    Stopwatch refresh_timer;
+    auto refreshed = incremental::RefreshMiningState(
+        state.value(), &db, from, to, generation, w.min_support, options);
+    const double refresh_seconds = refresh_timer.ElapsedSeconds();
+    if (!refreshed.ok()) {
+      std::cerr << refreshed.status() << "\n";
+      std::exit(1);
+    }
+
+    TransactionDb scratch_db = Prefix(w.full, to);
+    Stopwatch scratch_timer;
+    auto scratch = incremental::BuildMiningState(
+        &scratch_db, w.domain, w.min_support, generation, options);
+    const double scratch_seconds = scratch_timer.ElapsedSeconds();
+    if (!scratch.ok()) {
+      std::cerr << scratch.status() << "\n";
+      std::exit(1);
+    }
+
+    const bool identical =
+        incremental::StatesIdentical(refreshed->state, scratch.value());
+    if (!identical) {
+      std::cerr << "refresh diverged from scratch at generation "
+                << generation << " — bug!\n";
+      std::exit(1);
+    }
+    const std::string suffix = "/gen=" + std::to_string(generation);
+    reporter->Add("refresh" + suffix, refresh_seconds);
+    reporter->Add("scratch" + suffix, scratch_seconds);
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(generation)),
+                  TablePrinter::Fmt(refresh_seconds, 4),
+                  TablePrinter::Fmt(scratch_seconds, 4),
+                  TablePrinter::Fmt(scratch_seconds / refresh_seconds, 2),
+                  TablePrinter::Fmt(refreshed->stats.recounted),
+                  TablePrinter::Fmt(refreshed->stats.fresh),
+                  TablePrinter::Fmt(refreshed->stats.promoted),
+                  identical ? "yes" : "NO"});
+    state = std::move(refreshed).value().state;
+  }
+  table.Print(std::cout);
+
+  // Answering from the maintained state: a lineage-shared context makes
+  // the second answer skip every reduction and V^k derivation.
+  CfqQuery query;
+  // A narrower query than the state (allowed — the state is a
+  // superset): restricted domains and tighter per-side thresholds keep
+  // exact pair verification from drowning out the derivation timings.
+  const size_t third = w.domain.size() / 3;
+  query.s_domain.assign(w.domain.begin(), w.domain.begin() + third);
+  query.t_domain.assign(w.domain.begin() + third,
+                        w.domain.begin() + 2 * third);
+  query.min_support_s = query.min_support_t = w.min_support * 3;
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  incremental::StateAnswerContext ctx;
+  const int reps = args.GetBool("quick", false) ? 2 : 5;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      Stopwatch timer;
+      auto cold = incremental::AnswerFromState(state.value(), w.catalog,
+                                               query);
+      if (!cold.ok()) {
+        std::cerr << cold.status() << "\n";
+        std::exit(1);
+      }
+      reporter->Add("answer/cold", timer.ElapsedSeconds());
+    }
+    {
+      incremental::StateAnswerOptions answer_options;
+      answer_options.ctx = &ctx;
+      Stopwatch timer;
+      auto reused = incremental::AnswerFromState(state.value(), w.catalog,
+                                                 query, answer_options);
+      if (!reused.ok()) {
+        std::cerr << reused.status() << "\n";
+        std::exit(1);
+      }
+      reporter->Add("answer/reused", timer.ElapsedSeconds());
+    }
+  }
+}
+
+}  // namespace
+
+void Main(const Args& args) {
+  std::cout << "Incremental maintenance: refresh vs scratch\n";
+  const bool quick = args.GetBool("quick", false);
+  if (quick) std::cout << "(--quick: reduced scale for smoke runs)\n";
+
+  Reporter reporter("incremental");
+  const DbConfig config = DbConfig::FromArgs(args);
+  const Workload w = MakeWorkload(args, quick);
+  // Record the workload actually run (quick mode caps the base size).
+  reporter.SetConfig("base_transactions", static_cast<int64_t>(w.base_txns));
+  reporter.SetConfig("delta_transactions",
+                     static_cast<int64_t>(w.delta_txns));
+  reporter.SetConfig("min_support", static_cast<int64_t>(w.min_support));
+  reporter.SetConfig("num_items", static_cast<int64_t>(config.num_items));
+  reporter.SetConfig("seed", static_cast<int64_t>(config.seed));
+  reporter.SetConfig("quick", quick ? "1" : "0");
+
+  RefreshVsScratch(w, args, &reporter);
+
+  const std::string json_path =
+      args.GetString("bench_json", "BENCH_incremental.json");
+  if (!reporter.WriteJson(json_path)) std::exit(1);
+  std::cout << "wrote " << json_path << "\n";
+}
+
+}  // namespace cfq::bench
+
+int main(int argc, char** argv) {
+  cfq::bench::Main(cfq::bench::Args(argc, argv));
+  return 0;
+}

@@ -5,6 +5,16 @@
 
 namespace cfq {
 
+void Bitset64::Resize(size_t num_bits) {
+  words_.resize((num_bits + 63) / 64, 0);
+  if (num_bits < num_bits_ && num_bits % 64 != 0) {
+    // Clear the tail of the last surviving word so equality and
+    // popcount never see bits beyond num_bits().
+    words_.back() &= (uint64_t{1} << (num_bits & 63)) - 1;
+  }
+  num_bits_ = num_bits;
+}
+
 size_t Bitset64::Count() const {
   size_t total = 0;
   for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));

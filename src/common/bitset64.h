@@ -26,6 +26,11 @@ class Bitset64 {
     return (words_[pos >> 6] >> (pos & 63)) & 1;
   }
 
+  // Grows (or shrinks) to `num_bits`, preserving the bits that remain
+  // and clearing any newly added ones. Used by the vertical index when
+  // transactions are appended to an already-indexed database.
+  void Resize(size_t num_bits);
+
   // Number of set bits.
   size_t Count() const;
 

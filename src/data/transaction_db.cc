@@ -16,6 +16,24 @@ void TransactionDb::Add(std::vector<ItemId> items) {
   vertical_.clear();  // Invalidate any stale index.
 }
 
+size_t TransactionDb::Append(const std::vector<std::vector<ItemId>>& batch) {
+  const size_t first_tid = transactions_.size();
+  transactions_.reserve(first_tid + batch.size());
+  for (std::vector<ItemId> items : batch) {
+    items.erase(std::remove_if(items.begin(), items.end(),
+                               [this](ItemId id) { return id >= num_items_; }),
+                items.end());
+    transactions_.push_back(MakeItemset(std::move(items)));
+  }
+  if (!vertical_.empty()) {
+    for (Bitset64& bits : vertical_) bits.Resize(transactions_.size());
+    for (size_t tid = first_tid; tid < transactions_.size(); ++tid) {
+      for (ItemId item : transactions_[tid]) vertical_[item].Set(tid);
+    }
+  }
+  return first_tid;
+}
+
 uint64_t TransactionDb::CountSupport(const Itemset& s) const {
   uint64_t count = 0;
   for (const Itemset& t : transactions_) {

@@ -36,6 +36,16 @@ class TransactionDb {
   // Items >= num_items() are dropped.
   void Add(std::vector<ItemId> items);
 
+  // Appends a batch of transactions (each canonicalized like Add) and
+  // returns the TID of the first appended transaction. Unlike Add, a
+  // vertical index that already exists is EXTENDED in place — every
+  // item bitmap grows to the new transaction count and only the new
+  // TIDs' bits are set — so growing an indexed database costs O(delta)
+  // instead of an O(|DB|) rebuild. Not safe concurrently with readers;
+  // append is part of the single-threaded setup phase for the next
+  // generation (the serving catalog copies, appends, then publishes).
+  size_t Append(const std::vector<std::vector<ItemId>>& batch);
+
   size_t num_items() const { return num_items_; }
   size_t num_transactions() const { return transactions_.size(); }
   const std::vector<Itemset>& transactions() const { return transactions_; }

@@ -1,0 +1,51 @@
+// Answering a CFQ from a maintained MiningState.
+//
+// A MiningState mined over a superset domain at a threshold no higher
+// than the query's contains, by Apriori closure, every frequent set
+// either side of the query can produce. AnswerFromState therefore
+// never touches the transaction database: it filters the state's
+// frequent sets into the two sides (domain restriction, per-side
+// minsup, 1-var constraints — exactly Apriori+'s generate-and-test
+// semantics) and verifies the 2-var constraints on candidate pairs.
+//
+// Answer identity: the side sets equal ExecuteAprioriPlus's and the
+// answer PAIRS equal every strategy's (pairs are strategy-invariant).
+// The quasi-succinct reductions are used only as sound PARTICIPANT
+// prefilters before exact pair verification — a pruned set provably
+// belongs to no valid pair — so they change the work, never the answer.
+
+#ifndef CFQ_INCREMENTAL_ANSWER_H_
+#define CFQ_INCREMENTAL_ANSWER_H_
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "core/cfq.h"
+#include "core/executor.h"
+#include "data/item_catalog.h"
+#include "incremental/mining_state.h"
+#include "incremental/reuse.h"
+
+namespace cfq::incremental {
+
+struct StateAnswerOptions {
+  bool nonnegative = true;
+  // Derivation cache shared across the state's lineage (not owned; null
+  // recomputes everything).
+  StateAnswerContext* ctx = nullptr;
+  ReuseStats* reuse = nullptr;            // Accumulated when non-null.
+  obs::Tracer* tracer = nullptr;          // Not owned; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+  const CancelToken* cancel = nullptr;
+};
+
+// Requirements: both query domains ⊆ state.domain and both per-side
+// thresholds >= state.min_support (otherwise the state provably cannot
+// contain all needed sets and the call fails with InvalidArgument).
+Result<CfqResult> AnswerFromState(const MiningState& state,
+                                  const ItemCatalog& catalog,
+                                  const CfqQuery& query,
+                                  const StateAnswerOptions& options = {});
+
+}  // namespace cfq::incremental
+
+#endif  // CFQ_INCREMENTAL_ANSWER_H_

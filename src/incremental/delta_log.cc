@@ -1,0 +1,56 @@
+#include "incremental/delta_log.h"
+
+#include <cassert>
+
+namespace cfq::incremental {
+
+DeltaLog DeltaLog::Base(uint64_t generation, size_t num_transactions) {
+  DeltaLog log;
+  log.base_generation_ = generation;
+  log.base_size_ = num_transactions;
+  return log;
+}
+
+DeltaLog DeltaLog::Extend(uint64_t new_generation, size_t appended) const {
+  assert(new_generation > generation());
+  DeltaLog out = *this;
+  const size_t tail = out.ranges_.empty() ? out.base_size_
+                                          : out.ranges_.back().tid_end;
+  out.ranges_.push_back({new_generation, tail, tail + appended});
+  return out;
+}
+
+bool DeltaLog::Contains(uint64_t generation) const {
+  return SizeAt(generation).has_value();
+}
+
+std::optional<size_t> DeltaLog::SizeAt(uint64_t generation) const {
+  if (generation == base_generation_) return base_size_;
+  for (const DeltaRange& r : ranges_) {
+    if (r.generation == generation) return r.tid_end;
+  }
+  return std::nullopt;
+}
+
+std::optional<DeltaSpan> DeltaLog::Between(uint64_t from_generation,
+                                           uint64_t to_generation) const {
+  const std::optional<size_t> from = SizeAt(from_generation);
+  const std::optional<size_t> to = SizeAt(to_generation);
+  if (!from.has_value() || !to.has_value() || *from > *to ||
+      from_generation > to_generation) {
+    return std::nullopt;
+  }
+  return DeltaSpan{*from, *to};
+}
+
+std::vector<uint64_t> DeltaLog::GenerationsNewestFirst() const {
+  std::vector<uint64_t> out;
+  out.reserve(ranges_.size() + 1);
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    out.push_back(it->generation);
+  }
+  out.push_back(base_generation_);
+  return out;
+}
+
+}  // namespace cfq::incremental

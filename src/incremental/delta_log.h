@@ -1,0 +1,83 @@
+// DeltaLog: the append lineage of a growing transaction database.
+//
+// A dataset that grows in place moves through generations: generation g
+// covers transactions [0, size_at(g)), and each append extends the tail
+// and bumps the generation. The log records one contiguous TID range
+// per append so the incremental miner (refresh.h) can ask "what changed
+// between generation g and generation g'?" and recount exactly those
+// transactions instead of re-mining the world.
+//
+// Logs are value types: Extend returns a new log sharing the history,
+// so the serving catalog can publish an immutable log per generation
+// while in-flight queries keep reading the one they started with.
+
+#ifndef CFQ_INCREMENTAL_DELTA_LOG_H_
+#define CFQ_INCREMENTAL_DELTA_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cfq::incremental {
+
+// One append: `generation` first covers TIDs [tid_begin, tid_end).
+struct DeltaRange {
+  uint64_t generation = 0;
+  size_t tid_begin = 0;
+  size_t tid_end = 0;
+};
+
+// The contiguous tail appended between two generations of one lineage.
+struct DeltaSpan {
+  size_t tid_begin = 0;
+  size_t tid_end = 0;
+  size_t size() const { return tid_end - tid_begin; }
+  bool empty() const { return tid_begin == tid_end; }
+};
+
+class DeltaLog {
+ public:
+  // A fresh lineage: `generation` covers [0, num_transactions) with no
+  // recorded appends (load/gen/register start here).
+  static DeltaLog Base(uint64_t generation, size_t num_transactions);
+
+  // Returns a log extended by one append of `appended` transactions
+  // under `new_generation`. Generations must be strictly increasing
+  // along the lineage.
+  DeltaLog Extend(uint64_t new_generation, size_t appended) const;
+
+  uint64_t base_generation() const { return base_generation_; }
+  uint64_t generation() const {
+    return ranges_.empty() ? base_generation_ : ranges_.back().generation;
+  }
+  const std::vector<DeltaRange>& ranges() const { return ranges_; }
+
+  // True when `generation` is a recorded point of this lineage (the
+  // base or any append).
+  bool Contains(uint64_t generation) const;
+
+  // Database size as of `generation`; nullopt when the generation is
+  // not part of this lineage.
+  std::optional<size_t> SizeAt(uint64_t generation) const;
+
+  // The TID span appended after `from_generation`, up to and including
+  // `to_generation`. Empty span when the generations are equal; nullopt
+  // when either generation is not part of this lineage or they are out
+  // of order. Appends are contiguous at the tail, so the union of the
+  // intervening ranges is always one span.
+  std::optional<DeltaSpan> Between(uint64_t from_generation,
+                                   uint64_t to_generation) const;
+
+  // Generations of this lineage, newest first (for ancestor lookups in
+  // the mining-state cache).
+  std::vector<uint64_t> GenerationsNewestFirst() const;
+
+ private:
+  uint64_t base_generation_ = 0;
+  size_t base_size_ = 0;
+  std::vector<DeltaRange> ranges_;
+};
+
+}  // namespace cfq::incremental
+
+#endif  // CFQ_INCREMENTAL_DELTA_LOG_H_

@@ -1,0 +1,116 @@
+#include "incremental/mining_state.h"
+
+#include <string>
+
+#include "common/stopwatch.h"
+#include "mining/candidate_gen.h"
+
+namespace cfq::incremental {
+
+std::vector<FrequentSet> MiningState::AllFrequent() const {
+  std::vector<FrequentSet> out;
+  out.reserve(TotalFrequent());
+  for (const LevelState& level : levels) {
+    out.insert(out.end(), level.frequent.begin(), level.frequent.end());
+  }
+  return out;
+}
+
+size_t MiningState::TotalFrequent() const {
+  size_t n = 0;
+  for (const LevelState& level : levels) n += level.frequent.size();
+  return n;
+}
+
+size_t MiningState::TotalBorder() const {
+  size_t n = 0;
+  for (const LevelState& level : levels) n += level.border.size();
+  return n;
+}
+
+Result<MiningState> BuildMiningState(TransactionDb* db, const Itemset& domain,
+                                     uint64_t min_support, uint64_t generation,
+                                     const IncrOptions& options) {
+  if (min_support == 0) {
+    return Status::InvalidArgument("min_support must be > 0");
+  }
+  Stopwatch wall;
+  MiningState state;
+  state.generation = generation;
+  state.min_support = min_support;
+  state.num_transactions = db->num_transactions();
+  state.domain = domain;
+
+  auto counter = MakeCounter(options.counter, db, options.pool);
+
+  // Level 1: all domain singletons — identical to MineFrequent, so the
+  // candidate stream (and therefore the frequent sets AND the border)
+  // matches a plain Apriori run level for level.
+  std::vector<Itemset> candidates;
+  candidates.reserve(domain.size());
+  for (ItemId item : domain) candidates.push_back(Itemset{item});
+
+  while (!candidates.empty()) {
+    Status live = CheckCancel(options.cancel, "incremental build level");
+    if (!live.ok()) return live;
+    const std::vector<uint64_t> supports = counter->Count(candidates, nullptr);
+    LevelState level;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      FrequentSet set{candidates[i], supports[i]};
+      if (supports[i] >= min_support) {
+        level.frequent.push_back(std::move(set));
+      } else {
+        level.border.push_back(std::move(set));
+      }
+    }
+    std::vector<Itemset> frequent_items;
+    frequent_items.reserve(level.frequent.size());
+    for (const FrequentSet& f : level.frequent) frequent_items.push_back(f.items);
+    state.levels.push_back(std::move(level));
+    candidates = GenerateCandidatesJoinPrune(frequent_items);
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->Observe("incr.build_seconds", wall.ElapsedSeconds());
+    options.metrics->Add("incr.builds");
+  }
+  return state;
+}
+
+namespace {
+
+bool SetsIdentical(const std::vector<FrequentSet>& a,
+                   const std::vector<FrequentSet>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].items != b[i].items || a[i].support != b[i].support) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StatesIdentical(const MiningState& a, const MiningState& b) {
+  if (a.min_support != b.min_support ||
+      a.num_transactions != b.num_transactions || a.domain != b.domain ||
+      a.levels.size() != b.levels.size()) {
+    return false;
+  }
+  for (size_t k = 0; k < a.levels.size(); ++k) {
+    if (!SetsIdentical(a.levels[k].frequent, b.levels[k].frequent) ||
+        !SetsIdentical(a.levels[k].border, b.levels[k].border)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Summarize(const MiningState& state) {
+  return "gen=" + std::to_string(state.generation) +
+         " minsup=" + std::to_string(state.min_support) +
+         " txns=" + std::to_string(state.num_transactions) +
+         " levels=" + std::to_string(state.levels.size()) +
+         " freq=" + std::to_string(state.TotalFrequent()) +
+         " border=" + std::to_string(state.TotalBorder());
+}
+
+}  // namespace cfq::incremental

@@ -1,0 +1,88 @@
+// MiningState: the persistent artifact of one frequent-set mining run,
+// rich enough to be maintained incrementally.
+//
+// A plain AprioriResult keeps only the frequent sets; FUP-style
+// maintenance (Cheung et al., ICDE'96) additionally needs the NEGATIVE
+// BORDER — every candidate that was generated and counted but fell
+// short of minsup — with its exact support. When transactions are
+// appended, the supports of both groups over the delta are enough to
+// decide every promotion; only candidates that were never counted at
+// all (those whose generation was blocked by a then-infrequent subset)
+// need a full count, and there are few of them. refresh.h implements
+// that recurrence; this header defines the state it maintains and the
+// from-scratch construction it must stay bit-identical to.
+
+#ifndef CFQ_INCREMENTAL_MINING_STATE_H_
+#define CFQ_INCREMENTAL_MINING_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/itemset.h"
+#include "common/result.h"
+#include "data/transaction_db.h"
+#include "mining/apriori.h"
+#include "mining/counter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cfq::incremental {
+
+// One lattice level k (stored at levels[k-1]): the frequent size-k sets
+// and the counted-but-infrequent ones (the negative border at this
+// level). Both are in candidate-generation order, which is
+// lexicographic — the order every from-scratch run produces — so state
+// equality is plain vector equality.
+struct LevelState {
+  std::vector<FrequentSet> frequent;
+  std::vector<FrequentSet> border;
+};
+
+struct MiningState {
+  uint64_t generation = 0;
+  uint64_t min_support = 0;
+  // Database size this state was counted over; an incremental refresh
+  // must start exactly at this TID.
+  uint64_t num_transactions = 0;
+  Itemset domain;
+  std::vector<LevelState> levels;
+
+  // All frequent sets flattened in level order — the same shape
+  // MineFrequent returns, for handoff into the answer pipeline.
+  std::vector<FrequentSet> AllFrequent() const;
+  size_t TotalFrequent() const;
+  size_t TotalBorder() const;
+};
+
+// Shared knobs for state construction and refresh.
+struct IncrOptions {
+  CounterKind counter = CounterKind::kBitmap;
+  // Shard-parallel counting pool (not owned; null counts serially).
+  // Supports are bit-identical at every thread count.
+  ThreadPool* pool = nullptr;
+  obs::Tracer* tracer = nullptr;          // Not owned; may be null.
+  obs::MetricsRegistry* metrics = nullptr;  // Not owned; may be null.
+  const CancelToken* cancel = nullptr;    // Polled at level boundaries.
+};
+
+// Mines `domain` over the full database from scratch, keeping the
+// negative border alongside the frequent sets. The frequent sets equal
+// MineFrequent(db, domain, min_support) exactly (same candidates, same
+// counts, same order). `generation` is recorded verbatim.
+Result<MiningState> BuildMiningState(TransactionDb* db, const Itemset& domain,
+                                     uint64_t min_support, uint64_t generation,
+                                     const IncrOptions& options = {});
+
+// Deep equality including supports; used by the identity tests and the
+// incremental-vs-scratch correctness gate.
+bool StatesIdentical(const MiningState& a, const MiningState& b);
+
+// Human-readable one-line summary ("gen=3 minsup=5 levels=4 freq=120
+// border=37") for logs and test failure messages.
+std::string Summarize(const MiningState& state);
+
+}  // namespace cfq::incremental
+
+#endif  // CFQ_INCREMENTAL_MINING_STATE_H_

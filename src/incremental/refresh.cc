@@ -1,0 +1,248 @@
+#include "incremental/refresh.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "mining/candidate_gen.h"
+
+namespace cfq::incremental {
+
+namespace {
+
+// Recorded generation-g knowledge about one itemset.
+struct OldEntry {
+  uint64_t support = 0;
+  bool was_frequent = false;
+};
+
+using OldLevelMap = std::unordered_map<Itemset, OldEntry, ItemsetHash>;
+
+OldLevelMap IndexLevel(const LevelState& level) {
+  OldLevelMap map;
+  map.reserve(level.frequent.size() + level.border.size());
+  for (const FrequentSet& f : level.frequent) {
+    map.emplace(f.items, OldEntry{f.support, true});
+  }
+  for (const FrequentSet& f : level.border) {
+    map.emplace(f.items, OldEntry{f.support, false});
+  }
+  return map;
+}
+
+}  // namespace
+
+size_t RefreshStats::LevelsChanged() const {
+  size_t n = 0;
+  for (bool changed : level_changed) {
+    if (changed) ++n;
+  }
+  return n;
+}
+
+Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
+                                          TransactionDb* db,
+                                          size_t delta_begin, size_t delta_end,
+                                          uint64_t new_generation,
+                                          uint64_t new_min_support,
+                                          const IncrOptions& options) {
+  if (new_min_support == 0) {
+    return Status::InvalidArgument("min_support must be > 0");
+  }
+  if (old_state.num_transactions != delta_begin) {
+    return Status::InvalidArgument(
+        "delta does not start at the old state's boundary: state covers " +
+        std::to_string(old_state.num_transactions) + " transactions, delta " +
+        "begins at " + std::to_string(delta_begin));
+  }
+  if (delta_end < delta_begin || db->num_transactions() != delta_end) {
+    return Status::InvalidArgument(
+        "delta [" + std::to_string(delta_begin) + ", " +
+        std::to_string(delta_end) + ") does not end at the database tail (" +
+        std::to_string(db->num_transactions()) + " transactions)");
+  }
+
+  Stopwatch wall;
+  RefreshOutcome out;
+  RefreshStats& stats = out.stats;
+  stats.delta_transactions = delta_end - delta_begin;
+
+  MiningState& state = out.state;
+  state.generation = new_generation;
+  state.min_support = new_min_support;
+  state.num_transactions = delta_end;
+  state.domain = old_state.domain;
+
+  // The delta as its own little database, counted with the same backend
+  // (and pool sharding) as everything else, so delta supports are exact
+  // and bit-identical at every thread count.
+  const bool has_delta = delta_end > delta_begin;
+  TransactionDb delta_db(db->num_items());
+  std::unique_ptr<SupportCounter> delta_counter;
+  if (has_delta) {
+    for (size_t tid = delta_begin; tid < delta_end; ++tid) {
+      delta_db.Add(db->transaction(tid));
+    }
+    delta_counter = MakeCounter(options.counter, &delta_db, options.pool);
+  }
+  // Full-database counter for never-before-counted candidates, built
+  // lazily: a refresh that promotes nothing never pays for it (for the
+  // bitmap backend, construction materializes the vertical index).
+  std::unique_ptr<SupportCounter> full_counter;
+
+  // Same candidate recurrence as a scratch run: domain singletons, then
+  // join+prune over the NEW frequent sets. That makes the refreshed
+  // state's candidate stream — and so its border — identical to
+  // BuildMiningState on the grown database.
+  std::vector<Itemset> candidates;
+  candidates.reserve(state.domain.size());
+  for (ItemId item : state.domain) candidates.push_back(Itemset{item});
+
+  size_t level_index = 0;  // k - 1
+  while (!candidates.empty()) {
+    Status live = CheckCancel(options.cancel, "incremental refresh level");
+    if (!live.ok()) return live;
+
+    const OldLevelMap old_map =
+        level_index < old_state.levels.size()
+            ? IndexLevel(old_state.levels[level_index])
+            : OldLevelMap{};
+
+    // Partition this level's candidates by provenance, preserving the
+    // candidate order for the final merge.
+    std::vector<size_t> known_idx, fresh_idx;
+    std::vector<const OldEntry*> known_entries;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      auto it = old_map.find(candidates[i]);
+      if (it != old_map.end()) {
+        known_idx.push_back(i);
+        known_entries.push_back(&it->second);
+      } else {
+        fresh_idx.push_back(i);
+      }
+    }
+
+    std::vector<uint64_t> supports(candidates.size(), 0);
+    if (!known_idx.empty()) {
+      if (has_delta) {
+        Stopwatch recount_wall;
+        std::vector<Itemset> batch;
+        batch.reserve(known_idx.size());
+        for (size_t i : known_idx) batch.push_back(candidates[i]);
+        const std::vector<uint64_t> delta_supports =
+            delta_counter->Count(batch, nullptr);
+        for (size_t j = 0; j < known_idx.size(); ++j) {
+          supports[known_idx[j]] =
+              known_entries[j]->support + delta_supports[j];
+        }
+        stats.recounted += known_idx.size();
+        if (options.metrics != nullptr) {
+          options.metrics->Observe("incr.delta.recount_seconds",
+                                   recount_wall.ElapsedSeconds());
+        }
+      } else {
+        for (size_t j = 0; j < known_idx.size(); ++j) {
+          supports[known_idx[j]] = known_entries[j]->support;
+        }
+        stats.reused += known_idx.size();
+      }
+    }
+    if (!fresh_idx.empty()) {
+      // Bounded re-expansion: these candidates exist only because the
+      // delta promoted one of their subsets, so they were never counted
+      // at the old generation and need the full database.
+      Stopwatch expand_wall;
+      if (full_counter == nullptr) {
+        full_counter = MakeCounter(options.counter, db, options.pool);
+      }
+      std::vector<Itemset> batch;
+      batch.reserve(fresh_idx.size());
+      for (size_t i : fresh_idx) batch.push_back(candidates[i]);
+      const std::vector<uint64_t> full_supports =
+          full_counter->Count(batch, nullptr);
+      for (size_t j = 0; j < fresh_idx.size(); ++j) {
+        supports[fresh_idx[j]] = full_supports[j];
+      }
+      stats.fresh += fresh_idx.size();
+      if (options.metrics != nullptr) {
+        options.metrics->Observe("incr.expand.count_seconds",
+                                 expand_wall.ElapsedSeconds());
+      }
+    }
+
+    LevelState level;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      FrequentSet set{candidates[i], supports[i]};
+      const bool frequent_now = supports[i] >= new_min_support;
+      auto it = old_map.find(candidates[i]);
+      const bool was_frequent = it != old_map.end() && it->second.was_frequent;
+      if (frequent_now && !was_frequent) ++stats.promoted;
+      if (frequent_now) {
+        level.frequent.push_back(std::move(set));
+      } else {
+        level.border.push_back(std::move(set));
+      }
+    }
+
+    // Demotions and the changed-level flag compare against the old
+    // FREQUENT list as a whole: an old frequent set that was not even
+    // regenerated (its subset demoted first) still counts as demoted.
+    bool changed = level_index >= old_state.levels.size();
+    uint64_t kept_old = 0;
+    if (!changed) {
+      const std::vector<FrequentSet>& old_frequent =
+          old_state.levels[level_index].frequent;
+      for (const FrequentSet& f : level.frequent) {
+        auto it = old_map.find(f.items);
+        if (it != old_map.end() && it->second.was_frequent) ++kept_old;
+      }
+      stats.demoted += old_frequent.size() - kept_old;
+      changed = old_frequent.size() != level.frequent.size() ||
+                kept_old != old_frequent.size();
+    }
+    stats.level_changed.push_back(changed);
+
+    std::vector<Itemset> frequent_items;
+    frequent_items.reserve(level.frequent.size());
+    for (const FrequentSet& f : level.frequent) frequent_items.push_back(f.items);
+    state.levels.push_back(std::move(level));
+    candidates = GenerateCandidatesJoinPrune(frequent_items);
+    ++level_index;
+  }
+
+  // Old levels past the last refreshed one died in a demotion cascade:
+  // their every frequent set lost a frequent subset, so none were
+  // regenerated. They are all demotions, and those levels changed.
+  for (size_t k = state.levels.size(); k < old_state.levels.size(); ++k) {
+    stats.demoted += old_state.levels[k].frequent.size();
+    stats.level_changed.push_back(!old_state.levels[k].frequent.empty());
+  }
+
+  stats.seconds = wall.ElapsedSeconds();
+  if (options.tracer != nullptr) {
+    obs::DeltaEvent event;
+    event.from_generation = old_state.generation;
+    event.to_generation = new_generation;
+    event.delta_transactions = stats.delta_transactions;
+    event.recounted = stats.recounted;
+    event.fresh = stats.fresh;
+    event.reused = stats.reused;
+    event.promoted = stats.promoted;
+    event.demoted = stats.demoted;
+    options.tracer->RecordDelta(event);
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->Observe("incr.refresh_seconds", stats.seconds);
+    options.metrics->Add("incr.refreshes");
+    options.metrics->Add("incr.sets.recounted", stats.recounted);
+    options.metrics->Add("incr.sets.reused", stats.reused);
+    options.metrics->Add("incr.sets.fresh", stats.fresh);
+    options.metrics->Add("incr.promoted", stats.promoted);
+    options.metrics->Add("incr.demoted", stats.demoted);
+  }
+  return out;
+}
+
+}  // namespace cfq::incremental

@@ -1,0 +1,88 @@
+// FUP-style incremental maintenance of a MiningState.
+//
+// When a database grows from generation g (N transactions) to
+// generation g' (N' transactions) by appending the tail [N, N'), the
+// support of every itemset decomposes as
+//
+//   sup_{g'}(X) = sup_g(X) + sup_delta(X)
+//
+// so any set whose generation-g support is already recorded — every
+// frequent set AND every negative-border set in the MiningState — needs
+// only a count over the delta, which is typically a small fraction of
+// the database. Only candidates the old run never counted (their
+// generation was blocked by a then-infrequent subset that the delta
+// promoted) require a full count, and bounded re-expansion touches just
+// those.
+//
+// The refresh also accepts a NEW minimum support. Appends can only grow
+// absolute supports, so at a fixed threshold demotion is impossible;
+// raising the threshold is how previously frequent sets demote (and how
+// the server re-thresholds a cached lower-minsup state, possibly over
+// an empty delta). The recurrence is identical either way.
+//
+// Identity guarantee: the refreshed state is bit-identical — same
+// levels, same sets in the same order, same supports — to
+// BuildMiningState run from scratch on the grown database at the new
+// threshold. Candidates are regenerated level by level with the same
+// join+prune as a scratch run; only the SOURCE of each support differs
+// (reuse + delta count vs full count). tests/incremental_test.cc holds
+// this across backends and thread counts.
+
+#ifndef CFQ_INCREMENTAL_REFRESH_H_
+#define CFQ_INCREMENTAL_REFRESH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/transaction_db.h"
+#include "incremental/mining_state.h"
+
+namespace cfq::incremental {
+
+struct RefreshStats {
+  uint64_t delta_transactions = 0;
+  // Support provenance, in sets: `recounted` had a recorded old support
+  // plus a delta count, `reused` had a recorded old support and an
+  // empty delta (no counting at all), `fresh` were never counted at the
+  // old generation and got a full count.
+  uint64_t recounted = 0;
+  uint64_t reused = 0;
+  uint64_t fresh = 0;
+  // Sets that crossed the (possibly new) threshold: promoted are
+  // frequent now but were not frequent before; demoted were frequent
+  // before but are not now (only reachable with a raised threshold).
+  uint64_t promoted = 0;
+  uint64_t demoted = 0;
+  double seconds = 0;
+  // level_changed[k-1] is true when the size-k FREQUENT ITEMSETS (items
+  // only; supports are expected to move) differ from the old state.
+  // Downstream per-level derivations (Vk series, reductions) only need
+  // recomputing for changed levels — reuse.h keys off this.
+  std::vector<bool> level_changed;
+  size_t LevelsChanged() const;
+};
+
+struct RefreshOutcome {
+  MiningState state;
+  RefreshStats stats;
+};
+
+// Advances `old_state` across the appended TID range [delta_begin,
+// delta_end) of `db` (which must already contain the delta), producing
+// the state at `new_generation` / `new_min_support`.
+//
+// Requirements: old_state.num_transactions == delta_begin,
+// db->num_transactions() == delta_end, new_min_support > 0, and the
+// domain is the old state's domain. An empty delta with a changed
+// threshold is the pure re-threshold refresh.
+Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
+                                          TransactionDb* db,
+                                          size_t delta_begin, size_t delta_end,
+                                          uint64_t new_generation,
+                                          uint64_t new_min_support,
+                                          const IncrOptions& options = {});
+
+}  // namespace cfq::incremental
+
+#endif  // CFQ_INCREMENTAL_REFRESH_H_

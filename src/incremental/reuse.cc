@@ -1,0 +1,167 @@
+#include "incremental/reuse.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/trace.h"
+
+namespace cfq::incremental {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvMix(uint64_t* h, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    *h ^= (value >> shift) & 0xff;
+    *h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+uint64_t FingerprintItemsets(const std::vector<Itemset>& sets) {
+  uint64_t h = kFnvOffset;
+  for (const Itemset& s : sets) {
+    FnvMix(&h, s.size());
+    for (ItemId item : s) FnvMix(&h, item);
+  }
+  return h;
+}
+
+uint64_t FingerprintFrequent(const std::vector<FrequentSet>& sets) {
+  uint64_t h = kFnvOffset;
+  for (const FrequentSet& f : sets) {
+    FnvMix(&h, f.items.size());
+    for (ItemId item : f.items) FnvMix(&h, item);
+  }
+  return h;
+}
+
+namespace {
+
+uint64_t FingerprintItems(const Itemset& items) {
+  uint64_t h = kFnvOffset;
+  for (ItemId item : items) FnvMix(&h, item);
+  return h;
+}
+
+}  // namespace
+
+Result<Reduction> StateAnswerContext::GetReduction(
+    const TwoVarConstraint& c, const Itemset& l1_s, const Itemset& l1_t,
+    const ItemCatalog& catalog, bool nonnegative, ReuseStats* stats) {
+  const std::string key = ToString(c) + "|" +
+                          std::to_string(FingerprintItems(l1_s)) + "|" +
+                          std::to_string(FingerprintItems(l1_t)) + "|" +
+                          (nonnegative ? "n" : "z");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = reductions_.find(key);
+    if (it != reductions_.end()) {
+      if (stats != nullptr) ++stats->reductions_reused;
+      return it->second;
+    }
+  }
+  auto reduction = ReduceTwoVar(c, l1_s, l1_t, catalog, nonnegative);
+  if (!reduction.ok()) return reduction.status();
+  if (stats != nullptr) ++stats->reductions_recomputed;
+  std::lock_guard<std::mutex> lock(mu_);
+  reductions_.emplace(key, reduction.value());
+  return std::move(reduction).value();
+}
+
+Result<VkDetail> StateAnswerContext::GetVkDetail(
+    const std::vector<FrequentSet>& frequent_k, size_t k,
+    const std::string& attr, const ItemCatalog& catalog, ReuseStats* stats) {
+  const std::string key = attr + "|" + std::to_string(k) + "|" +
+                          std::to_string(FingerprintFrequent(frequent_k));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = vk_.find(key);
+    if (it != vk_.end()) {
+      if (stats != nullptr) ++stats->vk_levels_reused;
+      return it->second;
+    }
+  }
+  auto detail = ComputeVkDetail(frequent_k, k, attr, catalog);
+  if (!detail.ok()) return detail.status();
+  if (stats != nullptr) ++stats->vk_levels_recomputed;
+  std::lock_guard<std::mutex> lock(mu_);
+  vk_.emplace(key, detail.value());
+  return std::move(detail).value();
+}
+
+size_t StateAnswerContext::reduction_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reductions_.size();
+}
+
+size_t StateAnswerContext::vk_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return vk_.size();
+}
+
+Result<VkAudit> AuditVkSeries(const std::vector<std::vector<FrequentSet>>& levels,
+                              const std::string& attr,
+                              const ItemCatalog& catalog,
+                              StateAnswerContext* ctx, ReuseStats* stats,
+                              obs::Tracer* tracer, char source_var) {
+  VkAudit audit;
+  // Exact max of sum(attr) per level, and suffix maxima: the truth each
+  // V^k must dominate.
+  std::vector<double> level_max(levels.size(),
+                                -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < levels.size(); ++i) {
+    for (const FrequentSet& f : levels[i]) {
+      double sum = 0;
+      for (ItemId item : f.items) {
+        CFQ_ASSIGN_OR_RETURN(const double v, catalog.Value(attr, item));
+        sum += v;
+      }
+      level_max[i] = std::max(level_max[i], sum);
+    }
+    audit.exact_max = std::max(audit.exact_max, level_max[i]);
+  }
+  std::vector<double> suffix_max(levels.size() + 1,
+                                 -std::numeric_limits<double>::infinity());
+  for (size_t i = levels.size(); i > 0; --i) {
+    suffix_max[i - 1] = std::max(suffix_max[i], level_max[i - 1]);
+  }
+
+  double prefix_max = levels.empty()
+                          ? 0
+                          : std::max(0.0, level_max[0]);  // Levels < k.
+  double folded = std::numeric_limits<double>::infinity();
+  for (size_t k = 2; k <= levels.size(); ++k) {
+    const std::vector<FrequentSet>& frequent_k = levels[k - 1];
+    if (frequent_k.empty()) break;  // No set of size >= k exists.
+    VkDetail detail;
+    if (ctx != nullptr) {
+      CFQ_ASSIGN_OR_RETURN(detail,
+                           ctx->GetVkDetail(frequent_k, k, attr, catalog, stats));
+    } else {
+      CFQ_ASSIGN_OR_RETURN(detail, ComputeVkDetail(frequent_k, k, attr, catalog));
+      if (stats != nullptr) ++stats->vk_levels_recomputed;
+    }
+    if (tracer != nullptr) {
+      tracer->RecordJmax(obs::JmaxEvent{source_var, static_cast<uint32_t>(k),
+                                        detail.jmax, detail.v_k});
+    }
+    audit.v_k.push_back(detail.v_k);
+    folded = std::min(folded, detail.v_k);
+    audit.folded.push_back(folded);
+    // Soundness at level k: everything of size >= k is bounded by V^k.
+    if (suffix_max[k - 1] > detail.v_k + 1e-9) audit.sound = false;
+    // The in-force bound combines V^k with the exact max over the
+    // already-enumerated shallower levels.
+    if (audit.exact_max > std::max(prefix_max, detail.v_k) + 1e-9) {
+      audit.sound = false;
+    }
+    prefix_max = std::max(prefix_max, level_max[k - 1]);
+  }
+  return audit;
+}
+
+}  // namespace cfq::incremental

@@ -1,0 +1,115 @@
+// Generation-aware reuse of per-level derivations.
+//
+// The expensive by-products of answering a CFQ from a MiningState —
+// quasi-succinct reductions (whose constants come from the level-1
+// frequent singletons) and the Jmax V^k series (one bound per lattice
+// level) — depend only on WHICH itemsets are frequent, not on their
+// supports. After an incremental refresh most levels' frequent sets are
+// unchanged, so a StateAnswerContext caches each derivation under a
+// fingerprint of its actual inputs: a reduction under the two L1 item
+// lists, a V^k value under that level's frequent itemsets. A refresh
+// that changes two levels recomputes exactly two V^k entries and hits
+// the cache for the rest; ReuseStats reports the split.
+//
+// AuditVkSeries is the monotonicity/soundness check the refresh path
+// re-runs over changed levels: the folded V^k series must be
+// non-increasing, and at every level k the bound max(exact max below k,
+// V^k) must dominate the exact max of sum(attr) over frequent sets of
+// size >= k. A violation means a maintained state diverged from what
+// the bound was derived for — it is surfaced as an error, not a warning.
+
+#ifndef CFQ_INCREMENTAL_REUSE_H_
+#define CFQ_INCREMENTAL_REUSE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/result.h"
+#include "core/jmax.h"
+#include "core/reduction.h"
+#include "data/item_catalog.h"
+#include "mining/apriori.h"
+
+namespace cfq::obs {
+class Tracer;
+}  // namespace cfq::obs
+
+namespace cfq::incremental {
+
+struct ReuseStats {
+  uint64_t reductions_reused = 0;
+  uint64_t reductions_recomputed = 0;
+  uint64_t vk_levels_reused = 0;
+  uint64_t vk_levels_recomputed = 0;
+
+  void MergeFrom(const ReuseStats& other) {
+    reductions_reused += other.reductions_reused;
+    reductions_recomputed += other.reductions_recomputed;
+    vk_levels_reused += other.vk_levels_reused;
+    vk_levels_recomputed += other.vk_levels_recomputed;
+  }
+};
+
+// FNV-1a over the itemset stream (each set's size then its ids), so two
+// level snapshots with the same sets in the same order collide only by
+// hash accident. Supports are deliberately excluded: the derivations
+// cached under these fingerprints do not read them.
+uint64_t FingerprintItemsets(const std::vector<Itemset>& sets);
+uint64_t FingerprintFrequent(const std::vector<FrequentSet>& sets);
+
+// Shared, thread-safe derivation cache. One context is scoped to a
+// dataset LINEAGE (the ItemCatalog never changes across appends), so
+// the mining-state cache threads the same context through every
+// generation of a dataset and cross-generation reuse falls out of the
+// fingerprint keys.
+class StateAnswerContext {
+ public:
+  // ReduceTwoVar memoized under (constraint text, fp(l1_s), fp(l1_t),
+  // nonnegative). `stats` (may be null) is bumped on the hit/miss path.
+  Result<Reduction> GetReduction(const TwoVarConstraint& c,
+                                 const Itemset& l1_s, const Itemset& l1_t,
+                                 const ItemCatalog& catalog, bool nonnegative,
+                                 ReuseStats* stats);
+
+  // ComputeVkDetail memoized under (attr, k, fp(frequent_k items)).
+  Result<VkDetail> GetVkDetail(const std::vector<FrequentSet>& frequent_k,
+                               size_t k, const std::string& attr,
+                               const ItemCatalog& catalog, ReuseStats* stats);
+
+  size_t reduction_entries() const;
+  size_t vk_entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Reduction> reductions_;
+  std::unordered_map<std::string, VkDetail> vk_;
+};
+
+struct VkAudit {
+  // v_k[i] bounds levels >= i + 2 (the series starts at k = 2).
+  std::vector<double> v_k;
+  // Min-prefix fold of v_k — the bound actually in force at each level,
+  // non-increasing by construction.
+  std::vector<double> folded;
+  double exact_max = 0;  // Max sum(attr) over every frequent set.
+  bool sound = true;
+};
+
+// Computes the V^k series over `levels` (levels[k-1] = frequent size-k
+// sets) for `attr`, through `ctx`'s cache when non-null, and verifies
+// soundness level by level. Emits a JmaxEvent per computed level when
+// `tracer` is non-null, tagged `source_var`.
+Result<VkAudit> AuditVkSeries(const std::vector<std::vector<FrequentSet>>& levels,
+                              const std::string& attr,
+                              const ItemCatalog& catalog,
+                              StateAnswerContext* ctx, ReuseStats* stats,
+                              obs::Tracer* tracer = nullptr,
+                              char source_var = '?');
+
+}  // namespace cfq::incremental
+
+#endif  // CFQ_INCREMENTAL_REUSE_H_

@@ -1,0 +1,143 @@
+#include "incremental/state_cache.h"
+
+#include <utility>
+#include <vector>
+
+namespace cfq::incremental {
+
+std::string MiningStateCache::Key(const std::string& dataset,
+                                  uint64_t generation, uint64_t min_support) {
+  return dataset + "@" + std::to_string(generation) +
+         "|minsup=" + std::to_string(min_support);
+}
+
+std::shared_ptr<const CachedState> MiningStateCache::Get(
+    const std::string& dataset, uint64_t generation, uint64_t min_support) {
+  const std::string key = Key(dataset, generation, min_support);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    if (metrics_ != nullptr) metrics_->Add("incr.state_cache.misses");
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  if (metrics_ != nullptr) metrics_->Add("incr.state_cache.hits");
+  return it->second->value;
+}
+
+std::shared_ptr<const CachedState> MiningStateCache::FindAncestor(
+    const std::string& dataset, const DeltaLog& log,
+    uint64_t target_generation, uint64_t min_support) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t gen : log.GenerationsNewestFirst()) {
+    if (gen > target_generation) continue;
+    // Closest usable threshold at this generation: the largest cached
+    // minsup not exceeding the required one.
+    const Entry* best = nullptr;
+    for (const Entry& e : lru_) {
+      if (e.dataset != dataset || e.generation != gen ||
+          e.min_support > min_support) {
+        continue;
+      }
+      if (best == nullptr || e.min_support > best->min_support) best = &e;
+    }
+    if (best != nullptr) return best->value;
+  }
+  return nullptr;
+}
+
+void MiningStateCache::Put(const std::string& dataset, MiningState state,
+                           std::shared_ptr<StateAnswerContext> ctx) {
+  if (capacity_ == 0) return;
+  Entry entry;
+  entry.key = Key(dataset, state.generation, state.min_support);
+  entry.dataset = dataset;
+  entry.generation = state.generation;
+  entry.min_support = state.min_support;
+  auto cached = std::make_shared<CachedState>();
+  cached->state = std::move(state);
+  cached->ctx = std::move(ctx);
+  entry.value = std::move(cached);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(entry.key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *it->second = std::move(entry);
+    RecordGauge();
+    return;
+  }
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    if (metrics_ != nullptr) metrics_->Add("incr.state_cache.evictions");
+  }
+  RecordGauge();
+}
+
+size_t MiningStateCache::PurgeDataset(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t purged = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->dataset == dataset) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  if (purged > 0 && metrics_ != nullptr) {
+    metrics_->Add("incr.state_cache.purged", purged);
+  }
+  RecordGauge();
+  return purged;
+}
+
+std::shared_ptr<StateAnswerContext> MiningStateCache::ContextFor(
+    const std::string& dataset) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : lru_) {
+      if (e.dataset == dataset && e.value != nullptr &&
+          e.value->ctx != nullptr) {
+        return e.value->ctx;
+      }
+    }
+  }
+  return std::make_shared<StateAnswerContext>();
+}
+
+uint64_t MiningStateCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t MiningStateCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t MiningStateCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t MiningStateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void MiningStateCache::RecordGauge() {
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("incr.state_cache.size",
+                       static_cast<double>(lru_.size()));
+  }
+}
+
+}  // namespace cfq::incremental

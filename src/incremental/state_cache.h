@@ -1,0 +1,115 @@
+// MiningStateCache: LRU of maintained MiningStates, keyed by dataset
+// lineage, generation and threshold.
+//
+// The serving layer uses this to turn appends into incremental work:
+// when a query arrives for dataset@g' and no state exists there, the
+// cache walks the dataset's DeltaLog lineage newest-first looking for
+// an ancestor state — same dataset, generation <= g', threshold <= the
+// required one (FUP can raise a threshold over a delta but never lower
+// it, because supports below the old threshold were never retained
+// below the border) — and the service refreshes from that ancestor over
+// the recorded delta span instead of mining from scratch.
+//
+// Entries are immutable after Put (shared_ptr<const CachedState>), so a
+// refresh in one request never perturbs a concurrent reader. The
+// per-lineage StateAnswerContext rides along: every generation of a
+// dataset shares one derivation cache, which is what makes unchanged-
+// level V^k values and reductions survive appends.
+
+#ifndef CFQ_INCREMENTAL_STATE_CACHE_H_
+#define CFQ_INCREMENTAL_STATE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "incremental/delta_log.h"
+#include "incremental/mining_state.h"
+#include "incremental/reuse.h"
+#include "obs/metrics.h"
+
+namespace cfq::incremental {
+
+struct CachedState {
+  MiningState state;
+  // Lineage-shared derivation cache (never null for a cache-produced
+  // entry); internally synchronized.
+  std::shared_ptr<StateAnswerContext> ctx;
+};
+
+class MiningStateCache {
+ public:
+  // `capacity` = max entries; 0 disables caching. `metrics` (not owned,
+  // may be null) receives incr.state_cache.{hits,misses,evictions,
+  // purged} counters and an incr.state_cache.size gauge.
+  explicit MiningStateCache(size_t capacity,
+                            obs::MetricsRegistry* metrics = nullptr)
+      : capacity_(capacity), metrics_(metrics) {}
+
+  static std::string Key(const std::string& dataset, uint64_t generation,
+                         uint64_t min_support);
+
+  // Exact lookup; promotes to most-recent. Null on miss.
+  std::shared_ptr<const CachedState> Get(const std::string& dataset,
+                                         uint64_t generation,
+                                         uint64_t min_support);
+
+  // Best refresh ancestor for (dataset, target_generation, min_support):
+  // walks `log`'s generations newest-first (skipping those newer than
+  // the target) and within a generation prefers the largest cached
+  // threshold <= min_support (the closest state, so the re-threshold
+  // demotes the least). Does NOT promote the entry (a refresh source is
+  // not a serving hit). Null when no usable ancestor is cached.
+  std::shared_ptr<const CachedState> FindAncestor(const std::string& dataset,
+                                                  const DeltaLog& log,
+                                                  uint64_t target_generation,
+                                                  uint64_t min_support);
+
+  // Inserts `state` (with its lineage context) for `dataset`, evicting
+  // the least recently used entry when over capacity.
+  void Put(const std::string& dataset, MiningState state,
+           std::shared_ptr<StateAnswerContext> ctx);
+
+  // Drops every entry of `dataset` (catalog Drop / rebind). Returns the
+  // number purged.
+  size_t PurgeDataset(const std::string& dataset);
+
+  // The lineage's shared derivation context: returns the context any
+  // cached entry of `dataset` carries, or a fresh one (not yet attached
+  // to anything) when none is cached.
+  std::shared_ptr<StateAnswerContext> ContextFor(const std::string& dataset);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string dataset;
+    uint64_t generation = 0;
+    uint64_t min_support = 0;
+    std::shared_ptr<const CachedState> value;
+  };
+
+  void RecordGauge();  // mu_ held.
+
+  const size_t capacity_;
+  obs::MetricsRegistry* const metrics_;
+  mutable std::mutex mu_;
+  // Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace cfq::incremental
+
+#endif  // CFQ_INCREMENTAL_STATE_CACHE_H_

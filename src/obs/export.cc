@@ -66,6 +66,16 @@ std::string PayloadFields(const EventPayload& payload) {
     out += "\"checks\":" + std::to_string(pair->checks);
     out += ",\"kept\":" + std::to_string(pair->kept);
     out += ",\"seconds\":" + JsonNumber(pair->seconds);
+  } else if (const auto* delta = std::get_if<DeltaEvent>(&payload)) {
+    out += "\"from_generation\":" + std::to_string(delta->from_generation);
+    out += ",\"to_generation\":" + std::to_string(delta->to_generation);
+    out += ",\"delta_transactions\":" +
+           std::to_string(delta->delta_transactions);
+    out += ",\"recounted\":" + std::to_string(delta->recounted);
+    out += ",\"fresh\":" + std::to_string(delta->fresh);
+    out += ",\"reused\":" + std::to_string(delta->reused);
+    out += ",\"promoted\":" + std::to_string(delta->promoted);
+    out += ",\"demoted\":" + std::to_string(delta->demoted);
   }
   return out;
 }

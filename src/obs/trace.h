@@ -65,6 +65,23 @@ struct PairPhaseEvent {
   double seconds = 0;
 };
 
+// One FUP-style incremental refresh (src/incremental/): the mining
+// state moved from `from_generation` to `to_generation` by recounting
+// `recounted` known sets over `delta_transactions` appended
+// transactions, fully counting `fresh` previously-unseen candidates,
+// and reusing `reused` supports untouched; `promoted`/`demoted` sets
+// crossed minsup in either direction.
+struct DeltaEvent {
+  uint64_t from_generation = 0;
+  uint64_t to_generation = 0;
+  uint64_t delta_transactions = 0;
+  uint64_t recounted = 0;
+  uint64_t fresh = 0;
+  uint64_t reused = 0;
+  uint64_t promoted = 0;
+  uint64_t demoted = 0;
+};
+
 enum class EventPhase : uint8_t {
   kSpanBegin,  // Chrome "B"
   kSpanEnd,    // Chrome "E"
@@ -72,7 +89,7 @@ enum class EventPhase : uint8_t {
 };
 
 using EventPayload = std::variant<std::monostate, LevelEvent, JmaxEvent,
-                                  ScanEvent, PairPhaseEvent>;
+                                  ScanEvent, PairPhaseEvent, DeltaEvent>;
 
 struct TraceEvent {
   const char* name = "";  // Must have static storage duration.
@@ -104,6 +121,9 @@ class Tracer {
   void RecordScan(const ScanEvent& e) { Push("scan", EventPhase::kInstant, e); }
   void RecordPairPhase(const PairPhaseEvent& e) {
     Push("pair_phase", EventPhase::kInstant, e);
+  }
+  void RecordDelta(const DeltaEvent& e) {
+    Push("delta", EventPhase::kInstant, e);
   }
 
   // Snapshot in record order, oldest surviving event first. Safe

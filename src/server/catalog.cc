@@ -15,6 +15,32 @@ uint64_t DatasetCatalog::Register(const std::string& name, Dataset dataset) {
   CatalogEntry& entry = entries_[name];
   entry.data = std::move(shared);
   entry.generation = next_generation_++;
+  entry.log = std::make_shared<const incremental::DeltaLog>(
+      incremental::DeltaLog::Base(entry.generation,
+                                  entry.data->db.num_transactions()));
+  return entry.generation;
+}
+
+Result<uint64_t> DatasetCatalog::Append(
+    const std::string& name, const std::vector<std::vector<ItemId>>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no dataset named '" + name + "'");
+  }
+  CatalogEntry& entry = it->second;
+  // Copy-on-write under the catalog lock: the copy (including its
+  // vertical index, which Append extends rather than rebuilds) is
+  // private until published, so concurrent readers of the old snapshot
+  // are undisturbed and the new snapshot is read-only from birth.
+  Dataset grown = *entry.data;
+  const size_t before = grown.db.num_transactions();
+  grown.db.Append(batch);
+  const size_t appended = grown.db.num_transactions() - before;
+  entry.data = std::make_shared<const Dataset>(std::move(grown));
+  entry.generation = next_generation_++;
+  entry.log = std::make_shared<const incremental::DeltaLog>(
+      entry.log->Extend(entry.generation, appended));
   return entry.generation;
 }
 

@@ -26,13 +26,19 @@
 #include "common/result.h"
 #include "data/serialize.h"
 #include "data/synthetic_gen.h"
+#include "incremental/delta_log.h"
 
 namespace cfq::server {
 
-// One registered dataset plus its generation id.
+// One registered dataset plus its generation id and append lineage.
 struct CatalogEntry {
   std::shared_ptr<const Dataset> data;
   uint64_t generation = 0;
+  // The generations this binding moved through via Append (rebinding
+  // with load/gen/Register starts a fresh lineage). Never null once
+  // registered; shared so in-flight queries and the mining-state cache
+  // can resolve delta spans against a stable snapshot.
+  std::shared_ptr<const incremental::DeltaLog> log;
 };
 
 // Summary row for the `datasets` protocol command.
@@ -60,6 +66,15 @@ class DatasetCatalog {
   // cfq_mine — and registers it.
   Result<uint64_t> Generate(const std::string& name,
                             const QuestParams& params);
+
+  // Appends `batch` transactions to `name`, publishing a NEW dataset
+  // snapshot under a bumped generation whose DeltaLog records the
+  // appended TID range. Copy-on-write: in-flight queries keep reading
+  // the snapshot they started with; the copy's vertical index is
+  // extended in place (O(delta)) before publication. Returns the new
+  // generation.
+  Result<uint64_t> Append(const std::string& name,
+                          const std::vector<std::vector<ItemId>>& batch);
 
   Result<CatalogEntry> Get(const std::string& name) const;
   Status Drop(const std::string& name);

@@ -41,6 +41,25 @@ void ResultCache::Put(const std::string& key,
   }
 }
 
+size_t ResultCache::PurgePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t purged = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  if (metrics_ != nullptr) {
+    if (purged > 0) metrics_->Add("server.cache.evict.dropped", purged);
+    metrics_->SetGauge("server.cache.size", static_cast<double>(lru_.size()));
+  }
+  return purged;
+}
+
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

@@ -61,6 +61,12 @@ class ResultCache {
 
   void Clear();
 
+  // Drops every entry whose key starts with `prefix` (the service uses
+  // "<dataset>@" when a dataset is dropped, so answers cannot outlive
+  // the data they were computed from). Returns the number removed and
+  // counts them under server.cache.evict.dropped.
+  size_t PurgePrefix(const std::string& prefix);
+
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t evictions() const;

@@ -1,14 +1,18 @@
 #include "server/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <utility>
 
 #include "common/cancellation.h"
+#include "common/thread_pool.h"
 #include "core/analyze.h"
 #include "core/cfq.h"
 #include "core/executor.h"
 #include "core/optimizer.h"
+#include "incremental/answer.h"
+#include "incremental/refresh.h"
 #include "obs/export.h"
 #include "parser/parser.h"
 
@@ -45,6 +49,7 @@ QueryService::QueryService(const ServiceOptions& options,
     : options_(options),
       metrics_(metrics),
       cache_(options.cache_capacity, metrics),
+      state_cache_(options.state_cache_capacity, metrics),
       admission_(options.max_concurrent, options.max_queued) {}
 
 JsonValue QueryService::Handle(const JsonValue& request) {
@@ -69,6 +74,8 @@ JsonValue QueryService::Handle(const JsonValue& request) {
     response = HandleDrop(request);
   } else if (cmd == "datasets") {
     response = HandleDatasets();
+  } else if (cmd == "append") {
+    response = HandleAppend(request);
   } else if (cmd == "query") {
     response = HandleQuery(request);
   } else if (cmd == "stats") {
@@ -182,9 +189,63 @@ JsonValue QueryService::HandleDrop(const JsonValue& request) {
   if (auto s = catalog_.Drop(name); !s.ok()) {
     return ErrorResponse("NOT_FOUND", s.ToString());
   }
+  // The data is gone: cached answers and maintained mining states for
+  // it must not survive (a later re-register reuses the name — and
+  // although generations never repeat, dead entries would otherwise
+  // squat in both LRUs until natural eviction).
+  const size_t purged_answers = cache_.PurgePrefix(name + "@");
+  const size_t purged_states = state_cache_.PurgeDataset(name);
   JsonValue::Object response;
   response["status"] = "OK";
   response["dataset"] = name;
+  response["purged_answers"] = static_cast<int64_t>(purged_answers);
+  response["purged_states"] = static_cast<int64_t>(purged_states);
+  return response;
+}
+
+JsonValue QueryService::HandleAppend(const JsonValue& request) {
+  const std::string name = request.GetString("dataset", "");
+  const JsonValue* transactions = request.Find("transactions");
+  if (name.empty() || transactions == nullptr || !transactions->is_array()) {
+    return ErrorResponse(
+        "BAD_REQUEST",
+        "append needs \"dataset\" and a \"transactions\" array of item-id "
+        "arrays");
+  }
+  std::vector<std::vector<ItemId>> batch;
+  batch.reserve(transactions->as_array().size());
+  for (const JsonValue& txn : transactions->as_array()) {
+    if (!txn.is_array()) {
+      return ErrorResponse("BAD_REQUEST",
+                           "each transaction must be an array of item ids");
+    }
+    std::vector<ItemId> items;
+    items.reserve(txn.as_array().size());
+    for (const JsonValue& item : txn.as_array()) {
+      if (!item.is_number() || item.as_number() < 0) {
+        return ErrorResponse("BAD_REQUEST",
+                             "item ids must be non-negative numbers");
+      }
+      items.push_back(static_cast<ItemId>(item.as_number()));
+    }
+    batch.push_back(std::move(items));
+  }
+  auto generation = catalog_.Append(name, batch);
+  if (!generation.ok()) {
+    return ErrorResponse("NOT_FOUND", generation.status().ToString());
+  }
+  metrics_->Add("server.datasets.appends");
+  metrics_->Add("server.datasets.appended_transactions", batch.size());
+  auto entry = catalog_.Get(name);
+  JsonValue::Object response;
+  response["status"] = "OK";
+  response["dataset"] = name;
+  response["generation"] = static_cast<int64_t>(generation.value());
+  response["appended"] = static_cast<int64_t>(batch.size());
+  if (entry.ok()) {
+    response["num_transactions"] =
+        static_cast<int64_t>(entry->data->db.num_transactions());
+  }
   return response;
 }
 
@@ -216,9 +277,11 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
                          "query needs \"dataset\" and \"query\"");
   }
   const std::string strategy = request.GetString("strategy", "optimized");
-  if (strategy != "optimized" && strategy != "cap" && strategy != "apriori") {
-    return ErrorResponse("BAD_REQUEST", "unknown strategy '" + strategy +
-                                            "' (want optimized|cap|apriori)");
+  if (strategy != "optimized" && strategy != "cap" && strategy != "apriori" &&
+      strategy != "incremental") {
+    return ErrorResponse("BAD_REQUEST",
+                         "unknown strategy '" + strategy +
+                             "' (want optimized|cap|apriori|incremental)");
   }
 
   auto entry = catalog_.Get(name);
@@ -251,6 +314,10 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
 
   auto answer = cache_.Get(cache_key);
   bool cached = answer != nullptr;
+  // How this answer was obtained: a result-cache "hit", an
+  // "incremental-refresh" riding a maintained mining state, or a "cold"
+  // computation from the raw transactions.
+  std::string source = cached ? "hit" : "cold";
   if (!cached) {
     // Miss: admit, run, populate.
     uint64_t deadline_ms = static_cast<uint64_t>(
@@ -296,6 +363,9 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
     } else if (strategy == "cap") {
       result = ExecuteCapOneVar(db, entry->data->catalog, query,
                                 plan_options);
+    } else if (strategy == "incremental") {
+      result = RunIncremental(name, *entry, query, &cancel, &query_metrics,
+                              &source);
     } else {
       result = ExecuteAprioriPlus(db, entry->data->catalog, query,
                                   plan_options);
@@ -347,6 +417,9 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
                                     started)
           .count();
   metrics_->Add("server.queries_total");
+  metrics_->Add("server.reuse." + (source == "incremental-refresh"
+                                       ? std::string("incremental_refresh")
+                                       : source));
   metrics_->Observe(cached ? "server.query_seconds.cache_hit"
                            : "server.query_seconds.cold",
                     elapsed_seconds);
@@ -356,6 +429,7 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
   response["dataset"] = name;
   response["generation"] = static_cast<int64_t>(entry->generation);
   response["strategy"] = strategy;
+  response["source"] = source;
   response["canonical_query"] = answer->canonical_query;
   response["cached"] = cached;
   response["s_sets"] = static_cast<int64_t>(answer->s_sets);
@@ -369,6 +443,96 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
   response["rows"] = std::move(rows);
   response["elapsed_seconds"] = elapsed_seconds;
   return response;
+}
+
+Result<CfqResult> QueryService::RunIncremental(
+    const std::string& name, const CatalogEntry& entry, const CfqQuery& query,
+    const CancelToken* cancel, obs::MetricsRegistry* query_metrics,
+    std::string* source) {
+  // One maintained state serves both sides: mine the union of the two
+  // domains at the lower of the two thresholds, then AnswerFromState
+  // filters each side down (its requirements are exactly these bounds).
+  const uint64_t state_minsup =
+      std::min(query.min_support_s, query.min_support_t);
+  Itemset domain = query.s_domain;
+  domain.insert(domain.end(), query.t_domain.begin(), query.t_domain.end());
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+
+  // A cached state is only usable if it covers the query's items — an
+  // append can widen the item universe, which silently invalidates
+  // every narrower state in the lineage.
+  const auto covers =
+      [&domain](const std::shared_ptr<const incremental::CachedState>& c) {
+        return c != nullptr &&
+               std::includes(c->state.domain.begin(), c->state.domain.end(),
+                             domain.begin(), domain.end());
+      };
+
+  TransactionDb* db = const_cast<TransactionDb*>(&entry.data->db);
+  ThreadPool pool(options_.threads);
+  incremental::IncrOptions incr;
+  incr.pool = &pool;
+  incr.metrics = query_metrics;
+  incr.cancel = cancel;
+
+  const incremental::MiningState* state = nullptr;
+  std::shared_ptr<incremental::StateAnswerContext> ctx;
+  // Keeps a cache hit's state alive / owns a freshly produced one.
+  std::shared_ptr<const incremental::CachedState> hit =
+      state_cache_.Get(name, entry.generation, state_minsup);
+  incremental::MiningState owned;
+
+  if (covers(hit)) {
+    state = &hit->state;
+    ctx = hit->ctx;
+    *source = "incremental-refresh";
+  } else {
+    bool refreshed = false;
+    auto ancestor =
+        entry.log == nullptr
+            ? nullptr
+            : state_cache_.FindAncestor(name, *entry.log, entry.generation,
+                                        state_minsup);
+    if (covers(ancestor)) {
+      // The delta span the ancestor must advance across. The defensive
+      // size checks only fail if the cache and catalog disagree about
+      // the lineage — then mining cold is correct, refreshing is not.
+      auto span =
+          entry.log->Between(ancestor->state.generation, entry.generation);
+      if (span.has_value() &&
+          ancestor->state.num_transactions == span->tid_begin &&
+          db->num_transactions() == span->tid_end) {
+        auto outcome = incremental::RefreshMiningState(
+            ancestor->state, db, span->tid_begin, span->tid_end,
+            entry.generation, state_minsup, incr);
+        if (!outcome.ok()) return outcome.status();
+        owned = std::move(outcome.value().state);
+        ctx = ancestor->ctx;
+        refreshed = true;
+        *source = "incremental-refresh";
+      }
+    }
+    if (!refreshed) {
+      auto built = incremental::BuildMiningState(db, domain, state_minsup,
+                                                 entry.generation, incr);
+      if (!built.ok()) return built.status();
+      owned = std::move(built).value();
+      ctx = state_cache_.ContextFor(name);
+      *source = "cold";
+    }
+    state_cache_.Put(name, owned, ctx);
+    state = &owned;
+  }
+
+  incremental::ReuseStats reuse;
+  incremental::StateAnswerOptions answer_options;
+  answer_options.ctx = ctx.get();
+  answer_options.reuse = &reuse;
+  answer_options.metrics = query_metrics;
+  answer_options.cancel = cancel;
+  return incremental::AnswerFromState(*state, entry.data->catalog, query,
+                                      answer_options);
 }
 
 JsonValue QueryService::HandleStats() {

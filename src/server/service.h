@@ -7,7 +7,8 @@
 // in-process, without ports.
 //
 // Commands (see docs/SERVING.md for the full grammar):
-//   ping | load | gen | save | drop | datasets | query | stats | shutdown
+//   ping | load | gen | save | drop | datasets | append | query | stats |
+//   shutdown
 //
 // Every response carries "status": OK, or one of PARSE_ERROR,
 // PLAN_ERROR, EXEC_ERROR, TIMEOUT, REJECTED, NOT_FOUND, BAD_REQUEST,
@@ -21,6 +22,9 @@
 #include <memory>
 #include <string>
 
+#include "common/cancellation.h"
+#include "core/executor.h"
+#include "incremental/state_cache.h"
 #include "obs/metrics.h"
 #include "server/admission.h"
 #include "server/catalog.h"
@@ -43,6 +47,9 @@ struct ServiceOptions {
   uint64_t max_deadline_ms = 600000;
   // Default/upper bound for rows returned by one `query` response.
   uint64_t max_rows = 100000;
+  // Maintained mining states kept per daemon for strategy=incremental
+  // (0 disables the state cache; every incremental query mines cold).
+  size_t state_cache_capacity = 8;
 };
 
 class QueryService {
@@ -68,6 +75,7 @@ class QueryService {
 
   DatasetCatalog& catalog() { return catalog_; }
   ResultCache& cache() { return cache_; }
+  incremental::MiningStateCache& state_cache() { return state_cache_; }
   AdmissionController& admission() { return admission_; }
   obs::MetricsRegistry* metrics() { return metrics_; }
   const ServiceOptions& options() const { return options_; }
@@ -78,13 +86,26 @@ class QueryService {
   JsonValue HandleSave(const JsonValue& request);
   JsonValue HandleDrop(const JsonValue& request);
   JsonValue HandleDatasets();
+  JsonValue HandleAppend(const JsonValue& request);
   JsonValue HandleQuery(const JsonValue& request);
   JsonValue HandleStats();
+
+  // Serves strategy=incremental: resolves a MiningState for the
+  // entry's generation (state-cache hit, FUP refresh from a lineage
+  // ancestor, or cold build), answers from it, and reports which of
+  // those happened via `source`.
+  Result<CfqResult> RunIncremental(const std::string& name,
+                                   const CatalogEntry& entry,
+                                   const CfqQuery& query,
+                                   const CancelToken* cancel,
+                                   obs::MetricsRegistry* query_metrics,
+                                   std::string* source);
 
   const ServiceOptions options_;
   obs::MetricsRegistry* const metrics_;
   DatasetCatalog catalog_;
   ResultCache cache_;
+  incremental::MiningStateCache state_cache_;
   AdmissionController admission_;
   std::atomic<bool> shutdown_requested_{false};
 };

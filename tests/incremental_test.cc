@@ -1,0 +1,464 @@
+// Correctness gate for the incremental mining subsystem: a refreshed
+// MiningState must be bit-identical — same levels, same sets in the
+// same order, same supports — to mining the grown database from
+// scratch, and the answers derived from it must match the baseline
+// executor exactly. Held across all three counter backends at threads
+// {1, 8}, over three appended deltas including one that demotes
+// previously frequent sets (via a raised threshold).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/executor.h"
+#include "data/attribute_gen.h"
+#include "data/synthetic_gen.h"
+#include "incremental/answer.h"
+#include "incremental/delta_log.h"
+#include "incremental/mining_state.h"
+#include "incremental/refresh.h"
+#include "incremental/reuse.h"
+#include "incremental/state_cache.h"
+
+namespace cfq {
+namespace {
+
+using incremental::AnswerFromState;
+using incremental::BuildMiningState;
+using incremental::DeltaLog;
+using incremental::IncrOptions;
+using incremental::MiningState;
+using incremental::MiningStateCache;
+using incremental::RefreshMiningState;
+using incremental::RefreshOutcome;
+using incremental::ReuseStats;
+using incremental::StateAnswerContext;
+using incremental::StateAnswerOptions;
+using incremental::StatesIdentical;
+using incremental::Summarize;
+
+constexpr size_t kNumItems = 60;
+constexpr size_t kBaseTxns = 250;
+// Three appended deltas; the database ends at 400 transactions.
+constexpr size_t kCuts[] = {kBaseTxns, 300, 350, 400};
+
+// The full 400-transaction database every test slices prefixes of, plus
+// the (append-invariant) item catalog.
+struct TestData {
+  TransactionDb full{kNumItems};
+  ItemCatalog catalog{kNumItems};
+};
+
+TestData MakeData() {
+  TestData data;
+  QuestParams params;
+  params.num_transactions = kCuts[3];
+  params.num_items = kNumItems;
+  params.num_patterns = 30;
+  params.avg_transaction_size = 8;
+  params.avg_pattern_size = 3;
+  params.seed = 77;
+  auto db = GenerateQuestDb(params);
+  EXPECT_TRUE(db.ok());
+  data.full = std::move(db).value();
+  EXPECT_TRUE(
+      AssignUniformPrices(&data.catalog, "Price", 1, 1000, 78).ok());
+  std::vector<int32_t> types(kNumItems);
+  for (size_t i = 0; i < types.size(); ++i) {
+    types[i] = static_cast<int32_t>(i % 5);
+  }
+  EXPECT_TRUE(
+      data.catalog.AddCategoricalAttr("Type", std::move(types)).ok());
+  return data;
+}
+
+TransactionDb Prefix(const TransactionDb& full, size_t n) {
+  TransactionDb db(full.num_items());
+  for (size_t tid = 0; tid < n; ++tid) db.Add(full.transaction(tid));
+  return db;
+}
+
+// Appends full's [from, to) tail onto db, the way the serving catalog
+// grows a dataset.
+void AppendSlice(TransactionDb* db, const TransactionDb& full, size_t from,
+                 size_t to) {
+  std::vector<std::vector<ItemId>> batch;
+  batch.reserve(to - from);
+  for (size_t tid = from; tid < to; ++tid) {
+    const Itemset& txn = full.transaction(tid);
+    batch.emplace_back(txn.begin(), txn.end());
+  }
+  db->Append(batch);
+}
+
+Itemset FullDomain() {
+  Itemset domain;
+  for (ItemId i = 0; i < kNumItems; ++i) domain.push_back(i);
+  return domain;
+}
+
+// The threshold at each generation. Raising it at the second delta is
+// what makes that delta demote previously frequent sets (appends alone
+// can only grow absolute supports).
+uint64_t MinsupAt(size_t generation) { return generation >= 2 ? 30 : 22; }
+
+CfqQuery MakeQuery(uint64_t minsup) {
+  CfqQuery query;
+  query.s_domain = FullDomain();
+  query.t_domain = FullDomain();
+  query.min_support_s = minsup;
+  // The state is mined at min(s, t); a higher T threshold exercises the
+  // per-side re-filtering.
+  query.min_support_t = minsup + 4;
+  query.one_var.push_back(
+      MakeAgg1(Var::kS, AggFn::kMax, "Price", CmpOp::kLe, 800));
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  return query;
+}
+
+void ExpectSameSets(const std::vector<FrequentSet>& got,
+                    const std::vector<FrequentSet>& want,
+                    const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].items, want[i].items) << label << " set " << i;
+    EXPECT_EQ(got[i].support, want[i].support) << label << " set " << i;
+  }
+}
+
+struct Config {
+  CounterKind counter;
+  size_t threads;
+  std::string label;
+};
+
+std::vector<Config> AllConfigs() {
+  return {
+      {CounterKind::kHash, 1, "hash/t1"},
+      {CounterKind::kHash, 8, "hash/t8"},
+      {CounterKind::kHashTree, 1, "hashtree/t1"},
+      {CounterKind::kHashTree, 8, "hashtree/t8"},
+      {CounterKind::kBitmap, 1, "bitmap/t1"},
+      {CounterKind::kBitmap, 8, "bitmap/t8"},
+  };
+}
+
+// The ISSUE's acceptance gate: refresh == scratch (states, per-level
+// counted totals, side sets, answer pairs) across three deltas, all
+// backends, threads {1, 8}. The generation-2 delta raises the
+// threshold and must demote.
+TEST(IncrementalRefreshTest, IdenticalToScratchAcrossDeltasAllBackends) {
+  const TestData data = MakeData();
+  const Itemset domain = FullDomain();
+  for (const Config& config : AllConfigs()) {
+    SCOPED_TRACE(config.label);
+    ThreadPool pool(config.threads);
+    IncrOptions options;
+    options.counter = config.counter;
+    options.pool = config.threads > 1 ? &pool : nullptr;
+
+    TransactionDb db = Prefix(data.full, kBaseTxns);
+    auto state = BuildMiningState(&db, domain, MinsupAt(0), 0, options);
+    ASSERT_TRUE(state.ok()) << state.status();
+    bool saw_demotion = false;
+
+    for (size_t generation = 1; generation <= 3; ++generation) {
+      SCOPED_TRACE("generation " + std::to_string(generation));
+      const size_t from = kCuts[generation - 1];
+      const size_t to = kCuts[generation];
+      AppendSlice(&db, data.full, from, to);
+
+      auto refreshed = RefreshMiningState(state.value(), &db, from, to,
+                                          generation, MinsupAt(generation),
+                                          options);
+      ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+      saw_demotion |= refreshed->stats.demoted > 0;
+
+      TransactionDb scratch_db = Prefix(data.full, to);
+      auto scratch = BuildMiningState(&scratch_db, domain,
+                                      MinsupAt(generation), generation,
+                                      options);
+      ASSERT_TRUE(scratch.ok()) << scratch.status();
+
+      const MiningState& incr = refreshed->state;
+      EXPECT_TRUE(StatesIdentical(incr, scratch.value()))
+          << "refresh " << Summarize(incr) << " vs scratch "
+          << Summarize(scratch.value());
+      // Per-level counted totals, spelled out so a divergence names the
+      // level that drifted.
+      ASSERT_EQ(incr.levels.size(), scratch->levels.size());
+      for (size_t k = 0; k < incr.levels.size(); ++k) {
+        EXPECT_EQ(incr.levels[k].frequent.size(),
+                  scratch->levels[k].frequent.size())
+            << "frequent at level " << k + 1;
+        EXPECT_EQ(incr.levels[k].border.size(),
+                  scratch->levels[k].border.size())
+            << "border at level " << k + 1;
+      }
+
+      // The answers riding the maintained state must equal the
+      // generate-and-test baseline on the grown database: same side
+      // sets, same pairs.
+      const CfqQuery query = MakeQuery(MinsupAt(generation));
+      auto from_state = AnswerFromState(incr, data.catalog, query);
+      ASSERT_TRUE(from_state.ok()) << from_state.status();
+      PlanOptions plan_options;
+      plan_options.counter = config.counter;
+      plan_options.threads = config.threads;
+      auto baseline =
+          ExecuteAprioriPlus(&db, data.catalog, query, plan_options);
+      ASSERT_TRUE(baseline.ok()) << baseline.status();
+      ExpectSameSets(from_state->s_sets, baseline->s_sets, "s_sets");
+      ExpectSameSets(from_state->t_sets, baseline->t_sets, "t_sets");
+      EXPECT_EQ(AnswerPairs(from_state.value()),
+                AnswerPairs(baseline.value()));
+
+      state = std::move(refreshed).value().state;
+    }
+    EXPECT_TRUE(saw_demotion)
+        << "the raised-threshold delta was expected to demote";
+  }
+}
+
+// An empty delta with a raised threshold is the pure re-threshold
+// refresh: nothing is recounted or freshly counted, old supports are
+// reused verbatim, and sets below the new bar demote.
+TEST(IncrementalRefreshTest, EmptyDeltaRethresholdReusesAndDemotes) {
+  const TestData data = MakeData();
+  TransactionDb db = Prefix(data.full, kBaseTxns);
+  auto state = BuildMiningState(&db, FullDomain(), 22, 0);
+  ASSERT_TRUE(state.ok()) << state.status();
+
+  auto refreshed =
+      RefreshMiningState(state.value(), &db, kBaseTxns, kBaseTxns, 1, 30);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+  EXPECT_EQ(refreshed->stats.recounted, 0u);
+  EXPECT_EQ(refreshed->stats.fresh, 0u);
+  EXPECT_GT(refreshed->stats.reused, 0u);
+  EXPECT_GT(refreshed->stats.demoted, 0u);
+  EXPECT_EQ(refreshed->stats.delta_transactions, 0u);
+
+  auto scratch = BuildMiningState(&db, FullDomain(), 30, 1);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_TRUE(StatesIdentical(refreshed->state, scratch.value()));
+}
+
+TEST(IncrementalRefreshTest, RejectsMisalignedDelta) {
+  const TestData data = MakeData();
+  TransactionDb db = Prefix(data.full, kCuts[1]);
+  auto state = BuildMiningState(&db, FullDomain(), 22, 0);
+  ASSERT_TRUE(state.ok());
+
+  // Delta not starting at the state's boundary.
+  EXPECT_EQ(RefreshMiningState(state.value(), &db, kCuts[1] - 10, kCuts[1], 1,
+                               22)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Delta not ending at the database tail.
+  EXPECT_EQ(RefreshMiningState(state.value(), &db, kCuts[1], kCuts[1] + 5, 1,
+                               22)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Zero threshold.
+  EXPECT_EQ(
+      RefreshMiningState(state.value(), &db, kCuts[1], kCuts[1], 1, 0)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(StateAnswerTest, RejectsQueriesTheStateCannotCover) {
+  const TestData data = MakeData();
+  TransactionDb db = Prefix(data.full, kBaseTxns);
+  auto state = BuildMiningState(&db, FullDomain(), 22, 0);
+  ASSERT_TRUE(state.ok());
+
+  // Side threshold below the state's: sets between the two thresholds
+  // were never retained as frequent.
+  CfqQuery below = MakeQuery(22);
+  below.min_support_s = 10;
+  EXPECT_EQ(AnswerFromState(state.value(), data.catalog, below)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Domain item outside the state's domain.
+  CfqQuery wider = MakeQuery(22);
+  wider.s_domain.push_back(static_cast<ItemId>(kNumItems + 3));
+  EXPECT_EQ(AnswerFromState(state.value(), data.catalog, wider)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StateAnswerTest, CrossProductQueryMatchesBaseline) {
+  const TestData data = MakeData();
+  TransactionDb db = Prefix(data.full, kBaseTxns);
+  auto state = BuildMiningState(&db, FullDomain(), 25, 0);
+  ASSERT_TRUE(state.ok());
+
+  CfqQuery query;
+  query.s_domain = FullDomain();
+  query.t_domain = FullDomain();
+  query.min_support_s = 25;
+  query.min_support_t = 30;
+  query.one_var.push_back(
+      MakeAgg1(Var::kT, AggFn::kMin, "Price", CmpOp::kGe, 150));
+
+  auto from_state = AnswerFromState(state.value(), data.catalog, query);
+  ASSERT_TRUE(from_state.ok()) << from_state.status();
+  EXPECT_TRUE(from_state->cross_product);
+  EXPECT_TRUE(from_state->pairs.empty());
+  auto baseline = ExecuteAprioriPlus(&db, data.catalog, query);
+  ASSERT_TRUE(baseline.ok());
+  ExpectSameSets(from_state->s_sets, baseline->s_sets, "s_sets");
+  ExpectSameSets(from_state->t_sets, baseline->t_sets, "t_sets");
+}
+
+// The lineage-shared context turns a refresh that left most levels
+// untouched into mostly cache hits: reductions key off the L1
+// fingerprints, V^k entries off each level's frequent itemsets.
+TEST(StateAnswerTest, ContextReusesDerivationsAcrossGenerations) {
+  const TestData data = MakeData();
+  TransactionDb db = Prefix(data.full, kBaseTxns);
+  auto state = BuildMiningState(&db, FullDomain(), 22, 0);
+  ASSERT_TRUE(state.ok());
+
+  // A sum-bearing 2-var constraint so the V^k audit series is in play.
+  CfqQuery query = MakeQuery(22);
+  query.two_var.push_back(
+      MakeAgg2(AggFn::kSum, "Price", CmpOp::kLe, AggFn::kSum, "Price"));
+
+  auto ctx = std::make_shared<StateAnswerContext>();
+  ReuseStats first;
+  StateAnswerOptions options;
+  options.ctx = ctx.get();
+  options.reuse = &first;
+  auto a = AnswerFromState(state.value(), data.catalog, query, options);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_GT(first.vk_levels_recomputed, 0u);
+
+  // Identical repeat: everything derivable comes from the context.
+  ReuseStats repeat;
+  options.reuse = &repeat;
+  auto b = AnswerFromState(state.value(), data.catalog, query, options);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(repeat.vk_levels_recomputed, 0u);
+  EXPECT_GT(repeat.vk_levels_reused, 0u);
+  EXPECT_EQ(repeat.reductions_recomputed, 0u);
+  EXPECT_GT(repeat.reductions_reused, 0u);
+  EXPECT_EQ(AnswerPairs(a.value()), AnswerPairs(b.value()));
+
+  // A small append, then the same query at the new generation: levels
+  // whose frequent sets survived unchanged hit the V^k cache.
+  AppendSlice(&db, data.full, kBaseTxns, kBaseTxns + 10);
+  auto refreshed = RefreshMiningState(state.value(), &db, kBaseTxns,
+                                      kBaseTxns + 10, 1, 22);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+  ReuseStats after;
+  options.reuse = &after;
+  auto c = AnswerFromState(refreshed->state, data.catalog, query, options);
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_GT(after.vk_levels_reused + after.reductions_reused, 0u);
+}
+
+TEST(DeltaLogTest, LineageAndSpans) {
+  DeltaLog log = DeltaLog::Base(5, 1000);
+  EXPECT_EQ(log.base_generation(), 5u);
+  EXPECT_EQ(log.generation(), 5u);
+  EXPECT_TRUE(log.Contains(5));
+  EXPECT_FALSE(log.Contains(6));
+  ASSERT_TRUE(log.SizeAt(5).has_value());
+  EXPECT_EQ(log.SizeAt(5).value(), 1000u);
+
+  DeltaLog g7 = log.Extend(7, 50);
+  DeltaLog g9 = g7.Extend(9, 25);
+  EXPECT_EQ(g9.generation(), 9u);
+  EXPECT_EQ(g9.SizeAt(7).value(), 1050u);
+  EXPECT_EQ(g9.SizeAt(9).value(), 1075u);
+  EXPECT_FALSE(g9.SizeAt(8).has_value());
+
+  auto span = g9.Between(5, 9);
+  ASSERT_TRUE(span.has_value());
+  EXPECT_EQ(span->tid_begin, 1000u);
+  EXPECT_EQ(span->tid_end, 1075u);
+  EXPECT_EQ(span->size(), 75u);
+  auto empty = g9.Between(7, 7);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_FALSE(g9.Between(9, 7).has_value());
+  EXPECT_FALSE(g9.Between(6, 9).has_value());
+
+  const std::vector<uint64_t> newest_first = g9.GenerationsNewestFirst();
+  ASSERT_EQ(newest_first.size(), 3u);
+  EXPECT_EQ(newest_first[0], 9u);
+  EXPECT_EQ(newest_first[1], 7u);
+  EXPECT_EQ(newest_first[2], 5u);
+}
+
+MiningState TinyState(uint64_t generation, uint64_t minsup,
+                      uint64_t num_transactions) {
+  MiningState state;
+  state.generation = generation;
+  state.min_support = minsup;
+  state.num_transactions = num_transactions;
+  state.domain = {0, 1, 2};
+  return state;
+}
+
+TEST(MiningStateCacheTest, ExactGetAndAncestorSearch) {
+  MiningStateCache cache(4);
+  auto ctx = std::make_shared<StateAnswerContext>();
+  cache.Put("demo", TinyState(5, 20, 1000), ctx);
+  cache.Put("demo", TinyState(5, 30, 1000), ctx);
+  cache.Put("other", TinyState(5, 20, 64), ctx);
+
+  auto exact = cache.Get("demo", 5, 20);
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->state.min_support, 20u);
+  EXPECT_EQ(cache.Get("demo", 5, 25), nullptr);
+
+  DeltaLog log = DeltaLog::Base(5, 1000).Extend(7, 50).Extend(9, 25);
+  // Ancestor for gen 9 @ minsup 25: gen 5 is the only cached
+  // generation; of its two thresholds only 20 <= 25 qualifies.
+  auto ancestor = cache.FindAncestor("demo", log, 9, 25);
+  ASSERT_NE(ancestor, nullptr);
+  EXPECT_EQ(ancestor->state.generation, 5u);
+  EXPECT_EQ(ancestor->state.min_support, 20u);
+  // Requiring a lower threshold than anything cached: no ancestor (FUP
+  // can raise a threshold, never lower it).
+  EXPECT_EQ(cache.FindAncestor("demo", log, 9, 15), nullptr);
+
+  // A newer cached generation wins over an older one.
+  cache.Put("demo", TinyState(7, 25, 1050), ctx);
+  auto newer = cache.FindAncestor("demo", log, 9, 30);
+  ASSERT_NE(newer, nullptr);
+  EXPECT_EQ(newer->state.generation, 7u);
+
+  EXPECT_EQ(cache.PurgeDataset("demo"), 3u);
+  EXPECT_EQ(cache.FindAncestor("demo", log, 9, 30), nullptr);
+  EXPECT_NE(cache.Get("other", 5, 20), nullptr);
+}
+
+TEST(MiningStateCacheTest, EvictsLeastRecentlyUsed) {
+  MiningStateCache cache(2);
+  auto ctx = std::make_shared<StateAnswerContext>();
+  cache.Put("a", TinyState(1, 10, 100), ctx);
+  cache.Put("b", TinyState(2, 10, 100), ctx);
+  ASSERT_NE(cache.Get("a", 1, 10), nullptr);  // a is now most recent.
+  cache.Put("c", TinyState(3, 10, 100), ctx);
+  EXPECT_EQ(cache.Get("b", 2, 10), nullptr);
+  EXPECT_NE(cache.Get("a", 1, 10), nullptr);
+  EXPECT_NE(cache.Get("c", 3, 10), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+}  // namespace
+}  // namespace cfq

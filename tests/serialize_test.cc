@@ -46,6 +46,47 @@ TEST_F(SerializeTest, QuestDataRoundTrip) {
   std::remove(path.c_str());
 }
 
+// A database grown across generations (Append extends the vertical
+// index in place) must survive a save/load cycle: the loaded copy has
+// the same transactions, and the index it rebuilds from scratch counts
+// exactly like the extended one it never saw.
+TEST_F(SerializeTest, MultiGenerationAppendRoundTrip) {
+  QuestParams params;
+  params.num_transactions = 150;
+  params.num_items = 25;
+  params.num_patterns = 12;
+  auto generated = GenerateQuestDb(params);
+  ASSERT_TRUE(generated.ok());
+  TransactionDb db = std::move(generated).value();
+  db.EnsureVerticalIndex();
+
+  // Three appended generations on top of the indexed base.
+  db.Append({{0, 3, 7}, {1, 2}, {0, 24}});
+  db.Append({{5, 6, 7, 8}});
+  db.Append({{0, 1, 2, 3, 4}, {20, 21, 22}});
+  ASSERT_TRUE(db.has_vertical_index());
+  ASSERT_EQ(db.num_transactions(), 156u);
+
+  const std::string path = TempPath("multigen.txt");
+  ASSERT_TRUE(SaveTransactions(db, path).ok());
+  auto loaded = LoadTransactions(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_items(), db.num_items());
+  EXPECT_EQ(loaded->transactions(), db.transactions());
+
+  // The rebuilt index must agree bit-for-bit with the incrementally
+  // extended one.
+  EXPECT_FALSE(loaded->has_vertical_index());
+  loaded->EnsureVerticalIndex();
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    for (size_t tid = 0; tid < db.num_transactions(); ++tid) {
+      ASSERT_EQ(loaded->vertical(item).Test(tid), db.vertical(item).Test(tid))
+          << "item " << item << " tid " << tid;
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(SerializeTest, LoadRejectsMissingFile) {
   EXPECT_EQ(LoadTransactions(TempPath("nope.txt")).status().code(),
             StatusCode::kNotFound);

@@ -268,6 +268,126 @@ TEST_F(ServiceTest, StatsExposesCacheCountersAndPrometheus) {
       << prometheus;
 }
 
+JsonValue AppendRequest(const std::string& name) {
+  // A handful of transactions over the GenRequest item universe.
+  auto request = JsonValue::Parse(
+      R"({"cmd":"append","dataset":")" + name +
+      R"(","transactions":[[1,2,3],[4,5],[1,2,3,4],[7,8,9],[1,3,5]]})");
+  EXPECT_TRUE(request.ok());
+  return std::move(request).value();
+}
+
+TEST_F(ServiceTest, AppendBumpsGenerationAndMissesStaleCache) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue cold = service_.Handle(QueryRequest("d", kQuery));
+  ASSERT_EQ(cold.GetString("status", ""), "OK");
+  EXPECT_EQ(cold.GetString("source", ""), "cold");
+
+  JsonValue appended = service_.Handle(AppendRequest("d"));
+  ASSERT_EQ(appended.GetString("status", ""), "OK");
+  EXPECT_EQ(appended.GetInt("appended", -1), 5);
+  EXPECT_GT(appended.GetInt("generation", -1), cold.GetInt("generation", 99));
+  EXPECT_EQ(appended.GetInt("num_transactions", -1), 405);
+
+  // The generation is part of the cache key: the same query text must
+  // recompute against the grown data.
+  JsonValue repeat = service_.Handle(QueryRequest("d", kQuery));
+  ASSERT_EQ(repeat.GetString("status", ""), "OK");
+  EXPECT_FALSE(repeat.GetBool("cached", true));
+  EXPECT_EQ(metrics_.counter("server.datasets.appends"), 1u);
+  EXPECT_EQ(metrics_.counter("server.datasets.appended_transactions"), 5u);
+}
+
+TEST_F(ServiceTest, AppendValidatesRequestShape) {
+  JsonValue::Object no_txns;
+  no_txns["cmd"] = "append";
+  no_txns["dataset"] = "d";
+  EXPECT_EQ(service_.Handle(std::move(no_txns)).GetString("status", ""),
+            "BAD_REQUEST");
+  EXPECT_EQ(service_.Handle(AppendRequest("ghost")).GetString("status", ""),
+            "NOT_FOUND");
+  auto bad_item = JsonValue::Parse(
+      R"({"cmd":"append","dataset":"d","transactions":[[1,-2]]})");
+  ASSERT_TRUE(bad_item.ok());
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  EXPECT_EQ(service_.Handle(std::move(bad_item).value())
+                .GetString("status", ""),
+            "BAD_REQUEST");
+}
+
+// The serving loop the incremental subsystem exists for: cold mine
+// once, serve repeats from the result cache, and after an append ride
+// the maintained state instead of re-mining — with the three source
+// labels distinguishing the paths and the answers staying identical to
+// a from-scratch strategy at every generation.
+TEST_F(ServiceTest, IncrementalStrategyRefreshesAcrossAppends) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue request = QueryRequest("d", kQuery);
+  JsonValue::Object incremental = request.as_object();
+  incremental["strategy"] = "incremental";
+
+  JsonValue cold = service_.Handle(JsonValue(incremental));
+  ASSERT_EQ(cold.GetString("status", ""), "OK");
+  EXPECT_EQ(cold.GetString("source", ""), "cold");
+  EXPECT_EQ(service_.state_cache().size(), 1u);
+
+  JsonValue hit = service_.Handle(JsonValue(incremental));
+  ASSERT_EQ(hit.GetString("status", ""), "OK");
+  EXPECT_EQ(hit.GetString("source", ""), "hit");
+  EXPECT_TRUE(hit.GetBool("cached", false));
+
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(service_.Handle(AppendRequest("d")).GetString("status", ""),
+              "OK");
+    JsonValue refreshed = service_.Handle(JsonValue(incremental));
+    ASSERT_EQ(refreshed.GetString("status", ""), "OK");
+    EXPECT_FALSE(refreshed.GetBool("cached", true));
+    EXPECT_EQ(refreshed.GetString("source", ""), "incremental-refresh")
+        << "round " << round;
+
+    // Byte-identical to mining the grown database from scratch.
+    JsonValue::Object apriori = request.as_object();
+    apriori["strategy"] = "apriori";
+    JsonValue scratch = service_.Handle(std::move(apriori));
+    ASSERT_EQ(scratch.GetString("status", ""), "OK");
+    EXPECT_EQ(refreshed.Find("rows")->Write(), scratch.Find("rows")->Write());
+    EXPECT_EQ(refreshed.GetInt("num_pairs", -1),
+              scratch.GetInt("num_pairs", -2));
+    EXPECT_EQ(refreshed.GetInt("s_sets", -1), scratch.GetInt("s_sets", -2));
+    EXPECT_EQ(refreshed.GetInt("t_sets", -1), scratch.GetInt("t_sets", -2));
+  }
+  EXPECT_GE(metrics_.counter("server.reuse.incremental_refresh"), 3u);
+  EXPECT_GE(metrics_.counter("server.reuse.cold"), 1u);
+  EXPECT_GE(metrics_.counter("server.reuse.hit"), 1u);
+  EXPECT_GE(metrics_.counter("incr.refreshes"), 3u);
+}
+
+TEST_F(ServiceTest, DropPurgesAnswersAndStates) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue request = QueryRequest("d", kQuery);
+  JsonValue::Object incremental = request.as_object();
+  incremental["strategy"] = "incremental";
+  ASSERT_EQ(service_.Handle(JsonValue(incremental)).GetString("status", ""),
+            "OK");
+  ASSERT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "OK");
+  ASSERT_GE(service_.cache().size(), 2u);
+  ASSERT_EQ(service_.state_cache().size(), 1u);
+
+  JsonValue::Object drop;
+  drop["cmd"] = "drop";
+  drop["dataset"] = "d";
+  JsonValue dropped = service_.Handle(std::move(drop));
+  ASSERT_EQ(dropped.GetString("status", ""), "OK");
+  EXPECT_EQ(dropped.GetInt("purged_answers", -1), 2);
+  EXPECT_EQ(dropped.GetInt("purged_states", -1), 1);
+  EXPECT_EQ(service_.cache().size(), 0u);
+  EXPECT_EQ(service_.state_cache().size(), 0u);
+  EXPECT_EQ(metrics_.counter("server.cache.evict.dropped"), 2u);
+  EXPECT_EQ(metrics_.counter("incr.state_cache.purged"), 1u);
+}
+
 // The ISSUE's cancellation case: a tiny deadline on a large synthetic
 // dataset must produce a clean TIMEOUT response, leak nothing, and
 // leave the service fully usable — the next (smaller) query runs

@@ -5,8 +5,10 @@
 //   cfq_client --port=P --cmd=load --dataset=demo --db=b.txt --catalog=c.txt
 //   cfq_client --port=P --cmd=query --dataset=demo
 //              --query='freq(S, 40) & freq(T, 40) & max(S.Price) <= min(T.Price)'
-//              [--strategy=optimized|cap|apriori] [--deadline_ms=N]
-//              [--max_rows=N] [--repeat=K]
+//              [--strategy=optimized|cap|apriori|incremental]
+//              [--deadline_ms=N | --timeout-ms=N] [--max_rows=N] [--repeat=K]
+//   cfq_client --port=P --cmd=append --dataset=demo
+//              --transactions='[[1,2,3],[4,5]]'
 //   cfq_client --port=P --cmd=stats | --cmd=datasets | --cmd=shutdown
 //   cfq_client --port=P --json='{"cmd":"ping"}'        # raw request line
 //
@@ -56,11 +58,23 @@ int main(int argc, char** argv) {
     if (!query.empty()) request["query"] = query;
     const std::string strategy = args.GetString("strategy", "");
     if (!strategy.empty()) request["strategy"] = strategy;
-    if (args.GetInt("deadline_ms", 0) > 0) {
-      request["deadline_ms"] = args.GetInt("deadline_ms", 0);
-    }
+    // --timeout-ms is the ergonomic spelling; --deadline_ms (the wire
+    // field's name) wins when both are given.
+    const int64_t deadline_ms =
+        args.GetInt("deadline_ms", args.GetInt("timeout-ms", 0));
+    if (deadline_ms > 0) request["deadline_ms"] = deadline_ms;
     if (args.GetInt("max_rows", -1) >= 0) {
       request["max_rows"] = args.GetInt("max_rows", 0);
+    }
+    if (cmd == "append") {
+      auto transactions =
+          server::JsonValue::Parse(args.GetString("transactions", ""));
+      if (!transactions.ok() || !transactions->is_array()) {
+        std::cerr << "error: --cmd=append needs --transactions='[[id,...],"
+                     "...]' (a JSON array of item-id arrays)\n";
+        return 2;
+      }
+      request["transactions"] = std::move(transactions).value();
     }
     if (cmd == "gen") {
       request["num_transactions"] = args.GetInt("num_transactions", 10000);
