@@ -89,6 +89,15 @@ inline constexpr KnownFlag kKnownFlags[] = {
     {"repeat", "client: send the request this many times"},
     {"clients", "server bench: number of concurrent client threads"},
     {"iters", "server bench: queries per client thread"},
+    {"http_port", "daemon: serve GET telemetry (/metrics /healthz"
+                  " /stats /trace) on this port (0 = ephemeral)"},
+    {"slow-query-ms", "daemon: flight recorder slow-query threshold"},
+    {"flight-recorder", "daemon: flight recorder ring capacity"
+                        " (recent and slow each keep this many)"},
+    {"trace-id", "client: client-chosen trace id echoed in the"
+                 " response's trace.client_trace_id"},
+    {"dump-trace", "client: fetch the flight recorder (cmd defaults"
+                   " to dumptrace) and write the Chrome trace here"},
     {"help", "print the flag listing and exit"},
 };
 
@@ -123,6 +132,9 @@ class Args {
     }
   }
 
+  bool Has(const std::string& name) const {
+    return values_.find(name) != values_.end();
+  }
   int64_t GetInt(const std::string& name, int64_t fallback) const {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : std::stoll(it->second);

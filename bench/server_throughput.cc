@@ -130,6 +130,15 @@ int main(int argc, char** argv) {
       std::cerr << "error: cold sample was served from cache\n";
       return 1;
     }
+    // The tracing tentpole's wire contract: every query response names
+    // its trace and attributes its wall time to phases.
+    const server::JsonValue* trace = response.Find("trace");
+    if (trace == nullptr || trace->GetInt("id", 0) <= 0 ||
+        trace->Find("phases") == nullptr) {
+      std::cerr << "error: response lacks trace id/phases: "
+                << response.Write() << "\n";
+      return 1;
+    }
     reporter.Add("query/cold", elapsed);
     std::cout << "  cold " << i << ": " << elapsed << " s\n";
   }

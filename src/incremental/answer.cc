@@ -77,15 +77,22 @@ Result<CfqResult> AnswerFromState(const MiningState& state,
   Stopwatch timer;
   CfqResult result;
   std::vector<std::vector<FrequentSet>> s_closed, t_closed;
-  CFQ_ASSIGN_OR_RETURN(
-      result.s_sets,
-      FilterSide(state, query.s_domain, Var::kS, query.min_support_s,
-                 query.one_var, catalog, &s_closed));
-  CFQ_ASSIGN_OR_RETURN(
-      result.t_sets,
-      FilterSide(state, query.t_domain, Var::kT, query.min_support_t,
-                 query.one_var, catalog, &t_closed));
+  {
+    obs::TraceSpan filter_span(options.tracer, "answer.filter");
+    CFQ_ASSIGN_OR_RETURN(
+        result.s_sets,
+        FilterSide(state, query.s_domain, Var::kS, query.min_support_s,
+                   query.one_var, catalog, &s_closed));
+    CFQ_ASSIGN_OR_RETURN(
+        result.t_sets,
+        FilterSide(state, query.t_domain, Var::kT, query.min_support_t,
+                   query.one_var, catalog, &t_closed));
+  }
   result.stats.mining_seconds = timer.ElapsedSeconds();
+  if (options.metrics != nullptr) {
+    options.metrics->Observe("incr.answer.filter_seconds",
+                             result.stats.mining_seconds);
+  }
 
   if (query.two_var.empty()) {
     result.cross_product = true;
@@ -112,26 +119,34 @@ Result<CfqResult> AnswerFromState(const MiningState& state,
   ReuseStats local_reuse;
   std::vector<OneVarConstraint> s_conditions, t_conditions;
   bool s_unsat = false, t_unsat = false;
-  for (const TwoVarConstraint& c : query.two_var) {
-    Reduction reduction;
-    if (options.ctx != nullptr) {
-      CFQ_ASSIGN_OR_RETURN(
-          reduction, options.ctx->GetReduction(c, l1_s, l1_t, catalog,
-                                               options.nonnegative,
-                                               &local_reuse));
-    } else {
-      CFQ_ASSIGN_OR_RETURN(reduction,
-                           ReduceTwoVar(c, l1_s, l1_t, catalog,
-                                        options.nonnegative));
-      ++local_reuse.reductions_recomputed;
+  {
+    Stopwatch reduce_wall;
+    obs::TraceSpan reduce_span(options.tracer, "answer.reduce");
+    for (const TwoVarConstraint& c : query.two_var) {
+      Reduction reduction;
+      if (options.ctx != nullptr) {
+        CFQ_ASSIGN_OR_RETURN(
+            reduction, options.ctx->GetReduction(c, l1_s, l1_t, catalog,
+                                                 options.nonnegative,
+                                                 &local_reuse));
+      } else {
+        CFQ_ASSIGN_OR_RETURN(reduction,
+                             ReduceTwoVar(c, l1_s, l1_t, catalog,
+                                          options.nonnegative));
+        ++local_reuse.reductions_recomputed;
+      }
+      s_unsat = s_unsat || !reduction.s.satisfiable;
+      t_unsat = t_unsat || !reduction.t.satisfiable;
+      for (const OneVarConstraint& rc : reduction.s.constraints) {
+        s_conditions.push_back(rc);
+      }
+      for (const OneVarConstraint& rc : reduction.t.constraints) {
+        t_conditions.push_back(rc);
+      }
     }
-    s_unsat = s_unsat || !reduction.s.satisfiable;
-    t_unsat = t_unsat || !reduction.t.satisfiable;
-    for (const OneVarConstraint& rc : reduction.s.constraints) {
-      s_conditions.push_back(rc);
-    }
-    for (const OneVarConstraint& rc : reduction.t.constraints) {
-      t_conditions.push_back(rc);
+    if (options.metrics != nullptr) {
+      options.metrics->Observe("incr.answer.reduce_seconds",
+                               reduce_wall.ElapsedSeconds());
     }
   }
 
@@ -140,28 +155,36 @@ Result<CfqResult> AnswerFromState(const MiningState& state,
   // closed levels — levels whose frequent sets are unchanged come back
   // from the cache — and fails loudly if the maintained state broke the
   // bound's monotone soundness.
-  for (const TwoVarConstraint& c : query.two_var) {
-    const auto* agg = std::get_if<AggConstraint2>(&c);
-    if (agg == nullptr) continue;
-    if (agg->agg_s == AggFn::kSum && s_closed.size() >= 2) {
-      CFQ_ASSIGN_OR_RETURN(
-          const VkAudit audit,
-          AuditVkSeries(s_closed, agg->attr_s, catalog, options.ctx,
-                        &local_reuse, options.tracer, 'S'));
-      if (!audit.sound) {
-        return Status::Internal("V^k series over S is unsound for attr " +
-                                agg->attr_s + "; state diverged");
+  {
+    Stopwatch audit_wall;
+    obs::TraceSpan audit_span(options.tracer, "answer.audit");
+    for (const TwoVarConstraint& c : query.two_var) {
+      const auto* agg = std::get_if<AggConstraint2>(&c);
+      if (agg == nullptr) continue;
+      if (agg->agg_s == AggFn::kSum && s_closed.size() >= 2) {
+        CFQ_ASSIGN_OR_RETURN(
+            const VkAudit audit,
+            AuditVkSeries(s_closed, agg->attr_s, catalog, options.ctx,
+                          &local_reuse, options.tracer, 'S'));
+        if (!audit.sound) {
+          return Status::Internal("V^k series over S is unsound for attr " +
+                                  agg->attr_s + "; state diverged");
+        }
+      }
+      if (agg->agg_t == AggFn::kSum && t_closed.size() >= 2) {
+        CFQ_ASSIGN_OR_RETURN(
+            const VkAudit audit,
+            AuditVkSeries(t_closed, agg->attr_t, catalog, options.ctx,
+                          &local_reuse, options.tracer, 'T'));
+        if (!audit.sound) {
+          return Status::Internal("V^k series over T is unsound for attr " +
+                                  agg->attr_t + "; state diverged");
+        }
       }
     }
-    if (agg->agg_t == AggFn::kSum && t_closed.size() >= 2) {
-      CFQ_ASSIGN_OR_RETURN(
-          const VkAudit audit,
-          AuditVkSeries(t_closed, agg->attr_t, catalog, options.ctx,
-                        &local_reuse, options.tracer, 'T'));
-      if (!audit.sound) {
-        return Status::Internal("V^k series over T is unsound for attr " +
-                                agg->attr_t + "; state diverged");
-      }
+    if (options.metrics != nullptr) {
+      options.metrics->Observe("incr.answer.audit_seconds",
+                               audit_wall.ElapsedSeconds());
     }
   }
   if (options.reuse != nullptr) options.reuse->MergeFrom(local_reuse);
@@ -170,6 +193,7 @@ Result<CfqResult> AnswerFromState(const MiningState& state,
   // survivors; emitted (i, j) index the FULL side lists, so surviving
   // pairs appear in exactly the order an unfiltered scan would emit.
   Stopwatch pair_timer;
+  obs::TraceSpan pair_span(options.tracer, "answer.pair");
   uint64_t prefiltered = 0;
   std::vector<char> s_ok(result.s_sets.size(), 1);
   std::vector<char> t_ok(result.t_sets.size(), 1);
@@ -214,6 +238,10 @@ Result<CfqResult> AnswerFromState(const MiningState& state,
     }
   }
   result.stats.pair_seconds = pair_timer.ElapsedSeconds();
+  if (options.metrics != nullptr) {
+    options.metrics->Observe("incr.answer.pair_seconds",
+                             result.stats.pair_seconds);
+  }
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   if (options.tracer != nullptr) {
     options.tracer->RecordPairPhase(obs::PairPhaseEvent{

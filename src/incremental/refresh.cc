@@ -7,6 +7,7 @@
 
 #include "common/stopwatch.h"
 #include "mining/candidate_gen.h"
+#include "obs/trace.h"
 
 namespace cfq::incremental {
 
@@ -112,6 +113,7 @@ Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
 
     // Partition this level's candidates by provenance, preserving the
     // candidate order for the final merge.
+    obs::TraceSpan level_span(options.tracer, "refresh.level");
     std::vector<size_t> known_idx, fresh_idx;
     std::vector<const OldEntry*> known_entries;
     for (size_t i = 0; i < candidates.size(); ++i) {
@@ -127,6 +129,7 @@ Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
     std::vector<uint64_t> supports(candidates.size(), 0);
     if (!known_idx.empty()) {
       if (has_delta) {
+        obs::TraceSpan recount_span(options.tracer, "refresh.recount");
         Stopwatch recount_wall;
         std::vector<Itemset> batch;
         batch.reserve(known_idx.size());
@@ -153,6 +156,7 @@ Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
       // Bounded re-expansion: these candidates exist only because the
       // delta promoted one of their subsets, so they were never counted
       // at the old generation and need the full database.
+      obs::TraceSpan expand_span(options.tracer, "refresh.expand");
       Stopwatch expand_wall;
       if (full_counter == nullptr) {
         full_counter = MakeCounter(options.counter, db, options.pool);
@@ -173,42 +177,61 @@ Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
     }
 
     LevelState level;
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      FrequentSet set{candidates[i], supports[i]};
-      const bool frequent_now = supports[i] >= new_min_support;
-      auto it = old_map.find(candidates[i]);
-      const bool was_frequent = it != old_map.end() && it->second.was_frequent;
-      if (frequent_now && !was_frequent) ++stats.promoted;
-      if (frequent_now) {
-        level.frequent.push_back(std::move(set));
-      } else {
-        level.border.push_back(std::move(set));
+    {
+      Stopwatch partition_wall;
+      obs::TraceSpan partition_span(options.tracer, "refresh.partition");
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        FrequentSet set{candidates[i], supports[i]};
+        const bool frequent_now = supports[i] >= new_min_support;
+        auto it = old_map.find(candidates[i]);
+        const bool was_frequent =
+            it != old_map.end() && it->second.was_frequent;
+        if (frequent_now && !was_frequent) ++stats.promoted;
+        if (frequent_now) {
+          level.frequent.push_back(std::move(set));
+        } else {
+          level.border.push_back(std::move(set));
+        }
+      }
+
+      // Demotions and the changed-level flag compare against the old
+      // FREQUENT list as a whole: an old frequent set that was not even
+      // regenerated (its subset demoted first) still counts as demoted.
+      bool changed = level_index >= old_state.levels.size();
+      uint64_t kept_old = 0;
+      if (!changed) {
+        const std::vector<FrequentSet>& old_frequent =
+            old_state.levels[level_index].frequent;
+        for (const FrequentSet& f : level.frequent) {
+          auto it = old_map.find(f.items);
+          if (it != old_map.end() && it->second.was_frequent) ++kept_old;
+        }
+        stats.demoted += old_frequent.size() - kept_old;
+        changed = old_frequent.size() != level.frequent.size() ||
+                  kept_old != old_frequent.size();
+      }
+      stats.level_changed.push_back(changed);
+      if (options.metrics != nullptr) {
+        options.metrics->Observe("incr.level.partition_seconds",
+                                 partition_wall.ElapsedSeconds());
       }
     }
 
-    // Demotions and the changed-level flag compare against the old
-    // FREQUENT list as a whole: an old frequent set that was not even
-    // regenerated (its subset demoted first) still counts as demoted.
-    bool changed = level_index >= old_state.levels.size();
-    uint64_t kept_old = 0;
-    if (!changed) {
-      const std::vector<FrequentSet>& old_frequent =
-          old_state.levels[level_index].frequent;
+    {
+      Stopwatch candidate_wall;
+      obs::TraceSpan candidate_span(options.tracer, "refresh.candidate_gen");
+      std::vector<Itemset> frequent_items;
+      frequent_items.reserve(level.frequent.size());
       for (const FrequentSet& f : level.frequent) {
-        auto it = old_map.find(f.items);
-        if (it != old_map.end() && it->second.was_frequent) ++kept_old;
+        frequent_items.push_back(f.items);
       }
-      stats.demoted += old_frequent.size() - kept_old;
-      changed = old_frequent.size() != level.frequent.size() ||
-                kept_old != old_frequent.size();
+      state.levels.push_back(std::move(level));
+      candidates = GenerateCandidatesJoinPrune(frequent_items);
+      if (options.metrics != nullptr) {
+        options.metrics->Observe("incr.level.candidate_gen_seconds",
+                                 candidate_wall.ElapsedSeconds());
+      }
     }
-    stats.level_changed.push_back(changed);
-
-    std::vector<Itemset> frequent_items;
-    frequent_items.reserve(level.frequent.size());
-    for (const FrequentSet& f : level.frequent) frequent_items.push_back(f.items);
-    state.levels.push_back(std::move(level));
-    candidates = GenerateCandidatesJoinPrune(frequent_items);
     ++level_index;
   }
 

@@ -16,23 +16,7 @@ std::string JsonNumber(double value) {
   return buf;
 }
 
-std::string JsonEscape(const char* s) {
-  std::string out;
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
+std::string JsonEscape(const char* s) { return TraceJsonEscape(s); }
 
 // Renders the typed payload's fields as JSON members (no braces),
 // e.g. `"var":"S","level":2,...`. Empty for plain spans/instants.
@@ -82,17 +66,34 @@ std::string PayloadFields(const EventPayload& payload) {
 
 }  // namespace
 
-void WriteChromeTrace(const std::vector<TraceEvent>& events,
-                      std::ostream& os) {
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
+std::string TraceJsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendChromeEvents(const std::vector<TraceEvent>& events, int pid,
+                        int64_t ts_offset_us, bool* first, std::ostream& os) {
+  const std::string common =
+      "\"pid\":" + std::to_string(pid) + ",\"tid\":1";
   auto emit = [&](const std::string& body) {
-    if (!first) os << ',';
-    first = false;
+    if (!*first) os << ',';
+    *first = false;
     os << "\n{" << body << '}';
   };
-  const char* common = "\"pid\":1,\"tid\":1";
   for (const TraceEvent& e : events) {
+    const int64_t ts = e.ts_us + ts_offset_us;
     std::string body = "\"name\":\"" + JsonEscape(e.name) + "\",";
     switch (e.phase) {
       case EventPhase::kSpanBegin:
@@ -105,7 +106,7 @@ void WriteChromeTrace(const std::vector<TraceEvent>& events,
         body += "\"ph\":\"i\",\"s\":\"t\",";
         break;
     }
-    body += std::string(common) + ",\"ts\":" + std::to_string(e.ts_us);
+    body += common + ",\"ts\":" + std::to_string(ts);
     const std::string fields = PayloadFields(e.payload);
     if (!fields.empty()) body += ",\"args\":{" + fields + '}';
     emit(body);
@@ -115,13 +116,20 @@ void WriteChromeTrace(const std::vector<TraceEvent>& events,
       std::string track = "\"name\":\"lattice ";
       track += level->var;
       track += "\",\"ph\":\"C\",";
-      track += std::string(common) + ",\"ts\":" + std::to_string(e.ts_us);
+      track += common + ",\"ts\":" + std::to_string(ts);
       track += ",\"args\":{\"candidates\":" +
                std::to_string(level->candidates) +
                ",\"frequent\":" + std::to_string(level->frequent) + '}';
       emit(track);
     }
   }
+}
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  AppendChromeEvents(events, /*pid=*/1, /*ts_offset_us=*/0, &first, os);
   os << "\n]}\n";
 }
 

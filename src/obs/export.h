@@ -24,6 +24,20 @@
 
 namespace cfq::obs {
 
+// Escapes `s` for embedding inside a JSON string literal (no quotes
+// added) — shared by the trace exporters and the flight recorder.
+std::string TraceJsonEscape(const std::string& s);
+
+// Appends the Chrome trace_event objects for `events` (B/E spans,
+// typed instants, and the per-variable counter tracks) to an already
+// open "traceEvents" array on `os`. `pid` keys the process lane —
+// multi-query dumps give each query its own pid so spans and counter
+// tracks from different queries never interleave — and `ts_offset_us`
+// shifts the events' tracer-relative timestamps onto a shared
+// timeline. `*first` carries comma state across calls.
+void AppendChromeEvents(const std::vector<TraceEvent>& events, int pid,
+                        int64_t ts_offset_us, bool* first, std::ostream& os);
+
 void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os);
 void WriteTraceJsonl(const std::vector<TraceEvent>& events, std::ostream& os);
 

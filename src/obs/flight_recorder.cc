@@ -1,0 +1,109 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace cfq::obs {
+
+namespace {
+
+std::string SecondsString(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const FlightRecorderOptions& options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t FlightRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void FlightRecorder::Record(CompletedQueryTrace trace) {
+  trace.slow = trace.elapsed_seconds >= options_.slow_threshold_seconds;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_total_;
+  if (trace.slow) {
+    ++slow_total_;
+    if (options_.slow_capacity > 0) {
+      slow_.push_back(trace);
+      while (slow_.size() > options_.slow_capacity) slow_.pop_front();
+    }
+  }
+  if (options_.recent_capacity > 0) {
+    recent_.push_back(std::move(trace));
+    while (recent_.size() > options_.recent_capacity) recent_.pop_front();
+  }
+}
+
+FlightRecorderSummary FlightRecorder::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlightRecorderSummary summary;
+  summary.recorded_total = recorded_total_;
+  summary.slow_total = slow_total_;
+  summary.recent_size = recent_.size();
+  summary.slow_size = slow_.size();
+  summary.slow_threshold_seconds = options_.slow_threshold_seconds;
+  return summary;
+}
+
+std::vector<CompletedQueryTrace> FlightRecorder::Snapshot() const {
+  std::vector<CompletedQueryTrace> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(recent_.size() + slow_.size());
+    out.insert(out.end(), recent_.begin(), recent_.end());
+    out.insert(out.end(), slow_.begin(), slow_.end());
+  }
+  // A slow trace sits in both rings until the recent ring rotates past
+  // it; ids are unique, so sort + unique dedups the overlap.
+  std::sort(out.begin(), out.end(),
+            [](const CompletedQueryTrace& a, const CompletedQueryTrace& b) {
+              return a.id < b.id;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const CompletedQueryTrace& a,
+                           const CompletedQueryTrace& b) {
+                          return a.id == b.id;
+                        }),
+            out.end());
+  return out;
+}
+
+void FlightRecorder::WriteChromeTrace(std::ostream& os) const {
+  const std::vector<CompletedQueryTrace> traces = Snapshot();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const CompletedQueryTrace& trace : traces) {
+    // Ids start at 1, so a pid never collides with a lone-tracer dump's
+    // pid 1... except for trace 1, which IS that query. Each query gets
+    // its own process lane, labeled for the Perfetto process list.
+    const int pid = static_cast<int>(trace.id);
+    std::string label = "query " + std::to_string(trace.id);
+    if (trace.slow) label += " SLOW";
+    if (!trace.dataset.empty()) label += " dataset=" + trace.dataset;
+    if (!trace.strategy.empty()) label += " strategy=" + trace.strategy;
+    if (!trace.source.empty()) label += " source=" + trace.source;
+    if (!trace.status.empty()) label += " status=" + trace.status;
+    label += " elapsed=" + SecondsString(trace.elapsed_seconds) + "s";
+    if (!trace.client_trace_id.empty()) {
+      label += " client_trace_id=" + trace.client_trace_id;
+    }
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << TraceJsonEscape(label) << "\"}}";
+    AppendChromeEvents(trace.events, pid, trace.start_us, &first, os);
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace cfq::obs

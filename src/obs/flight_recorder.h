@@ -1,0 +1,192 @@
+// Slow-query flight recorder: bounded retention of completed query
+// traces, dumpable retroactively as one Chrome trace_event file.
+//
+// The serving daemon gives every query its own small Tracer plus a
+// PhaseAccumulator; when the query completes, the service folds both
+// into a CompletedQueryTrace and hands it to the FlightRecorder. The
+// recorder keeps two bounded rings: the last `recent_capacity`
+// completed queries (whatever their latency), and the last
+// `slow_capacity` queries whose wall time met the slow threshold —
+// so a production slowdown stays explainable after the fast traffic
+// that followed it has rotated the recent ring.
+//
+// WriteChromeTrace() lays every retained trace on one shared timeline
+// (each query gets its own Chrome pid lane, labeled via process_name
+// metadata), so chrome://tracing or Perfetto shows the query roots,
+// their phase spans, and the nested lattice/level events per query.
+// If a query's tracer ring wrapped (dropped events), its span stream
+// may be unbalanced; with the default per-query capacity this does
+// not happen for realistic queries.
+//
+// All public methods are thread-safe; PhaseAccumulator/ScopedPhase are
+// per-query single-threaded helpers.
+
+#ifndef CFQ_OBS_FLIGHT_RECORDER_H_
+#define CFQ_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cfq::obs {
+
+// One named slice of a query's wall time, in seconds. Top-level phases
+// (no '.' in the name: parse, catalog, cache, admission, plan, execute,
+// render) partition the measured wall time; dotted names
+// (execute.refresh.recount, ...) are finer attributions nested inside a
+// top-level phase and must not be summed with them.
+struct QueryPhase {
+  std::string name;
+  double seconds = 0;
+};
+
+// Accumulates phase timings for one query, merging repeated names (a
+// phase entered once per lattice level accumulates across levels).
+// Insertion order is preserved — the order phases first started.
+class PhaseAccumulator {
+ public:
+  void Add(const std::string& name, double seconds) {
+    for (QueryPhase& p : phases_) {
+      if (p.name == name) {
+        p.seconds += seconds;
+        return;
+      }
+    }
+    phases_.push_back(QueryPhase{name, seconds});
+  }
+
+  // Sum of the top-level (undotted) phases — the portion of the query's
+  // wall time attributed to named phases.
+  double TopLevelSeconds() const {
+    double total = 0;
+    for (const QueryPhase& p : phases_) {
+      if (p.name.find('.') == std::string::npos) total += p.seconds;
+    }
+    return total;
+  }
+
+  const std::vector<QueryPhase>& phases() const { return phases_; }
+
+ private:
+  std::vector<QueryPhase> phases_;
+};
+
+// RAII phase: opens a span on `tracer` (null ok) and accumulates the
+// elapsed wall time under `name` when it ends. `name` must have static
+// storage duration (it is handed to the Tracer verbatim).
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseAccumulator* phases, Tracer* tracer, const char* name)
+      : phases_(phases),
+        tracer_(tracer),
+        name_(name),
+        start_(std::chrono::steady_clock::now()) {
+    if (tracer_ != nullptr) tracer_->BeginSpan(name_);
+  }
+  ~ScopedPhase() { End(); }
+
+  // Ends the phase early; subsequent End()/destruction are no-ops.
+  void End() {
+    if (ended_) return;
+    ended_ = true;
+    if (tracer_ != nullptr) tracer_->EndSpan(name_);
+    if (phases_ != nullptr) {
+      phases_->Add(name_,
+                   std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+    }
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseAccumulator* phases_;
+  Tracer* tracer_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  bool ended_ = false;
+};
+
+// Everything retained about one completed query.
+struct CompletedQueryTrace {
+  uint64_t id = 0;          // FlightRecorder::NextTraceId().
+  int64_t start_us = 0;     // Query start, microseconds on the
+                            // recorder's clock (NowMicros()).
+  double elapsed_seconds = 0;
+  bool slow = false;        // Set by Record() from the threshold.
+  std::string dataset;
+  std::string strategy;
+  std::string source;       // hit | incremental-refresh | cold.
+  std::string status;       // Protocol status (OK, TIMEOUT, ...).
+  std::string client_trace_id;  // Request "trace_id" echo; may be "".
+  std::vector<QueryPhase> phases;
+  std::vector<TraceEvent> events;  // Per-query tracer snapshot.
+};
+
+struct FlightRecorderOptions {
+  size_t recent_capacity = 32;
+  size_t slow_capacity = 32;
+  double slow_threshold_seconds = 1.0;
+};
+
+struct FlightRecorderSummary {
+  uint64_t recorded_total = 0;
+  uint64_t slow_total = 0;
+  size_t recent_size = 0;
+  size_t slow_size = 0;
+  double slow_threshold_seconds = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderOptions& options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Monotone 1-based trace ids.
+  uint64_t NextTraceId() { return next_id_.fetch_add(1) + 1; }
+
+  // Microseconds since recorder construction — the shared timeline
+  // every retained trace's events are laid out on.
+  int64_t NowMicros() const;
+
+  // Takes ownership of one completed trace: classifies it against the
+  // slow threshold and retires the oldest entries past each capacity.
+  void Record(CompletedQueryTrace trace);
+
+  FlightRecorderSummary Summary() const;
+
+  // Every retained trace (recent ∪ slow, deduplicated), ascending id.
+  std::vector<CompletedQueryTrace> Snapshot() const;
+
+  // One Chrome trace_event JSON document covering every retained trace.
+  void WriteChromeTrace(std::ostream& os) const;
+
+  double slow_threshold_seconds() const {
+    return options_.slow_threshold_seconds;
+  }
+
+ private:
+  const FlightRecorderOptions options_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_id_{0};
+  mutable std::mutex mu_;
+  std::deque<CompletedQueryTrace> recent_;
+  std::deque<CompletedQueryTrace> slow_;
+  uint64_t recorded_total_ = 0;
+  uint64_t slow_total_ = 0;
+};
+
+}  // namespace cfq::obs
+
+#endif  // CFQ_OBS_FLIGHT_RECORDER_H_

@@ -25,6 +25,12 @@ Result<Permit> AdmissionController::Admit(const CancelToken* cancel) {
   if (shutdown_) return Status::FailedPrecondition("server is shutting down");
   if (active_ < max_concurrent_) {
     ++active_;
+    // A free slot means zero queue wait; observing it anyway makes the
+    // histogram's _count equal the admitted-query count, so the mean
+    // is over all admissions, not just the queued ones.
+    if (metrics_ != nullptr) {
+      metrics_->Observe("server.admission.queue_wait_seconds", 0.0);
+    }
     return Permit(this);
   }
   if (queued_ >= max_queued_) {
@@ -34,6 +40,12 @@ Result<Permit> AdmissionController::Admit(const CancelToken* cancel) {
         std::to_string(queued_) + " queued)");
   }
   ++queued_;
+  const auto wait_started = std::chrono::steady_clock::now();
+  const auto waited_seconds = [&wait_started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wait_started)
+        .count();
+  };
   // Deadlines live in the CancelToken, not the cv, so wake periodically
   // to poll it — the same cooperative cadence the executor uses.
   while (true) {
@@ -49,6 +61,10 @@ Result<Permit> AdmissionController::Admit(const CancelToken* cancel) {
     if (active_ < max_concurrent_) {
       --queued_;
       ++active_;
+      if (metrics_ != nullptr) {
+        metrics_->Observe("server.admission.queue_wait_seconds",
+                          waited_seconds());
+      }
       return Permit(this);
     }
   }
@@ -83,6 +99,11 @@ size_t AdmissionController::queued() const {
 uint64_t AdmissionController::rejected_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rejected_;
+}
+
+bool AdmissionController::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
 }
 
 }  // namespace cfq::server

@@ -20,6 +20,7 @@
 
 #include "common/cancellation.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 
 namespace cfq::server {
 
@@ -46,9 +47,14 @@ class Permit {
 
 class AdmissionController {
  public:
-  AdmissionController(size_t max_concurrent, size_t max_queued)
+  // `metrics` (not owned; may be null) receives the
+  // server.admission.queue_wait_seconds histogram: one observation per
+  // admitted query, zero when a slot was free on arrival.
+  AdmissionController(size_t max_concurrent, size_t max_queued,
+                      obs::MetricsRegistry* metrics = nullptr)
       : max_concurrent_(max_concurrent == 0 ? 1 : max_concurrent),
-        max_queued_(max_queued) {}
+        max_queued_(max_queued),
+        metrics_(metrics) {}
 
   // Blocks until a slot is free. `cancel` (may be null) bounds the
   // wait: an expired token returns kDeadlineExceeded. A full queue
@@ -66,12 +72,17 @@ class AdmissionController {
   size_t max_concurrent() const { return max_concurrent_; }
   size_t max_queued() const { return max_queued_; }
 
+  // True once Shutdown() ran — the daemon is draining (the /healthz
+  // readiness signal).
+  bool shutting_down() const;
+
  private:
   friend class Permit;
   void ReleaseSlot();
 
   const size_t max_concurrent_;
   const size_t max_queued_;
+  obs::MetricsRegistry* const metrics_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   size_t active_ = 0;

@@ -1,0 +1,185 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cfq::server {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(const HttpOptions& options, HttpHandler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad telemetry address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Internal(
+        "bind " + options_.host + ":" + std::to_string(options_.port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listen fd closed by Stop() (or fatal).
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval timeout{};
+  timeout.tv_sec = options_.recv_timeout_ms / 1000;
+  timeout.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the header block; the request line is all we
+  // use, but consuming the headers keeps clients that await the
+  // response after a full send happy.
+  std::string request;
+  char chunk[4096];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos &&
+         request.size() < 64 * 1024) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Timeout, error, or close.
+    request.append(chunk, static_cast<size_t>(n));
+    // A bare request line with no headers is legal HTTP/1.0.
+    if (request.find('\n') != std::string::npos) break;
+  }
+  const size_t line_end = request.find('\n');
+  if (line_end == std::string::npos) return;  // Nothing parseable.
+  std::string line = request.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  const size_t method_end = line.find(' ');
+  const size_t path_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : line.find(' ', method_end + 1);
+  HttpResponse response;
+  if (method_end == std::string::npos) {
+    response = HttpResponse{400, "text/plain; charset=utf-8",
+                            "malformed request line\n"};
+  } else if (line.substr(0, method_end) != "GET") {
+    response = HttpResponse{405, "text/plain; charset=utf-8",
+                            "telemetry endpoints are GET-only\n"};
+  } else {
+    std::string path =
+        path_end == std::string::npos
+            ? line.substr(method_end + 1)
+            : line.substr(method_end + 1, path_end - method_end - 1);
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    response = handler_(path);
+  }
+  (void)SendAll(fd, RenderResponse(response));
+}
+
+void HttpServer::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace cfq::server

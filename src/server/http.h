@@ -1,0 +1,79 @@
+// HttpServer: a minimal GET-only HTTP/1.0 listener for telemetry.
+//
+// The daemon's query protocol is newline-delimited JSON; Prometheus
+// scrapers and load balancers speak HTTP. This listener bridges the
+// gap on a second port without pulling in an HTTP library: it accepts
+// one connection at a time on its own thread, parses the request line
+// of a GET, hands the path to a handler, and writes one
+// Connection: close response. That is exactly enough for `curl`,
+// `prometheus`, and a readiness probe — it is not a general web server
+// (no keep-alive, no pipelining, no request bodies), and a slow client
+// can delay the next probe by at most the per-connection receive
+// timeout.
+//
+// The handler runs on the listener thread and must be thread-safe
+// against the daemon's query threads (the QueryService endpoints only
+// touch mutex-guarded registries and caches).
+
+#ifndef CFQ_SERVER_HTTP_H_
+#define CFQ_SERVER_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+namespace cfq::server {
+
+struct HttpOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral.
+  int backlog = 16;
+  // recv() timeout per connection; bounds how long a stalled client
+  // can hold the (single) service loop.
+  int recv_timeout_ms = 2000;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Receives the request path with any "?query" suffix stripped.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  HttpServer(const HttpOptions& options, HttpHandler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds, listens, and starts the service thread.
+  Status Start();
+
+  // The bound port (after Start); the requested one unless it was 0.
+  uint16_t port() const { return port_; }
+
+  // Closes the listener and joins the service thread (idempotent).
+  void Stop();
+
+ private:
+  void ServeLoop();
+  void ServeConnection(int fd);
+
+  const HttpOptions options_;
+  const HttpHandler handler_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace cfq::server
+
+#endif  // CFQ_SERVER_HTTP_H_

@@ -115,6 +115,12 @@ void Server::ServeConnection(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+  // Per-connection error isolation means these faults never surface
+  // past this function; the counter is what keeps them from being
+  // swallowed invisibly.
+  const auto count_error = [this] {
+    service_->metrics()->Add("server.conn.errors");
+  };
   std::string buffer;
   char chunk[64 * 1024];
   bool open = true;
@@ -122,12 +128,14 @@ void Server::ServeConnection(int fd) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      count_error();
       break;
     }
     if (n == 0) break;  // Peer closed (or drain half-closed us).
     buffer.append(chunk, static_cast<size_t>(n));
     if (buffer.size() > options_.max_line_bytes &&
         buffer.find('\n') == std::string::npos) {
+      count_error();
       (void)SendAll(fd, ErrorLine("BAD_REQUEST", "request line too long"));
       break;
     }
@@ -143,12 +151,14 @@ void Server::ServeConnection(int fd) {
       if (!request.ok()) {
         // Per-connection error isolation: a malformed line produces a
         // BAD_REQUEST response, not a dropped connection.
+        count_error();
         response_line =
             ErrorLine("BAD_REQUEST", request.status().ToString());
       } else {
         response_line = service_->Handle(request.value()).Write() + "\n";
       }
       if (!SendAll(fd, response_line)) {
+        count_error();
         open = false;
         break;
       }

@@ -14,17 +14,24 @@
 #include "incremental/answer.h"
 #include "incremental/refresh.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 
 namespace cfq::server {
 
 namespace {
 
-JsonValue ErrorResponse(const std::string& status, const std::string& error) {
+JsonValue::Object ErrorObject(const std::string& status,
+                              const std::string& error) {
   JsonValue::Object response;
   response["status"] = status;
   response["error"] = error;
   return response;
+}
+
+JsonValue ErrorResponse(const std::string& status, const std::string& error) {
+  return ErrorObject(status, error);
 }
 
 std::string JoinItems(const Itemset& items) {
@@ -44,13 +51,34 @@ std::string PairRow(const FrequentSet& s, const FrequentSet& t) {
 
 }  // namespace
 
+// The per-query trace: its own small event ring (so one query's spans
+// never interleave with another's) plus the phase accumulator whose
+// entries become the response's "trace" breakdown. The request's
+// identity fields ride along so every early-error return still records
+// a complete flight-recorder entry.
+struct QueryService::QueryTrace {
+  explicit QueryTrace(size_t capacity) : tracer(capacity) {}
+
+  uint64_t id = 0;
+  int64_t start_us = 0;
+  obs::Tracer tracer;
+  obs::PhaseAccumulator phases;
+  std::string dataset;
+  std::string strategy;
+  std::string source = "cold";
+  std::string client_trace_id;
+};
+
 QueryService::QueryService(const ServiceOptions& options,
                            obs::MetricsRegistry* metrics)
     : options_(options),
       metrics_(metrics),
       cache_(options.cache_capacity, metrics),
       state_cache_(options.state_cache_capacity, metrics),
-      admission_(options.max_concurrent, options.max_queued) {}
+      admission_(options.max_concurrent, options.max_queued, metrics),
+      flight_recorder_(obs::FlightRecorderOptions{
+          options.flight_recorder_recent, options.flight_recorder_slow,
+          options.slow_query_threshold_seconds}) {}
 
 JsonValue QueryService::Handle(const JsonValue& request) {
   metrics_->Add("server.requests_total");
@@ -80,6 +108,8 @@ JsonValue QueryService::Handle(const JsonValue& request) {
     response = HandleQuery(request);
   } else if (cmd == "stats") {
     response = HandleStats();
+  } else if (cmd == "dumptrace") {
+    response = HandleDumpTrace();
   } else if (cmd == "shutdown") {
     shutdown_requested_.store(true, std::memory_order_release);
     JsonValue::Object ok;
@@ -270,28 +300,103 @@ JsonValue QueryService::HandleDatasets() {
 
 JsonValue QueryService::HandleQuery(const JsonValue& request) {
   const auto started = std::chrono::steady_clock::now();
-  const std::string name = request.GetString("dataset", "");
+  QueryTrace trace(std::max<size_t>(options_.query_trace_capacity, 64));
+  trace.id = flight_recorder_.NextTraceId();
+  trace.start_us = flight_recorder_.NowMicros();
+  trace.dataset = request.GetString("dataset", "");
+  trace.strategy = request.GetString("strategy", "optimized");
+  trace.client_trace_id = request.GetString("trace_id", "");
+
+  trace.tracer.BeginSpan("query");
+  JsonValue::Object response = ExecuteQuery(request, &trace);
+  trace.tracer.EndSpan("query");
+
+  const double elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  const auto status_it = response.find("status");
+  const std::string status =
+      status_it != response.end() && status_it->second.is_string()
+          ? status_it->second.as_string()
+          : "INTERNAL";
+  if (status == "OK") {
+    const auto cached_it = response.find("cached");
+    const bool cached =
+        cached_it != response.end() && cached_it->second.is_bool() &&
+        cached_it->second.as_bool();
+    metrics_->Add("server.queries_total");
+    metrics_->Add("server.reuse." +
+                  (trace.source == "incremental-refresh"
+                       ? std::string("incremental_refresh")
+                       : trace.source));
+    metrics_->Observe(cached ? "server.query_seconds.cache_hit"
+                             : "server.query_seconds.cold",
+                      elapsed_seconds);
+    response["elapsed_seconds"] = elapsed_seconds;
+  }
+
+  // Every query response — success or error — carries its trace id and
+  // the per-phase wall-time breakdown. Top-level (undotted) phases
+  // partition the wall time; dotted entries attribute time INSIDE
+  // their parent phase and must not be added to the top-level sum.
+  JsonValue::Object phases;
+  for (const obs::QueryPhase& phase : trace.phases.phases()) {
+    phases[phase.name] = phase.seconds;
+  }
+  JsonValue::Object trace_json;
+  trace_json["id"] = static_cast<int64_t>(trace.id);
+  if (!trace.client_trace_id.empty()) {
+    trace_json["client_trace_id"] = trace.client_trace_id;
+  }
+  trace_json["slow"] =
+      elapsed_seconds >= flight_recorder_.slow_threshold_seconds();
+  trace_json["phases"] = std::move(phases);
+  response["trace"] = std::move(trace_json);
+
+  obs::CompletedQueryTrace completed;
+  completed.id = trace.id;
+  completed.start_us = trace.start_us;
+  completed.elapsed_seconds = elapsed_seconds;
+  completed.dataset = trace.dataset;
+  completed.strategy = trace.strategy;
+  completed.source = trace.source;
+  completed.status = status;
+  completed.client_trace_id = trace.client_trace_id;
+  completed.phases = trace.phases.phases();
+  completed.events = trace.tracer.Events();
+  flight_recorder_.Record(std::move(completed));
+
+  return response;
+}
+
+JsonValue::Object QueryService::ExecuteQuery(const JsonValue& request,
+                                             QueryTrace* trace) {
+  const std::string name = trace->dataset;
   const std::string query_text = request.GetString("query", "");
   if (name.empty() || query_text.empty()) {
-    return ErrorResponse("BAD_REQUEST",
-                         "query needs \"dataset\" and \"query\"");
+    return ErrorObject("BAD_REQUEST", "query needs \"dataset\" and \"query\"");
   }
-  const std::string strategy = request.GetString("strategy", "optimized");
+  const std::string strategy = trace->strategy;
   if (strategy != "optimized" && strategy != "cap" && strategy != "apriori" &&
       strategy != "incremental") {
-    return ErrorResponse("BAD_REQUEST",
-                         "unknown strategy '" + strategy +
-                             "' (want optimized|cap|apriori|incremental)");
+    return ErrorObject("BAD_REQUEST",
+                       "unknown strategy '" + strategy +
+                           "' (want optimized|cap|apriori|incremental)");
   }
 
-  auto entry = catalog_.Get(name);
+  auto entry = [&] {
+    obs::ScopedPhase phase(&trace->phases, &trace->tracer, "catalog");
+    return catalog_.Get(name);
+  }();
   if (!entry.ok()) {
-    return ErrorResponse("NOT_FOUND", entry.status().ToString());
+    return ErrorObject("NOT_FOUND", entry.status().ToString());
   }
 
+  obs::ScopedPhase parse_phase(&trace->phases, &trace->tracer, "parse");
   auto parsed = ParseCfq(query_text);
   if (!parsed.ok()) {
-    return ErrorResponse("PARSE_ERROR", parsed.status().ToString());
+    return ErrorObject("PARSE_ERROR", parsed.status().ToString());
   }
   CfqQuery query = std::move(parsed).value();
   for (ItemId i = 0; i < entry->data->db.num_items(); ++i) {
@@ -299,6 +404,7 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
     query.t_domain.push_back(i);
   }
   const std::string canonical = CanonicalizeQuery(query);
+  parse_phase.End();
 
   uint64_t max_rows =
       static_cast<uint64_t>(request.GetInt("max_rows",
@@ -312,12 +418,15 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
       name + '@' + std::to_string(entry->generation) + '|' + strategy +
       "|rows=" + std::to_string(max_rows) + '|' + canonical;
 
-  auto answer = cache_.Get(cache_key);
+  auto answer = [&] {
+    obs::ScopedPhase phase(&trace->phases, &trace->tracer, "cache");
+    return cache_.Get(cache_key);
+  }();
   bool cached = answer != nullptr;
   // How this answer was obtained: a result-cache "hit", an
   // "incremental-refresh" riding a maintained mining state, or a "cold"
   // computation from the raw transactions.
-  std::string source = cached ? "hit" : "cold";
+  trace->source = cached ? "hit" : "cold";
   if (!cached) {
     // Miss: admit, run, populate.
     uint64_t deadline_ms = static_cast<uint64_t>(
@@ -329,19 +438,22 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
     CancelToken cancel;
     cancel.SetDeadline(std::chrono::milliseconds(deadline_ms));
 
-    auto permit = admission_.Admit(&cancel);
+    auto permit = [&] {
+      obs::ScopedPhase phase(&trace->phases, &trace->tracer, "admission");
+      return admission_.Admit(&cancel);
+    }();
     if (!permit.ok()) {
       if (permit.status().code() == StatusCode::kDeadlineExceeded) {
         metrics_->Add("server.admission.timeouts");
-        return ErrorResponse("TIMEOUT", permit.status().ToString());
+        return ErrorObject("TIMEOUT", permit.status().ToString());
       }
       const bool draining =
           permit.status().message().find("shutting down") !=
           std::string::npos;
       metrics_->Add(draining ? "server.admission.drained"
                              : "server.admission.rejected");
-      return ErrorResponse(draining ? "SHUTTING_DOWN" : "REJECTED",
-                           permit.status().ToString());
+      return ErrorObject(draining ? "SHUTTING_DOWN" : "REJECTED",
+                         permit.status().ToString());
     }
 
     PlanOptions plan_options;
@@ -349,38 +461,78 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
     plan_options.cancel = &cancel;
     obs::MetricsRegistry query_metrics;
     plan_options.metrics = &query_metrics;
+    // The executor's lattice/level/Jmax events nest under this query's
+    // execute span in the flight recorder.
+    plan_options.tracer = &trace->tracer;
 
     // The catalog pre-built the vertical index, so execution treats the
     // shared database as read-only despite the non-const signature.
     TransactionDb* db = const_cast<TransactionDb*>(&entry->data->db);
     Result<CfqResult> result = Status::Internal("unreachable");
     if (strategy == "optimized") {
-      auto plan = BuildPlan(query, plan_options);
+      auto plan = [&] {
+        obs::ScopedPhase phase(&trace->phases, &trace->tracer, "plan");
+        return BuildPlan(query, plan_options);
+      }();
       if (!plan.ok()) {
-        return ErrorResponse("PLAN_ERROR", plan.status().ToString());
+        return ErrorObject("PLAN_ERROR", plan.status().ToString());
       }
+      obs::ScopedPhase phase(&trace->phases, &trace->tracer, "execute");
       result = ExecutePlan(db, entry->data->catalog, plan.value());
     } else if (strategy == "cap") {
+      obs::ScopedPhase phase(&trace->phases, &trace->tracer, "execute");
       result = ExecuteCapOneVar(db, entry->data->catalog, query,
                                 plan_options);
     } else if (strategy == "incremental") {
+      obs::ScopedPhase phase(&trace->phases, &trace->tracer, "execute");
       result = RunIncremental(name, *entry, query, &cancel, &query_metrics,
-                              &source);
+                              trace, &trace->source);
     } else {
+      obs::ScopedPhase phase(&trace->phases, &trace->tracer, "execute");
       result = ExecuteAprioriPlus(db, entry->data->catalog, query,
                                   plan_options);
     }
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kDeadlineExceeded) {
         metrics_->Add("server.query.timeouts");
-        return ErrorResponse("TIMEOUT", result.status().ToString());
+        return ErrorObject("TIMEOUT", result.status().ToString());
       }
-      return ErrorResponse(result.status().code() == StatusCode::kNotFound
-                               ? "PLAN_ERROR"
-                               : "EXEC_ERROR",
-                           result.status().ToString());
+      return ErrorObject(result.status().code() == StatusCode::kNotFound
+                             ? "PLAN_ERROR"
+                             : "EXEC_ERROR",
+                         result.status().ToString());
     }
 
+    // Finer attribution inside the execute phase, from the per-query
+    // registry the mining stack observed into. Dotted names mark them
+    // as sub-phases of `execute`.
+    const auto sub_phase = [&](const char* phase_name, const char* metric) {
+      const double seconds = query_metrics.histogram(metric).sum();
+      if (seconds > 0) trace->phases.Add(phase_name, seconds);
+    };
+    if (strategy == "incremental") {
+      sub_phase("execute.build", "incr.build_seconds");
+      sub_phase("execute.refresh", "incr.refresh_seconds");
+      sub_phase("execute.refresh.recount", "incr.delta.recount_seconds");
+      sub_phase("execute.refresh.expand", "incr.expand.count_seconds");
+      sub_phase("execute.refresh.partition", "incr.level.partition_seconds");
+      sub_phase("execute.refresh.candidate_gen",
+                "incr.level.candidate_gen_seconds");
+      sub_phase("execute.answer", "incr.answer_seconds");
+      sub_phase("execute.answer.filter", "incr.answer.filter_seconds");
+      sub_phase("execute.answer.reduce", "incr.answer.reduce_seconds");
+      sub_phase("execute.answer.audit", "incr.answer.audit_seconds");
+      sub_phase("execute.answer.pair", "incr.answer.pair_seconds");
+    } else {
+      if (result->stats.mining_seconds > 0) {
+        trace->phases.Add("execute.mine", result->stats.mining_seconds);
+      }
+      if (result->stats.pair_seconds > 0) {
+        trace->phases.Add("execute.pair", result->stats.pair_seconds);
+      }
+    }
+
+    obs::ScopedPhase render_phase(&trace->phases, &trace->tracer, "render");
     auto fresh = std::make_shared<CachedAnswer>();
     fresh->canonical_query = canonical;
     fresh->s_sets = result->s_sets.size();
@@ -410,26 +562,15 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
     metrics_->MergeFrom(query_metrics);
     cache_.Put(cache_key, fresh);
     answer = std::move(fresh);
+    render_phase.End();
   }
-
-  const double elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    started)
-          .count();
-  metrics_->Add("server.queries_total");
-  metrics_->Add("server.reuse." + (source == "incremental-refresh"
-                                       ? std::string("incremental_refresh")
-                                       : source));
-  metrics_->Observe(cached ? "server.query_seconds.cache_hit"
-                           : "server.query_seconds.cold",
-                    elapsed_seconds);
 
   JsonValue::Object response;
   response["status"] = "OK";
   response["dataset"] = name;
   response["generation"] = static_cast<int64_t>(entry->generation);
   response["strategy"] = strategy;
-  response["source"] = source;
+  response["source"] = trace->source;
   response["canonical_query"] = answer->canonical_query;
   response["cached"] = cached;
   response["s_sets"] = static_cast<int64_t>(answer->s_sets);
@@ -441,14 +582,13 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
   rows.reserve(answer->rows.size());
   for (const std::string& row : answer->rows) rows.push_back(row);
   response["rows"] = std::move(rows);
-  response["elapsed_seconds"] = elapsed_seconds;
   return response;
 }
 
 Result<CfqResult> QueryService::RunIncremental(
     const std::string& name, const CatalogEntry& entry, const CfqQuery& query,
     const CancelToken* cancel, obs::MetricsRegistry* query_metrics,
-    std::string* source) {
+    QueryTrace* trace, std::string* source) {
   // One maintained state serves both sides: mine the union of the two
   // domains at the lower of the two thresholds, then AnswerFromState
   // filters each side down (its requirements are exactly these bounds).
@@ -475,6 +615,7 @@ Result<CfqResult> QueryService::RunIncremental(
   incr.pool = &pool;
   incr.metrics = query_metrics;
   incr.cancel = cancel;
+  incr.tracer = &trace->tracer;
 
   const incremental::MiningState* state = nullptr;
   std::shared_ptr<incremental::StateAnswerContext> ctx;
@@ -503,9 +644,12 @@ Result<CfqResult> QueryService::RunIncremental(
       if (span.has_value() &&
           ancestor->state.num_transactions == span->tid_begin &&
           db->num_transactions() == span->tid_end) {
-        auto outcome = incremental::RefreshMiningState(
-            ancestor->state, db, span->tid_begin, span->tid_end,
-            entry.generation, state_minsup, incr);
+        auto outcome = [&] {
+          obs::TraceSpan refresh_span(&trace->tracer, "refresh");
+          return incremental::RefreshMiningState(
+              ancestor->state, db, span->tid_begin, span->tid_end,
+              entry.generation, state_minsup, incr);
+        }();
         if (!outcome.ok()) return outcome.status();
         owned = std::move(outcome.value().state);
         ctx = ancestor->ctx;
@@ -514,8 +658,11 @@ Result<CfqResult> QueryService::RunIncremental(
       }
     }
     if (!refreshed) {
-      auto built = incremental::BuildMiningState(db, domain, state_minsup,
-                                                 entry.generation, incr);
+      auto built = [&] {
+        obs::TraceSpan build_span(&trace->tracer, "build_state");
+        return incremental::BuildMiningState(db, domain, state_minsup,
+                                             entry.generation, incr);
+      }();
       if (!built.ok()) return built.status();
       owned = std::move(built).value();
       ctx = state_cache_.ContextFor(name);
@@ -531,11 +678,13 @@ Result<CfqResult> QueryService::RunIncremental(
   answer_options.reuse = &reuse;
   answer_options.metrics = query_metrics;
   answer_options.cancel = cancel;
+  answer_options.tracer = &trace->tracer;
+  obs::TraceSpan answer_span(&trace->tracer, "answer");
   return incremental::AnswerFromState(*state, entry.data->catalog, query,
                                       answer_options);
 }
 
-JsonValue QueryService::HandleStats() {
+JsonValue::Object QueryService::StatsJson() {
   JsonValue::Object cache;
   cache["hits"] = static_cast<int64_t>(cache_.hits());
   cache["misses"] = static_cast<int64_t>(cache_.misses());
@@ -552,17 +701,88 @@ JsonValue QueryService::HandleStats() {
       static_cast<int64_t>(admission_.max_concurrent());
   admission["max_queued"] = static_cast<int64_t>(admission_.max_queued());
 
+  JsonValue::Object state_cache;
+  state_cache["hits"] = static_cast<int64_t>(state_cache_.hits());
+  state_cache["misses"] = static_cast<int64_t>(state_cache_.misses());
+  state_cache["evictions"] = static_cast<int64_t>(state_cache_.evictions());
+  state_cache["size"] = static_cast<int64_t>(state_cache_.size());
+  state_cache["capacity"] = static_cast<int64_t>(state_cache_.capacity());
+
+  const obs::FlightRecorderSummary recorder = flight_recorder_.Summary();
+  JsonValue::Object flight;
+  flight["recorded_total"] = static_cast<int64_t>(recorder.recorded_total);
+  flight["slow_total"] = static_cast<int64_t>(recorder.slow_total);
+  flight["recent_size"] = static_cast<int64_t>(recorder.recent_size);
+  flight["slow_size"] = static_cast<int64_t>(recorder.slow_size);
+  flight["slow_threshold_seconds"] = recorder.slow_threshold_seconds;
+
+  JsonValue::Object stats;
+  stats["cache"] = std::move(cache);
+  stats["admission"] = std::move(admission);
+  stats["state_cache"] = std::move(state_cache);
+  stats["flight_recorder"] = std::move(flight);
+  stats["datasets"] = static_cast<int64_t>(catalog_.size());
+  return stats;
+}
+
+JsonValue QueryService::HandleStats() {
+  JsonValue::Object response = StatsJson();
+  response["status"] = "OK";
+
   // The same registry the daemon flushes at drain, in the same
   // Prometheus text the rest of the toolchain exports.
   std::ostringstream prometheus;
   obs::WritePrometheus(*metrics_, prometheus);
+  response["prometheus"] = prometheus.str();
+  return response;
+}
 
+JsonValue QueryService::HandleDumpTrace() {
+  std::ostringstream os;
+  flight_recorder_.WriteChromeTrace(os);
   JsonValue::Object response;
   response["status"] = "OK";
-  response["cache"] = std::move(cache);
-  response["admission"] = std::move(admission);
-  response["datasets"] = static_cast<int64_t>(catalog_.size());
-  response["prometheus"] = prometheus.str();
+  response["traces"] =
+      static_cast<int64_t>(flight_recorder_.Snapshot().size());
+  response["chrome_trace"] = os.str();
+  return response;
+}
+
+HttpResponse QueryService::HandleHttp(const std::string& path) {
+  metrics_->Add("server.http.requests");
+  HttpResponse response;
+  if (path == "/healthz") {
+    if (admission_.shutting_down()) {
+      response.status = 503;
+      response.body = "draining\n";
+    } else {
+      response.body = "ok\n";
+    }
+    return response;
+  }
+  if (path == "/metrics") {
+    std::ostringstream os;
+    obs::WritePrometheus(*metrics_, os);
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = os.str();
+    return response;
+  }
+  if (path == "/stats") {
+    JsonValue::Object stats = StatsJson();
+    stats["status"] = "OK";
+    response.content_type = "application/json";
+    response.body = JsonValue(std::move(stats)).Write() + "\n";
+    return response;
+  }
+  if (path == "/trace") {
+    std::ostringstream os;
+    flight_recorder_.WriteChromeTrace(os);
+    response.content_type = "application/json";
+    response.body = os.str();
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found (try /metrics, /healthz, /stats, /trace)\n";
   return response;
 }
 

@@ -25,9 +25,11 @@
 #include "common/cancellation.h"
 #include "core/executor.h"
 #include "incremental/state_cache.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "server/admission.h"
 #include "server/catalog.h"
+#include "server/http.h"
 #include "server/json.h"
 #include "server/result_cache.h"
 
@@ -50,6 +52,14 @@ struct ServiceOptions {
   // Maintained mining states kept per daemon for strategy=incremental
   // (0 disables the state cache; every incremental query mines cold).
   size_t state_cache_capacity = 8;
+  // Flight recorder retention: the last N completed queries plus the
+  // last N queries at or over the slow threshold (0 disables a ring).
+  size_t flight_recorder_recent = 32;
+  size_t flight_recorder_slow = 32;
+  double slow_query_threshold_seconds = 1.0;
+  // Per-query tracer ring capacity (events retained per trace). The
+  // ring is preallocated per query, so keep it modest.
+  size_t query_trace_capacity = 4096;
 };
 
 class QueryService {
@@ -73,14 +83,22 @@ class QueryService {
   // finish normally.
   void BeginDrain() { admission_.Shutdown(); }
 
+  // Serves the telemetry listener: GET /metrics (live Prometheus
+  // text), /healthz (503 while draining), /stats (JSON summaries),
+  // /trace (the flight recorder as a Chrome trace).
+  HttpResponse HandleHttp(const std::string& path);
+
   DatasetCatalog& catalog() { return catalog_; }
   ResultCache& cache() { return cache_; }
   incremental::MiningStateCache& state_cache() { return state_cache_; }
   AdmissionController& admission() { return admission_; }
+  obs::FlightRecorder& flight_recorder() { return flight_recorder_; }
   obs::MetricsRegistry* metrics() { return metrics_; }
   const ServiceOptions& options() const { return options_; }
 
  private:
+  struct QueryTrace;  // Per-query tracer + phase accumulator (service.cc).
+
   JsonValue HandleLoad(const JsonValue& request);
   JsonValue HandleGen(const JsonValue& request);
   JsonValue HandleSave(const JsonValue& request);
@@ -88,7 +106,13 @@ class QueryService {
   JsonValue HandleDatasets();
   JsonValue HandleAppend(const JsonValue& request);
   JsonValue HandleQuery(const JsonValue& request);
+  JsonValue::Object ExecuteQuery(const JsonValue& request, QueryTrace* trace);
   JsonValue HandleStats();
+  JsonValue HandleDumpTrace();
+
+  // The cache/admission/state-cache/flight-recorder summaries shared
+  // by the `stats` command and GET /stats.
+  JsonValue::Object StatsJson();
 
   // Serves strategy=incremental: resolves a MiningState for the
   // entry's generation (state-cache hit, FUP refresh from a lineage
@@ -99,7 +123,7 @@ class QueryService {
                                    const CfqQuery& query,
                                    const CancelToken* cancel,
                                    obs::MetricsRegistry* query_metrics,
-                                   std::string* source);
+                                   QueryTrace* trace, std::string* source);
 
   const ServiceOptions options_;
   obs::MetricsRegistry* const metrics_;
@@ -107,6 +131,7 @@ class QueryService {
   ResultCache cache_;
   incremental::MiningStateCache state_cache_;
   AdmissionController admission_;
+  obs::FlightRecorder flight_recorder_;
   std::atomic<bool> shutdown_requested_{false};
 };
 

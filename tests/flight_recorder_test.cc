@@ -1,0 +1,213 @@
+// Tests for the slow-query flight recorder (src/obs/flight_recorder.h):
+// ring retention, slow-query pinning, snapshot dedup, and the Chrome
+// trace dump — which must be valid JSON (checked with the server's own
+// parser) with each query's spans nested under its own pid lane.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/json.h"
+
+namespace cfq::obs {
+namespace {
+
+CompletedQueryTrace MakeTrace(FlightRecorder* recorder, double elapsed,
+                              const std::string& dataset = "demo") {
+  CompletedQueryTrace trace;
+  trace.id = recorder->NextTraceId();
+  trace.start_us = recorder->NowMicros();
+  trace.elapsed_seconds = elapsed;
+  trace.dataset = dataset;
+  trace.strategy = "optimized";
+  trace.source = "cold";
+  trace.status = "OK";
+  return trace;
+}
+
+TEST(PhaseAccumulatorTest, MergesRepeatedNamesAndSumsTopLevelOnly) {
+  PhaseAccumulator phases;
+  phases.Add("parse", 0.25);
+  phases.Add("execute", 1.0);
+  phases.Add("execute", 0.5);                   // Merged, not duplicated.
+  phases.Add("execute.refresh.recount", 10.0);  // Dotted: excluded.
+  ASSERT_EQ(phases.phases().size(), 3u);
+  EXPECT_EQ(phases.phases()[1].name, "execute");
+  EXPECT_DOUBLE_EQ(phases.phases()[1].seconds, 1.5);
+  EXPECT_DOUBLE_EQ(phases.TopLevelSeconds(), 1.75);
+}
+
+TEST(ScopedPhaseTest, RecordsSpanAndAccumulates) {
+  PhaseAccumulator phases;
+  Tracer tracer(64);
+  {
+    ScopedPhase phase(&phases, &tracer, "execute");
+  }
+  ASSERT_EQ(phases.phases().size(), 1u);
+  EXPECT_EQ(phases.phases()[0].name, "execute");
+  EXPECT_GE(phases.phases()[0].seconds, 0.0);
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, EventPhase::kSpanBegin);
+  EXPECT_EQ(events[1].phase, EventPhase::kSpanEnd);
+}
+
+TEST(ScopedPhaseTest, ExplicitEndIsIdempotent) {
+  PhaseAccumulator phases;
+  ScopedPhase phase(&phases, nullptr, "parse");
+  phase.End();
+  phase.End();  // Destructor will be the third End(); still one entry.
+  ASSERT_EQ(phases.phases().size(), 1u);
+}
+
+TEST(FlightRecorderTest, RecentRingIsBounded) {
+  FlightRecorderOptions options;
+  options.recent_capacity = 3;
+  options.slow_capacity = 3;
+  options.slow_threshold_seconds = 100.0;  // Nothing qualifies as slow.
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(MakeTrace(&recorder, 0.001));
+  }
+  const FlightRecorderSummary summary = recorder.Summary();
+  EXPECT_EQ(summary.recorded_total, 10u);
+  EXPECT_EQ(summary.slow_total, 0u);
+  EXPECT_EQ(summary.recent_size, 3u);
+  EXPECT_EQ(summary.slow_size, 0u);
+  // The survivors are the newest three, ascending by id.
+  const auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].id, 8u);
+  EXPECT_EQ(traces[2].id, 10u);
+}
+
+TEST(FlightRecorderTest, SlowQueriesOutliveTheRecentRing) {
+  FlightRecorderOptions options;
+  options.recent_capacity = 2;
+  options.slow_capacity = 4;
+  options.slow_threshold_seconds = 0.5;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeTrace(&recorder, 2.0, "slowset"));  // id 1: slow.
+  for (int i = 0; i < 8; ++i) {
+    recorder.Record(MakeTrace(&recorder, 0.001));  // Rotates recent ring.
+  }
+  const FlightRecorderSummary summary = recorder.Summary();
+  EXPECT_EQ(summary.slow_total, 1u);
+  EXPECT_EQ(summary.slow_size, 1u);
+  const auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);  // 2 recent + 1 pinned slow.
+  EXPECT_EQ(traces[0].id, 1u);
+  EXPECT_TRUE(traces[0].slow);
+  EXPECT_EQ(traces[0].dataset, "slowset");
+}
+
+TEST(FlightRecorderTest, SnapshotDeduplicatesSlowAlsoInRecent) {
+  FlightRecorder recorder(
+      FlightRecorderOptions{/*recent_capacity=*/8, /*slow_capacity=*/8,
+                            /*slow_threshold_seconds=*/0.5});
+  recorder.Record(MakeTrace(&recorder, 2.0));  // Slow AND still recent.
+  recorder.Record(MakeTrace(&recorder, 0.001));
+  const auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].id, 1u);
+  EXPECT_EQ(traces[1].id, 2u);
+}
+
+// The dump must be one JSON document whose traceEvents nest each
+// query's spans (query root -> phase -> level) under that query's pid.
+TEST(FlightRecorderTest, ChromeDumpParsesAndNestsPerQuery) {
+  FlightRecorder recorder;
+  for (int q = 0; q < 2; ++q) {
+    CompletedQueryTrace trace = MakeTrace(&recorder, 0.25, "demo");
+    Tracer tracer(256);
+    tracer.BeginSpan("query");
+    tracer.BeginSpan("execute");
+    tracer.BeginSpan("refresh.level");
+    LevelEvent level;
+    level.var = 'S';
+    level.level = 1;
+    level.candidates = 10;
+    level.counted = 10;
+    level.frequent = 7;
+    tracer.RecordLevel(level);
+    tracer.EndSpan("refresh.level");
+    tracer.EndSpan("execute");
+    tracer.EndSpan("query");
+    trace.events = tracer.Events();
+    trace.phases.push_back(QueryPhase{"execute", 0.2});
+    recorder.Record(std::move(trace));
+  }
+
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  auto doc = server::JsonValue::Parse(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const server::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Walk per-pid span stacks: every B needs a matching E, names must
+  // nest, and each pid lane needs a process_name metadata record.
+  std::map<int64_t, std::vector<std::string>> stacks;
+  std::map<int64_t, std::string> process_names;
+  std::map<int64_t, std::vector<std::string>> roots;
+  for (const server::JsonValue& event : events->as_array()) {
+    ASSERT_TRUE(event.is_object());
+    const std::string ph = event.GetString("ph", "");
+    const int64_t pid = event.GetInt("pid", -1);
+    const std::string name = event.GetString("name", "");
+    if (ph == "M") {
+      if (name == "process_name") {
+        const server::JsonValue* event_args = event.Find("args");
+        ASSERT_NE(event_args, nullptr);
+        process_names[pid] = event_args->GetString("name", "");
+      }
+      continue;
+    }
+    if (ph == "B") {
+      if (stacks[pid].empty()) roots[pid].push_back(name);
+      stacks[pid].push_back(name);
+    } else if (ph == "E") {
+      ASSERT_FALSE(stacks[pid].empty()) << "unbalanced E for " << name;
+      EXPECT_EQ(stacks[pid].back(), name);
+      stacks[pid].pop_back();
+    }
+  }
+  ASSERT_EQ(stacks.size(), 2u);  // One lane per query.
+  for (const auto& [pid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span in pid " << pid;
+    // The query root is the only top-of-stack span in its lane.
+    ASSERT_EQ(roots[pid].size(), 1u);
+    EXPECT_EQ(roots[pid][0], "query");
+    EXPECT_NE(process_names[pid].find("query "), std::string::npos);
+  }
+}
+
+TEST(FlightRecorderTest, ChromeDumpEscapesMetadataStrings) {
+  FlightRecorder recorder;
+  CompletedQueryTrace trace = MakeTrace(&recorder, 0.1, "we\"ird\\name");
+  recorder.Record(std::move(trace));
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  auto doc = server::JsonValue::Parse(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+}
+
+TEST(FlightRecorderTest, EmptyRecorderDumpsValidDocument) {
+  FlightRecorder recorder;
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  auto doc = server::JsonValue::Parse(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const server::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->as_array().empty());
+}
+
+}  // namespace
+}  // namespace cfq::obs

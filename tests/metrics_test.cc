@@ -167,6 +167,39 @@ TEST(PrometheusExportTest, GoldenExposition) {
             "cfq_s_sets_counted 3\n");
 }
 
+// Golden exposition for the serving counter families — the names the
+// daemon's /metrics endpoint and --metrics-out flush must both keep
+// stable (CI greps several of them).
+TEST(PrometheusExportTest, GoldenServerFamilies) {
+  MetricsRegistry registry;
+  registry.Add("server.cache.hits", 2);
+  registry.Add("server.conn.errors");
+  registry.Add("server.queries_total", 4);
+  registry.Observe("server.admission.queue_wait_seconds", 0.25);
+  registry.Observe("server.admission.queue_wait_seconds", 0.5);
+  registry.Add("incr.refreshes", 3);
+  registry.Add("evict.cache.items", 5);
+  std::ostringstream os;
+  WritePrometheus(registry, os);
+  EXPECT_EQ(os.str(),
+            "# TYPE cfq_evict_cache_items counter\n"
+            "cfq_evict_cache_items 5\n"
+            "# TYPE cfq_incr_refreshes counter\n"
+            "cfq_incr_refreshes 3\n"
+            "# TYPE cfq_server_admission_queue_wait_seconds histogram\n"
+            "cfq_server_admission_queue_wait_seconds_bucket{le=\"0.25\"} 1\n"
+            "cfq_server_admission_queue_wait_seconds_bucket{le=\"0.5\"} 2\n"
+            "cfq_server_admission_queue_wait_seconds_bucket{le=\"+Inf\"} 2\n"
+            "cfq_server_admission_queue_wait_seconds_sum 0.75\n"
+            "cfq_server_admission_queue_wait_seconds_count 2\n"
+            "# TYPE cfq_server_cache_hits counter\n"
+            "cfq_server_cache_hits 2\n"
+            "# TYPE cfq_server_conn_errors counter\n"
+            "cfq_server_conn_errors 1\n"
+            "# TYPE cfq_server_queries_total counter\n"
+            "cfq_server_queries_total 4\n");
+}
+
 TEST(PrometheusExportTest, EmptyHistogramStillWellFormed) {
   MetricsRegistry registry;
   registry.Observe("h", 1.0);

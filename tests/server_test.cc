@@ -5,9 +5,14 @@
 
 #include "server/service.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -16,6 +21,7 @@
 
 #include "server/admission.h"
 #include "server/client.h"
+#include "server/http.h"
 #include "server/json.h"
 #include "server/result_cache.h"
 #include "server/server.h"
@@ -428,6 +434,232 @@ TEST_F(ServiceTest, TimedOutQueryLeavesServiceHealthy) {
   EXPECT_GT(metrics_.counter("s.sets_counted"), 0u);
 }
 
+// --- Query tracing + flight recorder ---------------------------------
+
+TEST_F(ServiceTest, EveryQueryResponseCarriesTraceIdAndPhases) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue ok = service_.Handle(QueryRequest("d", kQuery));
+  ASSERT_EQ(ok.GetString("status", ""), "OK");
+  const JsonValue* trace = ok.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GT(trace->GetInt("id", 0), 0);
+  const JsonValue* phases = trace->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_TRUE(phases->is_object());
+  // The cold path ran the full pipeline: every top-level phase named.
+  for (const char* phase :
+       {"catalog", "parse", "cache", "admission", "plan", "execute",
+        "render"}) {
+    EXPECT_NE(phases->Find(phase), nullptr) << phase;
+  }
+
+  // Error responses are traced too, with distinct monotone ids.
+  JsonValue missing = service_.Handle(QueryRequest("ghost", kQuery));
+  ASSERT_EQ(missing.GetString("status", ""), "NOT_FOUND");
+  const JsonValue* error_trace = missing.Find("trace");
+  ASSERT_NE(error_trace, nullptr);
+  EXPECT_GT(error_trace->GetInt("id", 0), trace->GetInt("id", 0));
+  // And error traces are retained by the recorder alongside successes.
+  EXPECT_EQ(service_.flight_recorder().Summary().recorded_total, 2u);
+}
+
+TEST_F(ServiceTest, ClientTraceIdIsEchoed) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue::Object request = QueryRequest("d", kQuery).as_object();
+  request["trace_id"] = "req-abc-123";
+  JsonValue response = service_.Handle(std::move(request));
+  ASSERT_EQ(response.GetString("status", ""), "OK");
+  const JsonValue* trace = response.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->GetString("client_trace_id", ""), "req-abc-123");
+  const auto traces = service_.flight_recorder().Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].client_trace_id, "req-abc-123");
+}
+
+// The acceptance bar for phase attribution: on a refresh-path query the
+// named top-level phases account for >= 95% of the reported wall time.
+TEST_F(ServiceTest, PhasesAttributeRefreshWallTime) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue::Object incremental = QueryRequest("d", kQuery).as_object();
+  incremental["strategy"] = "incremental";
+  ASSERT_EQ(service_.Handle(JsonValue(incremental)).GetString("status", ""),
+            "OK");
+  ASSERT_EQ(service_.Handle(AppendRequest("d")).GetString("status", ""),
+            "OK");
+  JsonValue refreshed = service_.Handle(JsonValue(incremental));
+  ASSERT_EQ(refreshed.GetString("status", ""), "OK");
+  ASSERT_EQ(refreshed.GetString("source", ""), "incremental-refresh");
+
+  const JsonValue* phases = refreshed.Find("trace")->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  double attributed = 0;
+  bool saw_refresh_detail = false;
+  for (const auto& [name, seconds] : phases->as_object()) {
+    ASSERT_TRUE(seconds.is_number()) << name;
+    if (name.find('.') == std::string::npos) {
+      attributed += seconds.as_number();
+    }
+    if (name.rfind("execute.refresh", 0) == 0) saw_refresh_detail = true;
+  }
+  const double elapsed = refreshed.GetNumber("elapsed_seconds", 0.0);
+  ASSERT_GT(elapsed, 0.0);
+  EXPECT_GE(attributed, 0.95 * elapsed)
+      << "attributed " << attributed << "s of " << elapsed << "s";
+  EXPECT_TRUE(saw_refresh_detail)
+      << "refresh sub-phases missing from " << phases->Write();
+}
+
+TEST_F(ServiceTest, DumpTraceCommandYieldsParseableChromeTrace) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  ASSERT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "OK");
+  JsonValue::Object dump;
+  dump["cmd"] = "dumptrace";
+  JsonValue response = service_.Handle(std::move(dump));
+  ASSERT_EQ(response.GetString("status", ""), "OK");
+  EXPECT_EQ(response.GetInt("traces", -1), 1);
+  auto doc = JsonValue::Parse(response.GetString("chrome_trace", ""));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->as_array().empty());
+}
+
+TEST(ServiceSlowQueryTest, BelowThresholdQueriesArePinnedAsSlow) {
+  ServiceOptions options;
+  options.slow_query_threshold_seconds = 0.0;  // Everything is "slow".
+  obs::MetricsRegistry metrics;
+  QueryService service(options, &metrics);
+  ASSERT_EQ(service.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  JsonValue response = service.Handle(QueryRequest("d", kQuery));
+  ASSERT_EQ(response.GetString("status", ""), "OK");
+  EXPECT_TRUE(response.Find("trace")->GetBool("slow", false));
+  const auto summary = service.flight_recorder().Summary();
+  EXPECT_EQ(summary.slow_total, 1u);
+  EXPECT_EQ(summary.slow_size, 1u);
+}
+
+TEST_F(ServiceTest, AdmissionObservesQueueWaitPerAdmittedQuery) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  ASSERT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "OK");
+  // One observation per admitted query — the free-slot fast path
+  // observes 0s so the histogram count equals the admission count.
+  EXPECT_EQ(
+      metrics_.histogram("server.admission.queue_wait_seconds").count(), 1u);
+}
+
+// --- HTTP telemetry endpoint -----------------------------------------
+
+// Minimal raw-socket GET against the telemetry listener; returns the
+// full response (status line + headers + body).
+std::string HttpGet(uint16_t port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  const std::string request = request_line + "\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class HttpTelemetryTest : public ::testing::Test {
+ protected:
+  HttpTelemetryTest() : service_(ServiceOptions{}, &metrics_) {}
+
+  void SetUp() override {
+    server_ = std::make_unique<HttpServer>(
+        HttpOptions{},  // port 0 = ephemeral.
+        [this](const std::string& path) { return service_.HandleHttp(path); });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  obs::MetricsRegistry metrics_;
+  QueryService service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpTelemetryTest, HealthzFlipsTo503OnDrain) {
+  const std::string healthy = HttpGet(server_->port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(healthy.find("200 OK"), std::string::npos) << healthy;
+  EXPECT_NE(healthy.find("ok"), std::string::npos);
+  service_.BeginDrain();
+  const std::string draining =
+      HttpGet(server_->port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(draining.find("503"), std::string::npos) << draining;
+  EXPECT_NE(draining.find("draining"), std::string::npos);
+}
+
+TEST_F(HttpTelemetryTest, MetricsServesLivePrometheusText) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  ASSERT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "OK");
+  ASSERT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "OK");
+  const std::string response =
+      HttpGet(server_->port(), "GET /metrics HTTP/1.0");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  // Live counters from the same registry --metrics-out flushes.
+  EXPECT_NE(response.find("cfq_server_cache_hits 1"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("cfq_server_queries_total 2"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE cfq_server_query_seconds_cold histogram"),
+            std::string::npos);
+}
+
+TEST_F(HttpTelemetryTest, StatsServesJsonSummaries) {
+  const std::string response =
+      HttpGet(server_->port(), "GET /stats?pretty=1 HTTP/1.0");
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  auto stats = JsonValue::Parse(response.substr(body_at + 4));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->GetString("status", ""), "OK");
+  for (const char* section :
+       {"cache", "admission", "state_cache", "flight_recorder"}) {
+    EXPECT_NE(stats->Find(section), nullptr) << section;
+  }
+}
+
+TEST_F(HttpTelemetryTest, TraceServesChromeDumpAndBadPathsGetErrors) {
+  ASSERT_EQ(service_.Handle(GenRequest("d")).GetString("status", ""), "OK");
+  ASSERT_EQ(
+      service_.Handle(QueryRequest("d", kQuery)).GetString("status", ""),
+      "OK");
+  const std::string trace = HttpGet(server_->port(), "GET /trace HTTP/1.0");
+  const size_t body_at = trace.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  auto doc = JsonValue::Parse(trace.substr(body_at + 4));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_FALSE(doc->Find("traceEvents")->as_array().empty());
+
+  EXPECT_NE(HttpGet(server_->port(), "GET /nope HTTP/1.0").find("404"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server_->port(), "POST /metrics HTTP/1.0").find("405"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server_->port(), "garbage").find("400"),
+            std::string::npos);
+}
+
 // --- TCP server + client ---------------------------------------------
 
 class TcpTest : public ::testing::Test {
@@ -480,6 +712,12 @@ TEST_F(TcpTest, MalformedLineGetsBadRequestAndConnectionSurvives) {
   auto pong = client.Call(std::move(ping));
   ASSERT_TRUE(pong.ok());
   EXPECT_EQ(pong->GetString("status", ""), "OK");
+}
+
+TEST_F(TcpTest, ConnectionFaultsAreCounted) {
+  Client client = MustConnect();
+  ASSERT_TRUE(client.CallRaw("definitely not json").ok());
+  EXPECT_GE(metrics_.counter("server.conn.errors"), 1u);
 }
 
 TEST_F(TcpTest, ErrorsAreIsolatedPerConnection) {

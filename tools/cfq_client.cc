@@ -10,14 +10,22 @@
 //   cfq_client --port=P --cmd=append --dataset=demo
 //              --transactions='[[1,2,3],[4,5]]'
 //   cfq_client --port=P --cmd=stats | --cmd=datasets | --cmd=shutdown
+//   cfq_client --port=P --dump-trace=trace.json   # flight recorder dump
 //   cfq_client --port=P --json='{"cmd":"ping"}'        # raw request line
 //
 // Prints each response JSON line to stdout. Exits 0 when every
 // response's "status" equals --expect (default OK); --expect= (empty)
 // disables the check. --repeat sends the same request K times on one
 // connection — the cache-hit path in CI and benches.
+//
+// --trace-id=STR tags a query; the daemon echoes it back in the
+// response's trace.client_trace_id and in flight recorder dumps.
+// --dump-trace=FILE sends `dumptrace` (unless another --cmd is given)
+// and writes the response's chrome_trace field — a Chrome trace_event
+// JSON document of recent and slow queries — to FILE.
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -40,7 +48,9 @@ int main(int argc, char** argv) {
   // Build the request: either the raw --json line, or assembled from
   // the command flags.
   std::string request_line = args.GetString("json", "");
-  const std::string cmd = args.GetString("cmd", "");
+  const std::string dump_trace_path = args.GetString("dump-trace", "");
+  std::string cmd = args.GetString("cmd", "");
+  if (cmd.empty() && !dump_trace_path.empty()) cmd = "dumptrace";
   if (request_line.empty()) {
     if (cmd.empty()) {
       std::cerr << "error: give --cmd=... or --json='{...}'\n";
@@ -58,6 +68,8 @@ int main(int argc, char** argv) {
     if (!query.empty()) request["query"] = query;
     const std::string strategy = args.GetString("strategy", "");
     if (!strategy.empty()) request["strategy"] = strategy;
+    const std::string trace_id = args.GetString("trace-id", "");
+    if (!trace_id.empty()) request["trace_id"] = trace_id;
     // --timeout-ms is the ergonomic spelling; --deadline_ms (the wire
     // field's name) wins when both are given.
     const int64_t deadline_ms =
@@ -100,14 +112,36 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << response_line.value() << "\n";
-    if (expect.empty()) continue;
     auto response = server::JsonValue::Parse(response_line.value());
-    const std::string status =
-        response.ok() ? response->GetString("status", "") : "";
-    if (status != expect) {
-      std::cerr << "error: expected status " << expect << ", got "
-                << (status.empty() ? "<unparseable>" : status) << "\n";
-      return 1;
+    if (!expect.empty()) {
+      const std::string status =
+          response.ok() ? response->GetString("status", "") : "";
+      if (status != expect) {
+        std::cerr << "error: expected status " << expect << ", got "
+                  << (status.empty() ? "<unparseable>" : status) << "\n";
+        return 1;
+      }
+    }
+    if (!dump_trace_path.empty() && response.ok()) {
+      const std::string chrome_trace =
+          response->GetString("chrome_trace", "");
+      if (chrome_trace.empty()) {
+        std::cerr << "error: response has no chrome_trace field (is the"
+                     " server's flight recorder enabled?)\n";
+        return 1;
+      }
+      std::ofstream trace_file(dump_trace_path);
+      if (!trace_file) {
+        std::cerr << "error: cannot open '" << dump_trace_path
+                  << "' for writing\n";
+        return 1;
+      }
+      trace_file << chrome_trace;
+      if (!trace_file.good()) {
+        std::cerr << "error: short write to '" << dump_trace_path << "'\n";
+        return 1;
+      }
+      std::cerr << "wrote " << dump_trace_path << "\n";
     }
   }
   return 0;

@@ -5,12 +5,22 @@
 //              [--cache_capacity=64] [--deadline_ms=60000]
 //              [--max_rows=100000] [--metrics-out=FILE]
 //              [--metrics-format=jsonl|prom]
+//              [--http_port=N] [--slow-query-ms=1000]
+//              [--flight-recorder=32]
 //
 // Speaks the newline-delimited JSON protocol of docs/SERVING.md: named
 // datasets (load / gen / save / drop), canonicalized-query result
 // caching, and admission control with per-query deadlines. Prints one
 // "listening on <host>:<port>" line to stdout once ready (--port=0
 // reports the ephemeral port picked).
+//
+// --http_port=N additionally serves GET-only telemetry on the same
+// host: /metrics (live Prometheus text), /healthz (503 once draining),
+// /stats (JSON summaries), /trace (slow-query flight recorder as a
+// Chrome trace). N=0 picks an ephemeral port; the flag absent means no
+// listener. Prints "telemetry on <host>:<port>" once ready.
+// --slow-query-ms sets the flight recorder's slow threshold and
+// --flight-recorder its per-ring retention (recent and slow).
 //
 // Shutdown: SIGTERM / SIGINT — or a client `shutdown` command — start
 // a graceful drain: no new connections or queries are admitted,
@@ -20,6 +30,7 @@
 
 #include <csignal>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -43,6 +54,13 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(args.GetInt("deadline_ms", 60000));
   service_options.max_rows =
       static_cast<uint64_t>(args.GetInt("max_rows", 100000));
+  service_options.slow_query_threshold_seconds =
+      static_cast<double>(args.GetInt("slow-query-ms", 1000)) / 1000.0;
+  const int64_t recorder_capacity = args.GetInt("flight-recorder", 32);
+  service_options.flight_recorder_recent =
+      static_cast<size_t>(recorder_capacity);
+  service_options.flight_recorder_slow =
+      static_cast<size_t>(recorder_capacity);
 
   server::ServerOptions server_options;
   server_options.host = args.GetString("host", "127.0.0.1");
@@ -73,6 +91,28 @@ int main(int argc, char** argv) {
   std::cout << "listening on " << server_options.host << ":" << server.port()
             << std::endl;
 
+  // Telemetry listener: off unless --http_port was given (0 = pick an
+  // ephemeral port). Runs on its own thread and port so scrapes never
+  // contend with the query protocol.
+  std::unique_ptr<server::HttpServer> telemetry;
+  if (args.Has("http_port")) {
+    server::HttpOptions http_options;
+    http_options.host = server_options.host;
+    http_options.port = static_cast<uint16_t>(args.GetInt("http_port", 0));
+    telemetry = std::make_unique<server::HttpServer>(
+        http_options, [&service](const std::string& path) {
+          return service.HandleHttp(path);
+        });
+    if (auto s = telemetry->Start(); !s.ok()) {
+      std::cerr << "error: " << s << "\n";
+      server.RequestShutdown();
+      server.Wait();
+      return 1;
+    }
+    std::cout << "telemetry on " << http_options.host << ":"
+              << telemetry->port() << std::endl;
+  }
+
   std::thread([&server, drain_signals] {
     int signal_number = 0;
     sigwait(&drain_signals, &signal_number);
@@ -81,6 +121,9 @@ int main(int argc, char** argv) {
   }).detach();
 
   server.Wait();
+  // The telemetry listener stops after the drain completes so /healthz
+  // reports 503 (draining) for the whole drain window.
+  if (telemetry != nullptr) telemetry->Stop();
 
   if (want_metrics) bench::WriteMetricsFromArgs(args, metrics);
   std::cerr << "drained: " << metrics.counter("server.queries_total")
