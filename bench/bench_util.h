@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/simd.h"
 #include "data/attribute_gen.h"
 #include "mining/counter.h"
 #include "data/synthetic_gen.h"
@@ -51,6 +52,9 @@ inline constexpr KnownFlag kKnownFlags[] = {
     {"min_support_s", "support threshold for S (jmax harness)"},
     {"min_support_t", "support threshold for T (jmax harness)"},
     {"counter", "support counter: bitmap|hash|hashtree"},
+    {"no-simd", "pin the scalar counting kernel (same as --simd=scalar)"},
+    {"simd", "counting kernel: scalar|avx2|neon (default: CFQ_SIMD env,"
+             " else CPU detection)"},
     {"threads", "parallelism degree (0 = hardware concurrency)"},
     {"max_threads", "thread sweep: highest thread count to measure"},
     {"query", "the CFQ to run, in the paper's syntax"},
@@ -232,6 +236,25 @@ inline size_t ThreadsFromArgs(const Args& args) {
     std::exit(2);
   }
   return static_cast<size_t>(threads);
+}
+
+// Applies --no-simd / --simd=KERNEL to the counting-kernel dispatcher
+// (common/simd.h). Call early, before any counting runs: SetKernel is
+// single-threaded setup. Exits 2 on a kernel this build or CPU cannot
+// run — silently falling back would invalidate a benchmark series.
+inline void ApplySimdArgs(const Args& args) {
+  if (args.GetBool("no-simd", false)) {
+    simd::SetKernel("scalar");
+    return;
+  }
+  const std::string kernel = args.GetString("simd", "");
+  if (kernel.empty()) return;
+  if (!simd::SetKernel(kernel.c_str())) {
+    std::cerr << "error: --simd='" << kernel
+              << "' is not a usable kernel here (want scalar|avx2|neon,"
+              << " supported by this CPU)\n";
+    std::exit(2);
+  }
 }
 
 // Parses --counter=bitmap|hash|hashtree (default bitmap).

@@ -4,7 +4,9 @@
 // Besides google-benchmark's own console/JSON output, --bench_json=FILE
 // writes per-benchmark real time through bench::Reporter in the
 // BENCH_*.json schema tools/bench_diff compares; --quick lowers
-// --benchmark_min_time for CI smoke runs.
+// --benchmark_min_time for CI smoke runs; --no-simd pins the scalar
+// counting kernel for the backend benchmarks (the BM_Kernel* series
+// pin their own kernel per run regardless).
 
 #include <algorithm>
 #include <cstring>
@@ -95,6 +97,81 @@ void BM_HashTreeCount(benchmark::State& state) {
 }
 BENCHMARK(BM_HashTreeCount)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
+// --- Kernel-level series (tools/bench_diff gates simd vs scalar) -----
+//
+// BM_KernelAndCount measures the raw AND-popcount loop (words/sec) and
+// BM_KernelAndCountMany the fused multi-way variant (candidate
+// intersections/sec) under a pinned kernel, so the committed baseline
+// records the vectorized-vs-scalar ratio on the build machine. The
+// previously active kernel is restored after each run — these series
+// must not leak a pinned kernel into the backend benchmarks above.
+
+constexpr size_t kKernelWords = 4096;  // 256 KiB of bitmap per operand.
+constexpr size_t kKernelCandidates = 16;
+
+const std::vector<uint64_t>& KernelOperand(uint64_t seed) {
+  static std::vector<std::vector<uint64_t>>* operands = [] {
+    auto* owned = new std::vector<std::vector<uint64_t>>();
+    for (uint64_t s = 0; s < kKernelCandidates + 1; ++s) {
+      Rng rng(s + 77);
+      std::vector<uint64_t> words(kKernelWords);
+      for (auto& w : words) {
+        w = rng.UniformInt(0, (uint64_t{1} << 62) - 1);
+      }
+      owned->push_back(std::move(words));
+    }
+    return owned;
+  }();
+  return (*operands)[seed];
+}
+
+bool PinKernel(benchmark::State& state, const char* name) {
+  if (!simd::SetKernel(name)) {
+    state.SkipWithError("kernel unavailable on this CPU");
+    return false;
+  }
+  return true;
+}
+
+void BM_KernelAndCount(benchmark::State& state, const char* kernel) {
+  const simd::Kernel previous = simd::ActiveKernel();
+  if (!PinKernel(state, kernel)) return;
+  const auto& a = KernelOperand(0);
+  const auto& b = KernelOperand(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::AndCount(a.data(), b.data(), kKernelWords));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelWords));
+  simd::SetKernel(simd::KernelName(previous));
+}
+BENCHMARK_CAPTURE(BM_KernelAndCount, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_KernelAndCount, simd,
+                  simd::KernelName(simd::DetectBestKernel()));
+
+void BM_KernelAndCountMany(benchmark::State& state, const char* kernel) {
+  const simd::Kernel previous = simd::ActiveKernel();
+  if (!PinKernel(state, kernel)) return;
+  const auto& base = KernelOperand(0);
+  std::vector<const uint64_t*> others;
+  for (size_t j = 0; j < kKernelCandidates; ++j) {
+    others.push_back(KernelOperand(j + 1).data());
+  }
+  uint64_t counts[kKernelCandidates];
+  for (auto _ : state) {
+    simd::AndCountMany(base.data(), others.data(), kKernelCandidates,
+                       kKernelWords, counts);
+    benchmark::DoNotOptimize(counts[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelCandidates));
+  simd::SetKernel(simd::KernelName(previous));
+}
+BENCHMARK_CAPTURE(BM_KernelAndCountMany, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_KernelAndCountMany, simd,
+                  simd::KernelName(simd::DetectBestKernel()));
+
 void BM_BuildVerticalIndex(benchmark::State& state) {
   TransactionDb& db = *SharedDb();
   for (auto _ : state) {
@@ -163,6 +240,8 @@ int main(int argc, char** argv) {
       bench_json = arg.substr(std::strlen("--bench_json="));
     } else if (arg == "--quick" || arg == "--quick=1") {
       quick = true;
+    } else if (arg == "--no-simd" || arg == "--no-simd=1") {
+      cfq::simd::SetKernel("scalar");
     } else {
       gbench_args.push_back(argv[i]);
     }
@@ -174,6 +253,8 @@ int main(int argc, char** argv) {
 
   cfq::bench::Reporter reporter("micro_counting");
   reporter.SetConfig("quick", quick ? "1" : "0");
+  reporter.SetConfig("simd_kernel",
+                     cfq::simd::KernelName(cfq::simd::ActiveKernel()));
   cfq::PerfCaptureReporter console(&reporter);
   benchmark::RunSpecifiedBenchmarks(&console);
   benchmark::Shutdown();

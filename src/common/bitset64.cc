@@ -1,51 +1,109 @@
 #include "common/bitset64.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
+#include "common/simd.h"
+
 namespace cfq {
+namespace {
+
+// Mask selecting bit positions [0, bit) of a word; bit in [1, 63].
+inline uint64_t LowMask(size_t bit) { return (uint64_t{1} << bit) - 1; }
+
+}  // namespace
 
 void Bitset64::Resize(size_t num_bits) {
-  words_.resize((num_bits + 63) / 64, 0);
-  if (num_bits < num_bits_ && num_bits % 64 != 0) {
-    // Clear the tail of the last surviving word so equality and
-    // popcount never see bits beyond num_bits().
-    words_.back() &= (uint64_t{1} << (num_bits & 63)) - 1;
+  if (num_bits > num_bits_) {
+    // Defensive: the tail should already be zero per the invariant, but
+    // a stale bit here would silently become a live bit after growth.
+    ClearTail();
   }
+  words_.resize((num_bits + 63) / 64, 0);
   num_bits_ = num_bits;
+  ClearTail();
 }
 
 size_t Bitset64::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return static_cast<size_t>(simd::Count(words_.data(), words_.size()));
+}
+
+size_t Bitset64::CountRange(size_t bit_begin, size_t bit_end) const {
+  bit_end = std::min(bit_end, num_bits_);
+  if (bit_begin >= bit_end) return 0;
+  const size_t w0 = bit_begin >> 6;
+  const size_t w1 = (bit_end - 1) >> 6;  // Last word with bits in range.
+  const uint64_t head = (bit_begin & 63) ? ~LowMask(bit_begin & 63) : ~uint64_t{0};
+  const uint64_t tail = (bit_end & 63) ? LowMask(bit_end & 63) : ~uint64_t{0};
+  if (w0 == w1) {
+    return static_cast<size_t>(std::popcount(words_[w0] & head & tail));
+  }
+  size_t total = static_cast<size_t>(std::popcount(words_[w0] & head)) +
+                 static_cast<size_t>(std::popcount(words_[w1] & tail));
+  total += static_cast<size_t>(simd::Count(words_.data() + w0 + 1, w1 - w0 - 1));
   return total;
 }
 
 void Bitset64::AndWith(const Bitset64& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::AndWith(words_.data(), other.words_.data(), words_.size());
 }
 
 size_t Bitset64::AndInto(const Bitset64& a, const Bitset64& b, Bitset64* out) {
   assert(a.num_bits_ == b.num_bits_);
   out->num_bits_ = a.num_bits_;
   out->words_.resize(a.words_.size());
-  size_t total = 0;
-  for (size_t i = 0; i < a.words_.size(); ++i) {
-    const uint64_t w = a.words_[i] & b.words_[i];
-    out->words_[i] = w;
-    total += static_cast<size_t>(std::popcount(w));
-  }
-  return total;
+  return static_cast<size_t>(simd::AndInto(a.words_.data(), b.words_.data(),
+                                           out->words_.data(),
+                                           a.words_.size()));
 }
 
 size_t Bitset64::AndCount(const Bitset64& a, const Bitset64& b) {
   assert(a.num_bits_ == b.num_bits_);
-  size_t total = 0;
-  for (size_t i = 0; i < a.words_.size(); ++i) {
-    total += static_cast<size_t>(std::popcount(a.words_[i] & b.words_[i]));
+  return static_cast<size_t>(
+      simd::AndCount(a.words_.data(), b.words_.data(), a.words_.size()));
+}
+
+size_t Bitset64::AndCountRange(const Bitset64& a, const Bitset64& b,
+                               size_t bit_begin, size_t bit_end) {
+  assert(a.num_bits_ == b.num_bits_);
+  bit_end = std::min(bit_end, a.num_bits_);
+  if (bit_begin >= bit_end) return 0;
+  const size_t w0 = bit_begin >> 6;
+  const size_t w1 = (bit_end - 1) >> 6;
+  const uint64_t head = (bit_begin & 63) ? ~LowMask(bit_begin & 63) : ~uint64_t{0};
+  const uint64_t tail = (bit_end & 63) ? LowMask(bit_end & 63) : ~uint64_t{0};
+  if (w0 == w1) {
+    return static_cast<size_t>(
+        std::popcount(a.words_[w0] & b.words_[w0] & head & tail));
   }
+  size_t total =
+      static_cast<size_t>(std::popcount(a.words_[w0] & b.words_[w0] & head)) +
+      static_cast<size_t>(std::popcount(a.words_[w1] & b.words_[w1] & tail));
+  total += static_cast<size_t>(simd::AndCount(
+      a.words_.data() + w0 + 1, b.words_.data() + w0 + 1, w1 - w0 - 1));
   return total;
+}
+
+void Bitset64::AndCountMany(const Bitset64& base, const Bitset64* const* others,
+                            size_t count, uint64_t* counts) {
+  if (count == 0) return;
+  // Gather raw word pointers; stack buffer covers the common batch sizes.
+  constexpr size_t kStackPtrs = 64;
+  const uint64_t* stack_ptrs[kStackPtrs];
+  std::vector<const uint64_t*> heap_ptrs;
+  const uint64_t** ptrs = stack_ptrs;
+  if (count > kStackPtrs) {
+    heap_ptrs.resize(count);
+    ptrs = heap_ptrs.data();
+  }
+  for (size_t j = 0; j < count; ++j) {
+    assert(others[j]->num_bits_ == base.num_bits_);
+    ptrs[j] = others[j]->words_.data();
+  }
+  simd::AndCountMany(base.words_.data(), ptrs, count, base.words_.size(),
+                     counts);
 }
 
 }  // namespace cfq

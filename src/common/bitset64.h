@@ -1,10 +1,21 @@
 // Bitset64: a fixed-size dynamic bitset used as a TID (transaction id)
 // list in the vertical counting backend. Support counting reduces to
-// AND + popcount over 64-bit words.
+// AND + popcount over 64-bit words, dispatched through the vectorized
+// kernels of common/simd.h (AVX2 / NEON / unrolled scalar).
+//
+// Tail invariant: in the last word, every bit at a position >= num_bits()
+// is zero, always. The counting kernels rely on it — they process full
+// words with no per-element masking, so a stale tail bit would corrupt
+// supports. The invariant is maintained by construction (words start
+// zeroed), by Set/Clear (positions must be < num_bits(), asserted), and
+// by Resize (which re-zeroes the boundary word on both shrink and
+// grow). TransactionDb::Append leans on this: extending an indexed
+// database is Resize + Set with no rebuild.
 
 #ifndef CFQ_COMMON_BITSET64_H_
 #define CFQ_COMMON_BITSET64_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -20,19 +31,37 @@ class Bitset64 {
 
   size_t num_bits() const { return num_bits_; }
 
-  void Set(size_t pos) { words_[pos >> 6] |= (uint64_t{1} << (pos & 63)); }
-  void Clear(size_t pos) { words_[pos >> 6] &= ~(uint64_t{1} << (pos & 63)); }
+  void Set(size_t pos) {
+    assert(pos < num_bits_);
+    words_[pos >> 6] |= (uint64_t{1} << (pos & 63));
+  }
+  void Clear(size_t pos) {
+    assert(pos < num_bits_);
+    words_[pos >> 6] &= ~(uint64_t{1} << (pos & 63));
+  }
   bool Test(size_t pos) const {
     return (words_[pos >> 6] >> (pos & 63)) & 1;
   }
 
   // Grows (or shrinks) to `num_bits`, preserving the bits that remain
-  // and clearing any newly added ones. Used by the vertical index when
+  // and clearing any newly added ones. Re-establishes the tail
+  // invariant in both directions. Used by the vertical index when
   // transactions are appended to an already-indexed database.
   void Resize(size_t num_bits);
 
+  // The raw word array (num_words() words, tail bits zero per the
+  // invariant above). For callers that run the simd.h kernels over a
+  // word subrange, e.g. the incremental delta recount.
+  const uint64_t* words() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
   // Number of set bits.
   size_t Count() const;
+
+  // Number of set bits at positions [bit_begin, bit_end) (bit_end is
+  // clamped to num_bits()). Boundary words are masked; the interior
+  // runs the vectorized kernel.
+  size_t CountRange(size_t bit_begin, size_t bit_end) const;
 
   // this &= other. Both bitsets must have the same size.
   void AndWith(const Bitset64& other);
@@ -44,11 +73,31 @@ class Bitset64 {
   // popcount(a & b) without materializing the intersection.
   static size_t AndCount(const Bitset64& a, const Bitset64& b);
 
+  // popcount(a & b) restricted to positions [bit_begin, bit_end)
+  // (clamped to the size). Boundary words masked, interior vectorized.
+  static size_t AndCountRange(const Bitset64& a, const Bitset64& b,
+                              size_t bit_begin, size_t bit_end);
+
+  // counts[j] = popcount(base & *others[j]) for j in [0, count). All
+  // bitsets must have base's size. Fused multi-way kernel: the base
+  // words are loaded once per block of candidates, which is the hot
+  // shape of Apriori counting (sibling candidates share a prefix).
+  static void AndCountMany(const Bitset64& base,
+                           const Bitset64* const* others, size_t count,
+                           uint64_t* counts);
+
   friend bool operator==(const Bitset64& a, const Bitset64& b) {
     return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
   }
 
  private:
+  // Zeroes the bits of the last word at positions >= num_bits_.
+  void ClearTail() {
+    if ((num_bits_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (num_bits_ & 63)) - 1;
+    }
+  }
+
   size_t num_bits_ = 0;
   std::vector<uint64_t> words_;
 };

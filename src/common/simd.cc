@@ -1,0 +1,582 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CFQ_SIMD_X86_64 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define CFQ_SIMD_AARCH64 1
+#include <arm_neon.h>
+#endif
+
+namespace cfq::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar kernels (unrolled by four). These are also the reference
+// semantics: every vector kernel must produce the same exact integers.
+// ---------------------------------------------------------------------
+
+inline uint64_t Pop(uint64_t w) {
+  return static_cast<uint64_t>(std::popcount(w));
+}
+
+uint64_t ScalarCount(const uint64_t* w, size_t n) {
+  uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += Pop(w[i]);
+    c1 += Pop(w[i + 1]);
+    c2 += Pop(w[i + 2]);
+    c3 += Pop(w[i + 3]);
+  }
+  uint64_t total = c0 + c1 + c2 + c3;
+  for (; i < n; ++i) total += Pop(w[i]);
+  return total;
+}
+
+uint64_t ScalarAndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += Pop(a[i] & b[i]);
+    c1 += Pop(a[i + 1] & b[i + 1]);
+    c2 += Pop(a[i + 2] & b[i + 2]);
+    c3 += Pop(a[i + 3] & b[i + 3]);
+  }
+  uint64_t total = c0 + c1 + c2 + c3;
+  for (; i < n; ++i) total += Pop(a[i] & b[i]);
+  return total;
+}
+
+uint64_t ScalarAndInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                       size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t w = a[i] & b[i];
+    out[i] = w;
+    total += Pop(w);
+  }
+  return total;
+}
+
+void ScalarAndWith(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a[i] &= b[i];
+    a[i + 1] &= b[i + 1];
+    a[i + 2] &= b[i + 2];
+    a[i + 3] &= b[i + 3];
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+void ScalarAndCountMany(const uint64_t* base, const uint64_t* const* others,
+                        size_t num_others, size_t n, uint64_t* counts) {
+  size_t j = 0;
+  // Four candidates per pass: each base word is loaded once and ANDed
+  // against four candidate words while it is hot.
+  for (; j + 4 <= num_others; j += 4) {
+    const uint64_t* o0 = others[j];
+    const uint64_t* o1 = others[j + 1];
+    const uint64_t* o2 = others[j + 2];
+    const uint64_t* o3 = others[j + 3];
+    uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t bw = base[i];
+      c0 += Pop(bw & o0[i]);
+      c1 += Pop(bw & o1[i]);
+      c2 += Pop(bw & o2[i]);
+      c3 += Pop(bw & o3[i]);
+    }
+    counts[j] = c0;
+    counts[j + 1] = c1;
+    counts[j + 2] = c2;
+    counts[j + 3] = c3;
+  }
+  for (; j < num_others; ++j) counts[j] = ScalarAndCount(base, others[j], n);
+}
+
+// ---------------------------------------------------------------------
+// AVX2 kernels (x86-64). Compiled with per-function target attributes
+// so the translation unit builds without -mavx2 and the binary stays
+// runnable on pre-AVX2 CPUs; the dispatcher only installs these after
+// __builtin_cpu_supports("avx2") says yes.
+// ---------------------------------------------------------------------
+
+#if CFQ_SIMD_X86_64
+
+// Per-64-bit-lane popcount of a 256-bit vector via the classic vpshufb
+// nibble lookup, horizontally summed per lane by vpsadbw.
+__attribute__((target("avx2"))) inline __m256i PopcntLanes256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline uint64_t HorizontalSum256(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+__attribute__((target("avx2,popcnt")))
+uint64_t Avx2Count(const uint64_t* w, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i + 4));
+    acc = _mm256_add_epi64(
+        acc, _mm256_add_epi64(PopcntLanes256(v0), PopcntLanes256(v1)));
+  }
+  uint64_t total = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(w[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2,popcnt")))
+uint64_t Avx2AndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v0 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    const __m256i v1 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4)));
+    acc = _mm256_add_epi64(
+        acc, _mm256_add_epi64(PopcntLanes256(v0), PopcntLanes256(v1)));
+  }
+  uint64_t total = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2,popcnt")))
+uint64_t Avx2AndInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                     size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    acc = _mm256_add_epi64(acc, PopcntLanes256(v));
+  }
+  uint64_t total = HorizontalSum256(acc);
+  for (; i < n; ++i) {
+    const uint64_t w = a[i] & b[i];
+    out[i] = w;
+    total += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+__attribute__((target("avx2")))
+void Avx2AndWith(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), v);
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+__attribute__((target("avx2,popcnt")))
+void Avx2AndCountMany(const uint64_t* base, const uint64_t* const* others,
+                      size_t num_others, size_t n, uint64_t* counts) {
+  size_t j = 0;
+  for (; j + 4 <= num_others; j += 4) {
+    const uint64_t* o0 = others[j];
+    const uint64_t* o1 = others[j + 1];
+    const uint64_t* o2 = others[j + 2];
+    const uint64_t* o3 = others[j + 3];
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256i bw =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + i));
+      acc0 = _mm256_add_epi64(
+          acc0, PopcntLanes256(_mm256_and_si256(
+                    bw, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(o0 + i)))));
+      acc1 = _mm256_add_epi64(
+          acc1, PopcntLanes256(_mm256_and_si256(
+                    bw, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(o1 + i)))));
+      acc2 = _mm256_add_epi64(
+          acc2, PopcntLanes256(_mm256_and_si256(
+                    bw, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(o2 + i)))));
+      acc3 = _mm256_add_epi64(
+          acc3, PopcntLanes256(_mm256_and_si256(
+                    bw, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(o3 + i)))));
+    }
+    uint64_t c0 = HorizontalSum256(acc0);
+    uint64_t c1 = HorizontalSum256(acc1);
+    uint64_t c2 = HorizontalSum256(acc2);
+    uint64_t c3 = HorizontalSum256(acc3);
+    for (; i < n; ++i) {
+      const uint64_t bw = base[i];
+      c0 += static_cast<uint64_t>(__builtin_popcountll(bw & o0[i]));
+      c1 += static_cast<uint64_t>(__builtin_popcountll(bw & o1[i]));
+      c2 += static_cast<uint64_t>(__builtin_popcountll(bw & o2[i]));
+      c3 += static_cast<uint64_t>(__builtin_popcountll(bw & o3[i]));
+    }
+    counts[j] = c0;
+    counts[j + 1] = c1;
+    counts[j + 2] = c2;
+    counts[j + 3] = c3;
+  }
+  for (; j < num_others; ++j) counts[j] = Avx2AndCount(base, others[j], n);
+}
+
+#endif  // CFQ_SIMD_X86_64
+
+// ---------------------------------------------------------------------
+// NEON kernels (aarch64, where NEON is architecturally guaranteed).
+// vcntq_u8 counts per byte; three pairwise widening adds fold the
+// byte counts into per-64-bit-lane sums.
+// ---------------------------------------------------------------------
+
+#if CFQ_SIMD_AARCH64
+
+inline uint64x2_t NeonPopcntLanes(uint64x2_t v) {
+  return vpaddlq_u32(
+      vpaddlq_u16(vpaddlq_u8(vcntq_u8(vreinterpretq_u8_u64(v)))));
+}
+
+uint64_t NeonCount(const uint64_t* w, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = vaddq_u64(acc, NeonPopcntLanes(vld1q_u64(w + i)));
+    acc = vaddq_u64(acc, NeonPopcntLanes(vld1q_u64(w + i + 2)));
+  }
+  uint64_t total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) total += Pop(w[i]);
+  return total;
+}
+
+uint64_t NeonAndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = vaddq_u64(
+        acc, NeonPopcntLanes(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i))));
+    acc = vaddq_u64(acc, NeonPopcntLanes(vandq_u64(vld1q_u64(a + i + 2),
+                                                   vld1q_u64(b + i + 2))));
+  }
+  uint64_t total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) total += Pop(a[i] & b[i]);
+  return total;
+}
+
+uint64_t NeonAndInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                     size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    vst1q_u64(out + i, v);
+    acc = vaddq_u64(acc, NeonPopcntLanes(v));
+  }
+  uint64_t total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) {
+    const uint64_t w = a[i] & b[i];
+    out[i] = w;
+    total += Pop(w);
+  }
+  return total;
+}
+
+void NeonAndWith(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(a + i, vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+void NeonAndCountMany(const uint64_t* base, const uint64_t* const* others,
+                      size_t num_others, size_t n, uint64_t* counts) {
+  size_t j = 0;
+  for (; j + 4 <= num_others; j += 4) {
+    const uint64_t* o0 = others[j];
+    const uint64_t* o1 = others[j + 1];
+    const uint64_t* o2 = others[j + 2];
+    const uint64_t* o3 = others[j + 3];
+    uint64x2_t acc0 = vdupq_n_u64(0), acc1 = vdupq_n_u64(0);
+    uint64x2_t acc2 = vdupq_n_u64(0), acc3 = vdupq_n_u64(0);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const uint64x2_t bw = vld1q_u64(base + i);
+      acc0 = vaddq_u64(acc0, NeonPopcntLanes(vandq_u64(bw, vld1q_u64(o0 + i))));
+      acc1 = vaddq_u64(acc1, NeonPopcntLanes(vandq_u64(bw, vld1q_u64(o1 + i))));
+      acc2 = vaddq_u64(acc2, NeonPopcntLanes(vandq_u64(bw, vld1q_u64(o2 + i))));
+      acc3 = vaddq_u64(acc3, NeonPopcntLanes(vandq_u64(bw, vld1q_u64(o3 + i))));
+    }
+    uint64_t c0 = vgetq_lane_u64(acc0, 0) + vgetq_lane_u64(acc0, 1);
+    uint64_t c1 = vgetq_lane_u64(acc1, 0) + vgetq_lane_u64(acc1, 1);
+    uint64_t c2 = vgetq_lane_u64(acc2, 0) + vgetq_lane_u64(acc2, 1);
+    uint64_t c3 = vgetq_lane_u64(acc3, 0) + vgetq_lane_u64(acc3, 1);
+    for (; i < n; ++i) {
+      const uint64_t bw = base[i];
+      c0 += Pop(bw & o0[i]);
+      c1 += Pop(bw & o1[i]);
+      c2 += Pop(bw & o2[i]);
+      c3 += Pop(bw & o3[i]);
+    }
+    counts[j] = c0;
+    counts[j + 1] = c1;
+    counts[j + 2] = c2;
+    counts[j + 3] = c3;
+  }
+  for (; j < num_others; ++j) counts[j] = NeonAndCount(base, others[j], n);
+}
+
+#endif  // CFQ_SIMD_AARCH64
+
+// ---------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------
+
+struct KernelTable {
+  uint64_t (*count)(const uint64_t*, size_t);
+  uint64_t (*and_count)(const uint64_t*, const uint64_t*, size_t);
+  uint64_t (*and_into)(const uint64_t*, const uint64_t*, uint64_t*, size_t);
+  void (*and_with)(uint64_t*, const uint64_t*, size_t);
+  void (*and_count_many)(const uint64_t*, const uint64_t* const*, size_t,
+                         size_t, uint64_t*);
+};
+
+constexpr KernelTable kScalarTable = {ScalarCount, ScalarAndCount,
+                                      ScalarAndInto, ScalarAndWith,
+                                      ScalarAndCountMany};
+#if CFQ_SIMD_X86_64
+constexpr KernelTable kAvx2Table = {Avx2Count, Avx2AndCount, Avx2AndInto,
+                                    Avx2AndWith, Avx2AndCountMany};
+#endif
+#if CFQ_SIMD_AARCH64
+constexpr KernelTable kNeonTable = {NeonCount, NeonAndCount, NeonAndInto,
+                                    NeonAndWith, NeonAndCountMany};
+#endif
+
+const KernelTable* TableFor(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return &kScalarTable;
+    case Kernel::kAvx2:
+#if CFQ_SIMD_X86_64
+      return &kAvx2Table;
+#else
+      return nullptr;
+#endif
+    case Kernel::kNeon:
+#if CFQ_SIMD_AARCH64
+      return &kNeonTable;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::atomic<const KernelTable*> g_table{&kScalarTable};
+std::atomic<Kernel> g_kernel{Kernel::kScalar};
+
+void Install(Kernel kernel) {
+  g_table.store(TableFor(kernel), std::memory_order_relaxed);
+  g_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+bool ParseKernelName(const char* name, Kernel* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0 || std::strcmp(name, "off") == 0) {
+    *out = Kernel::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *out = Kernel::kAvx2;
+    return true;
+  }
+  if (std::strcmp(name, "neon") == 0) {
+    *out = Kernel::kNeon;
+    return true;
+  }
+  return false;
+}
+
+// One-time selection: CFQ_SIMD when it names a supported kernel (a bad
+// value warns and falls through), else the CPU's best.
+void SelectStartupKernel() {
+  if (const char* env = std::getenv("CFQ_SIMD"); env != nullptr &&
+      env[0] != '\0') {
+    Kernel requested;
+    if (ParseKernelName(env, &requested) && KernelSupported(requested)) {
+      Install(requested);
+      return;
+    }
+    std::fprintf(stderr,
+                 "warning: CFQ_SIMD='%s' is unknown or unsupported on this "
+                 "CPU (want off|scalar|avx2|neon); auto-detecting\n",
+                 env);
+  }
+  Install(DetectBestKernel());
+}
+
+const KernelTable* Active() {
+  static const bool initialized = [] {
+    SelectStartupKernel();
+    return true;
+  }();
+  (void)initialized;
+  return g_table.load(std::memory_order_relaxed);
+}
+
+std::atomic<uint64_t> g_calls[kNumOps] = {};
+std::atomic<uint64_t> g_words[kNumOps] = {};
+
+inline void Account(Op op, uint64_t words) {
+  const auto i = static_cast<size_t>(op);
+  g_calls[i].fetch_add(1, std::memory_order_relaxed);
+  g_words[i].fetch_add(words, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* KernelName(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+bool KernelSupported(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return true;
+    case Kernel::kAvx2:
+#if CFQ_SIMD_X86_64
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Kernel::kNeon:
+#if CFQ_SIMD_AARCH64
+      return true;  // NEON is part of the aarch64 baseline.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Kernel DetectBestKernel() {
+  if (KernelSupported(Kernel::kAvx2)) return Kernel::kAvx2;
+  if (KernelSupported(Kernel::kNeon)) return Kernel::kNeon;
+  return Kernel::kScalar;
+}
+
+Kernel ActiveKernel() {
+  (void)Active();
+  return g_kernel.load(std::memory_order_relaxed);
+}
+
+bool SetKernel(const char* name) {
+  (void)Active();  // Run startup selection first so it cannot override.
+  Kernel requested;
+  if (!ParseKernelName(name, &requested) || !KernelSupported(requested)) {
+    return false;
+  }
+  Install(requested);
+  return true;
+}
+
+uint64_t Count(const uint64_t* w, size_t n) {
+  Account(Op::kCount, n);
+  return Active()->count(w, n);
+}
+
+uint64_t AndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  Account(Op::kAndCount, n);
+  return Active()->and_count(a, b, n);
+}
+
+uint64_t AndInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                 size_t n) {
+  Account(Op::kAndInto, n);
+  return Active()->and_into(a, b, out, n);
+}
+
+void AndWith(uint64_t* a, const uint64_t* b, size_t n) {
+  Account(Op::kAndWith, n);
+  Active()->and_with(a, b, n);
+}
+
+void AndCountMany(const uint64_t* base, const uint64_t* const* others,
+                  size_t num_others, size_t n, uint64_t* counts) {
+  Account(Op::kAndCountMany, num_others * n);
+  Active()->and_count_many(base, others, num_others, n, counts);
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kCount:
+      return "count";
+    case Op::kAndCount:
+      return "and_count";
+    case Op::kAndInto:
+      return "and_into";
+    case Op::kAndWith:
+      return "and_with";
+    case Op::kAndCountMany:
+      return "and_count_many";
+  }
+  return "?";
+}
+
+OpCounters CountersFor(Op op) {
+  const auto i = static_cast<size_t>(op);
+  OpCounters out;
+  out.calls = g_calls[i].load(std::memory_order_relaxed);
+  out.words = g_words[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace cfq::simd

@@ -1,0 +1,121 @@
+// Vectorized counting kernels for the vertical (TID-bitmap) backend.
+//
+// Support counting in the bitmap backend reduces to popcount(a & b)
+// over arrays of 64-bit words — the innermost loop of cfq_mine and the
+// serving daemon. This header exposes that loop (and its fused
+// variants) as free functions over raw word arrays, dispatched once at
+// startup to the widest instruction set the CPU supports:
+//
+//   * AVX2 on x86-64 (vpshufb nibble-LUT popcount, 256-bit lanes),
+//     selected via __builtin_cpu_supports at runtime — the binary
+//     stays runnable on pre-AVX2 machines;
+//   * NEON on aarch64 (vcntq_u8 + pairwise widening adds), always
+//     available there;
+//   * an unrolled-scalar fallback everywhere else.
+//
+// Every kernel computes the same exact integer, so the engine's
+// bit-identical-answers contract extends across kernels: answers,
+// supports, and per-level counts are identical under scalar, AVX2 and
+// NEON (tests/simd_test.cc and CI enforce this).
+//
+// Overrides, strongest first:
+//   1. SetKernel("scalar"|"avx2"|"neon") — tools map --no-simd onto
+//      SetKernel("scalar"); tests use it to cross-check kernels.
+//   2. The CFQ_SIMD environment variable (off|scalar|avx2|neon),
+//      read once when the dispatcher first initializes.
+//   3. CPU feature detection (DetectBestKernel()).
+//
+// SetKernel is a single-threaded setup call (flag parsing, test
+// set-up); the dispatch table itself is an atomic pointer, so counting
+// threads that race with nothing read a consistent kernel.
+//
+// Accounting: every public entry point bumps a process-wide relaxed
+// per-op {calls, words} counter pair (CountersFor). obs/export.h
+// snapshots them into a MetricsRegistry as simd.<op>.calls /
+// simd.<op>.bytes so EXPLAIN ANALYZE and /metrics show which path ran
+// and how much data it touched.
+
+#ifndef CFQ_COMMON_SIMD_H_
+#define CFQ_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cfq::simd {
+
+enum class Kernel : uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+inline constexpr size_t kNumKernels = 3;
+
+// "scalar", "avx2", "neon".
+const char* KernelName(Kernel kernel);
+
+// True when this CPU (and build) can run `kernel`. kScalar is always
+// supported.
+bool KernelSupported(Kernel kernel);
+
+// The widest kernel this CPU supports, ignoring every override.
+Kernel DetectBestKernel();
+
+// The kernel all ops currently dispatch to. First call initializes the
+// dispatcher (CFQ_SIMD override, else DetectBestKernel()).
+Kernel ActiveKernel();
+
+// Pins the dispatcher to the named kernel ("off" is an alias for
+// "scalar"). Returns false — and changes nothing — for unknown names
+// and for kernels this CPU cannot run. Single-threaded setup only.
+bool SetKernel(const char* name);
+
+// --- Kernels over arrays of 64-bit words -----------------------------
+//
+// `n` is a length in words. All pointers must be valid for `n` words;
+// they need no particular alignment (the vector paths use unaligned
+// loads). n == 0 is fine.
+
+// Total set bits in w[0..n).
+uint64_t Count(const uint64_t* w, size_t n);
+
+// popcount(a & b) without materializing the intersection.
+uint64_t AndCount(const uint64_t* a, const uint64_t* b, size_t n);
+
+// out[i] = a[i] & b[i]; returns the popcount of the result. `out` may
+// alias `a` or `b`.
+uint64_t AndInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                 size_t n);
+
+// a[i] &= b[i].
+void AndWith(uint64_t* a, const uint64_t* b, size_t n);
+
+// Fused multi-way AND-popcount: counts[j] = popcount(base & others[j])
+// for j in [0, num_others). One pass over `base` per block of four
+// candidates, so the base words are loaded once where a naive loop
+// loads them num_others times — the hot shape of Apriori counting,
+// where many sibling candidates share one prefix intersection.
+void AndCountMany(const uint64_t* base, const uint64_t* const* others,
+                  size_t num_others, size_t n, uint64_t* counts);
+
+// --- Accounting ------------------------------------------------------
+
+enum class Op : uint8_t {
+  kCount = 0,
+  kAndCount = 1,
+  kAndInto = 2,
+  kAndWith = 3,
+  kAndCountMany = 4,
+};
+inline constexpr size_t kNumOps = 5;
+
+// "count", "and_count", "and_into", "and_with", "and_count_many".
+const char* OpName(Op op);
+
+struct OpCounters {
+  uint64_t calls = 0;
+  uint64_t words = 0;  // Words processed (n, or n * num_others).
+};
+
+// Process-cumulative totals for one op, across all threads and all
+// kernels (relaxed counters: totals are exact once threads quiesce).
+OpCounters CountersFor(Op op);
+
+}  // namespace cfq::simd
+
+#endif  // CFQ_COMMON_SIMD_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/table_printer.h"
+#include "obs/export.h"
 #include "obs/resource.h"
 
 namespace cfq {
@@ -120,6 +121,9 @@ std::string RenderExplainAnalyze(const StrategyStats& stats,
   os << "\ntiming: mining " << TablePrinter::Fmt(stats.mining_seconds, 4)
      << "s, pairs " << TablePrinter::Fmt(stats.pair_seconds, 4) << "s, total "
      << TablePrinter::Fmt(stats.elapsed_seconds, 4) << "s\n";
+  if (!stats.simd_kernel.empty()) {
+    os << "counting kernel: " << stats.simd_kernel << "\n";
+  }
   if (metrics != nullptr) RenderLatencies(*metrics, &os);
   if (stats.resources.wall_seconds > 0) {
     os << "\n" << obs::RenderResourceUsage(stats.resources, stats.pool);
@@ -136,6 +140,7 @@ void ExportMetrics(const StrategyStats& stats, obs::MetricsRegistry* registry) {
   registry->SetGauge("pair_seconds", stats.pair_seconds);
   ExportResource(stats.resources, registry);
   ExportPoolStats(stats.pool, registry);
+  obs::ExportSimdMetrics(registry);
 }
 
 }  // namespace cfq

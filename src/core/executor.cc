@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "constraints/eval.h"
@@ -531,6 +532,7 @@ Result<CfqResult> ExecutePlan(TransactionDb* db, const ItemCatalog& catalog,
       result.stats.elapsed_seconds - result.stats.mining_seconds;
   result.stats.pool = pool.stats();
   result.stats.resources = resource_tracker.Finish();
+  result.stats.simd_kernel = simd::KernelName(simd::ActiveKernel());
   return result;
 }
 
@@ -580,6 +582,7 @@ Result<CfqResult> ExecuteAprioriPlus(TransactionDb* db,
       result.stats.elapsed_seconds - result.stats.mining_seconds;
   result.stats.pool = pool.stats();
   result.stats.resources = resource_tracker.Finish();
+  result.stats.simd_kernel = simd::KernelName(simd::ActiveKernel());
   return result;
 }
 
@@ -610,6 +613,7 @@ Result<CfqResult> ExecuteCapOneVar(TransactionDb* db,
       result.stats.elapsed_seconds - result.stats.mining_seconds;
   result.stats.pool = pool.stats();
   result.stats.resources = resource_tracker.Finish();
+  result.stats.simd_kernel = simd::KernelName(simd::ActiveKernel());
   return result;
 }
 
@@ -707,6 +711,7 @@ Result<CfqResult> ExecuteFullMaterialization(TransactionDb* db,
   result.stats.pair_seconds =
       result.stats.elapsed_seconds - result.stats.mining_seconds;
   result.stats.resources = resource_tracker.Finish();
+  result.stats.simd_kernel = simd::KernelName(simd::ActiveKernel());
   return result;
 }
 

@@ -16,6 +16,7 @@
 #define CFQ_CORE_EXECUTOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -47,6 +48,9 @@ struct StrategyStats {
   // brute-force oracle leaves both zeroed.
   obs::ResourceUsage resources;
   ThreadPoolStats pool;
+  // Counting kernel the run dispatched to ("scalar", "avx2", "neon");
+  // see common/simd.h. Empty for strategies that never count (oracle).
+  std::string simd_kernel;
 
   // Accumulates another run's stats (e.g. repeated harness iterations):
   // per-side CccStats merge levelwise, counts add, timings add.
@@ -59,6 +63,7 @@ struct StrategyStats {
     pair_seconds += other.pair_seconds;
     resources.MergeFrom(other.resources);
     pool.MergeFrom(other.pool);
+    if (simd_kernel.empty()) simd_kernel = other.simd_kernel;
   }
 };
 

@@ -44,7 +44,7 @@ uint64_t TransactionDb::CountSupport(const Itemset& s) const {
 
 void TransactionDb::BuildVerticalIndex(ThreadPool* pool) {
   vertical_.assign(num_items_, Bitset64(transactions_.size()));
-  if (pool == nullptr || pool->num_threads() <= 1 || num_items_ < 64 ||
+  if (pool == nullptr || pool->num_threads() <= 1 ||
       transactions_.size() < 1024) {
     for (size_t tid = 0; tid < transactions_.size(); ++tid) {
       for (ItemId item : transactions_[tid]) {
@@ -53,16 +53,20 @@ void TransactionDb::BuildVerticalIndex(ThreadPool* pool) {
     }
     return;
   }
-  // Shard by item range: every shard reads all transactions but only
-  // sets bits in its own bitmaps, so writes never overlap.
+  // Shard by 64-aligned TID blocks: each shard handles a contiguous
+  // run of whole bitmap words, so two shards never touch the same word
+  // of any bitmap and the transaction list is scanned exactly once in
+  // total (the old item-range sharding scanned it once per shard).
+  const size_t n = transactions_.size();
+  const size_t num_blocks = (n + 63) / 64;
   pool->ParallelChunks(
-      num_items_, pool->num_threads(),
-      [this](size_t, size_t item_begin, size_t item_end) {
-        for (size_t tid = 0; tid < transactions_.size(); ++tid) {
+      num_blocks, pool->num_threads(),
+      [this, n](size_t, size_t block_begin, size_t block_end) {
+        const size_t tid_begin = block_begin * 64;
+        const size_t tid_end = std::min(n, block_end * 64);
+        for (size_t tid = tid_begin; tid < tid_end; ++tid) {
           for (ItemId item : transactions_[tid]) {
-            if (item >= item_begin && item < item_end) {
-              vertical_[item].Set(tid);
-            }
+            vertical_[item].Set(tid);
           }
         }
       });

@@ -57,8 +57,9 @@ class TransactionDb {
 
   // Builds (or rebuilds) the vertical index. Must be called after the
   // last Add() before vertical(item) is used, and never concurrently
-  // with readers. With a pool the item range is sharded (each shard
-  // scans the transactions for its own items, writing disjoint bitmaps).
+  // with readers. With a pool the TID range is sharded into 64-aligned
+  // blocks: each shard owns whole bitmap words, so writes are disjoint
+  // and the transaction list is scanned exactly once in total.
   void BuildVerticalIndex(ThreadPool* pool = nullptr);
   // Builds the vertical index only if missing — the idempotent form
   // setup code calls once before counting threads start.

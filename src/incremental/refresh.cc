@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/simd.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "mining/candidate_gen.h"
 #include "obs/trace.h"
 
@@ -31,6 +33,67 @@ OldLevelMap IndexLevel(const LevelState& level) {
     map.emplace(f.items, OldEntry{f.support, false});
   }
   return map;
+}
+
+// Delta supports for the bitmap backend, computed directly on the FULL
+// database's vertical index restricted to the delta's word range
+// [delta_begin >> 6, num_words). No delta copy of the database is
+// built: the delta ends at the database tail, so the tail invariant of
+// Bitset64 means only the head word needs a mask and the vectorized
+// kernels run unmasked over the rest. Exact integers, so results match
+// counting a materialized delta database bit for bit.
+std::vector<uint64_t> CountDeltaRanged(TransactionDb* db,
+                                       const std::vector<Itemset>& batch,
+                                       size_t delta_begin, ThreadPool* pool) {
+  std::vector<uint64_t> supports(batch.size(), 0);
+  if (batch.empty()) return supports;
+  db->EnsureVerticalIndex(pool);
+  const size_t delta_end = db->num_transactions();
+  const size_t w0 = delta_begin >> 6;
+  const size_t len = (delta_end + 63) / 64 - w0;
+  const uint64_t head_mask = (delta_begin & 63)
+                                 ? (~uint64_t{0} << (delta_begin & 63))
+                                 : ~uint64_t{0};
+  // Same shape as BitmapCounter::CountRange: runs of sorted siblings
+  // share one prefix intersection (over the delta words only) and are
+  // counted through the fused multi-way kernel.
+  auto count_range = [&](size_t begin, size_t end) {
+    std::vector<uint64_t> prefix(len);
+    std::vector<const uint64_t*> tails;
+    size_t i = begin;
+    while (i < end) {
+      const Itemset& c = batch[i];
+      if (c.size() == 1) {
+        supports[i] = db->vertical(c[0]).CountRange(delta_begin, delta_end);
+        ++i;
+        continue;
+      }
+      size_t run_end = i + 1;
+      while (run_end < end && batch[run_end].size() == c.size() &&
+             std::equal(c.begin(), c.end() - 1, batch[run_end].begin())) {
+        ++run_end;
+      }
+      const uint64_t* first = db->vertical(c[0]).words() + w0;
+      std::copy(first, first + len, prefix.begin());
+      prefix[0] &= head_mask;
+      for (size_t j = 1; j + 1 < c.size(); ++j) {
+        simd::AndWith(prefix.data(), db->vertical(c[j]).words() + w0, len);
+      }
+      tails.clear();
+      for (size_t j = i; j < run_end; ++j) {
+        tails.push_back(db->vertical(batch[j].back()).words() + w0);
+      }
+      simd::AndCountMany(prefix.data(), tails.data(), tails.size(), len,
+                         supports.data() + i);
+      i = run_end;
+    }
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 || batch.size() < 64) {
+    count_range(0, batch.size());
+  } else {
+    pool->ParallelFor(batch.size(), count_range);
+  }
+  return supports;
 }
 
 }  // namespace
@@ -76,13 +139,17 @@ Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
   state.num_transactions = delta_end;
   state.domain = old_state.domain;
 
-  // The delta as its own little database, counted with the same backend
-  // (and pool sharding) as everything else, so delta supports are exact
-  // and bit-identical at every thread count.
+  // Delta supports are exact integers either way, so both paths are
+  // bit-identical at every thread count. The bitmap backend counts the
+  // delta in place on the full database's vertical index, restricted to
+  // the delta's word range (CountDeltaRanged above); hash backends
+  // still materialize the delta as its own little database.
   const bool has_delta = delta_end > delta_begin;
+  const bool ranged_delta =
+      has_delta && options.counter == CounterKind::kBitmap;
   TransactionDb delta_db(db->num_items());
   std::unique_ptr<SupportCounter> delta_counter;
-  if (has_delta) {
+  if (has_delta && !ranged_delta) {
     for (size_t tid = delta_begin; tid < delta_end; ++tid) {
       delta_db.Add(db->transaction(tid));
     }
@@ -135,7 +202,9 @@ Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
         batch.reserve(known_idx.size());
         for (size_t i : known_idx) batch.push_back(candidates[i]);
         const std::vector<uint64_t> delta_supports =
-            delta_counter->Count(batch, nullptr);
+            ranged_delta
+                ? CountDeltaRanged(db, batch, delta_begin, options.pool)
+                : delta_counter->Count(batch, nullptr);
         for (size_t j = 0; j < known_idx.size(); ++j) {
           supports[known_idx[j]] =
               known_entries[j]->support + delta_supports[j];
@@ -144,6 +213,9 @@ Result<RefreshOutcome> RefreshMiningState(const MiningState& old_state,
         if (options.metrics != nullptr) {
           options.metrics->Observe("incr.delta.recount_seconds",
                                    recount_wall.ElapsedSeconds());
+          if (ranged_delta) {
+            options.metrics->Add("incr.delta.ranged_recounts");
+          }
         }
       } else {
         for (size_t j = 0; j < known_idx.size(); ++j) {

@@ -1,5 +1,7 @@
 #include "mining/bitmap_counter.h"
 
+#include <algorithm>
+
 #include "common/thread_pool.h"
 #include "mining/hash_counter.h"
 #include "mining/hash_tree_counter.h"
@@ -18,25 +20,38 @@ void BitmapCounter::CountRange(const std::vector<Itemset>& candidates,
                                std::vector<uint64_t>* supports) const {
   // Candidates arriving from the Apriori join are lexicographically
   // sorted, so consecutive candidates usually share their k-1 prefix;
-  // cache the prefix intersection across iterations. Each chunk starts
-  // its own cache, so supports are chunk-independent.
-  Itemset cached_prefix;
+  // compute the prefix intersection once per run and count the whole
+  // run of siblings through the fused multi-way kernel, which loads the
+  // prefix words once per candidate block instead of once per
+  // candidate. Each chunk starts its own run detection, so supports are
+  // chunk-independent.
   Bitset64 prefix_bits;
-  for (size_t i = begin; i < end; ++i) {
+  std::vector<const Bitset64*> tails;
+  size_t i = begin;
+  while (i < end) {
     const Itemset& c = candidates[i];
     if (c.size() == 1) {
       (*supports)[i] = db_->vertical(c[0]).Count();
+      ++i;
       continue;
     }
-    Itemset prefix(c.begin(), c.end() - 1);
-    if (prefix != cached_prefix) {
-      prefix_bits = db_->vertical(prefix[0]);
-      for (size_t j = 1; j < prefix.size(); ++j) {
-        prefix_bits.AndWith(db_->vertical(prefix[j]));
-      }
-      cached_prefix = std::move(prefix);
+    // Extent of the run sharing c's size and k-1 prefix.
+    size_t run_end = i + 1;
+    while (run_end < end && candidates[run_end].size() == c.size() &&
+           std::equal(c.begin(), c.end() - 1, candidates[run_end].begin())) {
+      ++run_end;
     }
-    (*supports)[i] = Bitset64::AndCount(prefix_bits, db_->vertical(c.back()));
+    prefix_bits = db_->vertical(c[0]);
+    for (size_t j = 1; j + 1 < c.size(); ++j) {
+      prefix_bits.AndWith(db_->vertical(c[j]));
+    }
+    tails.clear();
+    for (size_t j = i; j < run_end; ++j) {
+      tails.push_back(&db_->vertical(candidates[j].back()));
+    }
+    Bitset64::AndCountMany(prefix_bits, tails.data(), tails.size(),
+                           supports->data() + i);
+    i = run_end;
   }
 }
 

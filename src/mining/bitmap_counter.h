@@ -20,8 +20,9 @@ class BitmapCounter : public SupportCounter {
   explicit BitmapCounter(TransactionDb* db, ThreadPool* pool = nullptr);
 
   // With a pool, parallel across candidates: each chunk of the sorted
-  // candidate list keeps its own running prefix intersection, and
-  // chunks write disjoint ranges of the result.
+  // candidate list batches runs of siblings (same k-1 prefix) through
+  // one prefix intersection plus a fused AndCountMany, and chunks
+  // write disjoint ranges of the result.
   std::vector<uint64_t> Count(const std::vector<Itemset>& candidates,
                               CccStats* stats) override;
 

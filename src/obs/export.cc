@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/simd.h"
+
 namespace cfq::obs {
 
 namespace {
@@ -222,6 +224,20 @@ void WriteTraceJsonl(const std::vector<TraceEvent>& events, std::ostream& os) {
     const std::string fields = PayloadFields(e.payload);
     if (!fields.empty()) os << ',' << fields;
     os << "}\n";
+  }
+}
+
+void ExportSimdMetrics(MetricsRegistry* registry) {
+  registry->SetGauge(
+      std::string("simd.kernel.") + simd::KernelName(simd::ActiveKernel()),
+      1.0);
+  for (size_t i = 0; i < simd::kNumOps; ++i) {
+    const auto op = static_cast<simd::Op>(i);
+    const simd::OpCounters counters = simd::CountersFor(op);
+    const std::string base = std::string("simd.") + simd::OpName(op);
+    registry->SetGauge(base + ".calls", static_cast<double>(counters.calls));
+    registry->SetGauge(base + ".bytes",
+                       static_cast<double>(counters.words * 8));
   }
 }
 

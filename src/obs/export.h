@@ -43,6 +43,14 @@ void WriteTraceJsonl(const std::vector<TraceEvent>& events, std::ostream& os);
 
 void WritePrometheus(const MetricsRegistry& registry, std::ostream& os);
 
+// Snapshots the counting-kernel dispatcher state (common/simd.h) into
+// `registry`: an info-style gauge `simd.kernel.<name>` = 1 for the
+// active kernel, plus per-op `simd.<op>.calls` and `simd.<op>.bytes`
+// gauges. Gauges, not counters: the simd totals are process-cumulative,
+// so re-exporting overwrites (and MergeFrom keeps the latest snapshot)
+// instead of double-counting.
+void ExportSimdMetrics(MetricsRegistry* registry);
+
 inline void WriteChromeTrace(const Tracer& tracer, std::ostream& os) {
   WriteChromeTrace(tracer.Events(), os);
 }

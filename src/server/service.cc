@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/cancellation.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/analyze.h"
 #include "core/cfq.h"
@@ -722,6 +723,7 @@ JsonValue::Object QueryService::StatsJson() {
   stats["state_cache"] = std::move(state_cache);
   stats["flight_recorder"] = std::move(flight);
   stats["datasets"] = static_cast<int64_t>(catalog_.size());
+  stats["simd_kernel"] = std::string(simd::KernelName(simd::ActiveKernel()));
   return stats;
 }
 
@@ -730,7 +732,10 @@ JsonValue QueryService::HandleStats() {
   response["status"] = "OK";
 
   // The same registry the daemon flushes at drain, in the same
-  // Prometheus text the rest of the toolchain exports.
+  // Prometheus text the rest of the toolchain exports. The simd.*
+  // families are refreshed first so the snapshot reflects counting
+  // work up to this request.
+  obs::ExportSimdMetrics(metrics_);
   std::ostringstream prometheus;
   obs::WritePrometheus(*metrics_, prometheus);
   response["prometheus"] = prometheus.str();
@@ -761,6 +766,7 @@ HttpResponse QueryService::HandleHttp(const std::string& path) {
     return response;
   }
   if (path == "/metrics") {
+    obs::ExportSimdMetrics(metrics_);
     std::ostringstream os;
     obs::WritePrometheus(*metrics_, os);
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";

@@ -1,9 +1,12 @@
 #include "common/bitset64.h"
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/simd.h"
 
 namespace cfq {
 namespace {
@@ -108,6 +111,165 @@ TEST_P(Bitset64PropertyTest, MatchesReferenceVectorBool) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, Bitset64PropertyTest,
                          ::testing::Values(1, 63, 64, 65, 127, 128, 1000));
+
+// --- Tail invariant and kernel cross-checks --------------------------
+
+// All bits at positions >= num_bits() in the last word must be zero
+// (the header's documented invariant; the kernels count unmasked).
+void ExpectZeroTail(const Bitset64& b) {
+  if (b.num_bits() % 64 == 0 || b.num_words() == 0) return;
+  const uint64_t tail_mask = ~((uint64_t{1} << (b.num_bits() % 64)) - 1);
+  EXPECT_EQ(b.words()[b.num_words() - 1] & tail_mask, 0u)
+      << "stale tail bits at num_bits=" << b.num_bits();
+}
+
+Bitset64 RandomBitset(size_t n, uint32_t seed, double density = 0.5) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution flip(density);
+  Bitset64 b(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (flip(rng)) b.Set(i);
+  }
+  return b;
+}
+
+TEST(Bitset64Test, ResizeShrinkThenGrowClearsAbandonedBits) {
+  Bitset64 b(130);
+  for (size_t i = 0; i < 130; ++i) b.Set(i);
+  b.Resize(70);
+  ExpectZeroTail(b);
+  EXPECT_EQ(b.Count(), 70u);
+  b.Resize(130);
+  ExpectZeroTail(b);
+  // The bits dropped by the shrink must not resurface.
+  EXPECT_EQ(b.Count(), 70u);
+  for (size_t i = 70; i < 130; ++i) EXPECT_FALSE(b.Test(i)) << "bit " << i;
+}
+
+TEST(Bitset64Test, ResizeToZeroAndBack) {
+  Bitset64 b(65);
+  b.Set(64);
+  b.Resize(0);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Resize(65);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Test(64));
+}
+
+TEST(Bitset64Test, AndCountManyMatchesPairwise) {
+  const size_t n = 517;
+  const Bitset64 base = RandomBitset(n, 1);
+  std::vector<Bitset64> others;
+  std::vector<const Bitset64*> ptrs;
+  for (uint32_t j = 0; j < 19; ++j) {
+    others.push_back(RandomBitset(n, 100 + j));
+  }
+  for (const Bitset64& o : others) ptrs.push_back(&o);
+  std::vector<uint64_t> counts(ptrs.size(), ~uint64_t{0});
+  Bitset64::AndCountMany(base, ptrs.data(), ptrs.size(), counts.data());
+  for (size_t j = 0; j < ptrs.size(); ++j) {
+    EXPECT_EQ(counts[j], Bitset64::AndCount(base, others[j])) << "other " << j;
+  }
+}
+
+TEST(Bitset64Test, CountRangeMatchesReferenceLoop) {
+  const size_t n = 300;
+  const Bitset64 a = RandomBitset(n, 2);
+  const Bitset64 b = RandomBitset(n, 3);
+  for (size_t begin : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                       size_t{65}, size_t{190}, size_t{299}, size_t{300}}) {
+    for (size_t end : {begin, begin + 1, size_t{64}, size_t{128}, size_t{191},
+                       size_t{300}, size_t{1000}}) {
+      if (end < begin) continue;
+      size_t expect_count = 0, expect_and = 0;
+      for (size_t i = begin; i < std::min(end, n); ++i) {
+        expect_count += a.Test(i) ? 1 : 0;
+        expect_and += (a.Test(i) && b.Test(i)) ? 1 : 0;
+      }
+      EXPECT_EQ(a.CountRange(begin, end), expect_count)
+          << "[" << begin << ", " << end << ")";
+      EXPECT_EQ(Bitset64::AndCountRange(a, b, begin, end), expect_and)
+          << "[" << begin << ", " << end << ")";
+    }
+  }
+}
+
+// Sweeps every size 0..256 plus large odd stragglers, checking the
+// active (possibly vectorized) kernel against a bit-at-a-time reference
+// AND against the pinned scalar kernel. This is the identity contract:
+// every kernel computes the same exact integers.
+TEST(Bitset64KernelTest, ExhaustiveSizeSweepScalarVsActive) {
+  const simd::Kernel active = simd::ActiveKernel();
+  std::vector<size_t> sizes;
+  for (size_t n = 0; n <= 256; ++n) sizes.push_back(n);
+  for (size_t n : {size_t{1000}, size_t{4097}, size_t{10007}}) {
+    sizes.push_back(n);
+  }
+  for (size_t n : sizes) {
+    const Bitset64 a = RandomBitset(n, static_cast<uint32_t>(n) * 2 + 1);
+    const Bitset64 b = RandomBitset(n, static_cast<uint32_t>(n) * 2 + 2);
+    ExpectZeroTail(a);
+    ExpectZeroTail(b);
+
+    size_t ref_a = 0, ref_and = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ref_a += a.Test(i) ? 1 : 0;
+      ref_and += (a.Test(i) && b.Test(i)) ? 1 : 0;
+    }
+
+    ASSERT_TRUE(simd::SetKernel(simd::KernelName(active)));
+    const size_t active_count = a.Count();
+    const size_t active_and = Bitset64::AndCount(a, b);
+    Bitset64 active_out;
+    const size_t active_into = Bitset64::AndInto(a, b, &active_out);
+
+    ASSERT_TRUE(simd::SetKernel("scalar"));
+    const size_t scalar_count = a.Count();
+    const size_t scalar_and = Bitset64::AndCount(a, b);
+    Bitset64 scalar_out;
+    const size_t scalar_into = Bitset64::AndInto(a, b, &scalar_out);
+    ASSERT_TRUE(simd::SetKernel(simd::KernelName(active)));
+
+    EXPECT_EQ(active_count, ref_a) << "n=" << n;
+    EXPECT_EQ(active_and, ref_and) << "n=" << n;
+    EXPECT_EQ(active_into, ref_and) << "n=" << n;
+    EXPECT_EQ(scalar_count, active_count) << "n=" << n;
+    EXPECT_EQ(scalar_and, active_and) << "n=" << n;
+    EXPECT_EQ(scalar_into, active_into) << "n=" << n;
+    EXPECT_EQ(scalar_out, active_out) << "n=" << n;
+  }
+}
+
+TEST(Bitset64KernelTest, AndCountManyScalarVsActive) {
+  const simd::Kernel active = simd::ActiveKernel();
+  for (size_t n : {size_t{0}, size_t{1}, size_t{64}, size_t{65}, size_t{255},
+                   size_t{256}, size_t{1000}, size_t{4097}}) {
+    const Bitset64 base = RandomBitset(n, static_cast<uint32_t>(n) + 7);
+    std::vector<Bitset64> others;
+    std::vector<const Bitset64*> ptrs;
+    for (uint32_t j = 0; j < 9; ++j) {
+      others.push_back(RandomBitset(n, static_cast<uint32_t>(n) * 10 + j));
+    }
+    for (const Bitset64& o : others) ptrs.push_back(&o);
+
+    std::vector<uint64_t> active_counts(ptrs.size(), 0);
+    ASSERT_TRUE(simd::SetKernel(simd::KernelName(active)));
+    Bitset64::AndCountMany(base, ptrs.data(), ptrs.size(),
+                           active_counts.data());
+
+    std::vector<uint64_t> scalar_counts(ptrs.size(), 0);
+    ASSERT_TRUE(simd::SetKernel("scalar"));
+    Bitset64::AndCountMany(base, ptrs.data(), ptrs.size(),
+                           scalar_counts.data());
+    ASSERT_TRUE(simd::SetKernel(simd::KernelName(active)));
+
+    EXPECT_EQ(active_counts, scalar_counts) << "n=" << n;
+    for (size_t j = 0; j < ptrs.size(); ++j) {
+      EXPECT_EQ(active_counts[j], Bitset64::AndCount(base, others[j]))
+          << "n=" << n << " other " << j;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace cfq

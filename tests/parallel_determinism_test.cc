@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
 #include "mining/bitmap_counter.h"
@@ -206,6 +207,64 @@ TEST(ParallelDeterminismTest, OtherStrategiesAndModesStayDeterministic) {
     const auto answers = AnswerPairs(result.value());
     if (apriori_baseline.empty()) apriori_baseline = answers;
     EXPECT_EQ(answers, apriori_baseline) << "threads=" << threads;
+  }
+}
+
+// The identity contract extends across counting kernels: pinned-scalar
+// and vectorized runs produce the same answers, side-set supports, and
+// per-level counted totals at threads {1, 8}. Trivially passes on
+// machines whose best kernel already is scalar — the cross-check then
+// compares scalar against itself, which is still the contract.
+TEST(ParallelDeterminismTest, MiningIsBitIdenticalScalarVsSimd) {
+  const simd::Kernel active = simd::ActiveKernel();
+  struct Baseline {
+    std::vector<std::pair<Itemset, Itemset>> answers;
+    std::vector<FrequentSet> s_sets, t_sets;
+    std::vector<uint64_t> counted_s, counted_t;
+    bool set = false;
+  };
+  for (int seed = 0; seed < 2; ++seed) {
+    Baseline baseline;
+    for (const char* kernel : {"scalar", simd::KernelName(active)}) {
+      ASSERT_TRUE(simd::SetKernel(kernel));
+      for (size_t threads : {1u, 8u}) {
+        Instance inst = MakeInstance(seed);
+        PlanOptions options;
+        options.counter = CounterKind::kBitmap;
+        options.threads = threads;
+        auto result =
+            ExecuteOptimized(&inst.db, inst.catalog, inst.query, options);
+        ASSERT_TRUE(result.ok())
+            << kernel << " threads=" << threads << ": " << result.status();
+        EXPECT_EQ(result->stats.simd_kernel, kernel);
+        if (!baseline.set) {
+          baseline.answers = AnswerPairs(result.value());
+          baseline.s_sets = result->s_sets;
+          baseline.t_sets = result->t_sets;
+          baseline.counted_s = result->stats.s.candidates_per_level;
+          baseline.counted_t = result->stats.t.candidates_per_level;
+          baseline.set = true;
+          continue;
+        }
+        EXPECT_EQ(AnswerPairs(result.value()), baseline.answers)
+            << kernel << " threads=" << threads;
+        ASSERT_EQ(result->s_sets.size(), baseline.s_sets.size());
+        for (size_t i = 0; i < baseline.s_sets.size(); ++i) {
+          EXPECT_EQ(result->s_sets[i].items, baseline.s_sets[i].items);
+          EXPECT_EQ(result->s_sets[i].support, baseline.s_sets[i].support);
+        }
+        ASSERT_EQ(result->t_sets.size(), baseline.t_sets.size());
+        for (size_t i = 0; i < baseline.t_sets.size(); ++i) {
+          EXPECT_EQ(result->t_sets[i].items, baseline.t_sets[i].items);
+          EXPECT_EQ(result->t_sets[i].support, baseline.t_sets[i].support);
+        }
+        EXPECT_EQ(result->stats.s.candidates_per_level, baseline.counted_s)
+            << kernel << " threads=" << threads;
+        EXPECT_EQ(result->stats.t.candidates_per_level, baseline.counted_t)
+            << kernel << " threads=" << threads;
+      }
+    }
+    ASSERT_TRUE(simd::SetKernel(simd::KernelName(active)));
   }
 }
 

@@ -1,0 +1,193 @@
+// Kernel-level tests for common/simd.h: dispatcher behavior, accounting,
+// and raw word-array equality between the scalar reference and every
+// kernel this CPU can run. Bitset64-level cross-checks (tail invariant,
+// exhaustive size sweeps) live in bitset64_test.cc.
+
+#include "common/simd.h"
+
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cfq {
+namespace {
+
+std::vector<uint64_t> RandomWords(size_t n, uint32_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> words(n);
+  for (auto& w : words) w = rng();
+  return words;
+}
+
+// Restores whatever kernel was active before the test, so pinning in
+// one test never leaks into another.
+class SimdTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = simd::ActiveKernel(); }
+  void TearDown() override {
+    ASSERT_TRUE(simd::SetKernel(simd::KernelName(previous_)));
+  }
+
+  simd::Kernel previous_;
+};
+
+TEST_F(SimdTest, KernelNamesRoundTrip) {
+  for (size_t i = 0; i < simd::kNumKernels; ++i) {
+    const auto kernel = static_cast<simd::Kernel>(i);
+    const std::string name = simd::KernelName(kernel);
+    EXPECT_FALSE(name.empty());
+    if (simd::KernelSupported(kernel)) {
+      EXPECT_TRUE(simd::SetKernel(name.c_str())) << name;
+      EXPECT_EQ(simd::ActiveKernel(), kernel) << name;
+    }
+  }
+}
+
+TEST_F(SimdTest, SetKernelRejectsUnknownNames) {
+  const simd::Kernel before = simd::ActiveKernel();
+  EXPECT_FALSE(simd::SetKernel("bogus"));
+  EXPECT_FALSE(simd::SetKernel(""));
+  EXPECT_FALSE(simd::SetKernel(nullptr));
+  EXPECT_EQ(simd::ActiveKernel(), before);
+}
+
+TEST_F(SimdTest, OffAliasesScalar) {
+  ASSERT_TRUE(simd::SetKernel("off"));
+  EXPECT_EQ(simd::ActiveKernel(), simd::Kernel::kScalar);
+}
+
+TEST_F(SimdTest, ScalarAlwaysSupportedAndDetectable) {
+  EXPECT_TRUE(simd::KernelSupported(simd::Kernel::kScalar));
+  EXPECT_TRUE(simd::KernelSupported(simd::DetectBestKernel()));
+}
+
+TEST_F(SimdTest, OpNamesAreDistinct) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < simd::kNumOps; ++i) {
+    names.push_back(simd::OpName(static_cast<simd::Op>(i)));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST_F(SimdTest, AccountingAdvancesOnCalls) {
+  const simd::OpCounters before = simd::CountersFor(simd::Op::kAndCount);
+  const auto a = RandomWords(33, 1);
+  const auto b = RandomWords(33, 2);
+  (void)simd::AndCount(a.data(), b.data(), a.size());
+  const simd::OpCounters after = simd::CountersFor(simd::Op::kAndCount);
+  EXPECT_EQ(after.calls, before.calls + 1);
+  EXPECT_EQ(after.words, before.words + 33);
+}
+
+// Every supported kernel must produce the scalar kernel's exact
+// integers on every op, for sizes covering all remainder paths of the
+// unrolled/vectorized loops.
+TEST_F(SimdTest, AllSupportedKernelsMatchScalar) {
+  const std::vector<size_t> sizes = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                     31, 32, 33, 63, 64, 65, 1000, 4097};
+  for (size_t kernel_index = 0; kernel_index < simd::kNumKernels;
+       ++kernel_index) {
+    const auto kernel = static_cast<simd::Kernel>(kernel_index);
+    if (!simd::KernelSupported(kernel)) continue;
+    SCOPED_TRACE(simd::KernelName(kernel));
+    for (size_t n : sizes) {
+      SCOPED_TRACE("n=" + std::to_string(n));
+      const auto a = RandomWords(n, static_cast<uint32_t>(n) * 3 + 1);
+      const auto b = RandomWords(n, static_cast<uint32_t>(n) * 3 + 2);
+
+      // Scalar reference results.
+      ASSERT_TRUE(simd::SetKernel("scalar"));
+      const uint64_t ref_count = simd::Count(a.data(), n);
+      const uint64_t ref_and = simd::AndCount(a.data(), b.data(), n);
+      std::vector<uint64_t> ref_out(n);
+      const uint64_t ref_into =
+          simd::AndInto(a.data(), b.data(), ref_out.data(), n);
+      std::vector<uint64_t> ref_acc = a;
+      simd::AndWith(ref_acc.data(), b.data(), n);
+
+      uint64_t check = 0;
+      for (size_t i = 0; i < n; ++i) {
+        check += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+      }
+      ASSERT_EQ(ref_and, check);
+
+      ASSERT_TRUE(simd::SetKernel(simd::KernelName(kernel)));
+      EXPECT_EQ(simd::Count(a.data(), n), ref_count);
+      EXPECT_EQ(simd::AndCount(a.data(), b.data(), n), ref_and);
+      std::vector<uint64_t> out(n);
+      EXPECT_EQ(simd::AndInto(a.data(), b.data(), out.data(), n), ref_into);
+      EXPECT_EQ(out, ref_out);
+      std::vector<uint64_t> acc = a;
+      simd::AndWith(acc.data(), b.data(), n);
+      EXPECT_EQ(acc, ref_acc);
+    }
+  }
+}
+
+TEST_F(SimdTest, AndCountManyMatchesScalarOnAllKernels) {
+  const std::vector<size_t> sizes = {0, 1, 5, 64, 65, 257, 1000};
+  const std::vector<size_t> widths = {0, 1, 2, 3, 4, 5, 8, 13};
+  for (size_t kernel_index = 0; kernel_index < simd::kNumKernels;
+       ++kernel_index) {
+    const auto kernel = static_cast<simd::Kernel>(kernel_index);
+    if (!simd::KernelSupported(kernel)) continue;
+    SCOPED_TRACE(simd::KernelName(kernel));
+    for (size_t n : sizes) {
+      for (size_t width : widths) {
+        const auto base = RandomWords(n, static_cast<uint32_t>(n) + 11);
+        std::vector<std::vector<uint64_t>> others;
+        std::vector<const uint64_t*> ptrs;
+        for (size_t j = 0; j < width; ++j) {
+          others.push_back(
+              RandomWords(n, static_cast<uint32_t>(n * 100 + j)));
+        }
+        for (const auto& o : others) ptrs.push_back(o.data());
+
+        ASSERT_TRUE(simd::SetKernel("scalar"));
+        std::vector<uint64_t> ref(width, ~uint64_t{0});
+        simd::AndCountMany(base.data(), ptrs.data(), width, n, ref.data());
+        for (size_t j = 0; j < width; ++j) {
+          ASSERT_EQ(ref[j], simd::AndCount(base.data(), ptrs[j], n));
+        }
+
+        ASSERT_TRUE(simd::SetKernel(simd::KernelName(kernel)));
+        std::vector<uint64_t> got(width, ~uint64_t{0});
+        simd::AndCountMany(base.data(), ptrs.data(), width, n, got.data());
+        EXPECT_EQ(got, ref) << "n=" << n << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, AndIntoToleratesAliasing) {
+  for (size_t kernel_index = 0; kernel_index < simd::kNumKernels;
+       ++kernel_index) {
+    const auto kernel = static_cast<simd::Kernel>(kernel_index);
+    if (!simd::KernelSupported(kernel)) continue;
+    ASSERT_TRUE(simd::SetKernel(simd::KernelName(kernel)));
+    const auto a = RandomWords(77, 5);
+    const auto b = RandomWords(77, 6);
+    std::vector<uint64_t> expect(77);
+    for (size_t i = 0; i < 77; ++i) expect[i] = a[i] & b[i];
+
+    std::vector<uint64_t> out_a = a;
+    (void)simd::AndInto(out_a.data(), b.data(), out_a.data(), 77);
+    EXPECT_EQ(out_a, expect) << simd::KernelName(kernel);
+
+    std::vector<uint64_t> out_b = b;
+    (void)simd::AndInto(a.data(), out_b.data(), out_b.data(), 77);
+    EXPECT_EQ(out_b, expect) << simd::KernelName(kernel);
+  }
+}
+
+}  // namespace
+}  // namespace cfq

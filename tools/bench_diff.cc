@@ -2,7 +2,8 @@
 // Reporter schema) and flag per-sample regressions.
 //
 //   bench_diff --baseline=BENCH_old.json --current=BENCH_new.json \
-//              [--threshold=0.15] [--warn-only] [--metric=mean|p99]
+//              [--threshold=0.15] [--warn-only] [--metric=mean|p99] \
+//              [--assert-ratio=CUR_NAME,REF_NAME,MAX ...]
 //   bench_diff BENCH_old.json BENCH_new.json     # positional form
 //
 // A sample regresses when current/baseline - 1 exceeds --threshold for
@@ -10,8 +11,18 @@
 // are reported but never fail the run — benches gain and lose series as
 // they evolve, and a rename should not page anyone.
 //
-// Exit codes: 0 no regression (or --warn-only), 1 usage/parse error,
-// 3 at least one sample regressed past the threshold.
+// --assert-ratio (repeatable) is a HARD gate on the current file alone:
+// it requires mean(CUR_NAME) <= MAX * mean(REF_NAME) among the current
+// run's own samples. Because both series come from the same machine and
+// run, the assertion is immune to the cross-machine timing noise that
+// forces the baseline comparison to stay --warn-only in CI — it is how
+// bench-smoke enforces "the vectorized kernel beats scalar by >= 2x"
+// (MAX = 0.5). Violations exit 3 even under --warn-only; a missing
+// series is a usage error (exit 1), not a pass.
+//
+// Exit codes: 0 no regression (or --warn-only) and all ratio
+// assertions hold, 1 usage/parse error, 3 at least one sample
+// regressed past the threshold or a ratio assertion failed.
 //
 // The parser below handles exactly the subset of JSON the Reporter
 // emits (string/number values, one level of config nesting, a flat
@@ -238,12 +249,39 @@ std::string FmtPercent(double ratio) {
   return buf;
 }
 
+struct RatioAssertion {
+  std::string current_name;
+  std::string reference_name;
+  double max_ratio = 0;
+};
+
+// Parses "CUR_NAME,REF_NAME,MAX". MAX sits after the last comma; the
+// remaining text splits at its last comma, so sample names containing
+// commas would need the reference name to be comma-free (none are).
+bool ParseRatioAssertion(const std::string& spec, RatioAssertion* out) {
+  const size_t max_at = spec.rfind(',');
+  if (max_at == std::string::npos) return false;
+  try {
+    out->max_ratio = std::stod(spec.substr(max_at + 1));
+  } catch (...) {
+    return false;
+  }
+  if (!(out->max_ratio > 0)) return false;
+  const std::string names = spec.substr(0, max_at);
+  const size_t ref_at = names.rfind(',');
+  if (ref_at == std::string::npos) return false;
+  out->current_name = names.substr(0, ref_at);
+  out->reference_name = names.substr(ref_at + 1);
+  return !out->current_name.empty() && !out->reference_name.empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path, current_path, metric = "mean";
   double threshold = 0.15;
   bool warn_only = false;
+  std::vector<RatioAssertion> ratio_assertions;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* flag) -> std::string {
@@ -268,6 +306,14 @@ int main(int argc, char** argv) {
         std::cerr << "error: --metric wants mean|p99\n";
         return 1;
       }
+    } else if (!value("--assert-ratio").empty()) {
+      RatioAssertion assertion;
+      if (!ParseRatioAssertion(value("--assert-ratio"), &assertion)) {
+        std::cerr << "error: bad --assert-ratio '" << value("--assert-ratio")
+                  << "' (want CUR_NAME,REF_NAME,MAX with MAX > 0)\n";
+        return 1;
+      }
+      ratio_assertions.push_back(std::move(assertion));
     } else if (arg == "--warn-only") {
       warn_only = true;
     } else if (arg.rfind("--", 0) != 0 && baseline_path.empty()) {
@@ -281,7 +327,8 @@ int main(int argc, char** argv) {
   }
   if (baseline_path.empty() || current_path.empty()) {
     std::cerr << "usage: bench_diff --baseline=OLD.json --current=NEW.json "
-                 "[--threshold=0.15] [--metric=mean|p99] [--warn-only]\n";
+                 "[--threshold=0.15] [--metric=mean|p99] [--warn-only] "
+                 "[--assert-ratio=CUR,REF,MAX ...]\n";
     return 1;
   }
 
@@ -351,15 +398,42 @@ int main(int argc, char** argv) {
     for (const auto& name : only_current) std::cout << " " << name;
     std::cout << "\n";
   }
+  // Ratio assertions run on the current file alone and are never
+  // downgraded by --warn-only.
+  bool ratio_failed = false;
+  for (const RatioAssertion& assertion : ratio_assertions) {
+    const auto cur_it = current.samples.find(assertion.current_name);
+    const auto ref_it = current.samples.find(assertion.reference_name);
+    if (cur_it == current.samples.end() || ref_it == current.samples.end()) {
+      std::cerr << "error: --assert-ratio needs both '"
+                << assertion.current_name << "' and '"
+                << assertion.reference_name << "' in " << current_path << "\n";
+      return 1;
+    }
+    if (ref_it->second.mean <= 0 || !std::isfinite(ref_it->second.mean) ||
+        !std::isfinite(cur_it->second.mean)) {
+      std::cerr << "error: --assert-ratio reference '"
+                << assertion.reference_name << "' has a degenerate mean\n";
+      return 1;
+    }
+    const double ratio = cur_it->second.mean / ref_it->second.mean;
+    const bool ok = ratio <= assertion.max_ratio;
+    std::cout << (ok ? "ratio ok:   " : "RATIO FAIL: ")
+              << assertion.current_name << " / " << assertion.reference_name
+              << " = " << FmtSeconds(ratio) << " (max "
+              << FmtSeconds(assertion.max_ratio) << ")\n";
+    if (!ok) ratio_failed = true;
+  }
+
   if (regressions.empty()) {
     std::cout << "no regressions past threshold ("
               << baseline.samples.size() - only_baseline.size()
               << " samples compared)\n";
-    return 0;
+    return ratio_failed ? 3 : 0;
   }
   if (warn_only) {
     std::cout << "--warn-only: not failing the run\n";
-    return 0;
+    return ratio_failed ? 3 : 0;
   }
   return 3;
 }

@@ -3,7 +3,8 @@
 //   cfq_mine --db=baskets.txt --catalog=items.txt \
 //            --query='freq(S, 40) & freq(T, 40) & max(S.Price) <= min(T.Price)' \
 //            [--strategy=optimized|cap|apriori] [--explain] \
-//            [--threads=N] [--trace=run.json] [--metrics-out=run.jsonl] \
+//            [--threads=N] [--no-simd | --simd=scalar|avx2|neon] \
+//            [--trace=run.json] [--metrics-out=run.jsonl] \
 //            [--metrics-format=jsonl|prom] \
 //            [--rules] [--min_confidence=0.5] [--top_k=20] \
 //            [--output=pairs.csv]
@@ -84,6 +85,7 @@ int FailQuery(const Status& status, const ItemCatalog& catalog) {
 
 int main(int argc, char** argv) {
   bench::Args args(argc, argv);
+  bench::ApplySimdArgs(args);
   const std::string query_text = args.GetString("query", "");
   if (query_text.empty()) {
     std::cerr << "usage: cfq_mine --query='<cfq>' [--db=... --catalog=...]\n"

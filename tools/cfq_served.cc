@@ -34,6 +34,7 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "server/server.h"
 #include "server/service.h"
@@ -41,6 +42,7 @@
 int main(int argc, char** argv) {
   using namespace cfq;
   bench::Args args(argc, argv);
+  bench::ApplySimdArgs(args);
 
   server::ServiceOptions service_options;
   service_options.threads = bench::ThreadsFromArgs(args);
@@ -125,7 +127,12 @@ int main(int argc, char** argv) {
   // reports 503 (draining) for the whole drain window.
   if (telemetry != nullptr) telemetry->Stop();
 
-  if (want_metrics) bench::WriteMetricsFromArgs(args, metrics);
+  if (want_metrics) {
+    // Snapshot the counting-kernel counters so the flushed file carries
+    // the same simd.* families the live /metrics endpoint serves.
+    obs::ExportSimdMetrics(&metrics);
+    bench::WriteMetricsFromArgs(args, metrics);
+  }
   std::cerr << "drained: " << metrics.counter("server.queries_total")
             << " queries served, " << service.cache().hits()
             << " cache hits\n";
