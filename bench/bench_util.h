@@ -102,6 +102,19 @@ inline constexpr KnownFlag kKnownFlags[] = {
                  " response's trace.client_trace_id"},
     {"dump-trace", "client: fetch the flight recorder (cmd defaults"
                    " to dumptrace) and write the Chrome trace here"},
+    {"version", "print build identity (git describe, build type,"
+                " counting kernel) and exit"},
+    {"audit-log", "daemon: capture every served query as JSONL in"
+                  " this directory (rotating audit-*.jsonl)"},
+    {"audit-rotate-mb", "daemon: start a new audit file past this size"},
+    {"log", "replay: audit log file or directory to read"},
+    {"speed", "replay: pacing — N times the captured rate, or 'max'"
+              " (default) for back-to-back"},
+    {"shuffle", "replay: randomize query order (seeded by --seed)"},
+    {"verify-digests", "replay: compare each response digest to the"
+                       " captured one; exit 3 on any divergence"},
+    {"summarize", "replay: print the captured workload mix and exit"},
+    {"limit", "replay: stop after this many records"},
     {"help", "print the flag listing and exit"},
 };
 

@@ -1,0 +1,17 @@
+#include "common/version.h"
+
+#include "common/build_info.h"
+#include "common/simd.h"
+
+namespace cfq {
+
+const char* BuildGitDescribe() { return CFQ_BUILD_GIT_DESCRIBE; }
+
+const char* BuildType() { return CFQ_BUILD_TYPE; }
+
+std::string VersionLine(const std::string& binary) {
+  return binary + " " + BuildGitDescribe() + " (" + BuildType() +
+         ", simd=" + simd::KernelName(simd::ActiveKernel()) + ")";
+}
+
+}  // namespace cfq

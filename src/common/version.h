@@ -1,0 +1,30 @@
+// Build/version identity for every binary in the toolchain.
+//
+// The git describe string and build type are baked in at CMake
+// configure time (src/common/build_info.h.in); the active counting
+// kernel is resolved at call time, after ApplySimdArgs / CFQ_SIMD have
+// had their say. All three surface in `--version` output, the daemon's
+// stats command, and GET /stats — so a captured workload or a BENCH
+// file can always be tied back to the exact build that produced it.
+
+#ifndef CFQ_COMMON_VERSION_H_
+#define CFQ_COMMON_VERSION_H_
+
+#include <string>
+
+namespace cfq {
+
+// "git describe --always --dirty --tags" at configure time; "unknown"
+// when the source tree was not a git checkout.
+const char* BuildGitDescribe();
+
+// CMAKE_BUILD_TYPE at configure time ("RelWithDebInfo", "Debug", ...).
+const char* BuildType();
+
+// One human line: "<binary> <describe> (<build type>, simd=<kernel>)".
+// The standard --version body.
+std::string VersionLine(const std::string& binary);
+
+}  // namespace cfq
+
+#endif  // CFQ_COMMON_VERSION_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/table_printer.h"
+#include "obs/digest.h"
 #include "obs/export.h"
 #include "obs/resource.h"
 
@@ -124,11 +125,47 @@ std::string RenderExplainAnalyze(const StrategyStats& stats,
   if (!stats.simd_kernel.empty()) {
     os << "counting kernel: " << stats.simd_kernel << "\n";
   }
+  if (!stats.result_digest.empty()) {
+    os << "result digest: " << stats.result_digest << "\n";
+  }
   if (metrics != nullptr) RenderLatencies(*metrics, &os);
   if (stats.resources.wall_seconds > 0) {
     os << "\n" << obs::RenderResourceUsage(stats.resources, stats.pool);
   }
   return os.str();
+}
+
+std::string DigestCfqResult(const CfqResult& result) {
+  std::vector<std::string> rows;
+  const auto row = [](const FrequentSet& s, const FrequentSet& t) {
+    std::string out;
+    for (size_t i = 0; i < s.items.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += std::to_string(s.items[i]);
+    }
+    out += ';';
+    for (size_t i = 0; i < t.items.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += std::to_string(t.items[i]);
+    }
+    out += ';';
+    out += std::to_string(s.support);
+    out += ';';
+    out += std::to_string(t.support);
+    return out;
+  };
+  if (result.cross_product) {
+    rows.reserve(result.s_sets.size() * result.t_sets.size());
+    for (const FrequentSet& s : result.s_sets) {
+      for (const FrequentSet& t : result.t_sets) rows.push_back(row(s, t));
+    }
+  } else {
+    rows.reserve(result.pairs.size());
+    for (const auto& [i, j] : result.pairs) {
+      rows.push_back(row(result.s_sets[i], result.t_sets[j]));
+    }
+  }
+  return obs::RowsDigestHex(rows);
 }
 
 void ExportMetrics(const StrategyStats& stats, obs::MetricsRegistry* registry) {

@@ -51,6 +51,12 @@ struct StrategyStats {
   // Counting kernel the run dispatched to ("scalar", "avx2", "neon");
   // see common/simd.h. Empty for strategies that never count (oracle).
   std::string simd_kernel;
+  // Stable FNV-1a digest of the canonically-ordered answer rows
+  // (obs/digest.h), as 16 hex digits. Filled by the surfaces that
+  // render rows (cfq_mine, the serving layer) via DigestCfqResult, not
+  // by the executor itself; empty when no digest was computed. The
+  // cross-build / cross-kernel / cross-backend identity check.
+  std::string result_digest;
 
   // Accumulates another run's stats (e.g. repeated harness iterations):
   // per-side CccStats merge levelwise, counts add, timings add.
@@ -64,6 +70,7 @@ struct StrategyStats {
     resources.MergeFrom(other.resources);
     pool.MergeFrom(other.pool);
     if (simd_kernel.empty()) simd_kernel = other.simd_kernel;
+    if (result_digest.empty()) result_digest = other.result_digest;
   }
 };
 

@@ -1,0 +1,43 @@
+#include "obs/digest.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cfq::obs {
+
+void Fnv1a::Update(const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t state = state_;
+  for (size_t i = 0; i < size; ++i) {
+    state ^= static_cast<uint64_t>(bytes[i]);
+    state *= 0x100000001b3ULL;
+  }
+  state_ = state;
+}
+
+uint64_t DigestRows(const std::vector<std::string>& rows) {
+  std::vector<const std::string*> order;
+  order.reserve(rows.size());
+  for (const std::string& row : rows) order.push_back(&row);
+  std::sort(order.begin(), order.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  Fnv1a hash;
+  for (const std::string* row : order) {
+    hash.Update(*row);
+    hash.Update("\n", 1);
+  }
+  return hash.digest();
+}
+
+std::string DigestHex(uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+std::string RowsDigestHex(const std::vector<std::string>& rows) {
+  return DigestHex(DigestRows(rows));
+}
+
+}  // namespace cfq::obs

@@ -1,0 +1,246 @@
+#include "server/audit_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <system_error>
+
+namespace cfq::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kFilePrefix[] = "audit-";
+constexpr char kFileSuffix[] = ".jsonl";
+
+std::string FileName(uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06llu%s", kFilePrefix,
+                static_cast<unsigned long long>(index), kFileSuffix);
+  return buf;
+}
+
+// audit-000042.jsonl -> 42; nullopt for anything else.
+std::optional<uint64_t> ParseIndex(const std::string& name) {
+  const size_t prefix = sizeof(kFilePrefix) - 1;
+  const size_t suffix = sizeof(kFileSuffix) - 1;
+  if (name.size() <= prefix + suffix) return std::nullopt;
+  if (name.compare(0, prefix, kFilePrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix, suffix, kFileSuffix) != 0) {
+    return std::nullopt;
+  }
+  uint64_t index = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    index = index * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return index;
+}
+
+}  // namespace
+
+JsonValue AuditRecord::ToJson() const {
+  JsonValue::Object obj;
+  obj["ts_us"] = JsonValue(static_cast<int64_t>(ts_us));
+  obj["trace_id"] = JsonValue(static_cast<int64_t>(trace_id));
+  if (!client_trace_id.empty()) {
+    obj["client_trace_id"] = JsonValue(client_trace_id);
+  }
+  obj["dataset"] = JsonValue(dataset);
+  obj["generation"] = JsonValue(static_cast<int64_t>(generation));
+  obj["strategy"] = JsonValue(strategy);
+  obj["status"] = JsonValue(status);
+  if (!source.empty()) obj["source"] = JsonValue(source);
+  obj["cached"] = JsonValue(cached);
+  obj["query"] = JsonValue(query);
+  if (!digest.empty()) obj["digest"] = JsonValue(digest);
+  obj["rows"] = JsonValue(static_cast<int64_t>(rows));
+  obj["num_pairs"] = JsonValue(static_cast<int64_t>(num_pairs));
+  if (max_rows > 0) obj["max_rows"] = JsonValue(static_cast<int64_t>(max_rows));
+  if (deadline_ms > 0) {
+    obj["deadline_ms"] = JsonValue(static_cast<int64_t>(deadline_ms));
+  }
+  obj["elapsed_seconds"] = JsonValue(elapsed_seconds);
+  if (!phases.empty()) obj["phases"] = JsonValue(phases);
+  return JsonValue(std::move(obj));
+}
+
+std::string AuditRecord::ToJsonLine() const { return ToJson().Write(); }
+
+Result<AuditRecord> AuditRecord::Parse(const std::string& line) {
+  CFQ_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(line));
+  if (!json.is_object()) {
+    return Status::InvalidArgument("audit record is not a JSON object");
+  }
+  AuditRecord r;
+  r.dataset = json.GetString("dataset", "");
+  r.query = json.GetString("query", "");
+  r.status = json.GetString("status", "");
+  if (r.dataset.empty() || r.query.empty() || r.status.empty()) {
+    return Status::InvalidArgument(
+        "audit record missing dataset/query/status");
+  }
+  r.ts_us = json.GetInt("ts_us", 0);
+  r.trace_id = static_cast<uint64_t>(json.GetInt("trace_id", 0));
+  r.client_trace_id = json.GetString("client_trace_id", "");
+  r.generation = static_cast<uint64_t>(json.GetInt("generation", 0));
+  r.strategy = json.GetString("strategy", "");
+  r.source = json.GetString("source", "");
+  r.cached = json.GetBool("cached", false);
+  r.digest = json.GetString("digest", "");
+  r.rows = static_cast<uint64_t>(json.GetInt("rows", 0));
+  r.num_pairs = static_cast<uint64_t>(json.GetInt("num_pairs", 0));
+  r.max_rows = static_cast<uint64_t>(json.GetInt("max_rows", 0));
+  r.deadline_ms = static_cast<uint64_t>(json.GetInt("deadline_ms", 0));
+  r.elapsed_seconds = json.GetNumber("elapsed_seconds", 0);
+  if (const JsonValue* phases = json.Find("phases");
+      phases != nullptr && phases->is_object()) {
+    r.phases = phases->as_object();
+  }
+  return r;
+}
+
+AuditLog::AuditLog(const AuditLogOptions& options,
+                   obs::MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics) {}
+
+Status AuditLog::Open() {
+  if (options_.dir.empty()) {
+    return Status::FailedPrecondition("audit log has no directory");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create audit dir " + options_.dir + ": " +
+                            ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Number past any files already present so restarts never overwrite
+  // an earlier run's capture.
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options_.dir, ec)) {
+    if (const auto index = ParseIndex(entry.path().filename().string())) {
+      next_index_ = std::max(next_index_, *index + 1);
+    }
+  }
+  RotateLocked();
+  if (!file_.is_open()) {
+    return Status::Internal("cannot open audit file " + current_path_);
+  }
+  return Status::Ok();
+}
+
+void AuditLog::RotateLocked() {
+  if (file_.is_open()) {
+    file_.flush();
+    file_.close();
+  }
+  current_path_ =
+      (fs::path(options_.dir) / FileName(next_index_)).string();
+  ++next_index_;
+  bytes_written_ = 0;
+  file_.open(current_path_, std::ios::out | std::ios::app);
+}
+
+void AuditLog::Append(const AuditRecord& record) {
+  std::string line = record.ToJsonLine();
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_.is_open()) {
+    ++errors_;
+    if (metrics_ != nullptr) metrics_->Add("server.audit.errors", 1);
+    return;
+  }
+  if (bytes_written_ > 0 &&
+      bytes_written_ + line.size() > options_.rotate_mb * 1024 * 1024) {
+    RotateLocked();
+    ++rotations_;
+    if (metrics_ != nullptr) metrics_->Add("server.audit.rotations", 1);
+  }
+  file_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  if (!file_.good()) {
+    ++errors_;
+    if (metrics_ != nullptr) metrics_->Add("server.audit.errors", 1);
+    file_.clear();
+    return;
+  }
+  bytes_written_ += line.size();
+  ++appended_;
+  if (metrics_ != nullptr) {
+    metrics_->Add("server.audit.appended", 1);
+    metrics_->SetGauge("server.audit.bytes",
+                       static_cast<double>(bytes_written_));
+  }
+}
+
+void AuditLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_.is_open()) file_.flush();
+}
+
+uint64_t AuditLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t AuditLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+uint64_t AuditLog::errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_;
+}
+
+std::string AuditLog::current_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_path_;
+}
+
+Result<std::vector<AuditRecord>> ReadAuditLog(const std::string& path,
+                                              AuditReadStats* stats) {
+  std::error_code ec;
+  std::vector<std::string> files;
+  if (fs::is_directory(path, ec)) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(path, ec)) {
+      if (ParseIndex(entry.path().filename().string()).has_value()) {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      return Status::NotFound("no audit-*.jsonl files in " + path);
+    }
+  } else {
+    files.push_back(path);
+  }
+
+  AuditReadStats local;
+  std::vector<AuditRecord> records;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in.is_open()) {
+      return Status::NotFound("cannot open audit log " + file);
+    }
+    ++local.files;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      Result<AuditRecord> record = AuditRecord::Parse(line);
+      if (!record.ok()) {
+        ++local.malformed;
+        continue;
+      }
+      records.push_back(std::move(record).value());
+      ++local.records;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return records;
+}
+
+}  // namespace cfq::server

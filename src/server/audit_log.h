@@ -1,0 +1,127 @@
+// AuditLog: durable workload capture for the serving daemon.
+//
+// Every query QueryService serves — success or error — is appended as
+// one JSON object per line to a rotating audit log, so the workload
+// survives the process: the query mix can be summarized offline, a new
+// build or backend can be proven answer-identical under production
+// traffic, and latency can be compared replay-vs-capture. The record
+// carries everything tools/cfq_replay needs to re-drive the query (the
+// canonical query text, dataset, strategy, row cap, deadline) plus
+// everything needed to verify and compare the replay (the FNV-1a
+// result digest, response status/source, per-phase timings, completion
+// timestamp for pacing).
+//
+// Files are `audit-NNNNNN.jsonl` in the configured directory; a new
+// file starts when the current one passes `rotate_mb` (and at every
+// daemon start, so one file never mixes runs). Appends are serialized
+// by a mutex and never fail a query: I/O errors are counted
+// (server.audit.errors) and the query response proceeds untouched.
+//
+// ReadAuditLog is the symmetric reader used by cfq_replay and tests:
+// it accepts a single file or a directory (all audit-*.jsonl, in name
+// order) and skips — but counts — malformed lines, so a torn final
+// line from a crashed daemon does not poison the capture.
+
+#ifndef CFQ_SERVER_AUDIT_LOG_H_
+#define CFQ_SERVER_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "server/json.h"
+
+namespace cfq::server {
+
+struct AuditLogOptions {
+  std::string dir;        // Empty disables the log entirely.
+  uint64_t rotate_mb = 64;  // Rotate when the current file exceeds this.
+};
+
+// One served query. Field names match the JSONL keys one to one.
+struct AuditRecord {
+  int64_t ts_us = 0;  // Unix epoch microseconds at query completion.
+  uint64_t trace_id = 0;
+  std::string client_trace_id;
+  std::string dataset;
+  uint64_t generation = 0;
+  std::string strategy;
+  std::string status;   // OK | PARSE_ERROR | TIMEOUT | ...
+  std::string source;   // hit | cold | incremental-refresh.
+  bool cached = false;
+  std::string query;    // Canonical text when available, else as sent.
+  std::string digest;   // 16 hex digits (obs/digest.h); empty on errors.
+  uint64_t rows = 0;       // Rows in the response body.
+  uint64_t num_pairs = 0;  // Pre-cap answer pairs.
+  uint64_t max_rows = 0;     // Request's row cap; 0 = server default.
+  uint64_t deadline_ms = 0;  // Request's deadline; 0 = server default.
+  double elapsed_seconds = 0;
+  JsonValue::Object phases;  // Phase name -> seconds (trace breakdown).
+
+  JsonValue ToJson() const;
+  std::string ToJsonLine() const;  // ToJson().Write(), no newline.
+
+  // Decodes one line; malformed JSON or missing required fields
+  // (dataset, query, status) are errors the reader skips.
+  static Result<AuditRecord> Parse(const std::string& line);
+};
+
+class AuditLog {
+ public:
+  // `metrics` (not owned, may be null) receives server.audit.appended /
+  // .rotations / .errors counters and a server.audit.bytes gauge.
+  explicit AuditLog(const AuditLogOptions& options,
+                    obs::MetricsRegistry* metrics = nullptr);
+
+  // Creates the directory if needed and opens a fresh file numbered
+  // after any existing audit-*.jsonl. Call once before Append.
+  Status Open();
+
+  // Appends one record (thread-safe). Never throws; write failures are
+  // counted and dropped so serving is never blocked on the log.
+  void Append(const AuditRecord& record);
+
+  // Flushes the current file to the OS — the drain hook. Safe to call
+  // repeatedly and on a never-opened log.
+  void Flush();
+
+  uint64_t appended() const;
+  uint64_t rotations() const;
+  uint64_t errors() const;
+  std::string current_path() const;
+
+ private:
+  void RotateLocked();  // Opens audit-<next_index_>.jsonl.
+
+  const AuditLogOptions options_;
+  obs::MetricsRegistry* const metrics_;
+  mutable std::mutex mu_;
+  std::ofstream file_;
+  std::string current_path_;
+  uint64_t next_index_ = 1;
+  uint64_t bytes_written_ = 0;  // In the current file.
+  uint64_t appended_ = 0;
+  uint64_t rotations_ = 0;
+  uint64_t errors_ = 0;
+};
+
+struct AuditReadStats {
+  size_t files = 0;
+  size_t records = 0;
+  size_t malformed = 0;  // Lines skipped (bad JSON / missing fields).
+};
+
+// Reads `path` — one .jsonl file, or a directory holding audit-*.jsonl
+// (read in name order, which is rotation order). Malformed lines are
+// skipped and counted in `stats` (may be null). Fails only when the
+// path is unreadable or yields no audit files at all.
+Result<std::vector<AuditRecord>> ReadAuditLog(const std::string& path,
+                                              AuditReadStats* stats = nullptr);
+
+}  // namespace cfq::server
+
+#endif  // CFQ_SERVER_AUDIT_LOG_H_

@@ -81,6 +81,14 @@ class DatasetCatalog {
   std::vector<DatasetInfo> List() const;
   size_t size() const;
 
+  // Generation watermark: the highest generation id this catalog has
+  // handed out (0 before any load/gen/append). Monotone across drops,
+  // so it doubles as a "how much has the data moved" health signal.
+  uint64_t max_generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_generation_ - 1;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, CatalogEntry> entries_;

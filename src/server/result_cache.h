@@ -40,6 +40,10 @@ struct CachedAnswer {
   bool cross_product = false;
   bool truncated = false;   // rows hit the row cap.
   std::string canonical_query;
+  // FNV-1a digest of `rows` in canonical (sorted) order, 16 hex digits
+  // (obs/digest.h). Computed once when the answer is rendered so cache
+  // hits return the identical digest without touching the rows again.
+  std::string digest;
 };
 
 class ResultCache {

@@ -109,6 +109,11 @@ void Server::AcceptLoop() {
     open_fds_[fd] = true;
     connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
+  // However the loop ended — drain request or a fatal accept error —
+  // run the full drain (idempotent). On the fatal path this is what
+  // unblocks main's Wait() and gets the metrics/audit flush to run
+  // instead of the daemon wedging with a dead listener.
+  RequestShutdown();
 }
 
 void Server::ServeConnection(int fd) {

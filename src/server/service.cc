@@ -8,12 +8,14 @@
 #include "common/cancellation.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
+#include "common/version.h"
 #include "core/analyze.h"
 #include "core/cfq.h"
 #include "core/executor.h"
 #include "core/optimizer.h"
 #include "incremental/answer.h"
 #include "incremental/refresh.h"
+#include "obs/digest.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
@@ -79,7 +81,20 @@ QueryService::QueryService(const ServiceOptions& options,
       admission_(options.max_concurrent, options.max_queued, metrics),
       flight_recorder_(obs::FlightRecorderOptions{
           options.flight_recorder_recent, options.flight_recorder_slow,
-          options.slow_query_threshold_seconds}) {}
+          options.slow_query_threshold_seconds}) {
+  if (!options.audit_log_dir.empty()) {
+    AuditLogOptions audit;
+    audit.dir = options.audit_log_dir;
+    audit.rotate_mb = std::max<uint64_t>(options.audit_rotate_mb, 1);
+    audit_log_ = std::make_unique<AuditLog>(audit, metrics);
+    if (Status s = audit_log_->Open(); !s.ok()) {
+      // Capture is best-effort: a daemon that can serve but not record
+      // stays up, and the failure is visible in the metrics surface.
+      metrics_->Add("server.audit.open_errors");
+      audit_log_.reset();
+    }
+  }
+}
 
 JsonValue QueryService::Handle(const JsonValue& request) {
   metrics_->Add("server.requests_total");
@@ -368,6 +383,62 @@ JsonValue QueryService::HandleQuery(const JsonValue& request) {
   completed.events = trace.tracer.Events();
   flight_recorder_.Record(std::move(completed));
 
+  // Workload capture: one JSONL record per served query, success or
+  // error. Requests with no query text at all (protocol misuse) carry
+  // nothing replayable and are not recorded.
+  if (audit_log_ != nullptr) {
+    AuditRecord record;
+    // Replay the canonical text when parsing succeeded — it keys the
+    // result cache identically — and the raw text otherwise.
+    const auto canonical = response.find("canonical_query");
+    record.query =
+        canonical != response.end() && canonical->second.is_string()
+            ? canonical->second.as_string()
+            : request.GetString("query", "");
+    if (!record.query.empty()) {
+      record.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+      record.trace_id = trace.id;
+      record.client_trace_id = trace.client_trace_id;
+      record.dataset = trace.dataset.empty() ? "-" : trace.dataset;
+      record.strategy = trace.strategy;
+      record.status = status;
+      record.source = trace.source;
+      record.elapsed_seconds = elapsed_seconds;
+      const auto get_int = [&response](const char* key) -> uint64_t {
+        const auto it = response.find(key);
+        return it != response.end() && it->second.is_number()
+                   ? static_cast<uint64_t>(it->second.as_number())
+                   : 0;
+      };
+      record.generation = get_int("generation");
+      record.num_pairs = get_int("num_pairs");
+      const auto rows = response.find("rows");
+      if (rows != response.end() && rows->second.is_array()) {
+        record.rows = rows->second.as_array().size();
+      }
+      const auto cached_flag = response.find("cached");
+      record.cached = cached_flag != response.end() &&
+                      cached_flag->second.is_bool() &&
+                      cached_flag->second.as_bool();
+      const auto digest = response.find("digest");
+      if (digest != response.end() && digest->second.is_string()) {
+        record.digest = digest->second.as_string();
+      }
+      // Only the request's explicit cap/deadline (0 = server default),
+      // so replay against a differently configured daemon still sends
+      // what the client sent.
+      record.max_rows = static_cast<uint64_t>(request.GetInt("max_rows", 0));
+      record.deadline_ms =
+          static_cast<uint64_t>(request.GetInt("deadline_ms", 0));
+      for (const obs::QueryPhase& phase : trace.phases.phases()) {
+        record.phases[phase.name] = phase.seconds;
+      }
+      audit_log_->Append(record);
+    }
+  }
+
   return response;
 }
 
@@ -558,6 +629,10 @@ JsonValue::Object QueryService::ExecuteQuery(const JsonValue& request,
       }
     }
     fresh->truncated = fresh->rows.size() < fresh->num_pairs;
+    // The stable answer identity: FNV-1a over the response rows in
+    // sorted order (obs/digest.h). Computed once here; cache hits and
+    // the audit log reuse it byte-for-byte.
+    fresh->digest = obs::RowsDigestHex(fresh->rows);
 
     ExportMetrics(result->stats, &query_metrics);
     metrics_->MergeFrom(query_metrics);
@@ -579,6 +654,7 @@ JsonValue::Object QueryService::ExecuteQuery(const JsonValue& request,
   response["num_pairs"] = static_cast<int64_t>(answer->num_pairs);
   response["cross_product"] = answer->cross_product;
   response["truncated"] = answer->truncated;
+  response["digest"] = answer->digest;
   JsonValue::Array rows;
   rows.reserve(answer->rows.size());
   for (const std::string& row : answer->rows) rows.push_back(row);
@@ -717,12 +793,33 @@ JsonValue::Object QueryService::StatsJson() {
   flight["slow_size"] = static_cast<int64_t>(recorder.slow_size);
   flight["slow_threshold_seconds"] = recorder.slow_threshold_seconds;
 
+  // The build that is serving: configure-time git describe and build
+  // type plus the runtime-dispatched counting kernel, so any scraped
+  // stats snapshot identifies the binary it came from.
+  JsonValue::Object build;
+  build["git_describe"] = std::string(BuildGitDescribe());
+  build["build_type"] = std::string(BuildType());
+  build["simd_kernel"] = std::string(simd::KernelName(simd::ActiveKernel()));
+
+  JsonValue::Object audit;
+  audit["enabled"] = audit_log_ != nullptr;
+  if (audit_log_ != nullptr) {
+    audit["appended"] = static_cast<int64_t>(audit_log_->appended());
+    audit["rotations"] = static_cast<int64_t>(audit_log_->rotations());
+    audit["errors"] = static_cast<int64_t>(audit_log_->errors());
+    audit["current_path"] = audit_log_->current_path();
+  }
+
   JsonValue::Object stats;
   stats["cache"] = std::move(cache);
   stats["admission"] = std::move(admission);
   stats["state_cache"] = std::move(state_cache);
   stats["flight_recorder"] = std::move(flight);
+  stats["build"] = std::move(build);
+  stats["audit"] = std::move(audit);
   stats["datasets"] = static_cast<int64_t>(catalog_.size());
+  stats["max_generation"] = static_cast<int64_t>(catalog_.max_generation());
+  stats["uptime_seconds"] = static_cast<int64_t>(uptime_seconds());
   stats["simd_kernel"] = std::string(simd::KernelName(simd::ActiveKernel()));
   return stats;
 }
@@ -757,11 +854,17 @@ HttpResponse QueryService::HandleHttp(const std::string& path) {
   metrics_->Add("server.http.requests");
   HttpResponse response;
   if (path == "/healthz") {
+    // First token stays "ok"/"draining" (probes grep for it); the rest
+    // of the line is liveness context for humans and smoke tests.
+    const std::string detail =
+        " uptime_seconds=" + std::to_string(uptime_seconds()) +
+        " datasets=" + std::to_string(catalog_.size()) +
+        " max_generation=" + std::to_string(catalog_.max_generation());
     if (admission_.shutting_down()) {
       response.status = 503;
-      response.body = "draining\n";
+      response.body = "draining" + detail + "\n";
     } else {
-      response.body = "ok\n";
+      response.body = "ok" + detail + "\n";
     }
     return response;
   }

@@ -18,6 +18,7 @@
 #define CFQ_SERVER_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,6 +29,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "server/admission.h"
+#include "server/audit_log.h"
 #include "server/catalog.h"
 #include "server/http.h"
 #include "server/json.h"
@@ -60,6 +62,11 @@ struct ServiceOptions {
   // Per-query tracer ring capacity (events retained per trace). The
   // ring is preallocated per query, so keep it modest.
   size_t query_trace_capacity = 4096;
+  // Workload capture: when non-empty, every served query (success or
+  // error) is appended to rotating audit-*.jsonl files in this
+  // directory (server/audit_log.h); cfq_replay re-drives them.
+  std::string audit_log_dir;
+  uint64_t audit_rotate_mb = 64;
 };
 
 class QueryService {
@@ -80,8 +87,13 @@ class QueryService {
   }
 
   // Stops admitting new queries (drain phase 1); in-flight queries
-  // finish normally.
-  void BeginDrain() { admission_.Shutdown(); }
+  // finish normally. Also flushes the audit log, so every drain path
+  // (shutdown command, SIGTERM, fatal accept error) durably lands the
+  // records captured so far.
+  void BeginDrain() {
+    admission_.Shutdown();
+    if (audit_log_ != nullptr) audit_log_->Flush();
+  }
 
   // Serves the telemetry listener: GET /metrics (live Prometheus
   // text), /healthz (503 while draining), /stats (JSON summaries),
@@ -95,6 +107,16 @@ class QueryService {
   obs::FlightRecorder& flight_recorder() { return flight_recorder_; }
   obs::MetricsRegistry* metrics() { return metrics_; }
   const ServiceOptions& options() const { return options_; }
+  // Null unless ServiceOptions::audit_log_dir was set and Open succeeded.
+  AuditLog* audit_log() { return audit_log_.get(); }
+
+  // Whole seconds since this service was constructed (daemon start).
+  uint64_t uptime_seconds() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
+  }
 
  private:
   struct QueryTrace;  // Per-query tracer + phase accumulator (service.cc).
@@ -132,6 +154,9 @@ class QueryService {
   incremental::MiningStateCache state_cache_;
   AdmissionController admission_;
   obs::FlightRecorder flight_recorder_;
+  std::unique_ptr<AuditLog> audit_log_;
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   std::atomic<bool> shutdown_requested_{false};
 };
 

@@ -1,0 +1,172 @@
+// The result digest (obs/digest.h, core/analyze.h DigestCfqResult):
+// FNV-1a-64 over the canonically ordered answer rows. Covers the hash
+// primitive against the published FNV-1a test vectors, the definition
+// invariants (row order independence, '\n' framing, hex rendering),
+// and the identity that makes the digest useful: the same workload
+// digests identically across all three counter backends, across
+// thread counts, and with the scalar counting kernel pinned versus
+// the build's default dispatch.
+
+#include "obs/digest.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/simd.h"
+#include "core/analyze.h"
+#include "core/executor.h"
+#include "mining/counter.h"
+
+namespace cfq {
+namespace {
+
+// --- FNV-1a primitive -------------------------------------------------
+
+TEST(Fnv1aTest, MatchesPublishedVectors) {
+  // The canonical FNV-1a 64-bit test vectors (Fowler/Noll/Vo).
+  obs::Fnv1a empty;
+  EXPECT_EQ(empty.digest(), 0xcbf29ce484222325ULL);
+
+  obs::Fnv1a a;
+  a.Update("a");
+  EXPECT_EQ(a.digest(), 0xaf63dc4c8601ec8cULL);
+
+  obs::Fnv1a foobar;
+  foobar.Update("foobar");
+  EXPECT_EQ(foobar.digest(), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aTest, IncrementalUpdatesMatchOneShot) {
+  obs::Fnv1a split;
+  split.Update("foo");
+  split.Update("bar");
+  obs::Fnv1a whole;
+  whole.Update("foobar");
+  EXPECT_EQ(split.digest(), whole.digest());
+}
+
+TEST(DigestHexTest, SixteenLowercaseHexDigits) {
+  EXPECT_EQ(obs::DigestHex(0xcbf29ce484222325ULL), "cbf29ce484222325");
+  EXPECT_EQ(obs::DigestHex(0x1ULL), "0000000000000001");
+}
+
+// --- Row digest definition -------------------------------------------
+
+TEST(RowsDigestTest, EmptyResultIsOffsetBasis) {
+  EXPECT_EQ(obs::DigestRows({}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(obs::RowsDigestHex({}), "cbf29ce484222325");
+}
+
+TEST(RowsDigestTest, OrderIndependent) {
+  const std::vector<std::string> forward = {"1 2;3;10;20", "4;5 6;7;8"};
+  const std::vector<std::string> reversed = {"4;5 6;7;8", "1 2;3;10;20"};
+  EXPECT_EQ(obs::DigestRows(forward), obs::DigestRows(reversed));
+}
+
+TEST(RowsDigestTest, SensitiveToContentAndFraming) {
+  EXPECT_NE(obs::DigestRows({"a", "b"}), obs::DigestRows({"a", "c"}));
+  // '\n' framing: {"ab"} must not collide with {"a", "b"}.
+  EXPECT_NE(obs::DigestRows({"ab"}), obs::DigestRows({"a", "b"}));
+  // A duplicated row changes the digest (the answer is a multiset of
+  // rendered rows, even though real answers never repeat).
+  EXPECT_NE(obs::DigestRows({"a"}), obs::DigestRows({"a", "a"}));
+}
+
+// --- Cross-backend / cross-thread / cross-kernel identity ------------
+
+struct Instance {
+  TransactionDb db{0};
+  ItemCatalog catalog{0};
+  CfqQuery query;
+};
+
+// Big enough that the counters shard and the SIMD kernels engage, with
+// both a 1-var and a 2-var constraint in play.
+Instance MakeInstance(int seed) {
+  Instance inst;
+  const size_t n = 14;
+  const size_t num_txns = 1200;
+  inst.db = TransactionDb(n);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> len(1, 7);
+  std::uniform_int_distribution<ItemId> item(0, static_cast<ItemId>(n - 1));
+  for (size_t t = 0; t < num_txns; ++t) {
+    std::vector<ItemId> txn(static_cast<size_t>(len(rng)));
+    for (auto& x : txn) x = item(rng);
+    inst.db.Add(std::move(txn));
+  }
+  inst.catalog = ItemCatalog(n);
+  std::vector<AttrValue> price(n);
+  std::uniform_int_distribution<int> price_dist(1, 9);
+  for (size_t i = 0; i < n; ++i) price[i] = price_dist(rng);
+  EXPECT_TRUE(inst.catalog.AddNumericAttr("Price", price).ok());
+  for (ItemId i = 0; i < n; ++i) {
+    inst.query.s_domain.push_back(i);
+    inst.query.t_domain.push_back(i);
+  }
+  inst.query.min_support_s = num_txns / 25;
+  inst.query.min_support_t = num_txns / 12;
+  inst.query.two_var.push_back(
+      MakeAgg2(AggFn::kMax, "Price", CmpOp::kLe, AggFn::kMin, "Price"));
+  return inst;
+}
+
+std::string DigestWith(Instance* inst, CounterKind counter, size_t threads) {
+  PlanOptions options;
+  options.counter = counter;
+  options.threads = threads;
+  auto result = ExecuteOptimized(&inst->db, inst->catalog, inst->query,
+                                 options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (!result.ok()) return "";
+  return DigestCfqResult(result.value());
+}
+
+TEST(DigestIdentityTest, StableAcrossBackendsThreadsAndKernels) {
+  Instance inst = MakeInstance(1234);
+  const std::string baseline =
+      DigestWith(&inst, CounterKind::kBitmap, /*threads=*/1);
+  ASSERT_EQ(baseline.size(), 16u);
+  ASSERT_NE(baseline, "cbf29ce484222325") << "workload produced no answers";
+
+  const CounterKind backends[] = {CounterKind::kBitmap, CounterKind::kHash,
+                                  CounterKind::kHashTree};
+  const size_t thread_counts[] = {1, 8};
+  for (CounterKind backend : backends) {
+    for (size_t threads : thread_counts) {
+      EXPECT_EQ(DigestWith(&inst, backend, threads), baseline)
+          << "backend " << static_cast<int>(backend) << " threads "
+          << threads;
+    }
+  }
+
+  // Scalar kernel pinned vs whatever this build/CPU dispatched to.
+  const std::string default_kernel =
+      simd::KernelName(simd::ActiveKernel());
+  ASSERT_TRUE(simd::SetKernel("scalar"));
+  for (CounterKind backend : backends) {
+    EXPECT_EQ(DigestWith(&inst, backend, /*threads=*/8), baseline)
+        << "scalar kernel, backend " << static_cast<int>(backend);
+  }
+  ASSERT_TRUE(simd::SetKernel(default_kernel.c_str()));
+}
+
+// The digest reaches StrategyStats through the rendering surfaces and
+// survives MergeFrom (first non-empty wins).
+TEST(DigestIdentityTest, MergeFromKeepsFirstDigest) {
+  StrategyStats a;
+  a.result_digest = "aaaaaaaaaaaaaaaa";
+  StrategyStats b;
+  b.result_digest = "bbbbbbbbbbbbbbbb";
+  a.MergeFrom(b);
+  EXPECT_EQ(a.result_digest, "aaaaaaaaaaaaaaaa");
+  StrategyStats c;
+  c.MergeFrom(b);
+  EXPECT_EQ(c.result_digest, "bbbbbbbbbbbbbbbb");
+}
+
+}  // namespace
+}  // namespace cfq

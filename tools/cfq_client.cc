@@ -30,12 +30,17 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/version.h"
 #include "server/client.h"
 #include "server/json.h"
 
 int main(int argc, char** argv) {
   using namespace cfq;
   bench::Args args(argc, argv);
+  if (args.GetBool("version", false)) {
+    std::cout << VersionLine("cfq_client") << "\n";
+    return 0;
+  }
 
   const std::string host = args.GetString("host", "127.0.0.1");
   const int64_t port = args.GetInt("port", 0);

@@ -35,6 +35,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "common/version.h"
 #include "core/analyze.h"
 #include "core/executor.h"
 #include "data/serialize.h"
@@ -86,6 +87,10 @@ int FailQuery(const Status& status, const ItemCatalog& catalog) {
 int main(int argc, char** argv) {
   bench::Args args(argc, argv);
   bench::ApplySimdArgs(args);
+  if (args.GetBool("version", false)) {
+    std::cout << VersionLine("cfq_mine") << "\n";
+    return 0;
+  }
   const std::string query_text = args.GetString("query", "");
   if (query_text.empty()) {
     std::cerr << "usage: cfq_mine --query='<cfq>' [--db=... --catalog=...]\n"
@@ -196,6 +201,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!result.ok()) return FailQuery(result.status(), catalog);
+  // Answer identity for cross-build / cross-kernel comparison; shown by
+  // EXPLAIN ANALYZE and on stderr next to the pair count.
+  result->stats.result_digest = DigestCfqResult(result.value());
 
   // --- Observability output. -------------------------------------------
   const std::vector<obs::TraceEvent> events =
@@ -238,7 +246,8 @@ int main(int argc, char** argv) {
             << AnswerPairs(result.value()).size() << " answer pairs in "
             << result->stats.elapsed_seconds << "s ("
             << result->stats.s.sets_counted + result->stats.t.sets_counted
-            << " candidates counted)\n";
+            << " candidates counted), digest "
+            << result->stats.result_digest << "\n";
 
   // --- Output. ---------------------------------------------------------
   std::ofstream file;

@@ -1,0 +1,494 @@
+// cfq_replay: re-drive a captured workload and prove the answers.
+//
+//   cfq_replay --log=DIR_OR_FILE [--summarize]
+//              [--host=127.0.0.1 --port=P]          # live daemon, or
+//              [--threads=N --cache_capacity=64 ...] # in-process service
+//              [--verify-digests] [--speed=N|max] [--shuffle] [--seed=S]
+//              [--limit=N] [--bench_json=BENCH_replay.json]
+//              [--db=... --catalog=...]
+//
+// Reads an audit log written by `cfq_served --audit-log=DIR`
+// (server/audit_log.h) and:
+//
+//   --summarize   prints the captured mix — queries per dataset,
+//                 response-source/cache-hit ratio, constraint-shape
+//                 histogram, inter-arrival percentiles — and exits.
+//
+//   otherwise     re-sends every captured query, either over TCP
+//                 against a live daemon (--port given) or against an
+//                 in-process QueryService (no --port). Datasets the
+//                 target does not have are recreated first: from
+//                 --db/--catalog files when given, else Quest-generated
+//                 with this binary's generator flags (same seed =>
+//                 same transactions => same digests).
+//
+// --verify-digests compares each response's result digest (and status)
+// to the captured record; any divergence makes the exit code 3 — the
+// cross-build / cross-backend answer-identity gate. --speed paces
+// sends from the captured inter-arrival gaps (N = that many times
+// faster; "max", the default, is back-to-back). --shuffle replays in
+// seeded random order. The latency report compares captured vs
+// replayed per-phase percentiles, and --bench_json writes both series
+// through bench::Reporter so tools/bench_diff can gate regressions.
+//
+// Exit codes: 0 ok, 1 error, 2 flag misuse, 3 digest/status divergence.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/version.h"
+#include "core/cfq.h"
+#include "obs/metrics.h"
+#include "parser/parser.h"
+#include "server/audit_log.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/service.h"
+
+namespace {
+
+using namespace cfq;
+using server::AuditReadStats;
+using server::AuditRecord;
+using server::JsonValue;
+
+constexpr int kDivergenceExit = 3;
+
+// Where replayed requests go: a live daemon over TCP, or an in-process
+// QueryService. One interface so bootstrap/replay/verify are written
+// once.
+class Target {
+ public:
+  virtual ~Target() = default;
+  virtual Result<JsonValue> Call(const JsonValue& request) = 0;
+  virtual const char* name() const = 0;
+};
+
+class TcpTarget : public Target {
+ public:
+  explicit TcpTarget(server::Client client) : client_(std::move(client)) {}
+  Result<JsonValue> Call(const JsonValue& request) override {
+    return client_.Call(request);
+  }
+  const char* name() const override { return "tcp"; }
+
+ private:
+  server::Client client_;
+};
+
+class LocalTarget : public Target {
+ public:
+  explicit LocalTarget(const server::ServiceOptions& options)
+      : service_(options, &metrics_) {}
+  Result<JsonValue> Call(const JsonValue& request) override {
+    return service_.Handle(request);
+  }
+  const char* name() const override { return "in-process"; }
+
+ private:
+  obs::MetricsRegistry metrics_;
+  server::QueryService service_;
+};
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(q * static_cast<double>(values.size()))));
+  return values[rank - 1];
+}
+
+std::string FmtSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4gms", seconds * 1e3);
+  return buf;
+}
+
+// "freq=2 1var=1 2var=1" — the query's constraint shape, from a real
+// parse of the captured text so the histogram never drifts from the
+// grammar.
+std::string ConstraintShape(const std::string& query_text) {
+  auto parsed = ParseCfq(query_text);
+  if (!parsed.ok()) return "unparseable";
+  return "1var=" + std::to_string(parsed->one_var.size()) +
+         " 2var=" + std::to_string(parsed->two_var.size());
+}
+
+int Summarize(const std::vector<AuditRecord>& records,
+              const AuditReadStats& read_stats) {
+  std::map<std::string, uint64_t> per_dataset;
+  std::map<std::string, uint64_t> per_source;
+  std::map<std::string, uint64_t> per_status;
+  std::map<std::string, uint64_t> per_strategy;
+  std::map<std::string, uint64_t> per_shape;
+  uint64_t cached = 0;
+  std::vector<double> inter_arrival;
+  std::vector<double> elapsed;
+  int64_t prev_ts = 0;
+  for (const AuditRecord& r : records) {
+    ++per_dataset[r.dataset];
+    ++per_status[r.status];
+    if (!r.source.empty()) ++per_source[r.source];
+    if (!r.strategy.empty()) ++per_strategy[r.strategy];
+    ++per_shape[ConstraintShape(r.query)];
+    if (r.cached) ++cached;
+    elapsed.push_back(r.elapsed_seconds);
+    if (prev_ts > 0 && r.ts_us >= prev_ts) {
+      inter_arrival.push_back(static_cast<double>(r.ts_us - prev_ts) / 1e6);
+    }
+    prev_ts = r.ts_us;
+  }
+
+  std::cout << "workload: " << records.size() << " queries across "
+            << read_stats.files << " file(s)";
+  if (read_stats.malformed > 0) {
+    std::cout << " (" << read_stats.malformed << " malformed lines skipped)";
+  }
+  std::cout << "\n\n";
+
+  const auto table = [](const char* title,
+                        const std::map<std::string, uint64_t>& counts,
+                        size_t total) {
+    std::cout << title << "\n";
+    TablePrinter t({"key", "queries", "share"});
+    for (const auto& [key, n] : counts) {
+      char share[16];
+      std::snprintf(share, sizeof(share), "%.1f%%",
+                    100.0 * static_cast<double>(n) /
+                        static_cast<double>(total));
+      t.AddRow({key, std::to_string(n), share});
+    }
+    t.Print(std::cout);
+    std::cout << "\n";
+  };
+  table("queries per dataset", per_dataset, records.size());
+  table("response source", per_source, records.size());
+  table("status", per_status, records.size());
+  table("strategy", per_strategy, records.size());
+  table("constraint shape", per_shape, records.size());
+
+  std::cout << "cache-hit ratio: " << cached << "/" << records.size();
+  if (!records.empty()) {
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), " (%.1f%%)",
+                  100.0 * static_cast<double>(cached) /
+                      static_cast<double>(records.size()));
+    std::cout << pct;
+  }
+  std::cout << "\n";
+  std::cout << "captured latency: p50 " << FmtSeconds(Percentile(elapsed, 0.5))
+            << ", p90 " << FmtSeconds(Percentile(elapsed, 0.9)) << ", p99 "
+            << FmtSeconds(Percentile(elapsed, 0.99)) << "\n";
+  if (!inter_arrival.empty()) {
+    std::cout << "inter-arrival: p50 "
+              << FmtSeconds(Percentile(inter_arrival, 0.5)) << ", p90 "
+              << FmtSeconds(Percentile(inter_arrival, 0.9)) << ", p99 "
+              << FmtSeconds(Percentile(inter_arrival, 0.99)) << "\n";
+  }
+  return 0;
+}
+
+// Ensures every dataset the capture names exists on the target:
+// existing ones are kept (their generation watermark need not match the
+// capture — verify mode will tell), missing ones are loaded from
+// --db/--catalog or Quest-generated from the generator flags.
+bool BootstrapDatasets(Target* target, const std::vector<AuditRecord>& records,
+                       const bench::Args& args) {
+  std::set<std::string> wanted;
+  for (const AuditRecord& r : records) {
+    if (r.dataset != "-") wanted.insert(r.dataset);
+  }
+
+  std::set<std::string> have;
+  JsonValue::Object list_request;
+  list_request["cmd"] = "datasets";
+  auto listed = target->Call(list_request);
+  if (listed.ok() && listed->GetString("status", "") == "OK") {
+    if (const JsonValue* datasets = listed->Find("datasets");
+        datasets != nullptr && datasets->is_array()) {
+      for (const JsonValue& row : datasets->as_array()) {
+        have.insert(row.GetString("name", ""));
+      }
+    }
+  }
+
+  const std::string db_path = args.GetString("db", "");
+  const std::string catalog_path = args.GetString("catalog", "");
+  const bench::DbConfig config = bench::DbConfig::FromArgs(args);
+  for (const std::string& name : wanted) {
+    if (have.count(name) > 0) continue;
+    JsonValue::Object request;
+    if (!db_path.empty() && !catalog_path.empty()) {
+      request["cmd"] = "load";
+      request["dataset"] = name;
+      request["db"] = db_path;
+      request["catalog"] = catalog_path;
+    } else {
+      request["cmd"] = "gen";
+      request["dataset"] = name;
+      request["num_transactions"] =
+          static_cast<int64_t>(config.num_transactions);
+      request["num_items"] = static_cast<int64_t>(config.num_items);
+      request["avg_transaction_size"] = config.avg_transaction_size;
+      request["avg_pattern_size"] = config.avg_pattern_size;
+      request["num_patterns"] = static_cast<int64_t>(config.num_patterns);
+      request["seed"] = static_cast<int64_t>(config.seed);
+    }
+    auto response = target->Call(request);
+    if (!response.ok()) {
+      std::cerr << "error: bootstrap of dataset '" << name
+                << "' failed: " << response.status() << "\n";
+      return false;
+    }
+    if (response->GetString("status", "") != "OK") {
+      std::cerr << "error: bootstrap of dataset '" << name << "' failed: "
+                << response->GetString("error", "unknown error") << "\n";
+      return false;
+    }
+    std::cerr << "bootstrapped dataset '" << name << "' ("
+              << (request.count("db") > 0 ? "loaded" : "generated") << ")\n";
+  }
+  return true;
+}
+
+struct ReplayTotals {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t transport_errors = 0;
+  uint64_t status_mismatches = 0;
+  uint64_t digest_mismatches = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  bench::ApplySimdArgs(args);
+  if (args.GetBool("version", false)) {
+    std::cout << VersionLine("cfq_replay") << "\n";
+    return 0;
+  }
+
+  const std::string log_path = args.GetString("log", "");
+  if (log_path.empty()) {
+    std::cerr << "usage: cfq_replay --log=DIR_OR_FILE [--summarize]"
+                 " [--port=P | in-process flags] [--verify-digests]\n"
+                 "see the header of tools/cfq_replay.cc for all flags\n";
+    return 2;
+  }
+
+  AuditReadStats read_stats;
+  auto read = server::ReadAuditLog(log_path, &read_stats);
+  if (!read.ok()) {
+    std::cerr << "error: " << read.status() << "\n";
+    return 1;
+  }
+  std::vector<AuditRecord> records = std::move(read).value();
+  // Capture order = timestamp order (rotation files sort by name, but a
+  // concatenated or hand-edited log might not).
+  std::stable_sort(records.begin(), records.end(),
+                   [](const AuditRecord& a, const AuditRecord& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  const int64_t limit = args.GetInt("limit", 0);
+  if (limit > 0 && static_cast<size_t>(limit) < records.size()) {
+    records.resize(static_cast<size_t>(limit));
+  }
+  if (records.empty()) {
+    std::cerr << "error: no replayable records in '" << log_path << "'\n";
+    return 1;
+  }
+
+  if (args.GetBool("summarize", false)) {
+    return Summarize(records, read_stats);
+  }
+
+  // The captured inter-arrival gap before each record, for pacing —
+  // computed before any shuffle so the replayed rhythm is the captured
+  // one even when the order is not.
+  std::vector<double> gap_seconds(records.size(), 0);
+  for (size_t i = 1; i < records.size(); ++i) {
+    const int64_t delta = records[i].ts_us - records[i - 1].ts_us;
+    gap_seconds[i] = delta > 0 ? static_cast<double>(delta) / 1e6 : 0;
+  }
+  const std::string speed_text = args.GetString("speed", "max");
+  double speed = 0;  // 0 = max (no pacing).
+  if (speed_text != "max") {
+    speed = std::atof(speed_text.c_str());
+    if (speed <= 0) {
+      std::cerr << "error: --speed wants a positive number or 'max'\n";
+      return 2;
+    }
+  }
+
+  std::vector<size_t> order(records.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (args.GetBool("shuffle", false)) {
+    std::mt19937_64 rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+    std::shuffle(order.begin(), order.end(), rng);
+  }
+
+  // Pick the target: TCP when --port names a daemon, else an
+  // in-process QueryService built from the daemon's own flags.
+  std::unique_ptr<Target> target;
+  const int64_t port = args.GetInt("port", 0);
+  if (port > 0) {
+    auto client = server::Client::Connect(args.GetString("host", "127.0.0.1"),
+                                          static_cast<uint16_t>(port));
+    if (!client.ok()) {
+      std::cerr << "error: " << client.status() << "\n";
+      return 1;
+    }
+    target = std::make_unique<TcpTarget>(std::move(client).value());
+  } else {
+    server::ServiceOptions options;
+    options.threads = bench::ThreadsFromArgs(args);
+    options.max_concurrent =
+        static_cast<size_t>(args.GetInt("max_concurrent", 4));
+    options.max_queued = static_cast<size_t>(args.GetInt("max_queued", 16));
+    options.cache_capacity =
+        static_cast<size_t>(args.GetInt("cache_capacity", 64));
+    target = std::make_unique<LocalTarget>(options);
+  }
+  if (!BootstrapDatasets(target.get(), records, args)) return 1;
+
+  const bool verify = args.GetBool("verify-digests", false);
+  bench::Reporter reporter("replay");
+  reporter.SetConfig("log", log_path);
+  reporter.SetConfig("target", target->name());
+  reporter.SetConfig("records", static_cast<int64_t>(records.size()));
+  reporter.SetConfig("speed", speed_text);
+  reporter.SetConfig("verify", verify ? "1" : "0");
+
+  ReplayTotals totals;
+  std::map<std::string, std::vector<double>> captured_phases;
+  std::map<std::string, std::vector<double>> replayed_phases;
+  const auto replay_start = std::chrono::steady_clock::now();
+  double paced_offset = 0;
+
+  for (size_t position = 0; position < order.size(); ++position) {
+    const AuditRecord& record = records[order[position]];
+    if (speed > 0) {
+      paced_offset += gap_seconds[position] / speed;
+      const auto send_at =
+          replay_start + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(paced_offset));
+      std::this_thread::sleep_until(send_at);
+    }
+
+    JsonValue::Object request;
+    request["cmd"] = "query";
+    request["dataset"] = record.dataset;
+    request["query"] = record.query;
+    if (!record.strategy.empty()) request["strategy"] = record.strategy;
+    if (record.max_rows > 0) {
+      request["max_rows"] = static_cast<int64_t>(record.max_rows);
+    }
+    if (record.deadline_ms > 0) {
+      request["deadline_ms"] = static_cast<int64_t>(record.deadline_ms);
+    }
+    ++totals.sent;
+    auto response = target->Call(request);
+    if (!response.ok()) {
+      ++totals.transport_errors;
+      std::cerr << "error: replay call failed: " << response.status() << "\n";
+      break;  // A dead transport fails every later call too.
+    }
+    const std::string status = response->GetString("status", "INTERNAL");
+    if (status == "OK") ++totals.ok;
+    if (verify && status != record.status) {
+      ++totals.status_mismatches;
+      std::cerr << "DIVERGED status: dataset=" << record.dataset << " query=\""
+                << record.query << "\" captured=" << record.status
+                << " replayed=" << status << "\n";
+    }
+    if (verify && !record.digest.empty()) {
+      const std::string replayed_digest = response->GetString("digest", "");
+      if (replayed_digest != record.digest) {
+        ++totals.digest_mismatches;
+        std::cerr << "DIVERGED digest: dataset=" << record.dataset
+                  << " query=\"" << record.query
+                  << "\" captured=" << record.digest
+                  << " replayed=" << replayed_digest << "\n";
+      }
+    }
+
+    // Latency series, captured vs replayed. Undotted phases partition
+    // the wall time (docs/OBSERVABILITY.md); dotted refinements are
+    // kept too — bench_diff compares whatever both runs have.
+    captured_phases["total"].push_back(record.elapsed_seconds);
+    for (const auto& [phase, seconds] : record.phases) {
+      if (seconds.is_number()) {
+        captured_phases[phase].push_back(seconds.as_number());
+      }
+    }
+    replayed_phases["total"].push_back(
+        response->GetNumber("elapsed_seconds", 0));
+    if (const JsonValue* trace = response->Find("trace");
+        trace != nullptr && trace->is_object()) {
+      if (const JsonValue* phases = trace->Find("phases");
+          phases != nullptr && phases->is_object()) {
+        for (const auto& [phase, seconds] : phases->as_object()) {
+          if (seconds.is_number()) {
+            replayed_phases[phase].push_back(seconds.as_number());
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [phase, values] : captured_phases) {
+    for (double v : values) reporter.Add("captured/" + phase, v);
+  }
+  for (const auto& [phase, values] : replayed_phases) {
+    for (double v : values) reporter.Add("replay/" + phase, v);
+  }
+  reporter.WriteJsonFromArgs(args);
+
+  // The side-by-side latency report: captured baseline vs this replay.
+  std::cout << "latency, captured vs replayed (" << target->name() << ")\n";
+  TablePrinter table({"phase", "n", "cap p50", "cap p90", "cap p99",
+                      "rep p50", "rep p90", "rep p99"});
+  for (const auto& [phase, captured] : captured_phases) {
+    const auto it = replayed_phases.find(phase);
+    if (it == replayed_phases.end()) continue;
+    table.AddRow({phase, std::to_string(it->second.size()),
+                  FmtSeconds(Percentile(captured, 0.5)),
+                  FmtSeconds(Percentile(captured, 0.9)),
+                  FmtSeconds(Percentile(captured, 0.99)),
+                  FmtSeconds(Percentile(it->second, 0.5)),
+                  FmtSeconds(Percentile(it->second, 0.9)),
+                  FmtSeconds(Percentile(it->second, 0.99))});
+  }
+  table.Print(std::cout);
+
+  std::cout << "replayed " << totals.sent << "/" << records.size()
+            << " queries (" << totals.ok << " OK, " << totals.transport_errors
+            << " transport errors)";
+  if (verify) {
+    std::cout << "; verify: " << totals.digest_mismatches
+              << " digest mismatches, " << totals.status_mismatches
+              << " status mismatches";
+  }
+  std::cout << "\n";
+
+  if (totals.transport_errors > 0) return 1;
+  if (verify &&
+      (totals.digest_mismatches > 0 || totals.status_mismatches > 0)) {
+    return kDivergenceExit;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 //              [--metrics-format=jsonl|prom]
 //              [--http_port=N] [--slow-query-ms=1000]
 //              [--flight-recorder=32]
+//              [--audit-log=DIR] [--audit-rotate-mb=64] [--version]
 //
 // Speaks the newline-delimited JSON protocol of docs/SERVING.md: named
 // datasets (load / gen / save / drop), canonicalized-query result
@@ -22,11 +23,18 @@
 // --slow-query-ms sets the flight recorder's slow threshold and
 // --flight-recorder its per-ring retention (recent and slow).
 //
-// Shutdown: SIGTERM / SIGINT — or a client `shutdown` command — start
-// a graceful drain: no new connections or queries are admitted,
-// in-flight queries run to completion and their responses are written,
-// then the metrics registry is flushed per --metrics-out /
-// --metrics-format and the daemon exits 0.
+// --audit-log=DIR captures every served query — success or error — as
+// one JSON line in rotating audit-*.jsonl files (rotation threshold
+// --audit-rotate-mb), replayable with tools/cfq_replay. --version
+// prints the build identity (git describe, build type, counting
+// kernel) and exits.
+//
+// Shutdown: SIGTERM / SIGINT — or a client `shutdown` command, or a
+// fatal accept-loop error — start a graceful drain: no new connections
+// or queries are admitted, in-flight queries run to completion and
+// their responses are written, then one shared flush step lands both
+// the metrics registry (per --metrics-out / --metrics-format) and the
+// audit log, and the daemon exits 0.
 
 #include <csignal>
 #include <iostream>
@@ -34,6 +42,7 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "common/version.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "server/server.h"
@@ -42,6 +51,11 @@
 int main(int argc, char** argv) {
   using namespace cfq;
   bench::Args args(argc, argv);
+  if (args.GetBool("version", false)) {
+    bench::ApplySimdArgs(args);
+    std::cout << VersionLine("cfq_served") << "\n";
+    return 0;
+  }
   bench::ApplySimdArgs(args);
 
   server::ServiceOptions service_options;
@@ -63,6 +77,9 @@ int main(int argc, char** argv) {
       static_cast<size_t>(recorder_capacity);
   service_options.flight_recorder_slow =
       static_cast<size_t>(recorder_capacity);
+  service_options.audit_log_dir = args.GetString("audit-log", "");
+  service_options.audit_rotate_mb =
+      static_cast<uint64_t>(args.GetInt("audit-rotate-mb", 64));
 
   server::ServerOptions server_options;
   server_options.host = args.GetString("host", "127.0.0.1");
@@ -74,7 +91,30 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry metrics;
   server::QueryService service(service_options, &metrics);
+  if (!service_options.audit_log_dir.empty() &&
+      service.audit_log() == nullptr) {
+    // Same policy as an unwritable --metrics-out: a capture the
+    // operator asked for that cannot be written is a startup error,
+    // not a silent no-op.
+    std::cerr << "error: cannot open audit log in '"
+              << service_options.audit_log_dir << "'\n";
+    return 1;
+  }
   server::Server server(server_options, &service);
+
+  // The one flush step every exit path goes through — SIGTERM/SIGINT,
+  // the `shutdown` command, a fatal accept-loop error, telemetry
+  // startup failure — so the metrics file and the audit log never land
+  // on one path but not another.
+  const auto flush_on_drain = [&] {
+    if (service.audit_log() != nullptr) service.audit_log()->Flush();
+    if (want_metrics) {
+      // Snapshot the counting-kernel counters so the flushed file
+      // carries the same simd.* families the live /metrics serves.
+      obs::ExportSimdMetrics(&metrics);
+      bench::WriteMetricsFromArgs(args, metrics);
+    }
+  };
 
   // All signal delivery goes through one sigwait thread: block
   // SIGTERM/SIGINT before any other thread exists so every thread
@@ -109,6 +149,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << s << "\n";
       server.RequestShutdown();
       server.Wait();
+      flush_on_drain();
       return 1;
     }
     std::cout << "telemetry on " << http_options.host << ":"
@@ -127,14 +168,14 @@ int main(int argc, char** argv) {
   // reports 503 (draining) for the whole drain window.
   if (telemetry != nullptr) telemetry->Stop();
 
-  if (want_metrics) {
-    // Snapshot the counting-kernel counters so the flushed file carries
-    // the same simd.* families the live /metrics endpoint serves.
-    obs::ExportSimdMetrics(&metrics);
-    bench::WriteMetricsFromArgs(args, metrics);
-  }
+  flush_on_drain();
   std::cerr << "drained: " << metrics.counter("server.queries_total")
             << " queries served, " << service.cache().hits()
-            << " cache hits\n";
+            << " cache hits";
+  if (service.audit_log() != nullptr) {
+    std::cerr << ", " << service.audit_log()->appended()
+              << " queries audited";
+  }
+  std::cerr << "\n";
   return 0;
 }
